@@ -1,0 +1,287 @@
+//! Leader election and BFS-tree construction by flooding.
+
+use crate::ledger::Ledger;
+use crate::widths::id_width;
+use qdc_congest::{CongestConfig, Inbox, Message, NodeAlgorithm, NodeInfo, Outbox, Simulator};
+use qdc_graph::{Graph, NodeId};
+
+/// Generous per-stage round cap (stages reach quiescence long before).
+pub(crate) fn stage_cap(n: usize) -> usize {
+    20 * n + 100
+}
+
+// ---------------------------------------------------------------------------
+// Leader election
+// ---------------------------------------------------------------------------
+
+struct MaxFlood {
+    best: u64,
+    width: usize,
+}
+
+impl NodeAlgorithm for MaxFlood {
+    fn on_start(&mut self, _info: &NodeInfo, out: &mut Outbox) {
+        out.broadcast(Message::from_uint(self.best, self.width));
+    }
+    fn on_round(&mut self, _info: &NodeInfo, inbox: &Inbox, out: &mut Outbox) {
+        let incoming = inbox
+            .iter()
+            .filter_map(|(_, m)| m.as_uint(self.width))
+            .max();
+        if let Some(v) = incoming {
+            if v > self.best {
+                self.best = v;
+                out.broadcast(Message::from_uint(v, self.width));
+            }
+        }
+    }
+    fn is_terminated(&self) -> bool {
+        true // event-driven: the run ends at quiescence
+    }
+}
+
+/// Elects the maximum-id node by event-driven flooding (≈ D rounds on an
+/// n-node network; each message is one node id of `⌈log₂ n⌉` bits).
+///
+/// # Panics
+///
+/// Panics if an id does not fit in the `B`-bit budget.
+pub fn elect_leader(graph: &Graph, cfg: CongestConfig, ledger: &mut Ledger) -> NodeId {
+    let n = graph.node_count();
+    let width = id_width(n);
+    assert!(width <= cfg.bandwidth_bits, "node id ({width} bits) exceeds B");
+    let sim = Simulator::new(graph, cfg);
+    let (nodes, report) = sim.run(
+        |info| MaxFlood {
+            best: info.id.0 as u64,
+            width,
+        },
+        stage_cap(n),
+    );
+    ledger.absorb(&report);
+    let max = nodes.iter().map(|s| s.best).max().expect("non-empty network");
+    NodeId(max as u32)
+}
+
+// ---------------------------------------------------------------------------
+// BFS tree construction
+// ---------------------------------------------------------------------------
+
+/// A rooted BFS tree over the network, as produced distributedly.
+#[derive(Clone, Debug)]
+pub struct BfsTreeInfo {
+    /// The root.
+    pub root: NodeId,
+    /// Parent port of each node (`None` for the root and unreachable
+    /// nodes).
+    pub parent_port: Vec<Option<usize>>,
+    /// Hop depth of each node (`u64::MAX` if unreachable).
+    pub depth: Vec<u64>,
+    /// Ports leading to each node's tree children.
+    pub children_ports: Vec<Vec<usize>>,
+    /// Tree height (maximum finite depth).
+    pub height: u64,
+}
+
+impl BfsTreeInfo {
+    /// Whether node `v` participates in the tree.
+    pub fn in_tree(&self, v: NodeId) -> bool {
+        self.depth[v.index()] != u64::MAX
+    }
+}
+
+struct BfsWave {
+    is_root: bool,
+    adopted: bool,
+    parent_port: Option<usize>,
+    round: u64,
+    depth: u64,
+}
+
+impl NodeAlgorithm for BfsWave {
+    fn on_start(&mut self, _info: &NodeInfo, out: &mut Outbox) {
+        if self.is_root {
+            self.adopted = true;
+            self.depth = 0;
+            out.broadcast(Message::empty());
+        }
+    }
+    fn on_round(&mut self, _info: &NodeInfo, inbox: &Inbox, out: &mut Outbox) {
+        self.round += 1;
+        if !self.adopted {
+            if let Some((port, _)) = inbox.iter().next() {
+                self.adopted = true;
+                self.parent_port = Some(port);
+                self.depth = self.round;
+                for p in 0..out.port_count() {
+                    if Some(p) != self.parent_port {
+                        out.send(p, Message::empty());
+                    }
+                }
+            }
+        }
+    }
+    fn is_terminated(&self) -> bool {
+        true
+    }
+}
+
+struct ChildReport {
+    parent_port: Option<usize>,
+    in_tree: bool,
+    children: Vec<usize>,
+    sent: bool,
+}
+
+impl NodeAlgorithm for ChildReport {
+    fn on_start(&mut self, _info: &NodeInfo, out: &mut Outbox) {
+        self.sent = true;
+        if self.in_tree {
+            if let Some(p) = self.parent_port {
+                out.send(p, Message::from_bit(true));
+            }
+        }
+    }
+    fn on_round(&mut self, _info: &NodeInfo, inbox: &Inbox, _out: &mut Outbox) {
+        for (port, _) in inbox.iter() {
+            self.children.push(port);
+        }
+    }
+    fn is_terminated(&self) -> bool {
+        self.sent
+    }
+}
+
+/// One-round child discovery: every in-tree non-root node sends a bit to
+/// its parent port; each node records the ports it heard from. Reused by
+/// the fragment engine after each relabeling.
+pub(crate) fn discover_children(
+    graph: &Graph,
+    cfg: CongestConfig,
+    parent_port: &[Option<usize>],
+    in_tree: &[bool],
+    ledger: &mut Ledger,
+) -> Vec<Vec<usize>> {
+    let sim = Simulator::new(graph, cfg);
+    let (nodes, report) = sim.run(
+        |info| ChildReport {
+            parent_port: parent_port[info.id.index()],
+            in_tree: in_tree[info.id.index()],
+            children: Vec::new(),
+            sent: false,
+        },
+        stage_cap(graph.node_count()),
+    );
+    ledger.absorb(&report);
+    nodes.into_iter().map(|s| s.children).collect()
+}
+
+/// Builds a BFS tree from `root` by wave flooding (0-bit messages; the
+/// arrival round *is* the depth) followed by a one-round child-discovery
+/// exchange. Costs ≈ eccentricity(root) + 1 rounds.
+pub fn build_bfs_tree(
+    graph: &Graph,
+    cfg: CongestConfig,
+    root: NodeId,
+    ledger: &mut Ledger,
+) -> BfsTreeInfo {
+    let n = graph.node_count();
+    let sim = Simulator::new(graph, cfg);
+    let (nodes, report) = sim.run(
+        |info| BfsWave {
+            is_root: info.id == root,
+            adopted: false,
+            parent_port: None,
+            round: 0,
+            depth: u64::MAX,
+        },
+        stage_cap(n),
+    );
+    ledger.absorb(&report);
+    let parent_port: Vec<Option<usize>> = nodes.iter().map(|s| s.parent_port).collect();
+    let depth: Vec<u64> = nodes
+        .iter()
+        .map(|s| if s.adopted { s.depth } else { u64::MAX })
+        .collect();
+
+    let in_tree: Vec<bool> = nodes.iter().map(|s| s.adopted).collect();
+    let children_ports = discover_children(graph, cfg, &parent_port, &in_tree, ledger);
+    let height = depth.iter().copied().filter(|&d| d != u64::MAX).max().unwrap_or(0);
+    BfsTreeInfo {
+        root,
+        parent_port,
+        depth,
+        children_ports,
+        height,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdc_graph::{algorithms, Graph};
+
+    fn cfg() -> CongestConfig {
+        CongestConfig::classical(32)
+    }
+
+    #[test]
+    fn leader_is_max_id() {
+        let g = qdc_graph::generate::random_connected(40, 20, 5);
+        let mut ledger = Ledger::new();
+        let leader = elect_leader(&g, cfg(), &mut ledger);
+        assert_eq!(leader, NodeId(39));
+        assert!(ledger.rounds >= 1);
+    }
+
+    #[test]
+    fn leader_flood_rounds_scale_with_diameter() {
+        let path = Graph::path(50);
+        let mut ledger = Ledger::new();
+        let leader = elect_leader(&path, cfg(), &mut ledger);
+        assert_eq!(leader, NodeId(49));
+        // Information must travel the whole path (id 49 sits at one end).
+        assert!(ledger.rounds >= 49, "rounds {}", ledger.rounds);
+        assert!(ledger.rounds <= 60, "rounds {}", ledger.rounds);
+    }
+
+    #[test]
+    fn bfs_tree_matches_reference_depths() {
+        let g = qdc_graph::generate::random_connected(30, 25, 9);
+        let mut ledger = Ledger::new();
+        let tree = build_bfs_tree(&g, cfg(), NodeId(3), &mut ledger);
+        let reference = algorithms::bfs_distances(&g, &g.full_subgraph(), NodeId(3));
+        assert_eq!(tree.depth, reference);
+        assert_eq!(tree.root, NodeId(3));
+        // Parent ports really decrease depth by one.
+        for v in g.nodes() {
+            if v == NodeId(3) {
+                assert!(tree.parent_port[v.index()].is_none());
+                continue;
+            }
+            let p = tree.parent_port[v.index()].expect("connected");
+            let parent = Simulator::new(&g, cfg()).info(v).neighbors[p];
+            assert_eq!(tree.depth[parent.index()] + 1, tree.depth[v.index()]);
+        }
+    }
+
+    #[test]
+    fn bfs_children_are_inverse_of_parents() {
+        let g = Graph::complete(8);
+        let mut ledger = Ledger::new();
+        let tree = build_bfs_tree(&g, cfg(), NodeId(0), &mut ledger);
+        let total_children: usize = tree.children_ports.iter().map(Vec::len).sum();
+        assert_eq!(total_children, 7); // every non-root is someone's child
+        assert_eq!(tree.height, 1);
+    }
+
+    #[test]
+    fn bfs_on_disconnected_graph_covers_component_only() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let mut ledger = Ledger::new();
+        let tree = build_bfs_tree(&g, cfg(), NodeId(0), &mut ledger);
+        assert!(tree.in_tree(NodeId(1)));
+        assert!(!tree.in_tree(NodeId(2)));
+        assert_eq!(tree.depth[2], u64::MAX);
+    }
+}

@@ -1,0 +1,282 @@
+//! Convergecast and broadcast aggregation over a rooted tree.
+//!
+//! The workhorses of every multi-phase algorithm: combine one `u64` per
+//! node up to the root (sum / min / max / and / or), or push one value
+//! from the root to everyone. Each costs ≈ tree height rounds with one
+//! `width`-bit message per tree edge.
+
+use crate::flood::{stage_cap, BfsTreeInfo};
+use crate::ledger::Ledger;
+use qdc_congest::{CongestConfig, Inbox, Message, NodeAlgorithm, NodeInfo, Outbox, Simulator};
+use qdc_graph::Graph;
+
+/// Aggregation operator for [`aggregate_to_root`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Agg {
+    /// Sum (caller guarantees the total fits in `width` bits).
+    Sum,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Bitwise AND (use 0/1 values for boolean "all").
+    And,
+    /// Bitwise OR (use 0/1 values for boolean "any").
+    Or,
+}
+
+impl Agg {
+    fn combine(self, a: u64, b: u64) -> u64 {
+        match self {
+            Agg::Sum => a.checked_add(b).expect("aggregate overflow"),
+            Agg::Min => a.min(b),
+            Agg::Max => a.max(b),
+            Agg::And => a & b,
+            Agg::Or => a | b,
+        }
+    }
+}
+
+struct ConvergeNode {
+    in_tree: bool,
+    parent_port: Option<usize>,
+    pending_children: Vec<usize>,
+    acc: u64,
+    agg: Agg,
+    width: usize,
+    sent: bool,
+}
+
+impl ConvergeNode {
+    fn try_finish(&mut self, out: &mut Outbox) {
+        if self.sent || !self.pending_children.is_empty() {
+            return;
+        }
+        self.sent = true;
+        if let Some(p) = self.parent_port {
+            assert!(
+                self.acc < (1u64 << self.width.min(63)) || self.width >= 64,
+                "aggregate {} does not fit in {} bits",
+                self.acc,
+                self.width
+            );
+            out.send(p, Message::from_uint(self.acc, self.width));
+        }
+    }
+}
+
+impl NodeAlgorithm for ConvergeNode {
+    fn on_start(&mut self, _info: &NodeInfo, out: &mut Outbox) {
+        if !self.in_tree {
+            self.sent = true;
+            return;
+        }
+        self.try_finish(out);
+    }
+    fn on_round(&mut self, _info: &NodeInfo, inbox: &Inbox, out: &mut Outbox) {
+        for (port, msg) in inbox.iter() {
+            if let Some(pos) = self.pending_children.iter().position(|&c| c == port) {
+                self.pending_children.swap_remove(pos);
+                let v = msg.as_uint(self.width).expect("malformed aggregate message");
+                self.acc = self.agg.combine(self.acc, v);
+            }
+        }
+        self.try_finish(out);
+    }
+    fn is_terminated(&self) -> bool {
+        self.sent
+    }
+}
+
+/// Aggregates `values[v]` over all tree nodes to the root; returns the
+/// root's result. Nodes outside the tree are ignored.
+///
+/// # Panics
+///
+/// Panics if `width` exceeds the bandwidth budget or an intermediate
+/// aggregate does not fit in `width` bits.
+pub fn aggregate_to_root(
+    graph: &Graph,
+    cfg: CongestConfig,
+    tree: &BfsTreeInfo,
+    values: &[u64],
+    agg: Agg,
+    width: usize,
+    ledger: &mut Ledger,
+) -> u64 {
+    assert_eq!(values.len(), graph.node_count(), "one value per node");
+    assert!(width <= cfg.bandwidth_bits, "aggregate width exceeds B");
+    let sim = Simulator::new(graph, cfg);
+    let (nodes, report) = sim.run(
+        |info| {
+            let i = info.id.index();
+            ConvergeNode {
+                in_tree: tree.in_tree(info.id),
+                parent_port: tree.parent_port[i],
+                pending_children: tree.children_ports[i].clone(),
+                acc: values[i],
+                agg,
+                width,
+                sent: false,
+            }
+        },
+        stage_cap(graph.node_count()),
+    );
+    ledger.absorb(&report);
+    nodes[tree.root.index()].acc
+}
+
+struct BroadcastNode {
+    is_root: bool,
+    in_tree: bool,
+    children: Vec<usize>,
+    value: Option<u64>,
+    width: usize,
+}
+
+impl BroadcastNode {
+    fn forward(&self, out: &mut Outbox) {
+        if let Some(v) = self.value {
+            for &c in &self.children {
+                out.send(c, Message::from_uint(v, self.width));
+            }
+        }
+    }
+}
+
+impl NodeAlgorithm for BroadcastNode {
+    fn on_start(&mut self, _info: &NodeInfo, out: &mut Outbox) {
+        if self.is_root {
+            self.forward(out);
+        }
+    }
+    fn on_round(&mut self, _info: &NodeInfo, inbox: &Inbox, out: &mut Outbox) {
+        if self.value.is_none() {
+            if let Some((_, msg)) = inbox.iter().next() {
+                self.value = msg.as_uint(self.width);
+                self.forward(out);
+            }
+        }
+    }
+    fn is_terminated(&self) -> bool {
+        !self.in_tree || self.value.is_some() || !self.is_root
+    }
+}
+
+/// Broadcasts `value` from the tree root to every tree node; returns each
+/// node's received value (`None` for nodes outside the tree).
+///
+/// # Panics
+///
+/// Panics if `width` exceeds the bandwidth budget or the value does not
+/// fit.
+pub fn broadcast_from_root(
+    graph: &Graph,
+    cfg: CongestConfig,
+    tree: &BfsTreeInfo,
+    value: u64,
+    width: usize,
+    ledger: &mut Ledger,
+) -> Vec<Option<u64>> {
+    assert!(width <= cfg.bandwidth_bits, "broadcast width exceeds B");
+    let sim = Simulator::new(graph, cfg);
+    let (nodes, report) = sim.run(
+        |info| {
+            let i = info.id.index();
+            let is_root = info.id == tree.root;
+            BroadcastNode {
+                is_root,
+                in_tree: tree.in_tree(info.id),
+                children: tree.children_ports[i].clone(),
+                value: if is_root { Some(value) } else { None },
+                width,
+            }
+        },
+        stage_cap(graph.node_count()),
+    );
+    ledger.absorb(&report);
+    nodes.into_iter().map(|s| s.value).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flood::build_bfs_tree;
+    use qdc_graph::{Graph, NodeId};
+
+    fn setup(g: &Graph) -> (CongestConfig, BfsTreeInfo, Ledger) {
+        let cfg = CongestConfig::classical(32);
+        let mut ledger = Ledger::new();
+        let tree = build_bfs_tree(g, cfg, NodeId(0), &mut ledger);
+        (cfg, tree, ledger)
+    }
+
+    #[test]
+    fn sum_of_node_ids() {
+        let g = qdc_graph::generate::random_connected(20, 10, 3);
+        let (cfg, tree, mut ledger) = setup(&g);
+        let values: Vec<u64> = (0..20).collect();
+        let total = aggregate_to_root(&g, cfg, &tree, &values, Agg::Sum, 16, &mut ledger);
+        assert_eq!(total, 190);
+    }
+
+    #[test]
+    fn min_max_and_or() {
+        let g = Graph::cycle(9);
+        let (cfg, tree, mut ledger) = setup(&g);
+        let values: Vec<u64> = (0..9).map(|i| (i * 13 + 5) % 23).collect();
+        assert_eq!(
+            aggregate_to_root(&g, cfg, &tree, &values, Agg::Min, 8, &mut ledger),
+            *values.iter().min().unwrap()
+        );
+        assert_eq!(
+            aggregate_to_root(&g, cfg, &tree, &values, Agg::Max, 8, &mut ledger),
+            *values.iter().max().unwrap()
+        );
+        let bools: Vec<u64> = (0..9).map(|i| u64::from(i != 4)).collect();
+        assert_eq!(aggregate_to_root(&g, cfg, &tree, &bools, Agg::And, 1, &mut ledger), 0);
+        assert_eq!(aggregate_to_root(&g, cfg, &tree, &bools, Agg::Or, 1, &mut ledger), 1);
+    }
+
+    #[test]
+    fn convergecast_rounds_scale_with_height() {
+        let g = Graph::path(40);
+        let (cfg, tree, _) = setup(&g);
+        let mut ledger = Ledger::new();
+        let values = vec![1u64; 40];
+        let total = aggregate_to_root(&g, cfg, &tree, &values, Agg::Sum, 8, &mut ledger);
+        assert_eq!(total, 40);
+        assert!(ledger.rounds >= 39, "rounds {}", ledger.rounds);
+        assert!(ledger.rounds <= 45, "rounds {}", ledger.rounds);
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone() {
+        let g = qdc_graph::generate::random_connected(25, 12, 8);
+        let (cfg, tree, mut ledger) = setup(&g);
+        let got = broadcast_from_root(&g, cfg, &tree, 1234, 11, &mut ledger);
+        assert!(got.iter().all(|&v| v == Some(1234)));
+    }
+
+    #[test]
+    fn broadcast_skips_unreachable_nodes() {
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        let cfg = CongestConfig::classical(8);
+        let mut ledger = Ledger::new();
+        let tree = build_bfs_tree(&g, cfg, NodeId(0), &mut ledger);
+        let got = broadcast_from_root(&g, cfg, &tree, 7, 3, &mut ledger);
+        assert_eq!(got[0], Some(7));
+        assert_eq!(got[1], Some(7));
+        assert_eq!(got[2], None);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds B")]
+    fn oversized_aggregate_width_rejected() {
+        let g = Graph::path(3);
+        let cfg = CongestConfig::classical(4);
+        let mut ledger = Ledger::new();
+        let tree = build_bfs_tree(&g, cfg, NodeId(0), &mut ledger);
+        aggregate_to_root(&g, cfg, &tree, &[1, 1, 1], Agg::Sum, 8, &mut ledger);
+    }
+}

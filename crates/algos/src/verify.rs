@@ -1,0 +1,332 @@
+//! Distributed verification of subnetwork properties (Section 2.2).
+//!
+//! Every verifier follows the same recipe the upper bounds of Das Sarma
+//! et al. use: elect a leader, build a BFS tree of the *network* `N`,
+//! compute connected components of the *subnetwork* `M` with the fragment
+//! engine, and combine O(1) aggregates over the BFS tree. The round cost
+//! is dominated by the fragment engine's Õ(√n + D); the paper's
+//! Theorem 3.6 shows this is optimal up to polylog factors **even for
+//! quantum algorithms**.
+
+use crate::fragments::{count_components, FragmentOutcome};
+use crate::ledger::Ledger;
+use crate::tree::{aggregate_to_root, broadcast_from_root, Agg};
+use crate::widths::bits_for;
+use qdc_congest::CongestConfig;
+use qdc_graph::{Graph, Subgraph};
+
+/// Result of a distributed verification run.
+#[derive(Clone, Debug)]
+pub struct VerificationRun {
+    /// The decision (known to every node after the final broadcast).
+    pub accept: bool,
+    /// Accumulated cost.
+    pub ledger: Ledger,
+}
+
+fn finish(
+    graph: &Graph,
+    cfg: CongestConfig,
+    out: &FragmentOutcome,
+    accept: bool,
+    ledger: &mut Ledger,
+) -> bool {
+    // Broadcast the decision so every node knows the answer, as the
+    // problem statement requires.
+    let got = broadcast_from_root(graph, cfg, &out.bfs, u64::from(accept), 1, ledger);
+    debug_assert!(got.iter().all(|&v| v == Some(u64::from(accept))));
+    accept
+}
+
+/// **Hamiltonian cycle verification**: `M` is a spanning simple cycle.
+/// Checks "every `M`-degree is 2" (AND-aggregate) and "`M` has one
+/// component" (fragment count); together these force a single spanning
+/// `n`-cycle.
+pub fn verify_hamiltonian_cycle(graph: &Graph, cfg: CongestConfig, m: &Subgraph) -> VerificationRun {
+    let mut ledger = Ledger::new();
+    let out = count_components(graph, cfg, m, &mut ledger);
+    let deg_ok: Vec<u64> = graph
+        .nodes()
+        .map(|u| u64::from(m.degree_in(graph, u) == 2))
+        .collect();
+    let all_deg2 = aggregate_to_root(graph, cfg, &out.bfs, &deg_ok, Agg::And, 1, &mut ledger) == 1;
+    let accept = graph.node_count() >= 3 && all_deg2 && out.fragment_count == 1;
+    let accept = finish(graph, cfg, &out, accept, &mut ledger);
+    VerificationRun { accept, ledger }
+}
+
+/// **Spanning tree verification**: `M` is connected over all nodes and has
+/// exactly `n − 1` edges.
+pub fn verify_spanning_tree(graph: &Graph, cfg: CongestConfig, m: &Subgraph) -> VerificationRun {
+    let mut ledger = Ledger::new();
+    let out = count_components(graph, cfg, m, &mut ledger);
+    let n = graph.node_count();
+    let degrees: Vec<u64> = graph
+        .nodes()
+        .map(|u| m.degree_in(graph, u) as u64)
+        .collect();
+    let degree_sum = aggregate_to_root(
+        graph,
+        cfg,
+        &out.bfs,
+        &degrees,
+        Agg::Sum,
+        bits_for(2 * graph.edge_count().max(1) as u64),
+        &mut ledger,
+    );
+    let accept = out.fragment_count == 1 && degree_sum == 2 * (n as u64 - 1);
+    let accept = finish(graph, cfg, &out, accept, &mut ledger);
+    VerificationRun { accept, ledger }
+}
+
+/// **Connectivity verification**: all `M`-edges lie in one component
+/// (isolated nodes ignored, matching
+/// [`qdc_graph::predicates::is_connected`]).
+pub fn verify_connectivity(graph: &Graph, cfg: CongestConfig, m: &Subgraph) -> VerificationRun {
+    let mut ledger = Ledger::new();
+    let out = count_components(graph, cfg, m, &mut ledger);
+    let isolated: Vec<u64> = graph
+        .nodes()
+        .map(|u| u64::from(m.degree_in(graph, u) == 0))
+        .collect();
+    let isolated_count = aggregate_to_root(
+        graph,
+        cfg,
+        &out.bfs,
+        &isolated,
+        Agg::Sum,
+        bits_for(graph.node_count() as u64),
+        &mut ledger,
+    );
+    let accept = out.fragment_count as u64 - isolated_count <= 1;
+    let accept = finish(graph, cfg, &out, accept, &mut ledger);
+    VerificationRun { accept, ledger }
+}
+
+/// **Connected spanning subgraph verification**: `M` is connected and
+/// touches every node.
+pub fn verify_spanning_connected(graph: &Graph, cfg: CongestConfig, m: &Subgraph) -> VerificationRun {
+    let mut ledger = Ledger::new();
+    let out = count_components(graph, cfg, m, &mut ledger);
+    let accept = out.fragment_count == 1;
+    let accept = finish(graph, cfg, &out, accept, &mut ledger);
+    VerificationRun { accept, ledger }
+}
+
+// ---------------------------------------------------------------------------
+// Indicator-variable consistency (Appendix A.2's one-round precheck).
+// ---------------------------------------------------------------------------
+
+struct IndicatorExchange {
+    claims: Vec<bool>,
+    mismatch: bool,
+    started: bool,
+}
+
+impl qdc_congest::NodeAlgorithm for IndicatorExchange {
+    fn on_start(&mut self, _info: &qdc_congest::NodeInfo, out: &mut qdc_congest::Outbox) {
+        self.started = true;
+        for (p, &bit) in self.claims.iter().enumerate() {
+            out.send(p, qdc_congest::Message::from_bit(bit));
+        }
+    }
+    fn on_round(
+        &mut self,
+        _info: &qdc_congest::NodeInfo,
+        inbox: &qdc_congest::Inbox,
+        _out: &mut qdc_congest::Outbox,
+    ) {
+        for (port, msg) in inbox.iter() {
+            if msg.as_bit() != Some(self.claims[port]) {
+                self.mismatch = true;
+            }
+        }
+    }
+    fn is_terminated(&self) -> bool {
+        self.started
+    }
+}
+
+/// The Appendix A.2 consistency precheck: each node announces, per port,
+/// whether it believes the incident edge is in `M`; the two endpoints'
+/// claims must agree (`x_{u,v} = x_{v,u}`). One communication round plus
+/// an OR-aggregate; rejects corrupted or inconsistent inputs before any
+/// verifier runs.
+///
+/// `claims[v][p]` is node `v`'s indicator for its `p`-th incident edge.
+///
+/// # Panics
+///
+/// Panics if the claims shape does not match the graph.
+pub fn check_indicator_consistency(
+    graph: &Graph,
+    cfg: CongestConfig,
+    claims: &[Vec<bool>],
+) -> VerificationRun {
+    assert_eq!(claims.len(), graph.node_count(), "one claim row per node");
+    for v in graph.nodes() {
+        assert_eq!(
+            claims[v.index()].len(),
+            graph.degree(v),
+            "one claim per incident edge"
+        );
+    }
+    let mut ledger = Ledger::new();
+    let sim = qdc_congest::Simulator::new(graph, cfg);
+    let (nodes, report) = sim.run(
+        |info| IndicatorExchange {
+            claims: claims[info.id.index()].clone(),
+            mismatch: false,
+            started: false,
+        },
+        crate::flood::stage_cap(graph.node_count()),
+    );
+    ledger.absorb(&report);
+    let leader = crate::flood::elect_leader(graph, cfg, &mut ledger);
+    let bfs = crate::flood::build_bfs_tree(graph, cfg, leader, &mut ledger);
+    let flags: Vec<u64> = nodes.iter().map(|s| u64::from(s.mismatch)).collect();
+    let bad = aggregate_to_root(graph, cfg, &bfs, &flags, Agg::Or, 1, &mut ledger) == 1;
+    let accept = !bad;
+    let _ = broadcast_from_root(graph, cfg, &bfs, u64::from(accept), 1, &mut ledger);
+    VerificationRun { accept, ledger }
+}
+
+/// Builds the consistent per-node claim rows for a subgraph `M` (the
+/// honest input encoding of Appendix A.2).
+pub fn claims_for_subgraph(graph: &Graph, m: &Subgraph) -> Vec<Vec<bool>> {
+    graph
+        .nodes()
+        .map(|v| {
+            graph
+                .incident(v)
+                .iter()
+                .map(|&(e, _)| m.contains(e))
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdc_graph::{generate, predicates, EdgeId, Graph};
+
+    fn cfg() -> CongestConfig {
+        CongestConfig::classical(64)
+    }
+
+    #[test]
+    fn hamiltonian_cycle_accepted_and_rejected() {
+        let g = Graph::cycle(12);
+        let full = g.full_subgraph();
+        assert!(verify_hamiltonian_cycle(&g, cfg(), &full).accept);
+        let mut broken = full.clone();
+        broken.remove(EdgeId(0));
+        assert!(!verify_hamiltonian_cycle(&g, cfg(), &broken).accept);
+    }
+
+    #[test]
+    fn two_cycles_rejected_despite_degrees() {
+        // Network: two triangles plus a bridge making N connected; M = the
+        // two triangles (all M-degrees 2, two components).
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)]);
+        let mut m = g.full_subgraph();
+        m.remove(g.find_edge(qdc_graph::NodeId(2), qdc_graph::NodeId(3)).unwrap());
+        assert!(!verify_hamiltonian_cycle(&g, cfg(), &m).accept);
+        assert!(!verify_spanning_tree(&g, cfg(), &m).accept);
+        assert!(!verify_connectivity(&g, cfg(), &m).accept);
+    }
+
+    #[test]
+    fn spanning_tree_verification_matches_predicate() {
+        for seed in 0..5 {
+            let g = generate::random_connected(20, 15, seed);
+            // Candidate M: a BFS tree (true case) or with one edge swapped
+            // (false case).
+            let tree = qdc_graph::algorithms::bfs_tree(&g, qdc_graph::NodeId(0));
+            let m = tree.as_subgraph(&g);
+            assert!(verify_spanning_tree(&g, cfg(), &m).accept, "seed {seed}");
+            let mut bad = m.clone();
+            bad.remove(m.edges().next().unwrap());
+            assert_eq!(
+                verify_spanning_tree(&g, cfg(), &bad).accept,
+                predicates::is_spanning_tree(&g, &bad)
+            );
+        }
+    }
+
+    #[test]
+    fn connectivity_ignores_isolated_nodes() {
+        let g = generate::random_connected(12, 10, 3);
+        // M = a single edge: connected in the paper's sense.
+        let mut m = g.empty_subgraph();
+        m.insert(EdgeId(0));
+        assert!(verify_connectivity(&g, cfg(), &m).accept);
+        assert!(!verify_spanning_connected(&g, cfg(), &m).accept);
+    }
+
+    #[test]
+    fn verifiers_agree_with_predicates_on_random_subgraphs() {
+        for seed in 0..8 {
+            let g = generate::random_connected(18, 20, seed + 30);
+            let mut m = g.empty_subgraph();
+            for (k, e) in g.edges().enumerate() {
+                if !(k * 7 + seed as usize).is_multiple_of(3) {
+                    m.insert(e);
+                }
+            }
+            assert_eq!(
+                verify_hamiltonian_cycle(&g, cfg(), &m).accept,
+                predicates::is_hamiltonian_cycle(&g, &m),
+                "ham seed {seed}"
+            );
+            assert_eq!(
+                verify_spanning_tree(&g, cfg(), &m).accept,
+                predicates::is_spanning_tree(&g, &m),
+                "st seed {seed}"
+            );
+            assert_eq!(
+                verify_connectivity(&g, cfg(), &m).accept,
+                predicates::is_connected(&g, &m),
+                "conn seed {seed}"
+            );
+            assert_eq!(
+                verify_spanning_connected(&g, cfg(), &m).accept,
+                predicates::is_spanning_connected_subgraph(&g, &m),
+                "span-conn seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn consistent_claims_accepted() {
+        let g = generate::random_connected(15, 12, 4);
+        let mut m = g.empty_subgraph();
+        for (k, e) in g.edges().enumerate() {
+            if k % 2 == 0 {
+                m.insert(e);
+            }
+        }
+        let claims = claims_for_subgraph(&g, &m);
+        assert!(check_indicator_consistency(&g, cfg(), &claims).accept);
+    }
+
+    #[test]
+    fn corrupted_claims_rejected() {
+        // Failure injection: one node lies about one incident edge — the
+        // single-round exchange must catch it.
+        let g = generate::random_connected(15, 12, 4);
+        let m = g.full_subgraph();
+        let mut claims = claims_for_subgraph(&g, &m);
+        claims[7][0] = !claims[7][0];
+        assert!(!check_indicator_consistency(&g, cfg(), &claims).accept);
+    }
+
+    #[test]
+    fn verification_cost_is_accounted() {
+        let g = generate::random_connected(25, 20, 2);
+        let run = verify_hamiltonian_cycle(&g, cfg(), &g.full_subgraph());
+        assert!(run.ledger.rounds > 0);
+        assert!(run.ledger.stages >= 6);
+    }
+}

@@ -1,0 +1,480 @@
+//! Distributed verification of the remaining Appendix A.2 / Corollary 3.7
+//! problems: cycle containment, e-cycle containment, bipartiteness,
+//! s-t connectivity, cut, s-t cut, edge-on-all-paths and simple path.
+//!
+//! All follow the same fragment-engine + aggregate recipe as
+//! [`crate::verify`]; bipartiteness additionally runs a parity-carrying
+//! label flood and a one-round conflict exchange.
+
+use crate::flood::stage_cap;
+use crate::fragments::count_components;
+use crate::ledger::Ledger;
+use crate::tree::{aggregate_to_root, broadcast_from_root, Agg};
+use crate::verify::VerificationRun;
+use crate::widths::{bits_for, id_width};
+use qdc_congest::{CongestConfig, Inbox, Message, NodeAlgorithm, NodeInfo, Outbox, Simulator};
+use qdc_graph::{EdgeId, Graph, NodeId, Subgraph};
+
+/// **Cycle containment verification**: does `M` contain a cycle?
+///
+/// `M` is acyclic iff `|E(M)| = n − components(M)`; both sides are
+/// aggregates.
+pub fn verify_cycle_containment(graph: &Graph, cfg: CongestConfig, m: &Subgraph) -> VerificationRun {
+    let mut ledger = Ledger::new();
+    let out = count_components(graph, cfg, m, &mut ledger);
+    let degrees: Vec<u64> = graph.nodes().map(|u| m.degree_in(graph, u) as u64).collect();
+    let degree_sum = aggregate_to_root(
+        graph,
+        cfg,
+        &out.bfs,
+        &degrees,
+        Agg::Sum,
+        bits_for(2 * graph.edge_count().max(1) as u64),
+        &mut ledger,
+    );
+    let edges = degree_sum / 2;
+    let accept = edges > graph.node_count() as u64 - out.fragment_count as u64;
+    let _ = broadcast_from_root(graph, cfg, &out.bfs, u64::from(accept), 1, &mut ledger);
+    VerificationRun { accept, ledger }
+}
+
+/// **e-cycle containment verification**: does `M` contain a cycle through
+/// the edge `e`?
+///
+/// Runs the component engine on `M − e` and checks whether the endpoints
+/// of `e` still share a fragment (and that `e ∈ M`).
+pub fn verify_e_cycle_containment(
+    graph: &Graph,
+    cfg: CongestConfig,
+    m: &Subgraph,
+    e: EdgeId,
+) -> VerificationRun {
+    let mut ledger = Ledger::new();
+    if !m.contains(e) {
+        return VerificationRun {
+            accept: false,
+            ledger,
+        };
+    }
+    let mut without = m.clone();
+    without.remove(e);
+    let (u, v) = graph.endpoints(e);
+    let run = verify_st_connectivity(graph, cfg, &without, u, v);
+    ledger.merge(&run.ledger);
+    VerificationRun {
+        accept: run.accept,
+        ledger,
+    }
+}
+
+/// **s-t connectivity verification**: are `s` and `t` in the same
+/// component of `M`?
+///
+/// Component labels from the fragment engine; `s` and `t` inject their
+/// labels into two MIN-aggregates (everyone else contributes the identity
+/// `u64::MAX`), and the root compares.
+pub fn verify_st_connectivity(
+    graph: &Graph,
+    cfg: CongestConfig,
+    m: &Subgraph,
+    s: NodeId,
+    t: NodeId,
+) -> VerificationRun {
+    let mut ledger = Ledger::new();
+    let out = count_components(graph, cfg, m, &mut ledger);
+    let width = id_width(graph.node_count()) + 1;
+    let inject = |who: NodeId| -> Vec<u64> {
+        graph
+            .nodes()
+            .map(|u| {
+                if u == who {
+                    out.fragment_of[u.index()]
+                } else {
+                    (1 << width) - 1
+                }
+            })
+            .collect()
+    };
+    let s_label = aggregate_to_root(graph, cfg, &out.bfs, &inject(s), Agg::Min, width, &mut ledger);
+    let t_label = aggregate_to_root(graph, cfg, &out.bfs, &inject(t), Agg::Min, width, &mut ledger);
+    let accept = s_label == t_label;
+    let _ = broadcast_from_root(graph, cfg, &out.bfs, u64::from(accept), 1, &mut ledger);
+    VerificationRun { accept, ledger }
+}
+
+/// **Cut verification**: does removing `E(M)` disconnect `N`?
+///
+/// Runs the component engine on the complement subgraph.
+pub fn verify_cut(graph: &Graph, cfg: CongestConfig, m: &Subgraph) -> VerificationRun {
+    let mut ledger = Ledger::new();
+    let out = count_components(graph, cfg, &m.complement(), &mut ledger);
+    let accept = out.fragment_count > 1;
+    let _ = broadcast_from_root(graph, cfg, &out.bfs, u64::from(accept), 1, &mut ledger);
+    VerificationRun { accept, ledger }
+}
+
+/// **s-t cut verification**: does removing `E(M)` separate `s` from `t`?
+pub fn verify_st_cut(
+    graph: &Graph,
+    cfg: CongestConfig,
+    m: &Subgraph,
+    s: NodeId,
+    t: NodeId,
+) -> VerificationRun {
+    let run = verify_st_connectivity(graph, cfg, &m.complement(), s, t);
+    VerificationRun {
+        accept: !run.accept,
+        ledger: run.ledger,
+    }
+}
+
+/// **Edge-on-all-paths verification**: does `e` lie on every `u`–`v` path
+/// in `M` (vacuously true if `u` and `v` are disconnected in `M`)?
+pub fn verify_edge_on_all_paths(
+    graph: &Graph,
+    cfg: CongestConfig,
+    m: &Subgraph,
+    u: NodeId,
+    v: NodeId,
+    e: EdgeId,
+) -> VerificationRun {
+    let mut without = m.clone();
+    without.remove(e);
+    let run = verify_st_connectivity(graph, cfg, &without, u, v);
+    VerificationRun {
+        accept: !run.accept,
+        ledger: run.ledger,
+    }
+}
+
+/// **Simple path verification**: degrees in `{0, 1, 2}` with exactly two
+/// degree-1 nodes, and no cycle.
+pub fn verify_simple_path(graph: &Graph, cfg: CongestConfig, m: &Subgraph) -> VerificationRun {
+    let mut ledger = Ledger::new();
+    let out = count_components(graph, cfg, m, &mut ledger);
+    let deg_ok: Vec<u64> = graph
+        .nodes()
+        .map(|n| u64::from(m.degree_in(graph, n) <= 2))
+        .collect();
+    let degrees_fine =
+        aggregate_to_root(graph, cfg, &out.bfs, &deg_ok, Agg::And, 1, &mut ledger) == 1;
+    let deg1: Vec<u64> = graph
+        .nodes()
+        .map(|n| u64::from(m.degree_in(graph, n) == 1))
+        .collect();
+    let sw = bits_for(graph.node_count() as u64);
+    let deg1_count = aggregate_to_root(graph, cfg, &out.bfs, &deg1, Agg::Sum, sw, &mut ledger);
+    let degrees_all: Vec<u64> = graph.nodes().map(|n| m.degree_in(graph, n) as u64).collect();
+    let degree_sum = aggregate_to_root(
+        graph,
+        cfg,
+        &out.bfs,
+        &degrees_all,
+        Agg::Sum,
+        bits_for(2 * graph.edge_count().max(1) as u64),
+        &mut ledger,
+    );
+    let edges = degree_sum / 2;
+    let acyclic = edges == graph.node_count() as u64 - out.fragment_count as u64;
+    let accept = degrees_fine && deg1_count == 2 && acyclic;
+    let _ = broadcast_from_root(graph, cfg, &out.bfs, u64::from(accept), 1, &mut ledger);
+    VerificationRun { accept, ledger }
+}
+
+// ---------------------------------------------------------------------------
+// Bipartiteness: parity-carrying label flood + conflict exchange.
+// ---------------------------------------------------------------------------
+
+struct ParityFlood {
+    origin: u64,
+    parity: bool,
+    active: Vec<bool>,
+    width: usize,
+}
+
+impl ParityFlood {
+    fn encode(&self) -> Message {
+        let mut bits = qdc_congest::BitString::new();
+        bits.push_uint(self.origin, self.width);
+        bits.push_bit(self.parity);
+        Message::from_bits(bits)
+    }
+    fn broadcast(&self, out: &mut Outbox, skip: Option<usize>) {
+        for p in 0..self.active.len() {
+            if self.active[p] && Some(p) != skip {
+                out.send(p, self.encode());
+            }
+        }
+    }
+}
+
+impl NodeAlgorithm for ParityFlood {
+    fn on_start(&mut self, _info: &NodeInfo, out: &mut Outbox) {
+        self.broadcast(out, None);
+    }
+    fn on_round(&mut self, _info: &NodeInfo, inbox: &Inbox, out: &mut Outbox) {
+        let mut improved = None;
+        for (port, msg) in inbox.iter() {
+            if !self.active[port] {
+                continue;
+            }
+            let mut r = msg.reader();
+            let origin = r.read_uint(self.width).expect("origin");
+            let parity = r.read_bit().expect("parity");
+            if origin < self.origin {
+                self.origin = origin;
+                self.parity = !parity;
+                improved = Some(port);
+            }
+        }
+        if let Some(port) = improved {
+            self.broadcast(out, Some(port));
+        }
+    }
+    fn is_terminated(&self) -> bool {
+        true
+    }
+}
+
+struct ParityCheck {
+    origin: u64,
+    parity: bool,
+    active: Vec<bool>,
+    conflict: bool,
+    width: usize,
+    started: bool,
+}
+
+impl NodeAlgorithm for ParityCheck {
+    fn on_start(&mut self, _info: &NodeInfo, out: &mut Outbox) {
+        self.started = true;
+        let mut bits = qdc_congest::BitString::new();
+        bits.push_uint(self.origin, self.width);
+        bits.push_bit(self.parity);
+        for p in 0..self.active.len() {
+            if self.active[p] {
+                out.send(p, Message::from_bits(bits.clone()));
+            }
+        }
+    }
+    fn on_round(&mut self, _info: &NodeInfo, inbox: &Inbox, _out: &mut Outbox) {
+        for (port, msg) in inbox.iter() {
+            if !self.active[port] {
+                continue;
+            }
+            let mut r = msg.reader();
+            let origin = r.read_uint(self.width).expect("origin");
+            let parity = r.read_bit().expect("parity");
+            // Same BFS-layer origin with equal parity across an M-edge ⇒
+            // an odd cycle.
+            if origin == self.origin && parity == self.parity {
+                self.conflict = true;
+            }
+        }
+    }
+    fn is_terminated(&self) -> bool {
+        self.started
+    }
+}
+
+/// **Bipartiteness verification**: is `M` bipartite?
+///
+/// Each `M`-component is 2-colored by a parity-carrying minimum-origin
+/// flood; a one-round exchange then flags any `M`-edge joining equal
+/// parities, and the flags are OR-aggregated.
+pub fn verify_bipartiteness(graph: &Graph, cfg: CongestConfig, m: &Subgraph) -> VerificationRun {
+    let n = graph.node_count();
+    let width = id_width(n);
+    assert!(width < cfg.bandwidth_bits, "parity message exceeds B");
+    let mut ledger = Ledger::new();
+    let sim = Simulator::new(graph, cfg);
+
+    let (flooded, report) = sim.run(
+        |info| ParityFlood {
+            origin: info.id.0 as u64,
+            parity: false,
+            active: info.incident_edges.iter().map(|&e| m.contains(e)).collect(),
+            width,
+        },
+        stage_cap(n),
+    );
+    ledger.absorb(&report);
+
+    let (checked, report) = sim.run(
+        |info| {
+            let i = info.id.index();
+            ParityCheck {
+                origin: flooded[i].origin,
+                parity: flooded[i].parity,
+                active: info.incident_edges.iter().map(|&e| m.contains(e)).collect(),
+                conflict: false,
+                width,
+                started: false,
+            }
+        },
+        stage_cap(n),
+    );
+    ledger.absorb(&report);
+
+    // OR-aggregate the conflicts over a BFS tree and broadcast back.
+    let leader = crate::flood::elect_leader(graph, cfg, &mut ledger);
+    let bfs = crate::flood::build_bfs_tree(graph, cfg, leader, &mut ledger);
+    let flags: Vec<u64> = checked.iter().map(|s| u64::from(s.conflict)).collect();
+    let any_conflict = aggregate_to_root(graph, cfg, &bfs, &flags, Agg::Or, 1, &mut ledger) == 1;
+    let accept = !any_conflict;
+    let _ = broadcast_from_root(graph, cfg, &bfs, u64::from(accept), 1, &mut ledger);
+    VerificationRun { accept, ledger }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdc_graph::{generate, predicates, Graph};
+
+    fn cfg() -> CongestConfig {
+        CongestConfig::classical(64)
+    }
+
+    #[test]
+    fn cycle_containment_matches_predicate() {
+        let g = Graph::cycle(8);
+        assert!(verify_cycle_containment(&g, cfg(), &g.full_subgraph()).accept);
+        let mut m = g.full_subgraph();
+        m.remove(EdgeId(3));
+        assert!(!verify_cycle_containment(&g, cfg(), &m).accept);
+    }
+
+    #[test]
+    fn e_cycle_containment_matches_predicate() {
+        // Triangle + pendant.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let m = g.full_subgraph();
+        let in_cycle = g.find_edge(NodeId(0), NodeId(1)).unwrap();
+        let pendant = g.find_edge(NodeId(2), NodeId(3)).unwrap();
+        assert!(verify_e_cycle_containment(&g, cfg(), &m, in_cycle).accept);
+        assert!(!verify_e_cycle_containment(&g, cfg(), &m, pendant).accept);
+        let mut without = m.clone();
+        without.remove(in_cycle);
+        assert!(!verify_e_cycle_containment(&g, cfg(), &without, in_cycle).accept);
+    }
+
+    #[test]
+    fn st_connectivity_matches_predicate() {
+        let g = Graph::path(6);
+        let m = g.full_subgraph();
+        assert!(verify_st_connectivity(&g, cfg(), &m, NodeId(0), NodeId(5)).accept);
+        let mut cut = m.clone();
+        cut.remove(EdgeId(2));
+        assert!(!verify_st_connectivity(&g, cfg(), &cut, NodeId(0), NodeId(5)).accept);
+        assert!(verify_st_connectivity(&g, cfg(), &cut, NodeId(3), NodeId(5)).accept);
+    }
+
+    #[test]
+    fn cut_and_st_cut_match_predicates() {
+        let g = Graph::cycle(6);
+        let m = qdc_graph::Subgraph::from_endpoint_pairs(
+            &g,
+            &[(NodeId(0), NodeId(1)), (NodeId(3), NodeId(4))],
+        );
+        assert!(verify_cut(&g, cfg(), &m).accept);
+        assert_eq!(
+            verify_cut(&g, cfg(), &m).accept,
+            predicates::is_cut(&g, &m)
+        );
+        // Removing M splits the 6-cycle into arcs {1,2,3} and {4,5,0}.
+        assert!(verify_st_cut(&g, cfg(), &m, NodeId(1), NodeId(4)).accept);
+        assert!(!verify_st_cut(&g, cfg(), &m, NodeId(1), NodeId(3)).accept);
+    }
+
+    #[test]
+    fn edge_on_all_paths_matches_predicate() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let m = g.full_subgraph();
+        let bridge = g.find_edge(NodeId(2), NodeId(3)).unwrap();
+        let side = g.find_edge(NodeId(0), NodeId(1)).unwrap();
+        assert!(verify_edge_on_all_paths(&g, cfg(), &m, NodeId(0), NodeId(3), bridge).accept);
+        assert!(!verify_edge_on_all_paths(&g, cfg(), &m, NodeId(0), NodeId(2), side).accept);
+    }
+
+    #[test]
+    fn simple_path_matches_predicate() {
+        let p = Graph::path(7);
+        assert!(verify_simple_path(&p, cfg(), &p.full_subgraph()).accept);
+        let c = Graph::cycle(5);
+        assert!(!verify_simple_path(&c, cfg(), &c.full_subgraph()).accept);
+        // Two disjoint edges in a connected host: four degree-1 nodes.
+        let g = Graph::path(4);
+        let mut m = g.full_subgraph();
+        m.remove(EdgeId(1));
+        assert!(!verify_simple_path(&g, cfg(), &m).accept);
+    }
+
+    #[test]
+    fn bipartiteness_even_vs_odd_cycles() {
+        let even = Graph::cycle(8);
+        assert!(verify_bipartiteness(&even, cfg(), &even.full_subgraph()).accept);
+        let odd = Graph::cycle(7);
+        assert!(!verify_bipartiteness(&odd, cfg(), &odd.full_subgraph()).accept);
+        // Removing one edge of the odd cycle restores bipartiteness.
+        let mut m = odd.full_subgraph();
+        m.remove(EdgeId(0));
+        assert!(verify_bipartiteness(&odd, cfg(), &m).accept);
+    }
+
+    #[test]
+    fn bipartiteness_on_random_subgraphs_matches_predicate() {
+        for seed in 0..8 {
+            let g = generate::random_connected(16, 18, seed + 70);
+            let mut m = g.empty_subgraph();
+            for (k, e) in g.edges().enumerate() {
+                if !(k * 13 + seed as usize).is_multiple_of(3) {
+                    m.insert(e);
+                }
+            }
+            assert_eq!(
+                verify_bipartiteness(&g, cfg(), &m).accept,
+                predicates::is_bipartite(&g, &m),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_extended_verifiers_match_predicates_randomized() {
+        for seed in 0..6 {
+            let g = generate::random_connected(14, 14, seed + 90);
+            let mut m = g.empty_subgraph();
+            for (k, e) in g.edges().enumerate() {
+                if (k * 7 + seed as usize) % 4 < 2 {
+                    m.insert(e);
+                }
+            }
+            assert_eq!(
+                verify_cycle_containment(&g, cfg(), &m).accept,
+                predicates::contains_cycle(&g, &m),
+                "cycle seed {seed}"
+            );
+            let (s, t) = (NodeId(0), NodeId((g.node_count() - 1) as u32));
+            assert_eq!(
+                verify_st_connectivity(&g, cfg(), &m, s, t).accept,
+                predicates::st_connected(&g, &m, s, t),
+                "st seed {seed}"
+            );
+            assert_eq!(
+                verify_cut(&g, cfg(), &m).accept,
+                predicates::is_cut(&g, &m),
+                "cut seed {seed}"
+            );
+            assert_eq!(
+                verify_st_cut(&g, cfg(), &m, s, t).accept,
+                predicates::is_st_cut(&g, &m, s, t),
+                "st-cut seed {seed}"
+            );
+            assert_eq!(
+                verify_simple_path(&g, cfg(), &m).accept,
+                predicates::is_simple_path(&g, &m),
+                "path seed {seed}"
+            );
+        }
+    }
+}

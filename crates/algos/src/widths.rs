@@ -1,0 +1,58 @@
+//! Message-width arithmetic.
+//!
+//! CONGEST algorithms are stated for `B = Θ(log n)`-bit messages; the
+//! simulator enforces exact budgets, so every stage computes the width of
+//! its message format from the instance parameters. These helpers keep
+//! that arithmetic in one place.
+
+/// Bits needed to represent values in `0..=max` (at least 1).
+pub fn bits_for(max: u64) -> usize {
+    (64 - max.leading_zeros() as usize).max(1)
+}
+
+/// Width of a node or fragment id in an `n`-node network.
+pub fn id_width(n: usize) -> usize {
+    bits_for(n.saturating_sub(1) as u64)
+}
+
+/// Width of an edge id in an `m`-edge network.
+pub fn edge_width(m: usize) -> usize {
+    bits_for(m.saturating_sub(1) as u64)
+}
+
+/// Width of a path length: distances are at most `n · w_max`.
+pub fn distance_width(n: usize, w_max: u64) -> usize {
+    bits_for((n as u64).saturating_mul(w_max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_for_powers() {
+        assert_eq!(bits_for(0), 1);
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(2), 2);
+        assert_eq!(bits_for(3), 2);
+        assert_eq!(bits_for(4), 3);
+        assert_eq!(bits_for(255), 8);
+        assert_eq!(bits_for(256), 9);
+        assert_eq!(bits_for(u64::MAX), 64);
+    }
+
+    #[test]
+    fn id_widths() {
+        assert_eq!(id_width(1), 1);
+        assert_eq!(id_width(2), 1);
+        assert_eq!(id_width(1024), 10);
+        assert_eq!(id_width(1025), 11);
+        assert_eq!(edge_width(16), 4);
+    }
+
+    #[test]
+    fn distance_widths() {
+        assert_eq!(distance_width(8, 1), 4);
+        assert_eq!(distance_width(1000, 1000), bits_for(1_000_000));
+    }
+}

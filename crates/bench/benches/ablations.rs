@@ -1,0 +1,60 @@
+//! Criterion benches: ablations of the design decisions in DESIGN.md.
+//!
+//! * D5 — highway count: network diameter with the full `k = log₂(L−1)`
+//!   highway stack vs a single highway (the Θ(log L) claim degrades);
+//! * two-phase fragment engine: `size_threshold = √n` (Kutten–Peleg) vs
+//!   `size_threshold = 1` (phase 2 only, the naive pipelined Borůvka).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qdc_algos::fragments::{spanning_forest, FragmentConfig};
+use qdc_algos::Ledger;
+use qdc_congest::CongestConfig;
+use qdc_graph::generate;
+use qdc_simthm::SimulationNetwork;
+use std::hint::black_box;
+
+fn bench_threshold_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_fragment_threshold");
+    g.sample_size(10);
+    let graph = generate::random_connected(300, 600, 9);
+    let weights = generate::random_weights(&graph, 64, 10);
+    let cfg = CongestConfig::classical(64);
+    let full = graph.full_subgraph();
+    for &(name, threshold) in &[("sqrt_n", 18usize), ("phase2_only", 1usize)] {
+        g.bench_with_input(BenchmarkId::new(name, threshold), &threshold, |b, &t| {
+            b.iter(|| {
+                let fc = FragmentConfig {
+                    size_threshold: t,
+                    max_phases: 64,
+                };
+                let mut ledger = Ledger::new();
+                spanning_forest(
+                    black_box(&graph),
+                    cfg,
+                    black_box(&weights),
+                    black_box(&full),
+                    &fc,
+                    &mut ledger,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_highway_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_highways");
+    g.sample_size(10);
+    for &l in &[33usize, 65] {
+        g.bench_with_input(BenchmarkId::new("build_and_diameter", l), &l, |b, &l| {
+            b.iter(|| {
+                let net = SimulationNetwork::build(8, l);
+                qdc_graph::algorithms::diameter(black_box(net.graph()))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_threshold_ablation, bench_highway_ablation);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Figure 1: the full proof pipeline, executed end to end.
+//!
+//! Regenerates the three-column structure of Figure 1 — nonlocal games →
+//! Server model → distributed networks — by validating one concrete
+//! instance of every arrow and printing the artifact each step produced.
+
+use qdc_bench::fmt_f;
+use qdc_core::pipeline::{run_pipeline, PipelineConfig};
+
+fn main() {
+    let cfg = PipelineConfig::default();
+    println!("=== Figure 1: proof-structure pipeline (one executable instance) ===\n");
+    println!(
+        "instance: n = {} input bits, network Γ = {}, L = {}, B = {}, seed = {}\n",
+        cfg.input_bits, cfg.gamma, cfg.l, cfg.bandwidth, cfg.seed
+    );
+    let r = run_pipeline(&cfg);
+
+    println!("[games]   CHSH classical bias        = {}", fmt_f(r.chsh_classical_bias));
+    println!("[games]   CHSH entangled bias        = {} (Tsirelson √2/2 = {})",
+        fmt_f(r.chsh_quantum_bias), fmt_f(std::f64::consts::FRAC_1_SQRT_2));
+    println!(
+        "[Lem 3.2] abort-game survival        = {} (predicted 4^-2c = {}), correct|survive = {}",
+        fmt_f(r.abort.survival_rate),
+        fmt_f(r.abort.predicted_survival),
+        fmt_f(r.abort.correct_given_survival)
+    );
+    println!(
+        "[Thm 6.1] IPmod3 server bound        = {} qubits (Ω(n) at n = {})",
+        fmt_f(r.ipmod3_server_bound),
+        64
+    );
+    println!(
+        "[Thm 6.1] Gap-Eq fooling set         = 2^{} pairs (Ω(n)-bit certificate)",
+        fmt_f(r.gapeq_fooling_log2)
+    );
+    println!(
+        "[Thm 3.4] IPmod3 → Ham gadget chain  = {}",
+        if r.gadget_ok { "validated (Lemma C.3 holds, matchings perfect)" } else { "FAILED" }
+    );
+    println!(
+        "[Thm 3.5] network N                  = {} nodes, diameter {} (Θ(log L)), horizon {}",
+        r.network_nodes, r.network_diameter, r.audit.horizon
+    );
+    println!(
+        "[Thm 3.5] audit: paid {} bits total, max {}/round vs 6kB budget {} → {}",
+        r.audit.total_paid(),
+        r.audit.max_paid_per_round,
+        r.audit.per_round_budget,
+        if r.audit.within_budget { "WITHIN BUDGET" } else { "EXCEEDED" }
+    );
+    println!(
+        "[Thm 3.6] distributed decision ok    = {}, round lower bound at this n: Ω({}) rounds",
+        r.distributed_decision_ok,
+        fmt_f(r.verification_bound_rounds)
+    );
+    println!("\nAll arrows of Figure 1 exercised on a single deterministic instance.");
+}

@@ -1,0 +1,44 @@
+//! Section 6 / Appendix B.1: nonlocal games — classical vs entangled.
+//!
+//! Prints the CHSH game's exact classical bias (strategy enumeration) and
+//! entangled bias (state-vector simulation of the optimal measurement
+//! angles), plus a sweep of Bob's angle showing the Tsirelson optimum.
+
+use qdc_bench::{fmt_f, print_header, print_row};
+use qdc_quantum::games::{chsh_optimal_strategy, EntangledXorStrategy, XorGame};
+use qdc_quantum::protocols::epr_pair;
+
+fn main() {
+    let game = XorGame::chsh();
+    println!("=== CHSH: the canonical XOR game ===\n");
+    println!("classical bias (exact enumeration): {}", fmt_f(game.classical_bias()));
+    println!(
+        "entangled bias (optimal strategy):  {}  (Tsirelson √2/2 = {})\n",
+        fmt_f(game.entangled_bias(&chsh_optimal_strategy())),
+        fmt_f(std::f64::consts::FRAC_1_SQRT_2)
+    );
+
+    println!("=== angle sweep: Bob measures at ±θ, Alice at 0 / π/2 ===\n");
+    let widths = [12, 14, 18];
+    print_header(&["θ (rad)", "bias", "beats classical?"], &widths);
+    for k in 0..=12 {
+        let theta = k as f64 * std::f64::consts::FRAC_PI_2 / 12.0;
+        let strategy = EntangledXorStrategy {
+            state: epr_pair(),
+            alice_angles: vec![0.0, std::f64::consts::FRAC_PI_2],
+            bob_angles: vec![theta, -theta],
+        };
+        let bias = game.entangled_bias(&strategy);
+        print_row(
+            &[
+                &fmt_f(theta),
+                &fmt_f(bias),
+                &(bias > 0.5 + 1e-12).to_string(),
+            ],
+            &widths,
+        );
+    }
+    println!("\nThe maximum sits at θ = π/4 with bias √2/2 ≈ 0.7071 — the entanglement");
+    println!("advantage that Lemma 3.2 channels from Server-model protocols into games,");
+    println!("making game-based bounds the right tool where fooling/rank arguments break.");
+}

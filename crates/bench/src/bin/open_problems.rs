@@ -1,0 +1,56 @@
+//! Section 5 (conclusion): the open problems, from the upper-bound side.
+//!
+//! The paper closes with problems its technique does not yet reach
+//! quantumly: diameter/APSP lower bounds (\[FHW12, HW12\]), random walks
+//! (\[NDP11\]), and whether the Server model is strictly stronger than
+//! two-party quantum communication. This harness demonstrates the
+//! classical state of the first family — APSP/diameter costs Θ(n) rounds
+//! even on constant-diameter networks — and prints where the quantum
+//! question stands.
+
+use qdc_algos::apsp::distributed_apsp;
+use qdc_bench::{print_header, print_row};
+use qdc_congest::{topology, CongestConfig};
+use qdc_graph::algorithms;
+use qdc_simthm::SimulationNetwork;
+
+fn main() {
+    let cfg = CongestConfig::classical(32);
+    println!("=== Open problem (conclusion): diameter & APSP, the classical upper bound ===\n");
+    println!("[HW12]: APSP in O(n) rounds; [FHW12]: Ω̃(n) rounds even at diameter 2 —");
+    println!("does either bound survive quantum communication? Open. Here is the");
+    println!("congestion phenomenon the question is about:\n");
+
+    let widths = [24, 8, 8, 12, 14];
+    print_header(&["network", "n", "diam", "APSP rounds", "rounds / n"], &widths);
+    let hard = SimulationNetwork::build(8, 17);
+    let nets: Vec<(&str, qdc_graph::Graph)> = vec![
+        ("ring", topology::ring(32)),
+        ("hypercube(5)", topology::hypercube(5)),
+        ("complete bipartite 8×8", topology::complete_bipartite(8, 8)),
+        ("grid 6×6", topology::grid(6, 6)),
+        ("simthm N(8,17)", hard.graph().clone()),
+    ];
+    for (name, g) in &nets {
+        let run = distributed_apsp(g, cfg);
+        let diam = algorithms::diameter(g).unwrap();
+        assert_eq!(run.diameter, diam, "{name}: distributed diameter must be exact");
+        let n = g.node_count();
+        print_row(
+            &[
+                name,
+                &n.to_string(),
+                &diam.to_string(),
+                &run.ledger.rounds.to_string(),
+                &format!("{:.2}", run.ledger.rounds as f64 / n as f64),
+            ],
+            &widths,
+        );
+    }
+    println!("\nNote the bipartite row: diameter 2, yet APSP rounds ~ n — the congestion");
+    println!("that [FHW12] turns into a classical Ω̃(n) bound via Set Disjointness.");
+    println!("Quantumly that route FAILS (Example 1.1: Disj is easy); extending this");
+    println!("paper's Server-model route to diameter needs new reductions from IPmod3 —");
+    println!("open, along with bounded-round Server-model bounds for random walks, and");
+    println!("whether Q*,sv = Q*,cc at all (the Server model's own status).");
+}

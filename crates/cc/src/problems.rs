@@ -1,0 +1,349 @@
+//! Concrete two-party problems from Sections 1 and 6.
+
+use rand::Rng;
+
+/// A (possibly partial) boolean two-party function on equal-length bit
+/// strings.
+pub trait TwoPartyFunction {
+    /// Input length `n` for each party.
+    fn input_bits(&self) -> usize;
+
+    /// Evaluates `f(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inputs have the wrong length or (for promise
+    /// problems) violate the promise.
+    fn evaluate(&self, x: &[bool], y: &[bool]) -> bool;
+
+    /// Whether `(x, y)` satisfies the promise (total functions: always).
+    fn in_promise(&self, x: &[bool], y: &[bool]) -> bool {
+        x.len() == self.input_bits() && y.len() == self.input_bits()
+    }
+
+    /// Short human-readable name.
+    fn name(&self) -> String;
+}
+
+fn check_lengths(n: usize, x: &[bool], y: &[bool]) {
+    assert_eq!(x.len(), n, "x has wrong length");
+    assert_eq!(y.len(), n, "y has wrong length");
+}
+
+/// **Equality**: `Eq(x, y) = 1` iff `x = y`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Equality {
+    n: usize,
+}
+
+impl Equality {
+    /// Equality on `n`-bit strings.
+    pub fn new(n: usize) -> Self {
+        Equality { n }
+    }
+}
+
+impl TwoPartyFunction for Equality {
+    fn input_bits(&self) -> usize {
+        self.n
+    }
+    fn evaluate(&self, x: &[bool], y: &[bool]) -> bool {
+        check_lengths(self.n, x, y);
+        x == y
+    }
+    fn name(&self) -> String {
+        format!("Eq_{}", self.n)
+    }
+}
+
+/// **Set Disjointness**: `Disj(x, y) = 1` iff `⟨x, y⟩ = 0`, i.e. the
+/// supports are disjoint (Example 1.1's convention: output whether the
+/// inner product is zero).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Disjointness {
+    n: usize,
+}
+
+impl Disjointness {
+    /// Disjointness on `n`-bit strings.
+    pub fn new(n: usize) -> Self {
+        Disjointness { n }
+    }
+}
+
+impl TwoPartyFunction for Disjointness {
+    fn input_bits(&self) -> usize {
+        self.n
+    }
+    fn evaluate(&self, x: &[bool], y: &[bool]) -> bool {
+        check_lengths(self.n, x, y);
+        !x.iter().zip(y).any(|(&a, &b)| a && b)
+    }
+    fn name(&self) -> String {
+        format!("Disj_{}", self.n)
+    }
+}
+
+/// **Inner product mod 2**: `IP(x, y) = ⟨x, y⟩ mod 2`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InnerProduct {
+    n: usize,
+}
+
+impl InnerProduct {
+    /// Inner product on `n`-bit strings.
+    pub fn new(n: usize) -> Self {
+        InnerProduct { n }
+    }
+}
+
+impl TwoPartyFunction for InnerProduct {
+    fn input_bits(&self) -> usize {
+        self.n
+    }
+    fn evaluate(&self, x: &[bool], y: &[bool]) -> bool {
+        check_lengths(self.n, x, y);
+        x.iter().zip(y).filter(|&(&a, &b)| a && b).count() % 2 == 1
+    }
+    fn name(&self) -> String {
+        format!("IP_{}", self.n)
+    }
+}
+
+/// **Inner product mod 3** (Section 6): output 1 iff `Σᵢ xᵢyᵢ ≡ 0 (mod 3)`.
+///
+/// This is the function the paper proves hard in the Server model
+/// (Theorem 6.1) and reduces to Hamiltonian-cycle verification
+/// (Theorem 3.4). Note the convention: the graph `G` built from `(x, y)`
+/// is a Hamiltonian cycle iff the sum is **non**-zero mod 3 (Lemma C.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IpMod3 {
+    n: usize,
+}
+
+impl IpMod3 {
+    /// `IPmod3` on `n`-bit strings.
+    pub fn new(n: usize) -> Self {
+        IpMod3 { n }
+    }
+
+    /// `Σᵢ xᵢyᵢ mod 3` as an integer in `{0, 1, 2}`.
+    pub fn residue(&self, x: &[bool], y: &[bool]) -> u8 {
+        check_lengths(self.n, x, y);
+        (x.iter().zip(y).filter(|&(&a, &b)| a && b).count() % 3) as u8
+    }
+}
+
+impl TwoPartyFunction for IpMod3 {
+    fn input_bits(&self) -> usize {
+        self.n
+    }
+    fn evaluate(&self, x: &[bool], y: &[bool]) -> bool {
+        self.residue(x, y) == 0
+    }
+    fn name(&self) -> String {
+        format!("IPmod3_{}", self.n)
+    }
+}
+
+/// **Gap Equality** `δ-Eq` (Section 6): promise that either `x = y` or the
+/// Hamming distance `Δ(x, y) > δ`; output 1 iff `x = y`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GapEquality {
+    n: usize,
+    delta: usize,
+}
+
+impl GapEquality {
+    /// `δ-Eq` on `n`-bit strings with gap `delta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta >= n`.
+    pub fn new(n: usize, delta: usize) -> Self {
+        assert!(delta < n, "gap must be smaller than the input length");
+        GapEquality { n, delta }
+    }
+
+    /// The gap parameter δ.
+    pub fn delta(&self) -> usize {
+        self.delta
+    }
+}
+
+/// Hamming distance between equal-length bit strings.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn hamming_distance(x: &[bool], y: &[bool]) -> usize {
+    assert_eq!(x.len(), y.len(), "hamming distance needs equal lengths");
+    x.iter().zip(y).filter(|&(&a, &b)| a != b).count()
+}
+
+impl TwoPartyFunction for GapEquality {
+    fn input_bits(&self) -> usize {
+        self.n
+    }
+    fn evaluate(&self, x: &[bool], y: &[bool]) -> bool {
+        check_lengths(self.n, x, y);
+        assert!(
+            self.in_promise(x, y),
+            "δ-Eq promise violated: 0 < Δ(x,y) ≤ δ"
+        );
+        x == y
+    }
+    fn in_promise(&self, x: &[bool], y: &[bool]) -> bool {
+        x.len() == self.n && y.len() == self.n && {
+            let d = hamming_distance(x, y);
+            d == 0 || d > self.delta
+        }
+    }
+    fn name(&self) -> String {
+        format!("{}-Eq_{}", self.delta, self.n)
+    }
+}
+
+/// The promise-input family of Appendix B.3 for `IPmod3`: inputs come in
+/// 4-bit blocks with `x`-blocks in `{0011, 0101, 1100, 1010}` and
+/// `y`-blocks in `{0001, 0010, 1000, 0100}`, so each block contributes
+/// exactly 0 or 1 to `⟨x, y⟩`.
+#[derive(Clone, Copy, Debug)]
+pub struct IpMod3PromiseSampler {
+    /// Number of 4-bit blocks.
+    pub blocks: usize,
+}
+
+impl IpMod3PromiseSampler {
+    /// Bit patterns allowed for `x` blocks (as 4-bit values, MSB-first as
+    /// written in the paper: `0011` means bits `(0,0,1,1)`).
+    pub const X_BLOCKS: [[bool; 4]; 4] = [
+        [false, false, true, true],
+        [false, true, false, true],
+        [true, true, false, false],
+        [true, false, true, false],
+    ];
+    /// Bit patterns allowed for `y` blocks.
+    pub const Y_BLOCKS: [[bool; 4]; 4] = [
+        [false, false, false, true],
+        [false, false, true, false],
+        [true, false, false, false],
+        [false, true, false, false],
+    ];
+
+    /// Samples a promise-respecting input pair of `4·blocks` bits.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> (Vec<bool>, Vec<bool>) {
+        let mut x = Vec::with_capacity(4 * self.blocks);
+        let mut y = Vec::with_capacity(4 * self.blocks);
+        for _ in 0..self.blocks {
+            x.extend_from_slice(&Self::X_BLOCKS[rng.gen_range(0..4)]);
+            y.extend_from_slice(&Self::Y_BLOCKS[rng.gen_range(0..4)]);
+        }
+        (x, y)
+    }
+
+    /// Whether `(x, y)` lies in the block promise.
+    pub fn in_promise(&self, x: &[bool], y: &[bool]) -> bool {
+        x.len() == 4 * self.blocks
+            && y.len() == 4 * self.blocks
+            && x.chunks(4).all(|c| Self::X_BLOCKS.iter().any(|b| b == c))
+            && y.chunks(4).all(|c| Self::Y_BLOCKS.iter().any(|b| b == c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn equality_basic() {
+        let f = Equality::new(3);
+        assert!(f.evaluate(&[true, false, true], &[true, false, true]));
+        assert!(!f.evaluate(&[true, false, true], &[true, true, true]));
+        assert_eq!(f.name(), "Eq_3");
+    }
+
+    #[test]
+    fn disjointness_matches_inner_product_zero() {
+        let f = Disjointness::new(4);
+        assert!(f.evaluate(&[true, false, true, false], &[false, true, false, true]));
+        assert!(!f.evaluate(&[true, false, false, false], &[true, false, false, false]));
+    }
+
+    #[test]
+    fn inner_product_parity() {
+        let f = InnerProduct::new(4);
+        // Two agreeing positions → even.
+        assert!(!f.evaluate(&[true, true, false, false], &[true, true, false, false]));
+        // One agreeing position → odd.
+        assert!(f.evaluate(&[true, false, false, false], &[true, false, true, false]));
+    }
+
+    #[test]
+    fn ipmod3_residues() {
+        let f = IpMod3::new(5);
+        let ones = vec![true; 5];
+        assert_eq!(f.residue(&ones, &ones), 2); // 5 mod 3
+        assert!(!f.evaluate(&ones, &ones));
+        let x = vec![true, true, true, false, false];
+        assert_eq!(f.residue(&x, &ones), 0);
+        assert!(f.evaluate(&x, &ones));
+    }
+
+    #[test]
+    fn gap_equality_promise() {
+        let f = GapEquality::new(8, 3);
+        let x = vec![false; 8];
+        assert!(f.in_promise(&x, &x));
+        assert!(f.evaluate(&x, &x));
+        let mut far = x.clone();
+        for slot in far.iter_mut().take(4) {
+            *slot = true;
+        }
+        assert!(f.in_promise(&x, &far));
+        assert!(!f.evaluate(&x, &far));
+        let mut near = x.clone();
+        near[0] = true;
+        assert!(!f.in_promise(&x, &near));
+    }
+
+    #[test]
+    #[should_panic(expected = "promise violated")]
+    fn gap_equality_rejects_promise_violation() {
+        let f = GapEquality::new(4, 2);
+        let x = vec![false; 4];
+        let mut near = x.clone();
+        near[0] = true;
+        f.evaluate(&x, &near);
+    }
+
+    #[test]
+    fn hamming_distance_counts_flips() {
+        assert_eq!(hamming_distance(&[true, false], &[true, false]), 0);
+        assert_eq!(hamming_distance(&[true, false], &[false, true]), 2);
+    }
+
+    #[test]
+    fn promise_sampler_respects_blocks_and_contribution() {
+        let s = IpMod3PromiseSampler { blocks: 6 };
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        for _ in 0..50 {
+            let (x, y) = s.sample(&mut rng);
+            assert!(s.in_promise(&x, &y));
+            // Each block contributes 0 or 1 to the inner product.
+            for (xb, yb) in x.chunks(4).zip(y.chunks(4)) {
+                let c = xb.iter().zip(yb).filter(|&(&a, &b)| a && b).count();
+                assert!(c <= 1, "block contribution {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn promise_sampler_rejects_garbage() {
+        let s = IpMod3PromiseSampler { blocks: 1 };
+        assert!(!s.in_promise(&[true; 4], &[false, false, false, true]));
+        assert!(!s.in_promise(&[false, false, true, true], &[true; 4]));
+    }
+}

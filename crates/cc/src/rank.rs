@@ -1,0 +1,200 @@
+//! Communication matrices and rank-based lower bounds.
+//!
+//! Besides fooling sets and γ₂-style norms, the classic lower-bound tools
+//! the paper's framework compares against are rank bounds: deterministic
+//! communication is at least `log₂ rank(M_f)` (over any field). This
+//! module builds the communication matrix of a small two-party function
+//! and computes its rank over GF(2) (exact, bitset Gaussian elimination)
+//! and over the reals (floating-point elimination with pivoting) — the
+//! quantities behind the "log-rank" row of the literature the paper's
+//! Figure 2 situates itself in.
+
+use crate::problems::TwoPartyFunction;
+
+/// The 0/1 communication matrix of `f` on all `2ⁿ × 2ⁿ` inputs.
+///
+/// Rows are Alice's inputs, columns Bob's, little-endian bit order.
+#[derive(Clone, Debug)]
+pub struct CommunicationMatrix {
+    n: usize,
+    /// Row-major 0/1 entries, one `u64` word chunk per 64 columns.
+    rows: Vec<Vec<u64>>,
+}
+
+impl CommunicationMatrix {
+    /// Builds the matrix of `f`. Limited to `n ≤ 12` (a 4096×4096 table).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 12` or `f` is partial on some pair (promise
+    /// violations).
+    pub fn from_function<F: TwoPartyFunction>(f: &F) -> Self {
+        let n = f.input_bits();
+        assert!(n <= 12, "communication matrix limited to n ≤ 12");
+        let size = 1usize << n;
+        let words = size.div_ceil(64);
+        let decode = |v: usize| -> Vec<bool> { (0..n).map(|i| v >> i & 1 == 1).collect() };
+        let mut rows = Vec::with_capacity(size);
+        for x in 0..size {
+            let xb = decode(x);
+            let mut row = vec![0u64; words];
+            for y in 0..size {
+                if f.evaluate(&xb, &decode(y)) {
+                    row[y / 64] |= 1 << (y % 64);
+                }
+            }
+            rows.push(row);
+        }
+        CommunicationMatrix { n, rows }
+    }
+
+    /// Input length `n`.
+    pub fn input_bits(&self) -> usize {
+        self.n
+    }
+
+    /// Matrix dimension `2ⁿ`.
+    pub fn size(&self) -> usize {
+        1 << self.n
+    }
+
+    /// Entry `(x, y)`.
+    pub fn get(&self, x: usize, y: usize) -> bool {
+        self.rows[x][y / 64] >> (y % 64) & 1 == 1
+    }
+
+    /// Rank over GF(2) by bitset Gaussian elimination.
+    pub fn rank_gf2(&self) -> usize {
+        let mut rows = self.rows.clone();
+        let size = self.size();
+        let mut rank = 0;
+        for col in 0..size {
+            let word = col / 64;
+            let bit = 1u64 << (col % 64);
+            let Some(pivot) = (rank..rows.len()).find(|&r| rows[r][word] & bit != 0) else {
+                continue;
+            };
+            rows.swap(rank, pivot);
+            let pivot_row = rows[rank].clone();
+            for (r, row) in rows.iter_mut().enumerate() {
+                if r != rank && row[word] & bit != 0 {
+                    for (a, b) in row.iter_mut().zip(&pivot_row) {
+                        *a ^= b;
+                    }
+                }
+            }
+            rank += 1;
+            if rank == rows.len() {
+                break;
+            }
+        }
+        rank
+    }
+
+    /// Rank over the reals by partial-pivot Gaussian elimination
+    /// (tolerance 1e-9).
+    pub fn rank_real(&self) -> usize {
+        let size = self.size();
+        let mut m: Vec<Vec<f64>> = (0..size)
+            .map(|x| (0..size).map(|y| f64::from(u8::from(self.get(x, y)))).collect())
+            .collect();
+        let mut rank = 0;
+        for col in 0..size {
+            // Partial pivot.
+            let Some(pivot) = (rank..size)
+                .filter(|&r| m[r][col].abs() > 1e-9)
+                .max_by(|&a, &b| m[a][col].abs().total_cmp(&m[b][col].abs()))
+            else {
+                continue;
+            };
+            m.swap(rank, pivot);
+            let p = m[rank][col];
+            let pivot_row = m[rank].clone();
+            for (r, row) in m.iter_mut().enumerate() {
+                if r != rank && row[col].abs() > 1e-12 {
+                    let factor = row[col] / p;
+                    for (cell, &pv) in row[col..].iter_mut().zip(&pivot_row[col..]) {
+                        *cell -= factor * pv;
+                    }
+                }
+            }
+            rank += 1;
+            if rank == size {
+                break;
+            }
+        }
+        rank
+    }
+
+    /// The deterministic log-rank lower bound `⌈log₂ rank_R(M_f)⌉` bits.
+    pub fn log_rank_bound(&self) -> usize {
+        let r = self.rank_real();
+        if r <= 1 {
+            0
+        } else {
+            (r as f64).log2().ceil() as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problems::{Disjointness, Equality, InnerProduct, IpMod3};
+
+    #[test]
+    fn equality_matrix_is_identity() {
+        let m = CommunicationMatrix::from_function(&Equality::new(4));
+        assert_eq!(m.size(), 16);
+        for x in 0..16 {
+            for y in 0..16 {
+                assert_eq!(m.get(x, y), x == y);
+            }
+        }
+        assert_eq!(m.rank_gf2(), 16);
+        assert_eq!(m.rank_real(), 16);
+        assert_eq!(m.log_rank_bound(), 4); // D(Eq_n) ≥ n
+    }
+
+    #[test]
+    fn inner_product_has_full_real_rank() {
+        // M_IP(x,y) = ⟨x,y⟩ mod 2. Over the reals, rank is 2ⁿ − 1 (the
+        // ±1 version is a scaled Hadamard matrix). Over GF(2) the rank is
+        // n (it is the product of the n-column input matrices).
+        let m = CommunicationMatrix::from_function(&InnerProduct::new(4));
+        assert_eq!(m.rank_gf2(), 4);
+        let rr = m.rank_real();
+        assert!(rr >= 15, "real rank {rr}");
+        assert_eq!(m.log_rank_bound(), 4);
+    }
+
+    #[test]
+    fn disjointness_rank_is_full() {
+        // M_Disj is (after reordering) a triangular-ish matrix; its real
+        // rank is 2ⁿ, certifying D(Disj) ≥ n.
+        let m = CommunicationMatrix::from_function(&Disjointness::new(4));
+        assert_eq!(m.rank_real(), 16);
+        assert_eq!(m.log_rank_bound(), 4);
+    }
+
+    #[test]
+    fn ipmod3_matrix_has_large_rank() {
+        let m = CommunicationMatrix::from_function(&IpMod3::new(5));
+        // The exact value is not the point; Ω(n) bits is.
+        assert!(m.log_rank_bound() >= 4, "bound {}", m.log_rank_bound());
+    }
+
+    #[test]
+    fn rank_is_monotone_in_n_for_equality() {
+        let r3 = CommunicationMatrix::from_function(&Equality::new(3)).rank_gf2();
+        let r5 = CommunicationMatrix::from_function(&Equality::new(5)).rank_gf2();
+        assert_eq!(r3, 8);
+        assert_eq!(r5, 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "limited")]
+    fn oversized_matrix_rejected() {
+        CommunicationMatrix::from_function(&Equality::new(13));
+    }
+}

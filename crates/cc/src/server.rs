@@ -1,0 +1,221 @@
+//! The Server model (Definition 3.1) and its two-party simulation.
+//!
+//! Three players: Carol (input `x`), David (input `y`), and a server with
+//! **no input** whose messages are **free**; the cost counts only the bits
+//! Carol and David send. The model is at least as strong as two-party
+//! communication with entanglement (the server can dispense any entangled
+//! state for free), which is why the paper must prove hardness here rather
+//! than inherit it from the two-party model.
+//!
+//! Protocols use the *normal form* of Lemma 3.2 / Appendix B (after
+//! teleportation): each round Carol and David send two classical bits to
+//! the server, and the server answers with arbitrarily large messages.
+//! The normal-form trait lives in [`qdc_quantum::games`] (the abort-game
+//! machinery consumes it there); this module re-exports it, adds cost
+//! accounting, a generic streaming protocol, and the **classical
+//! two-party ⇄ server equivalence simulation** sketched in Section 3.1:
+//! Alice simulates Carol plus a copy of the server, Bob simulates David
+//! plus a copy of the server, and they exchange exactly the bits that
+//! Carol and David would have sent — so the two-party cost equals the
+//! server-model cost, bit for bit.
+
+pub use qdc_quantum::games::{run_protocol, NormalFormProtocol};
+
+use crate::problems::TwoPartyFunction;
+use crate::twoparty::{Party, TwoPartyRun};
+
+/// The record of one Server-model execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServerRun {
+    /// The computed output (held by Carol).
+    pub output: bool,
+    /// Bits Carol sent (2 per round in normal form).
+    pub carol_bits: usize,
+    /// Bits David sent.
+    pub david_bits: usize,
+}
+
+impl ServerRun {
+    /// The Server-model cost: bits sent by Carol and David only — server
+    /// messages are free (Definition 3.1).
+    pub fn cost(&self) -> usize {
+        self.carol_bits + self.david_bits
+    }
+}
+
+/// Runs a normal-form protocol in the Server model and accounts its cost.
+pub fn run_server<P: NormalFormProtocol>(p: &P, x: &[bool], y: &[bool]) -> ServerRun {
+    let output = run_protocol(p, x, y);
+    ServerRun {
+        output,
+        carol_bits: 2 * p.rounds(),
+        david_bits: 2 * p.rounds(),
+    }
+}
+
+/// The Section 3.1 simulation: two parties (Alice = Carol + server copy,
+/// Bob = David + server copy) run the server protocol by exchanging
+/// exactly the bits Carol and David send. Returns a [`TwoPartyRun`] whose
+/// cost provably equals [`ServerRun::cost`].
+///
+/// This is the *classical* equivalence — the paper explains why the same
+/// simulation fails for quantum protocols (a server copy cannot be
+/// maintained in superposition by both parties), which is exactly why the
+/// Server model is needed.
+pub fn simulate_in_two_party<P: NormalFormProtocol>(p: &P, x: &[bool], y: &[bool]) -> TwoPartyRun {
+    let c = p.rounds();
+    // Alice's copy of the server state is (received pairs so far); Bob
+    // keeps an identical copy. Both evolve deterministically from the
+    // exchanged bits, so the two copies agree at every step.
+    let mut alice_received = Vec::with_capacity(c);
+    let mut bob_received = Vec::with_capacity(c);
+    let mut alice_to_carol = Vec::with_capacity(c);
+    let mut bob_to_david = Vec::with_capacity(c);
+    let mut transcript = Vec::new();
+    for t in 0..c {
+        // Alice computes Carol's bits from her server copy and sends them.
+        let cb = p.carol_bits(x, &alice_to_carol, t);
+        transcript.push((Party::Alice, cb.0));
+        transcript.push((Party::Alice, cb.1));
+        // Bob computes David's bits and sends them.
+        let db = p.david_bits(y, &bob_to_david, t);
+        transcript.push((Party::Bob, db.0));
+        transcript.push((Party::Bob, db.1));
+        // Both parties advance their server copies identically.
+        alice_received.push((cb, db));
+        bob_received.push((cb, db));
+        let (to_carol_a, _) = p.server_messages(&alice_received, t);
+        let (_, to_david_b) = p.server_messages(&bob_received, t);
+        alice_to_carol.push(to_carol_a);
+        bob_to_david.push(to_david_b);
+    }
+    let output = p.carol_output(x, &alice_to_carol);
+    TwoPartyRun {
+        output,
+        alice_bits: 2 * c,
+        bob_bits: 2 * c,
+        transcript,
+    }
+}
+
+/// A generic normal-form streaming protocol for any total two-party
+/// function: Carol and David stream their inputs two bits per round; the
+/// server echoes David's bits to Carol; Carol reconstructs `y` and
+/// evaluates `f`. Cost `4·⌈n/2⌉` — the generic upper bound against which
+/// the Ω(n) Server-model lower bounds are tight up to constants.
+#[derive(Clone, Debug)]
+pub struct StreamedServerProtocol<F> {
+    f: F,
+}
+
+impl<F: TwoPartyFunction> StreamedServerProtocol<F> {
+    /// Wraps `f`.
+    pub fn new(f: F) -> Self {
+        StreamedServerProtocol { f }
+    }
+
+    fn bit(input: &[bool], i: usize) -> bool {
+        input.get(i).copied().unwrap_or(false)
+    }
+}
+
+impl<F: TwoPartyFunction> NormalFormProtocol for StreamedServerProtocol<F> {
+    fn rounds(&self) -> usize {
+        self.f.input_bits().div_ceil(2)
+    }
+
+    fn carol_bits(&self, x: &[bool], _server_to_carol: &[u64], t: usize) -> (bool, bool) {
+        (Self::bit(x, 2 * t), Self::bit(x, 2 * t + 1))
+    }
+
+    fn david_bits(&self, y: &[bool], _server_to_david: &[u64], t: usize) -> (bool, bool) {
+        (Self::bit(y, 2 * t), Self::bit(y, 2 * t + 1))
+    }
+
+    fn server_messages(&self, received: &[qdc_quantum::games::RoundBits], t: usize) -> (u64, u64) {
+        let ((c0, c1), (d0, d1)) = received[t];
+        (
+            u64::from(d0) | (u64::from(d1) << 1),
+            u64::from(c0) | (u64::from(c1) << 1),
+        )
+    }
+
+    fn carol_output(&self, x: &[bool], server_to_carol: &[u64]) -> bool {
+        let n = self.f.input_bits();
+        let mut y = Vec::with_capacity(n);
+        for &msg in server_to_carol {
+            y.push(msg & 1 == 1);
+            y.push(msg & 2 == 2);
+        }
+        y.truncate(n);
+        self.f.evaluate(x, &y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problems::{Equality, IpMod3, TwoPartyFunction};
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn streamed_protocol_computes_equality() {
+        let p = StreamedServerProtocol::new(Equality::new(7));
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..40 {
+            let x: Vec<bool> = (0..7).map(|_| rng.gen()).collect();
+            let y: Vec<bool> = if rng.gen() { x.clone() } else { (0..7).map(|_| rng.gen()).collect() };
+            let run = run_server(&p, &x, &y);
+            assert_eq!(run.output, x == y);
+            assert_eq!(run.cost(), 4 * 4); // ⌈7/2⌉ = 4 rounds, 4 bits each
+        }
+    }
+
+    #[test]
+    fn streamed_protocol_computes_ipmod3() {
+        let f = IpMod3::new(10);
+        let p = StreamedServerProtocol::new(f);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for _ in 0..40 {
+            let x: Vec<bool> = (0..10).map(|_| rng.gen()).collect();
+            let y: Vec<bool> = (0..10).map(|_| rng.gen()).collect();
+            assert_eq!(run_server(&p, &x, &y).output, f.evaluate(&x, &y));
+        }
+    }
+
+    #[test]
+    fn two_party_simulation_matches_output_and_cost() {
+        // The Section 3.1 equivalence: identical outputs, identical cost.
+        let p = StreamedServerProtocol::new(IpMod3::new(9));
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..40 {
+            let x: Vec<bool> = (0..9).map(|_| rng.gen()).collect();
+            let y: Vec<bool> = (0..9).map(|_| rng.gen()).collect();
+            let server = run_server(&p, &x, &y);
+            let two_party = simulate_in_two_party(&p, &x, &y);
+            assert_eq!(server.output, two_party.output);
+            assert_eq!(server.cost(), two_party.total_bits());
+            assert_eq!(two_party.transcript.len(), two_party.total_bits());
+        }
+    }
+
+    #[test]
+    fn server_cost_counts_only_carol_and_david() {
+        let p = StreamedServerProtocol::new(Equality::new(4));
+        let run = run_server(&p, &[true; 4], &[true; 4]);
+        // 2 rounds × 2 bits × 2 players; server messages (u64s) are free.
+        assert_eq!(run.carol_bits, 4);
+        assert_eq!(run.david_bits, 4);
+        assert_eq!(run.cost(), 8);
+    }
+
+    #[test]
+    fn odd_length_inputs_are_padded() {
+        let f = Equality::new(5);
+        let p = StreamedServerProtocol::new(f);
+        assert_eq!(p.rounds(), 3);
+        let x = vec![true, false, true, false, true];
+        assert!(run_server(&p, &x, &x.clone()).output);
+    }
+}

@@ -1,0 +1,338 @@
+//! Deterministic protocol trees and their rectangle decomposition.
+//!
+//! The foundational facts of two-party communication complexity (the
+//! \[KN97\] background the paper builds on), executable: a deterministic
+//! protocol is a binary tree whose nodes are owned by the speaking party;
+//! the inputs reaching any node form a **combinatorial rectangle**
+//! `A × B`; the leaves therefore partition the input space into
+//! monochromatic rectangles, so `D(f) = depth ≥ log₂(#monochromatic
+//! rectangles needed) ≥ log₂ rank(M_f)` and `#leaves ≥ fool¹(f)`.
+//! These identities are verified by exhaustive enumeration for small `n`.
+
+use crate::problems::TwoPartyFunction;
+use std::rc::Rc;
+
+/// The bit a speaker announces, as a function of their own input.
+pub type DecideFn = Rc<dyn Fn(&[bool]) -> bool>;
+
+/// Which party speaks at a node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Speaker {
+    /// Alice (sees `x`).
+    Alice,
+    /// Bob (sees `y`).
+    Bob,
+}
+
+/// A deterministic two-party protocol tree.
+#[derive(Clone)]
+pub enum ProtocolTree {
+    /// A leaf with the protocol's output.
+    Leaf(bool),
+    /// An internal node: `speaker` computes a bit from their own input
+    /// (the node identity encodes the transcript so far) and the protocol
+    /// branches on it.
+    Node {
+        /// Who speaks.
+        speaker: Speaker,
+        /// The spoken bit as a function of the speaker's input.
+        decide: DecideFn,
+        /// Subtree on bit 0.
+        on_zero: Box<ProtocolTree>,
+        /// Subtree on bit 1.
+        on_one: Box<ProtocolTree>,
+    },
+}
+
+impl std::fmt::Debug for ProtocolTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolTree::Leaf(b) => write!(f, "Leaf({b})"),
+            ProtocolTree::Node { speaker, .. } => f
+                .debug_struct("Node")
+                .field("speaker", speaker)
+                .finish_non_exhaustive(),
+        }
+    }
+}
+
+impl ProtocolTree {
+    /// Runs the protocol; returns the output and the transcript bits.
+    pub fn run(&self, x: &[bool], y: &[bool]) -> (bool, Vec<bool>) {
+        let mut node = self;
+        let mut transcript = Vec::new();
+        loop {
+            match node {
+                ProtocolTree::Leaf(out) => return (*out, transcript),
+                ProtocolTree::Node {
+                    speaker,
+                    decide,
+                    on_zero,
+                    on_one,
+                } => {
+                    let bit = match speaker {
+                        Speaker::Alice => decide(x),
+                        Speaker::Bob => decide(y),
+                    };
+                    transcript.push(bit);
+                    node = if bit { on_one } else { on_zero };
+                }
+            }
+        }
+    }
+
+    /// Worst-case depth = deterministic communication cost in bits.
+    pub fn depth(&self) -> usize {
+        match self {
+            ProtocolTree::Leaf(_) => 0,
+            ProtocolTree::Node {
+                on_zero, on_one, ..
+            } => 1 + on_zero.depth().max(on_one.depth()),
+        }
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            ProtocolTree::Leaf(_) => 1,
+            ProtocolTree::Node {
+                on_zero, on_one, ..
+            } => on_zero.leaf_count() + on_one.leaf_count(),
+        }
+    }
+
+    /// Whether the protocol computes `f` on every input (exhaustive;
+    /// `n ≤ 10`).
+    pub fn computes<F: TwoPartyFunction>(&self, f: &F) -> bool {
+        let n = f.input_bits();
+        let size = 1usize << n;
+        let decode = |v: usize| -> Vec<bool> { (0..n).map(|i| v >> i & 1 == 1).collect() };
+        for xv in 0..size {
+            let x = decode(xv);
+            for yv in 0..size {
+                let y = decode(yv);
+                if !f.in_promise(&x, &y) {
+                    continue;
+                }
+                if self.run(&x, &y).0 != f.evaluate(&x, &y) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The leaf-rectangle decomposition over all `2ⁿ × 2ⁿ` inputs: for
+    /// each leaf (identified by its transcript) the reaching input pairs.
+    ///
+    /// Returns `(transcript, output, xs, ys)` per nonempty leaf, where
+    /// the reaching set is exactly `xs × ys` (the rectangle property —
+    /// asserted, since it is a theorem about *all* protocol trees).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 10`, or — impossible for a genuine protocol tree —
+    /// some leaf's reaching set is not a rectangle.
+    pub fn leaf_rectangles(&self, n: usize) -> Vec<LeafRectangle> {
+        assert!(n <= 10, "exhaustive decomposition limited to n ≤ 10");
+        let size = 1usize << n;
+        let decode = |v: usize| -> Vec<bool> { (0..n).map(|i| v >> i & 1 == 1).collect() };
+        use std::collections::BTreeMap;
+        let mut by_leaf: BTreeMap<Vec<bool>, (bool, Vec<usize>, Vec<usize>)> = BTreeMap::new();
+        for xv in 0..size {
+            let x = decode(xv);
+            for yv in 0..size {
+                let (out, transcript) = self.run(&x, &decode(yv));
+                let entry = by_leaf
+                    .entry(transcript)
+                    .or_insert((out, Vec::new(), Vec::new()));
+                assert_eq!(entry.0, out, "leaf output must be constant");
+                if !entry.1.contains(&xv) {
+                    entry.1.push(xv);
+                }
+                if !entry.2.contains(&yv) {
+                    entry.2.push(yv);
+                }
+            }
+        }
+        // Rectangle check: every (x, y) ∈ xs × ys must reach this leaf.
+        let mut out = Vec::new();
+        for (transcript, (output, xs, ys)) in by_leaf {
+            for &xv in &xs {
+                let x = decode(xv);
+                for &yv in &ys {
+                    let (_, t) = self.run(&x, &decode(yv));
+                    assert_eq!(
+                        t, transcript,
+                        "protocol-tree leaves always induce rectangles"
+                    );
+                }
+            }
+            out.push(LeafRectangle {
+                transcript,
+                output,
+                xs,
+                ys,
+            });
+        }
+        out
+    }
+}
+
+/// One leaf's rectangle in the decomposition.
+#[derive(Clone, Debug)]
+pub struct LeafRectangle {
+    /// The transcript identifying the leaf.
+    pub transcript: Vec<bool>,
+    /// The leaf's output.
+    pub output: bool,
+    /// Alice inputs reaching the leaf (as integers).
+    pub xs: Vec<usize>,
+    /// Bob inputs reaching the leaf.
+    pub ys: Vec<usize>,
+}
+
+/// The trivial protocol for any total function: Alice announces `x` bit
+/// by bit (the node closures capture the prefix), then Bob announces
+/// `f(x, y)`. Depth `n + 1`.
+pub fn trivial_tree<F>(f: Rc<F>) -> ProtocolTree
+where
+    F: TwoPartyFunction + 'static,
+{
+    fn build<F: TwoPartyFunction + 'static>(f: Rc<F>, prefix: Vec<bool>) -> ProtocolTree {
+        let n = f.input_bits();
+        if prefix.len() == n {
+            // Bob computes f(prefix, y) and announces it.
+            let f0 = Rc::clone(&f);
+            let p0 = prefix.clone();
+            ProtocolTree::Node {
+                speaker: Speaker::Bob,
+                decide: Rc::new(move |y: &[bool]| f0.evaluate(&p0, y)),
+                on_zero: Box::new(ProtocolTree::Leaf(false)),
+                on_one: Box::new(ProtocolTree::Leaf(true)),
+            }
+        } else {
+            let i = prefix.len();
+            let mut zero = prefix.clone();
+            zero.push(false);
+            let mut one = prefix;
+            one.push(true);
+            ProtocolTree::Node {
+                speaker: Speaker::Alice,
+                decide: Rc::new(move |x: &[bool]| x[i]),
+                on_zero: Box::new(build(Rc::clone(&f), zero)),
+                on_one: Box::new(build(f, one)),
+            }
+        }
+    }
+    build(f, Vec::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fooling::equality_fooling_set;
+    use crate::problems::{Equality, InnerProduct};
+    use crate::rank::CommunicationMatrix;
+
+    #[test]
+    fn trivial_tree_computes_equality() {
+        let f = Rc::new(Equality::new(4));
+        let tree = trivial_tree(Rc::clone(&f));
+        assert!(tree.computes(&*f));
+        assert_eq!(tree.depth(), 5);
+    }
+
+    #[test]
+    fn trivial_tree_computes_inner_product() {
+        let f = Rc::new(InnerProduct::new(3));
+        let tree = trivial_tree(Rc::clone(&f));
+        assert!(tree.computes(&*f));
+        let (out, transcript) = tree.run(&[true, false, true], &[true, true, true]);
+        assert_eq!(transcript.len(), 4);
+        assert!(!out); // ⟨x,y⟩ = 2, even
+    }
+
+    #[test]
+    fn leaves_induce_monochromatic_rectangles_partitioning_inputs() {
+        let n = 3;
+        let f = Rc::new(Equality::new(n));
+        let tree = trivial_tree(Rc::clone(&f));
+        let rects = tree.leaf_rectangles(n);
+        // Partition: sizes sum to 2^n × 2^n.
+        let total: usize = rects.iter().map(|r| r.xs.len() * r.ys.len()).sum();
+        assert_eq!(total, 64);
+        // Monochromatic with respect to f.
+        let decode = |v: usize| -> Vec<bool> { (0..n).map(|i| v >> i & 1 == 1).collect() };
+        for r in &rects {
+            for &xv in &r.xs {
+                for &yv in &r.ys {
+                    assert_eq!(f.evaluate(&decode(xv), &decode(yv)), r.output);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_count_dominates_fooling_set_size() {
+        // #1-leaves ≥ fool¹(f): each fooling pair reaches a distinct
+        // 1-rectangle.
+        let n = 4;
+        let f = Rc::new(Equality::new(n));
+        let tree = trivial_tree(Rc::clone(&f));
+        let rects = tree.leaf_rectangles(n);
+        let one_rects = rects.iter().filter(|r| r.output).count();
+        let fooling = equality_fooling_set(n, n);
+        assert!(
+            one_rects >= fooling.len(),
+            "{one_rects} 1-rectangles vs fooling set of {}",
+            fooling.len()
+        );
+    }
+
+    #[test]
+    fn depth_dominates_log_rank() {
+        for n in 2..=5 {
+            let f = Rc::new(Equality::new(n));
+            let tree = trivial_tree(Rc::clone(&f));
+            let bound = CommunicationMatrix::from_function(&*f).log_rank_bound();
+            assert!(
+                tree.depth() >= bound,
+                "n={n}: depth {} < log-rank {bound}",
+                tree.depth()
+            );
+        }
+    }
+
+    #[test]
+    fn handcrafted_one_bit_protocol() {
+        // f(x, y) = x₀ needs exactly one bit: Alice announces x₀.
+        #[derive(Clone)]
+        struct FirstBit;
+        impl TwoPartyFunction for FirstBit {
+            fn input_bits(&self) -> usize {
+                2
+            }
+            fn evaluate(&self, x: &[bool], _y: &[bool]) -> bool {
+                x[0]
+            }
+            fn name(&self) -> String {
+                "x0".into()
+            }
+        }
+        let tree = ProtocolTree::Node {
+            speaker: Speaker::Alice,
+            decide: Rc::new(|x: &[bool]| x[0]),
+            on_zero: Box::new(ProtocolTree::Leaf(false)),
+            on_one: Box::new(ProtocolTree::Leaf(true)),
+        };
+        assert!(tree.computes(&FirstBit));
+        assert_eq!(tree.depth(), 1);
+        assert_eq!(tree.leaf_count(), 2);
+        // Its two leaf rectangles cover everything.
+        let rects = tree.leaf_rectangles(2);
+        assert_eq!(rects.len(), 2);
+        let total: usize = rects.iter().map(|r| r.xs.len() * r.ys.len()).sum();
+        assert_eq!(total, 16);
+    }
+}

@@ -1,0 +1,273 @@
+//! Compact bit strings with exact length accounting.
+//!
+//! CONGEST budgets are stated in *bits*, so message payloads must track
+//! their length at bit granularity. `BitString` packs bits into `u64`
+//! words and provides a little-endian writer/reader pair for encoding
+//! fixed-width integers — the only serialization the distributed
+//! algorithms need.
+
+/// A growable bit string packed into 64-bit words.
+///
+/// # Example
+///
+/// ```
+/// use qdc_congest::BitString;
+///
+/// let mut b = BitString::new();
+/// b.push_uint(5, 3);    // three bits: 101
+/// b.push_bit(true);
+/// assert_eq!(b.len(), 4);
+/// let mut r = b.reader();
+/// assert_eq!(r.read_uint(3), Some(5));
+/// assert_eq!(r.read_bit(), Some(true));
+/// assert_eq!(r.read_bit(), None);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BitString {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl std::fmt::Debug for BitString {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BitString[")?;
+        for i in 0..self.len.min(64) {
+            write!(f, "{}", u8::from(self.get(i)))?;
+        }
+        if self.len > 64 {
+            write!(f, "…({} bits)", self.len)?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl BitString {
+    /// An empty bit string.
+    pub fn new() -> Self {
+        BitString::default()
+    }
+
+    /// Builds from a slice of bools.
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut s = BitString::new();
+        for &b in bits {
+            s.push_bit(b);
+        }
+        s
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the string is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The bit at position `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range ({})", self.len);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Appends a single bit.
+    pub fn push_bit(&mut self, bit: bool) {
+        let word = self.len / 64;
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        if bit {
+            self.words[word] |= 1u64 << (self.len % 64);
+        }
+        self.len += 1;
+    }
+
+    /// Appends the low `width` bits of `value`, least-significant first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64` or `value` has bits above `width`.
+    pub fn push_uint(&mut self, value: u64, width: usize) {
+        assert!(width <= 64, "width exceeds 64");
+        assert!(
+            width == 64 || value < (1u64 << width),
+            "value {value} does not fit in {width} bits"
+        );
+        for i in 0..width {
+            self.push_bit(value >> i & 1 == 1);
+        }
+    }
+
+    /// Appends another bit string.
+    pub fn extend_bits(&mut self, other: &BitString) {
+        for i in 0..other.len {
+            self.push_bit(other.get(i));
+        }
+    }
+
+    /// Materializes into a vector of bools.
+    pub fn to_bools(&self) -> Vec<bool> {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+
+    /// A sequential reader over the bits.
+    pub fn reader(&self) -> BitReader<'_> {
+        BitReader { bits: self, pos: 0 }
+    }
+}
+
+impl FromIterator<bool> for BitString {
+    fn from_iter<T: IntoIterator<Item = bool>>(iter: T) -> Self {
+        let mut s = BitString::new();
+        for b in iter {
+            s.push_bit(b);
+        }
+        s
+    }
+}
+
+/// A cursor reading a [`BitString`] front to back.
+#[derive(Clone, Debug)]
+pub struct BitReader<'a> {
+    bits: &'a BitString,
+    pos: usize,
+}
+
+impl BitReader<'_> {
+    /// Reads one bit, or `None` at the end.
+    pub fn read_bit(&mut self) -> Option<bool> {
+        if self.pos < self.bits.len() {
+            let b = self.bits.get(self.pos);
+            self.pos += 1;
+            Some(b)
+        } else {
+            None
+        }
+    }
+
+    /// Reads a `width`-bit little-endian unsigned integer, or `None` if
+    /// fewer than `width` bits remain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64`.
+    pub fn read_uint(&mut self, width: usize) -> Option<u64> {
+        assert!(width <= 64, "width exceeds 64");
+        if self.pos + width > self.bits.len() {
+            return None;
+        }
+        let mut v = 0u64;
+        for i in 0..width {
+            if self.bits.get(self.pos + i) {
+                v |= 1 << i;
+            }
+        }
+        self.pos += width;
+        Some(v)
+    }
+
+    /// Bits not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bits.len() - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get_bits() {
+        let mut b = BitString::new();
+        b.push_bit(true);
+        b.push_bit(false);
+        b.push_bit(true);
+        assert_eq!(b.len(), 3);
+        assert!(b.get(0));
+        assert!(!b.get(1));
+        assert!(b.get(2));
+    }
+
+    #[test]
+    fn uint_roundtrip_various_widths() {
+        for &(v, w) in &[(0u64, 1usize), (1, 1), (5, 3), (255, 8), (1 << 40, 41), (u64::MAX, 64)] {
+            let mut b = BitString::new();
+            b.push_uint(v, w);
+            assert_eq!(b.len(), w);
+            assert_eq!(b.reader().read_uint(w), Some(v), "v={v}, w={w}");
+        }
+    }
+
+    #[test]
+    fn mixed_stream_roundtrip() {
+        let mut b = BitString::new();
+        b.push_uint(9, 4);
+        b.push_bit(true);
+        b.push_uint(1000, 10);
+        let mut r = b.reader();
+        assert_eq!(r.read_uint(4), Some(9));
+        assert_eq!(r.read_bit(), Some(true));
+        assert_eq!(r.read_uint(10), Some(1000));
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn reader_refuses_overread() {
+        let mut b = BitString::new();
+        b.push_uint(3, 2);
+        let mut r = b.reader();
+        assert_eq!(r.read_uint(3), None);
+        assert_eq!(r.read_uint(2), Some(3));
+        assert_eq!(r.read_bit(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_value_rejected() {
+        BitString::new().push_uint(8, 3);
+    }
+
+    #[test]
+    fn crosses_word_boundaries() {
+        let mut b = BitString::new();
+        for i in 0..130 {
+            b.push_bit(i % 3 == 0);
+        }
+        assert_eq!(b.len(), 130);
+        for i in 0..130 {
+            assert_eq!(b.get(i), i % 3 == 0, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn from_bools_and_back() {
+        let v = vec![true, false, false, true, true];
+        let b = BitString::from_bools(&v);
+        assert_eq!(b.to_bools(), v);
+        let c: BitString = v.iter().copied().collect();
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut a = BitString::from_bools(&[true, false]);
+        let b = BitString::from_bools(&[true, true]);
+        a.extend_bits(&b);
+        assert_eq!(a.to_bools(), vec![true, false, true, true]);
+    }
+
+    #[test]
+    fn debug_is_compact() {
+        let b = BitString::from_bools(&[true, false, true]);
+        assert_eq!(format!("{b:?}"), "BitString[101]");
+    }
+}

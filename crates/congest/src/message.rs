@@ -1,0 +1,143 @@
+//! Network messages with exact bit-length accounting.
+
+use crate::bits::{BitReader, BitString};
+
+/// A message sent over one edge in one round.
+///
+/// A message is just a [`BitString`] payload; its length in bits is what
+/// the CONGEST budget constrains. Convenience constructors cover the
+/// common cases (single bit, fixed-width integer, integer list).
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct Message {
+    payload: BitString,
+}
+
+impl std::fmt::Debug for Message {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Message({:?})", self.payload)
+    }
+}
+
+impl Message {
+    /// The empty message (0 bits). Sending it still counts as one message
+    /// but zero bits.
+    pub fn empty() -> Self {
+        Message::default()
+    }
+
+    /// A one-bit message.
+    pub fn from_bit(bit: bool) -> Self {
+        let mut payload = BitString::new();
+        payload.push_bit(bit);
+        Message { payload }
+    }
+
+    /// A `width`-bit unsigned integer message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not fit in `width` bits.
+    pub fn from_uint(value: u64, width: usize) -> Self {
+        let mut payload = BitString::new();
+        payload.push_uint(value, width);
+        Message { payload }
+    }
+
+    /// Wraps an existing bit string.
+    pub fn from_bits(payload: BitString) -> Self {
+        Message { payload }
+    }
+
+    /// Message length in bits.
+    pub fn bit_len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// The payload.
+    pub fn payload(&self) -> &BitString {
+        &self.payload
+    }
+
+    /// A reader over the payload.
+    pub fn reader(&self) -> BitReader<'_> {
+        self.payload.reader()
+    }
+
+    /// Reads the message as a single bit.
+    ///
+    /// Returns `None` if the message is not exactly one bit.
+    pub fn as_bit(&self) -> Option<bool> {
+        if self.payload.len() == 1 {
+            Some(self.payload.get(0))
+        } else {
+            None
+        }
+    }
+
+    /// Reads the message as a single `width`-bit integer.
+    ///
+    /// Returns `None` if the length does not match.
+    pub fn as_uint(&self, width: usize) -> Option<u64> {
+        if self.payload.len() == width {
+            self.payload.reader().read_uint(width)
+        } else {
+            None
+        }
+    }
+}
+
+impl From<BitString> for Message {
+    fn from(payload: BitString) -> Self {
+        Message { payload }
+    }
+}
+
+/// A builder for multi-field messages.
+///
+/// # Example
+///
+/// ```
+/// use qdc_congest::Message;
+/// use qdc_congest::BitString;
+///
+/// let mut bits = BitString::new();
+/// bits.push_uint(3, 8);   // a tag
+/// bits.push_uint(42, 16); // a value
+/// let m = Message::from_bits(bits);
+/// assert_eq!(m.bit_len(), 24);
+/// let mut r = m.reader();
+/// assert_eq!(r.read_uint(8), Some(3));
+/// assert_eq!(r.read_uint(16), Some(42));
+/// ```
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_message_is_zero_bits() {
+        assert_eq!(Message::empty().bit_len(), 0);
+    }
+
+    #[test]
+    fn bit_message_roundtrip() {
+        assert_eq!(Message::from_bit(true).as_bit(), Some(true));
+        assert_eq!(Message::from_bit(false).as_bit(), Some(false));
+        assert_eq!(Message::from_uint(2, 2).as_bit(), None);
+    }
+
+    #[test]
+    fn uint_message_roundtrip() {
+        let m = Message::from_uint(300, 9);
+        assert_eq!(m.bit_len(), 9);
+        assert_eq!(m.as_uint(9), Some(300));
+        assert_eq!(m.as_uint(8), None);
+    }
+
+    #[test]
+    fn from_bitstring() {
+        let b = BitString::from_bools(&[true, true, false]);
+        let m: Message = b.clone().into();
+        assert_eq!(m.payload(), &b);
+        assert_eq!(m.bit_len(), 3);
+    }
+}

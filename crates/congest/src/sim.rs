@@ -1,0 +1,726 @@
+//! The lockstep CONGEST simulator.
+
+use crate::message::Message;
+use qdc_graph::{EdgeId, Graph, NodeId};
+
+/// Whether a link carries classical bits or qubits.
+///
+/// The simulator's mechanics are identical either way — what differs is
+/// the *unit of account* in the [`RunReport`] (bits vs qubits) and which
+/// lower bound applies. The paper's point is precisely that for the
+/// problems it studies the counts cannot differ much.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ChannelKind {
+    /// Classical B-bit channels (the classical CONGEST model).
+    Classical,
+    /// Quantum B-qubit channels with unlimited prior entanglement (the
+    /// paper's strongest model).
+    Quantum,
+}
+
+/// Simulator configuration: the bandwidth parameter `B` and channel kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CongestConfig {
+    /// Per-edge per-round budget in bits (or qubits), the `B` of
+    /// CONGEST(B).
+    pub bandwidth_bits: usize,
+    /// Channel kind (accounting label).
+    pub channel: ChannelKind,
+}
+
+impl CongestConfig {
+    /// Classical CONGEST(B).
+    pub fn classical(bandwidth_bits: usize) -> Self {
+        CongestConfig {
+            bandwidth_bits,
+            channel: ChannelKind::Classical,
+        }
+    }
+
+    /// Quantum CONGEST(B) with prior entanglement.
+    pub fn quantum(bandwidth_bits: usize) -> Self {
+        CongestConfig {
+            bandwidth_bits,
+            channel: ChannelKind::Quantum,
+        }
+    }
+}
+
+/// What a node knows about itself and its surroundings — exactly the
+/// paper's "limited topological knowledge": its own id, `n`, and the ids
+/// of its neighbors (Section 2.1).
+#[derive(Clone, Debug)]
+pub struct NodeInfo {
+    /// This node's id.
+    pub id: NodeId,
+    /// Total number of nodes in the network (standard CONGEST assumption).
+    pub node_count: usize,
+    /// Neighbor id per port; port `p` is this node's `p`-th incident edge.
+    pub neighbors: Vec<NodeId>,
+    /// Host edge id per port (used to look up subgraph indicators and
+    /// weights in problem inputs; not information the node "computes").
+    pub incident_edges: Vec<EdgeId>,
+}
+
+impl NodeInfo {
+    /// Number of ports (the node's degree).
+    pub fn degree(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// The port leading to neighbor `v`, if adjacent.
+    pub fn port_to(&self, v: NodeId) -> Option<usize> {
+        self.neighbors.iter().position(|&u| u == v)
+    }
+}
+
+/// Messages received by one node in the current round, indexed by port.
+#[derive(Clone, Debug)]
+pub struct Inbox {
+    msgs: Vec<Option<Message>>,
+}
+
+impl Inbox {
+    fn new(ports: usize) -> Self {
+        Inbox {
+            msgs: vec![None; ports],
+        }
+    }
+
+    /// The message received on `port` this round, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is out of range.
+    pub fn get(&self, port: usize) -> Option<&Message> {
+        self.msgs[port].as_ref()
+    }
+
+    /// Iterates over `(port, message)` pairs received this round.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &Message)> {
+        self.msgs
+            .iter()
+            .enumerate()
+            .filter_map(|(p, m)| m.as_ref().map(|m| (p, m)))
+    }
+
+    /// Whether nothing was received this round.
+    pub fn is_empty(&self) -> bool {
+        self.msgs.iter().all(Option::is_none)
+    }
+
+    /// Number of messages received this round.
+    pub fn len(&self) -> usize {
+        self.msgs.iter().filter(|m| m.is_some()).count()
+    }
+
+    /// Builds an inbox from raw per-port slots — for harnesses that drive
+    /// a [`NodeAlgorithm`] outside the simulator (e.g. the three-party
+    /// replay in `qdc-simthm`).
+    pub fn from_slots(slots: Vec<Option<Message>>) -> Self {
+        Inbox { msgs: slots }
+    }
+}
+
+/// Staging area for a node's outgoing messages this round.
+///
+/// Enforces the CONGEST discipline: at most one message per incident edge
+/// per round, each at most `B` bits.
+#[derive(Debug)]
+pub struct Outbox {
+    budget_bits: usize,
+    msgs: Vec<Option<Message>>,
+}
+
+impl Outbox {
+    fn new(ports: usize, budget_bits: usize) -> Self {
+        Outbox {
+            budget_bits,
+            msgs: vec![None; ports],
+        }
+    }
+
+    /// Queues `msg` on `port`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the message exceeds the `B`-bit budget, the port already
+    /// has a message this round, or the port is out of range.
+    pub fn send(&mut self, port: usize, msg: Message) {
+        assert!(
+            msg.bit_len() <= self.budget_bits,
+            "message of {} bits exceeds the B = {} bit budget",
+            msg.bit_len(),
+            self.budget_bits
+        );
+        assert!(port < self.msgs.len(), "port {port} out of range");
+        assert!(
+            self.msgs[port].is_none(),
+            "port {port} already has a message this round (one message per edge per round)"
+        );
+        self.msgs[port] = Some(msg);
+    }
+
+    /// Sends a copy of `msg` on every port.
+    pub fn broadcast(&mut self, msg: Message) {
+        for port in 0..self.msgs.len() {
+            self.send(port, msg.clone());
+        }
+    }
+
+    /// Number of ports.
+    pub fn port_count(&self) -> usize {
+        self.msgs.len()
+    }
+
+    fn take(&mut self) -> Vec<Option<Message>> {
+        std::mem::take(&mut self.msgs)
+    }
+
+    /// A detached outbox for harnesses that drive a [`NodeAlgorithm`]
+    /// outside the simulator. The same budget discipline applies.
+    pub fn detached(ports: usize, budget_bits: usize) -> Self {
+        Outbox::new(ports, budget_bits)
+    }
+
+    /// Extracts the queued messages from a detached outbox.
+    pub fn into_slots(mut self) -> Vec<Option<Message>> {
+        self.take()
+    }
+}
+
+/// A distributed algorithm, from one node's point of view.
+///
+/// The simulator calls [`on_start`](NodeAlgorithm::on_start) once before
+/// any communication, then [`on_round`](NodeAlgorithm::on_round) once per
+/// round with that round's inbox. The run ends at **quiescence**: every
+/// node reports [`is_terminated`](NodeAlgorithm::is_terminated) and no
+/// messages are in flight. This supports event-driven algorithms that are
+/// "always terminated" but keep forwarding improvements — the run ends
+/// exactly when the information flow dies down (the standard implicit-
+/// termination convention in synchronous models).
+pub trait NodeAlgorithm {
+    /// Round-0 initialization; may send messages.
+    fn on_start(&mut self, info: &NodeInfo, out: &mut Outbox);
+
+    /// One synchronous round: consume this round's inbox, update state,
+    /// queue next round's messages.
+    fn on_round(&mut self, info: &NodeInfo, inbox: &Inbox, out: &mut Outbox);
+
+    /// Whether this node is done. Must be monotone (once `true`, stays
+    /// `true`).
+    fn is_terminated(&self) -> bool;
+}
+
+/// Round and traffic accounting for one simulated run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RunReport {
+    /// Number of communication rounds executed.
+    pub rounds: usize,
+    /// Whether every node terminated within the round limit.
+    pub completed: bool,
+    /// Total messages delivered.
+    pub messages_sent: u64,
+    /// Total payload bits (or qubits) delivered.
+    pub bits_sent: u64,
+    /// Maximum total payload bits delivered in any single round.
+    pub max_bits_per_round: u64,
+    /// The channel kind the run was accounted under.
+    pub channel: ChannelKind,
+}
+
+/// One delivered message in a [`TrafficTrace`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TracedMessage {
+    /// Sender.
+    pub from: NodeId,
+    /// Receiver.
+    pub to: NodeId,
+    /// Payload size in bits.
+    pub bits: usize,
+}
+
+/// Per-round record of every delivered message, produced by
+/// [`Simulator::run_traced`]. Round `r` of the trace holds the messages
+/// *delivered* in round `r + 1` of the run (i.e. sent at the end of round
+/// `r`).
+#[derive(Clone, Debug, Default)]
+pub struct TrafficTrace {
+    /// `rounds[r]` lists the messages delivered in round `r + 1`.
+    pub rounds: Vec<Vec<TracedMessage>>,
+}
+
+/// The lockstep CONGEST simulator over a fixed network graph.
+///
+/// See the crate-level example for usage.
+#[derive(Debug)]
+pub struct Simulator<'g> {
+    graph: &'g Graph,
+    config: CongestConfig,
+    infos: Vec<NodeInfo>,
+}
+
+impl<'g> Simulator<'g> {
+    /// Prepares a simulator on `graph` with the given configuration.
+    pub fn new(graph: &'g Graph, config: CongestConfig) -> Self {
+        let n = graph.node_count();
+        let infos = graph
+            .nodes()
+            .map(|u| NodeInfo {
+                id: u,
+                node_count: n,
+                neighbors: graph.incident(u).iter().map(|&(_, v)| v).collect(),
+                incident_edges: graph.incident(u).iter().map(|&(e, _)| e).collect(),
+            })
+            .collect();
+        Simulator {
+            graph,
+            config,
+            infos,
+        }
+    }
+
+    /// The network graph.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> CongestConfig {
+        self.config
+    }
+
+    /// Per-node topology information (what node `v` is told at start).
+    pub fn info(&self, v: NodeId) -> &NodeInfo {
+        &self.infos[v.index()]
+    }
+
+    /// Runs the algorithm to termination or `max_rounds`, whichever comes
+    /// first. `init` builds each node's initial state from its local view.
+    ///
+    /// Returns the final node states and the [`RunReport`].
+    pub fn run<A, F>(&self, init: F, max_rounds: usize) -> (Vec<A>, RunReport)
+    where
+        A: NodeAlgorithm,
+        F: FnMut(&NodeInfo) -> A,
+    {
+        let (nodes, report, _) = self.run_impl(init, max_rounds, false);
+        (nodes, report)
+    }
+
+    /// Like [`run`](Simulator::run), but also records every delivered
+    /// message per round — used by the Quantum Simulation Theorem
+    /// machinery to audit which messages cross party-ownership boundaries.
+    pub fn run_traced<A, F>(&self, init: F, max_rounds: usize) -> (Vec<A>, RunReport, TrafficTrace)
+    where
+        A: NodeAlgorithm,
+        F: FnMut(&NodeInfo) -> A,
+    {
+        self.run_impl(init, max_rounds, true)
+    }
+
+    fn run_impl<A, F>(
+        &self,
+        mut init: F,
+        max_rounds: usize,
+        traced: bool,
+    ) -> (Vec<A>, RunReport, TrafficTrace)
+    where
+        A: NodeAlgorithm,
+        F: FnMut(&NodeInfo) -> A,
+    {
+        let n = self.graph.node_count();
+        let mut nodes: Vec<A> = self.infos.iter().map(&mut init).collect();
+
+        // Round 0: initialization sends.
+        let mut outgoing: Vec<Vec<Option<Message>>> = Vec::with_capacity(n);
+        for (i, node) in nodes.iter_mut().enumerate() {
+            let mut out = Outbox::new(self.infos[i].degree(), self.config.bandwidth_bits);
+            node.on_start(&self.infos[i], &mut out);
+            outgoing.push(out.take());
+        }
+
+        let mut report = RunReport {
+            rounds: 0,
+            completed: false,
+            messages_sent: 0,
+            bits_sent: 0,
+            max_bits_per_round: 0,
+            channel: self.config.channel,
+        };
+        let mut trace = TrafficTrace::default();
+
+        loop {
+            let in_flight = outgoing.iter().flatten().any(Option::is_some);
+            if !in_flight && nodes.iter().all(|a| a.is_terminated()) {
+                report.completed = true;
+                return (nodes, report, trace);
+            }
+            if report.rounds >= max_rounds {
+                return (nodes, report, trace);
+            }
+
+            // Deliver: message from u's port p goes to v's matching port.
+            let mut inboxes: Vec<Inbox> = self
+                .infos
+                .iter()
+                .map(|info| Inbox::new(info.degree()))
+                .collect();
+            let mut round_bits = 0u64;
+            let mut round_trace = Vec::new();
+            for (u, ports) in outgoing.iter_mut().enumerate() {
+                for (p, slot) in ports.iter_mut().enumerate() {
+                    if let Some(msg) = slot.take() {
+                        let v = self.infos[u].neighbors[p];
+                        let back_port = self.infos[v.index()]
+                            .port_to(NodeId::from(u))
+                            .expect("adjacency must be symmetric");
+                        report.messages_sent += 1;
+                        report.bits_sent += msg.bit_len() as u64;
+                        round_bits += msg.bit_len() as u64;
+                        if traced {
+                            round_trace.push(TracedMessage {
+                                from: NodeId::from(u),
+                                to: v,
+                                bits: msg.bit_len(),
+                            });
+                        }
+                        inboxes[v.index()].msgs[back_port] = Some(msg);
+                    }
+                }
+            }
+            if traced {
+                trace.rounds.push(round_trace);
+            }
+            report.max_bits_per_round = report.max_bits_per_round.max(round_bits);
+            report.rounds += 1;
+
+            // Compute: every node takes a step.
+            for (i, node) in nodes.iter_mut().enumerate() {
+                let mut out = Outbox::new(self.infos[i].degree(), self.config.bandwidth_bits);
+                node.on_round(&self.infos[i], &inboxes[i], &mut out);
+                outgoing[i] = out.take();
+            }
+        }
+    }
+}
+
+/// A round-by-round stepper over a network algorithm — the incremental
+/// counterpart of [`Simulator::run`], for debugging, visualization and
+/// harnesses that need to inspect state between rounds.
+///
+/// # Example
+///
+/// ```
+/// use qdc_congest::{CongestConfig, Inbox, Message, NodeAlgorithm, NodeInfo, Outbox, Stepper};
+/// use qdc_graph::Graph;
+///
+/// struct Hop { got: bool }
+/// impl NodeAlgorithm for Hop {
+///     fn on_start(&mut self, info: &NodeInfo, out: &mut Outbox) {
+///         if info.id.0 == 0 { out.broadcast(Message::from_bit(true)); }
+///     }
+///     fn on_round(&mut self, _: &NodeInfo, inbox: &Inbox, _: &mut Outbox) {
+///         self.got |= !inbox.is_empty();
+///     }
+///     fn is_terminated(&self) -> bool { true }
+/// }
+///
+/// let g = Graph::path(3);
+/// let mut stepper = Stepper::new(&g, CongestConfig::classical(4), |_| Hop { got: false });
+/// assert!(!stepper.is_quiescent());
+/// stepper.step();
+/// assert!(stepper.nodes()[1].got);
+/// assert!(stepper.is_quiescent());
+/// ```
+pub struct Stepper<'g, A> {
+    sim: Simulator<'g>,
+    nodes: Vec<A>,
+    outgoing: Vec<Vec<Option<Message>>>,
+    rounds: usize,
+}
+
+/// What one [`Stepper::step`] delivered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StepSummary {
+    /// The round number just executed (1-based).
+    pub round: usize,
+    /// Messages delivered this round.
+    pub messages: u64,
+    /// Payload bits delivered this round.
+    pub bits: u64,
+}
+
+impl<'g, A: NodeAlgorithm> Stepper<'g, A> {
+    /// Initializes the algorithm (runs every node's `on_start`).
+    pub fn new<F: FnMut(&NodeInfo) -> A>(
+        graph: &'g Graph,
+        config: CongestConfig,
+        mut init: F,
+    ) -> Self {
+        let sim = Simulator::new(graph, config);
+        let mut nodes: Vec<A> = sim.infos.iter().map(&mut init).collect();
+        let mut outgoing = Vec::with_capacity(nodes.len());
+        for (i, node) in nodes.iter_mut().enumerate() {
+            let mut out = Outbox::new(sim.infos[i].degree(), config.bandwidth_bits);
+            node.on_start(&sim.infos[i], &mut out);
+            outgoing.push(out.take());
+        }
+        Stepper {
+            sim,
+            nodes,
+            outgoing,
+            rounds: 0,
+        }
+    }
+
+    /// The per-node states (index = node id).
+    pub fn nodes(&self) -> &[A] {
+        &self.nodes
+    }
+
+    /// Rounds executed so far.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Whether the run has reached quiescence (all nodes terminated, no
+    /// messages in flight). Further steps deliver nothing.
+    pub fn is_quiescent(&self) -> bool {
+        self.outgoing.iter().flatten().all(Option::is_none)
+            && self.nodes.iter().all(|a| a.is_terminated())
+    }
+
+    /// Executes one synchronous round: deliver, then step every node.
+    pub fn step(&mut self) -> StepSummary {
+        let mut inboxes: Vec<Inbox> = self
+            .sim
+            .infos
+            .iter()
+            .map(|info| Inbox::new(info.degree()))
+            .collect();
+        let mut messages = 0u64;
+        let mut bits = 0u64;
+        for (u, ports) in self.outgoing.iter_mut().enumerate() {
+            for (p, slot) in ports.iter_mut().enumerate() {
+                if let Some(msg) = slot.take() {
+                    let v = self.sim.infos[u].neighbors[p];
+                    let back = self.sim.infos[v.index()]
+                        .port_to(NodeId::from(u))
+                        .expect("adjacency must be symmetric");
+                    messages += 1;
+                    bits += msg.bit_len() as u64;
+                    inboxes[v.index()].msgs[back] = Some(msg);
+                }
+            }
+        }
+        self.rounds += 1;
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            let mut out = Outbox::new(
+                self.sim.infos[i].degree(),
+                self.sim.config.bandwidth_bits,
+            );
+            node.on_round(&self.sim.infos[i], &inboxes[i], &mut out);
+            self.outgoing[i] = out.take();
+        }
+        StepSummary {
+            round: self.rounds,
+            messages,
+            bits,
+        }
+    }
+
+    /// Steps until quiescence or `max_rounds`; returns the rounds run.
+    pub fn run_to_quiescence(&mut self, max_rounds: usize) -> usize {
+        let mut done = 0;
+        while !self.is_quiescent() && done < max_rounds {
+            self.step();
+            done += 1;
+        }
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdc_graph::Graph;
+
+    /// Echo once: leaf nodes send their id to every neighbor in round 0,
+    /// then everyone terminates after hearing from all neighbors.
+    struct HearAll {
+        heard: usize,
+        need: usize,
+    }
+
+    impl NodeAlgorithm for HearAll {
+        fn on_start(&mut self, info: &NodeInfo, out: &mut Outbox) {
+            out.broadcast(Message::from_uint(info.id.0 as u64, 16));
+        }
+        fn on_round(&mut self, _info: &NodeInfo, inbox: &Inbox, _out: &mut Outbox) {
+            self.heard += inbox.len();
+        }
+        fn is_terminated(&self) -> bool {
+            self.heard >= self.need
+        }
+    }
+
+    #[test]
+    fn everyone_hears_neighbors_in_one_round() {
+        let g = Graph::complete(5);
+        let sim = Simulator::new(&g, CongestConfig::classical(16));
+        let (nodes, report) = sim.run(
+            |info| HearAll {
+                heard: 0,
+                need: info.degree(),
+            },
+            10,
+        );
+        assert!(report.completed);
+        assert_eq!(report.rounds, 1);
+        assert_eq!(report.messages_sent, 20); // 2 per edge, 10 edges
+        assert_eq!(report.bits_sent, 20 * 16);
+        assert_eq!(report.max_bits_per_round, 20 * 16);
+        assert!(nodes.iter().all(|n| n.heard == 4));
+    }
+
+    /// A silent algorithm terminates immediately in zero rounds.
+    struct Silent;
+    impl NodeAlgorithm for Silent {
+        fn on_start(&mut self, _: &NodeInfo, _: &mut Outbox) {}
+        fn on_round(&mut self, _: &NodeInfo, _: &Inbox, _: &mut Outbox) {}
+        fn is_terminated(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn silent_run_takes_zero_rounds() {
+        let g = Graph::path(3);
+        let sim = Simulator::new(&g, CongestConfig::classical(1));
+        let (_, report) = sim.run(|_| Silent, 10);
+        assert!(report.completed);
+        assert_eq!(report.rounds, 0);
+        assert_eq!(report.messages_sent, 0);
+    }
+
+    /// A node that never terminates exercises the round limit.
+    struct Chatter;
+    impl NodeAlgorithm for Chatter {
+        fn on_start(&mut self, _: &NodeInfo, out: &mut Outbox) {
+            out.broadcast(Message::from_bit(true));
+        }
+        fn on_round(&mut self, _: &NodeInfo, _: &Inbox, out: &mut Outbox) {
+            out.broadcast(Message::from_bit(true));
+        }
+        fn is_terminated(&self) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn round_limit_caps_runaway_algorithms() {
+        let g = Graph::cycle(4);
+        let sim = Simulator::new(&g, CongestConfig::classical(4));
+        let (_, report) = sim.run(|_| Chatter, 7);
+        assert!(!report.completed);
+        assert_eq!(report.rounds, 7);
+    }
+
+    /// Budget enforcement: oversized messages panic.
+    struct Oversender;
+    impl NodeAlgorithm for Oversender {
+        fn on_start(&mut self, _: &NodeInfo, out: &mut Outbox) {
+            out.send(0, Message::from_uint(0xFFFF, 16));
+        }
+        fn on_round(&mut self, _: &NodeInfo, _: &Inbox, _: &mut Outbox) {}
+        fn is_terminated(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the B = 8 bit budget")]
+    fn oversized_message_panics() {
+        let g = Graph::path(2);
+        let sim = Simulator::new(&g, CongestConfig::classical(8));
+        sim.run(|_| Oversender, 1);
+    }
+
+    /// Double-send on the same port panics.
+    struct DoubleSender;
+    impl NodeAlgorithm for DoubleSender {
+        fn on_start(&mut self, _: &NodeInfo, out: &mut Outbox) {
+            out.send(0, Message::from_bit(true));
+            out.send(0, Message::from_bit(false));
+        }
+        fn on_round(&mut self, _: &NodeInfo, _: &Inbox, _: &mut Outbox) {}
+        fn is_terminated(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one message per edge per round")]
+    fn double_send_panics() {
+        let g = Graph::path(2);
+        let sim = Simulator::new(&g, CongestConfig::classical(8));
+        sim.run(|_| DoubleSender, 1);
+    }
+
+    #[test]
+    fn quantum_config_labels_report() {
+        let g = Graph::path(2);
+        let sim = Simulator::new(&g, CongestConfig::quantum(4));
+        let (_, report) = sim.run(|_| Silent, 1);
+        assert_eq!(report.channel, ChannelKind::Quantum);
+    }
+
+    #[test]
+    fn stepper_matches_batch_run() {
+        // Step-by-step execution produces the same final states and the
+        // same per-round traffic as Simulator::run.
+        let g = Graph::cycle(6);
+        let cfg = CongestConfig::classical(16);
+        let make = |info: &NodeInfo| HearAll {
+            heard: 0,
+            need: info.degree(),
+        };
+        let sim = Simulator::new(&g, cfg);
+        let (batch, report) = sim.run(make, 10);
+        let mut stepper = Stepper::new(&g, cfg, make);
+        let mut total_msgs = 0;
+        while !stepper.is_quiescent() {
+            total_msgs += stepper.step().messages;
+        }
+        assert_eq!(stepper.rounds(), report.rounds);
+        assert_eq!(total_msgs, report.messages_sent);
+        for (a, b) in batch.iter().zip(stepper.nodes()) {
+            assert_eq!(a.heard, b.heard);
+        }
+    }
+
+    #[test]
+    fn stepper_run_to_quiescence_caps() {
+        let g = Graph::path(2);
+        let cfg = CongestConfig::classical(4);
+        let mut stepper = Stepper::new(&g, cfg, |_| Chatter);
+        assert_eq!(stepper.run_to_quiescence(5), 5); // never quiesces
+    }
+
+    #[test]
+    fn node_info_ports_are_consistent() {
+        let g = Graph::cycle(5);
+        let sim = Simulator::new(&g, CongestConfig::classical(8));
+        for u in g.nodes() {
+            let info = sim.info(u);
+            assert_eq!(info.degree(), 2);
+            for (p, &v) in info.neighbors.iter().enumerate() {
+                assert_eq!(info.port_to(v), Some(p));
+                // The incident edge on this port really connects u and v.
+                let (a, b) = g.endpoints(info.incident_edges[p]);
+                assert!((a == u && b == v) || (a == v && b == u));
+            }
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Standard benchmark topologies for CONGEST experiments.
+//!
+//! Rings, grids/tori, hypercubes and complete bipartite graphs — the
+//! usual suspects for exercising distributed algorithms, with known
+//! diameters asserted in tests. (The paper's bespoke hard topology lives
+//! in `qdc-simthm`.)
+
+use qdc_graph::{Graph, GraphBuilder, NodeId};
+
+/// A ring on `n ≥ 3` nodes (diameter ⌊n/2⌋).
+pub fn ring(n: usize) -> Graph {
+    Graph::cycle(n)
+}
+
+/// A `rows × cols` grid (diameter `rows + cols − 2`).
+///
+/// # Panics
+///
+/// Panics if either dimension is 0.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    assert!(rows > 0 && cols > 0, "grid dimensions must be positive");
+    let idx = |r: usize, c: usize| NodeId::from(r * cols + c);
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(idx(r, c), idx(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge(idx(r, c), idx(r + 1, c));
+            }
+        }
+    }
+    b.build()
+}
+
+/// A `rows × cols` torus (wrap-around grid; diameter
+/// `⌊rows/2⌋ + ⌊cols/2⌋`). Requires both dimensions ≥ 3 so no wrap edge
+/// duplicates a grid edge.
+///
+/// # Panics
+///
+/// Panics if either dimension is < 3.
+pub fn torus(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 3 && cols >= 3, "torus dimensions must be ≥ 3");
+    let idx = |r: usize, c: usize| NodeId::from(r * cols + c);
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            b.add_edge(idx(r, c), idx(r, (c + 1) % cols));
+            b.add_edge(idx(r, c), idx((r + 1) % rows, c));
+        }
+    }
+    b.build()
+}
+
+/// The `d`-dimensional hypercube on `2^d` nodes (diameter `d`).
+///
+/// # Panics
+///
+/// Panics if `d == 0` or `d > 20`.
+pub fn hypercube(d: usize) -> Graph {
+    assert!((1..=20).contains(&d), "hypercube dimension out of range");
+    let n = 1usize << d;
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n {
+        for bit in 0..d {
+            let u = v ^ (1 << bit);
+            if u > v {
+                b.add_edge(NodeId::from(v), NodeId::from(u));
+            }
+        }
+    }
+    b.build()
+}
+
+/// The complete bipartite graph `K_{a,b}` (diameter 2 for `a, b ≥ 2`).
+///
+/// # Panics
+///
+/// Panics if either side is empty.
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    assert!(a > 0 && b > 0, "both sides must be nonempty");
+    let mut builder = GraphBuilder::new(a + b);
+    for i in 0..a {
+        for j in 0..b {
+            builder.add_edge(NodeId::from(i), NodeId::from(a + j));
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdc_graph::algorithms::diameter;
+
+    #[test]
+    fn ring_diameter() {
+        assert_eq!(diameter(&ring(10)), Some(5));
+        assert_eq!(diameter(&ring(11)), Some(5));
+    }
+
+    #[test]
+    fn grid_shape_and_diameter() {
+        let g = grid(4, 6);
+        assert_eq!(g.node_count(), 24);
+        assert_eq!(g.edge_count(), 4 * 5 + 3 * 6);
+        assert_eq!(diameter(&g), Some(8)); // (4-1) + (6-1)
+        assert_eq!(diameter(&grid(1, 7)), Some(6)); // degenerates to a path
+    }
+
+    #[test]
+    fn torus_diameter() {
+        let t = torus(4, 6);
+        assert_eq!(t.node_count(), 24);
+        assert_eq!(t.edge_count(), 48); // 2 edges per node
+        assert_eq!(diameter(&t), Some(2 + 3));
+    }
+
+    #[test]
+    fn hypercube_shape_and_diameter() {
+        let h = hypercube(5);
+        assert_eq!(h.node_count(), 32);
+        assert_eq!(h.edge_count(), 5 * 16);
+        assert_eq!(diameter(&h), Some(5));
+        for v in h.nodes() {
+            assert_eq!(h.degree(v), 5);
+        }
+    }
+
+    #[test]
+    fn complete_bipartite_shape() {
+        let k = complete_bipartite(3, 4);
+        assert_eq!(k.edge_count(), 12);
+        assert_eq!(diameter(&k), Some(2));
+    }
+
+    #[test]
+    fn algorithms_run_on_every_topology() {
+        // Smoke: leader election across the zoo via the simulator.
+        use crate::{CongestConfig, Simulator};
+        for g in [ring(9), grid(3, 4), torus(3, 3), hypercube(3), complete_bipartite(2, 3)] {
+            let sim = Simulator::new(&g, CongestConfig::classical(16));
+            // A silent run sanity-checks port symmetry on the topology.
+            struct Probe;
+            impl crate::NodeAlgorithm for Probe {
+                fn on_start(&mut self, _: &crate::NodeInfo, out: &mut crate::Outbox) {
+                    out.broadcast(crate::Message::from_bit(true));
+                }
+                fn on_round(&mut self, _: &crate::NodeInfo, _: &crate::Inbox, _: &mut crate::Outbox) {}
+                fn is_terminated(&self) -> bool {
+                    true
+                }
+            }
+            let (_, report) = sim.run(|_| Probe, 5);
+            assert!(report.completed);
+            assert_eq!(report.messages_sent, 2 * g.edge_count() as u64);
+        }
+    }
+}

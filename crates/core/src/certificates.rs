@@ -1,0 +1,235 @@
+//! Executable lower-bound certificates: the §9 contradiction arguments
+//! with explicit constants.
+//!
+//! The proofs of Theorems 3.6 and 3.8 are numeric compositions: a
+//! Server-model bound `Q ≥ c′·Γ` (Theorem 3.4), a simulation cost
+//! `Q ≤ c·B·log₂L·T` for any `T ≤ L/2 − 2` (Theorem 3.5), and a choice
+//! of `(L, Γ)` making the two collide unless `T` is large. A
+//! [`BoundCertificate`] carries that whole derivation as data: every
+//! inequality evaluated, every constant explicit, so the final `Ω(·)`
+//! value is auditable step by step (and printable by the harnesses).
+
+use crate::theorems::{theorem36_params, theorem38_params, TheoremParams};
+
+/// The explicit constants of the composition.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CompositionConstants {
+    /// `c′` — the Server-model hardness constant: `Q*(Ham_Γ) ≥ c′·Γ`
+    /// qubits (Theorem 3.4 via Theorem 6.1; our normalized pipeline
+    /// yields 1/32 from Paturi × the ½-bit gadget factor × the 12-nodes-
+    /// per-bit reduction).
+    pub server_constant: f64,
+    /// `c` — the per-round simulation constant: Carol+David pay at most
+    /// `c·B·log₂(L−1)` qubits per round (Theorem 3.5's proof uses 6; the
+    /// measured audits stay under 2).
+    pub simulation_constant: f64,
+}
+
+impl Default for CompositionConstants {
+    fn default() -> Self {
+        CompositionConstants {
+            server_constant: 1.0 / 32.0,
+            simulation_constant: 6.0,
+        }
+    }
+}
+
+/// A fully-evaluated lower-bound derivation.
+#[derive(Clone, Debug)]
+pub struct BoundCertificate {
+    /// What is being bounded.
+    pub statement: String,
+    /// The concluded round lower bound.
+    pub rounds: f64,
+    /// The `(L, Γ)` instantiation used.
+    pub params: TheoremParams,
+    /// The derivation, one evaluated inequality per line.
+    pub steps: Vec<String>,
+}
+
+impl BoundCertificate {
+    /// Renders the certificate as text.
+    pub fn render(&self) -> String {
+        let mut s = format!("{}\n", self.statement);
+        for (i, step) in self.steps.iter().enumerate() {
+            s.push_str(&format!("  {}. {}\n", i + 1, step));
+        }
+        s.push_str(&format!("  ⇒ T ≥ {:.3} rounds\n", self.rounds));
+        s
+    }
+}
+
+fn compose(
+    params: TheoremParams,
+    bandwidth: usize,
+    consts: &CompositionConstants,
+    statement: String,
+) -> BoundCertificate {
+    let l = params.l as f64;
+    let gamma = params.gamma as f64;
+    let log_l = ((params.l.max(3) - 1) as f64).log2().max(1.0);
+    let server_bound = consts.server_constant * gamma;
+    let per_round = consts.simulation_constant * bandwidth as f64 * log_l;
+    // If T ≤ L/2 − 2, simulation gives Q ≤ per_round · T, so
+    // Q ≥ server_bound forces T ≥ server_bound / per_round — unless that
+    // already exceeds the horizon, in which case the horizon itself is
+    // the bound (the algorithm cannot finish within it at all).
+    let horizon = (l / 2.0 - 2.0).max(1.0);
+    let t_from_collision = server_bound / per_round;
+    let rounds = t_from_collision.min(horizon).max(0.0);
+    let steps = vec![
+        format!(
+            "Theorem 3.4 (Server hardness): Q*(Ham_Γ) ≥ c′·Γ = {:.4}·{} = {:.2} qubits",
+            consts.server_constant, params.gamma, server_bound
+        ),
+        format!(
+            "Theorem 3.5 (simulation): any T ≤ L/2−2 = {:.0} yields a Server protocol of \
+             ≤ c·B·log₂(L−1)·T = {:.1}·T qubits",
+            horizon, per_round
+        ),
+        format!(
+            "collision: {:.1}·T ≥ {:.2} forces T ≥ {:.3}; capped by the horizon {:.0}",
+            per_round, server_bound, t_from_collision, horizon
+        ),
+    ];
+    BoundCertificate {
+        statement,
+        rounds,
+        params,
+        steps,
+    }
+}
+
+/// The Theorem 3.6 certificate at `(n, B)`: a quantum round lower bound
+/// for Hamiltonian-cycle / spanning-tree verification, derived with
+/// explicit constants. Scales as `Θ(√(n/(B log n)))` in `n`.
+pub fn theorem36_certificate(
+    n: usize,
+    bandwidth: usize,
+    consts: &CompositionConstants,
+) -> BoundCertificate {
+    let params = theorem36_params(n, bandwidth);
+    compose(
+        params,
+        bandwidth,
+        consts,
+        format!(
+            "Theorem 3.6: (ε,ε)-error quantum Ham/ST verification on the n = {n}, B = {bandwidth} \
+             hard network (Γ = {}, L = {})",
+            params.gamma, params.l
+        ),
+    )
+}
+
+/// The Theorem 3.8 certificate at `(n, B, W, α)`: a quantum round lower
+/// bound for α-approximate MST. Scales as
+/// `Θ(min(W/α, √n)/√(B log n))`.
+pub fn theorem38_certificate(
+    n: usize,
+    bandwidth: usize,
+    w: f64,
+    alpha: f64,
+    consts: &CompositionConstants,
+) -> BoundCertificate {
+    let params = theorem38_params(n, bandwidth, w, alpha);
+    let mut cert = compose(
+        params,
+        bandwidth,
+        consts,
+        format!(
+            "Theorem 3.8: ε-error α = {alpha} approximate quantum MST on the n = {n}, \
+             B = {bandwidth}, W = {w} hard network (Γ = {}, L = {})",
+            params.gamma, params.l
+        ),
+    );
+    cert.steps.insert(
+        0,
+        format!(
+            "§9.2 reduction: an α-approx MST with the weight gadget (M-edges 1, rest W = {w}) \
+             decides (βΓ)-Ham with one-sided error, since W > α·n ⇒ any far input exceeds α(n−1)"
+        ),
+    );
+    cert
+}
+
+/// Sanity relation between the certificate and the closed-form curve:
+/// both scale the same way (used in tests and the harness).
+pub fn certificate_tracks_curve(n: usize, bandwidth: usize) -> (f64, f64) {
+    let cert = theorem36_certificate(n, bandwidth, &CompositionConstants::default());
+    let curve = crate::bounds::verification_lower_bound(n, bandwidth);
+    (cert.rounds, curve)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thm36_certificate_scales_like_sqrt_n() {
+        let c = CompositionConstants::default();
+        let small = theorem36_certificate(1 << 14, 16, &c);
+        let large = theorem36_certificate(1 << 18, 16, &c);
+        let ratio = large.rounds / small.rounds;
+        // ×16 nodes ⇒ ≈ ×4 (√n), within log slack.
+        assert!(ratio > 2.5 && ratio < 5.0, "ratio {ratio}");
+        assert_eq!(small.steps.len(), 3);
+        assert!(small.render().contains("Theorem 3.4"));
+    }
+
+    #[test]
+    fn certificate_and_curve_agree_in_shape() {
+        let (c1, f1) = certificate_tracks_curve(1 << 14, 16);
+        let (c2, f2) = certificate_tracks_curve(1 << 18, 16);
+        let cert_growth = c2 / c1;
+        let curve_growth = f2 / f1;
+        assert!(
+            (cert_growth / curve_growth - 1.0).abs() < 0.5,
+            "certificate ×{cert_growth:.2} vs curve ×{curve_growth:.2}"
+        );
+    }
+
+    #[test]
+    fn thm38_certificate_saturates_at_the_verification_bound() {
+        // At huge W the §9.2 parameters coincide with §9.1's, so the two
+        // certificates agree (up to the ceil-rounding of Γ).
+        let c = CompositionConstants::default();
+        let n = 1 << 16;
+        let big_w = theorem38_certificate(n, 16, 1e12, 2.0, &c);
+        let verification = theorem36_certificate(n, 16, &c);
+        let rel = (big_w.rounds - verification.rounds).abs() / verification.rounds;
+        assert!(rel < 0.05, "relative gap {rel}");
+        assert_eq!(big_w.steps.len(), 4); // the §9.2 reduction step added
+        assert!(big_w.rounds > 0.0);
+        // The small-W certificate is positive too and its derivation is
+        // well-formed (the binding branch depends on the constants; the
+        // sound statement is T ≥ min(horizon, collision)).
+        let small_w = theorem38_certificate(n, 16, 128.0, 2.0, &c);
+        assert!(small_w.rounds > 0.0);
+        assert!(small_w.render().contains("§9.2 reduction"));
+    }
+
+    #[test]
+    fn larger_simulation_constant_weakens_the_bound() {
+        let tight = CompositionConstants {
+            simulation_constant: 2.0, // what the audits actually measure
+            ..Default::default()
+        };
+        let loose = CompositionConstants::default();
+        let a = theorem36_certificate(1 << 16, 16, &tight);
+        let b = theorem36_certificate(1 << 16, 16, &loose);
+        assert!(a.rounds >= b.rounds);
+    }
+
+    #[test]
+    fn bound_never_exceeds_horizon() {
+        // Pathological constants cannot push the bound past the horizon
+        // (L/2 − 2, floored at 1 for degenerate L).
+        let crazy = CompositionConstants {
+            server_constant: 1e9,
+            simulation_constant: 1e-9,
+        };
+        let cert = theorem36_certificate(1 << 12, 16, &crazy);
+        let horizon = (cert.params.l as f64 / 2.0 - 2.0).max(1.0);
+        assert!(cert.rounds <= horizon + 1e-9);
+    }
+}

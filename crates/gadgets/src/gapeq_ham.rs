@@ -1,0 +1,214 @@
+//! The `Gap-Eq → Gap-Ham` reduction (Section 7, Figure 7).
+//!
+//! Given `x, y ∈ {0,1}ⁿ`, we build a graph `G` on `6n + 6` nodes from a
+//! chain of 2-track gadgets plus two end caps, such that each gadget
+//! **passes** (connects its left boundary pair to its right boundary
+//! pair) when `xᵢ = yᵢ` and **turns** (connects left-to-left and
+//! right-to-right) when `xᵢ ≠ yᵢ`:
+//!
+//! * `x = y` ⟹ `G` is a Hamiltonian cycle;
+//! * `Δ(x, y) = δ > 0` ⟹ `G` consists of exactly `δ + 1` disjoint cycles
+//!   (the paper states `δ`; our end caps shift the count by one — the
+//!   `Ω(βn)`-farness is unaffected), so `G` is Ω(δ)-far from being a
+//!   Hamiltonian cycle;
+//! * Carol's edges depend only on `x`, David's only on `y`, and both form
+//!   perfect matchings of `G`.
+//!
+//! ## The gadget wiring
+//!
+//! Each gadget has boundary pairs `L₀,L₁` (shared with the previous
+//! gadget) and `R₀,R₁` (shared with the next), and internal nodes
+//! `m₀, m₁, f, g`. Carol plays `A₀ = {L₀m₀, L₁m₁, fg}` or
+//! `A₁ = {L₀g, L₁m₀, m₁f}`; David plays `B₀ = {gm₀, R₀m₁, fR₁}` or
+//! `B₁ = {m₀m₁, R₀f, gR₁}`. Exhaustive case analysis (see tests):
+//! `A₀∪B₀` and `A₁∪B₁` are crossed passes; `A₀∪B₁` and `A₁∪B₀` are turns.
+//! The left cap is a David-owned U-turn (`v₀⁰c₀, v₀¹c₁` plus Carol's
+//! `c₀c₁`), the right cap a Carol-owned U-turn — so both players' edges
+//! remain perfect matchings.
+
+use crate::instance::TwoPartyGraphInstance;
+use qdc_graph::{GraphBuilder, NodeId};
+
+/// Nodes of `G`: `6n + 6` for `n` input bits.
+pub fn node_count_for(n: usize) -> usize {
+    6 * n + 6
+}
+
+/// Builds the `Gap-Eq → Ham` instance for inputs `x, y`.
+///
+/// # Panics
+///
+/// Panics if `x` and `y` have different lengths or are empty.
+pub fn gapeq_to_ham(x: &[bool], y: &[bool]) -> TwoPartyGraphInstance {
+    assert_eq!(x.len(), y.len(), "inputs must have equal length");
+    let n = x.len();
+    assert!(n >= 1, "need at least one input bit");
+
+    let mut b = GraphBuilder::new(node_count_for(n));
+    // Boundary column c ∈ 0..=n, track j ∈ {0, 1}.
+    let bd = |c: usize, j: usize| NodeId::from(2 * c + j);
+    // Internal node k ∈ {0 = m₀, 1 = m₁, 2 = f, 3 = g} of gadget i.
+    let inner = |i: usize, k: usize| NodeId::from(2 * (n + 1) + 4 * i + k);
+    // Cap nodes.
+    let cap = |k: usize| NodeId::from(2 * (n + 1) + 4 * n + k); // k ∈ 0..4
+
+    let mut carol = Vec::new();
+    let mut david = Vec::new();
+    for i in 0..n {
+        let (l0, l1) = (bd(i, 0), bd(i, 1));
+        let (r0, r1) = (bd(i + 1, 0), bd(i + 1, 1));
+        let (m0, m1, f, g) = (inner(i, 0), inner(i, 1), inner(i, 2), inner(i, 3));
+        if x[i] {
+            // A₁ = {L₀g, L₁m₀, m₁f}
+            carol.push(b.add_edge(l0, g));
+            carol.push(b.add_edge(l1, m0));
+            carol.push(b.add_edge(m1, f));
+        } else {
+            // A₀ = {L₀m₀, L₁m₁, fg}
+            carol.push(b.add_edge(l0, m0));
+            carol.push(b.add_edge(l1, m1));
+            carol.push(b.add_edge(f, g));
+        }
+        if y[i] {
+            // B₁ = {m₀m₁, R₀f, gR₁}
+            david.push(b.add_edge(m0, m1));
+            david.push(b.add_edge(r0, f));
+            david.push(b.add_edge(g, r1));
+        } else {
+            // B₀ = {gm₀, R₀m₁, fR₁}
+            david.push(b.add_edge(g, m0));
+            david.push(b.add_edge(r0, m1));
+            david.push(b.add_edge(f, r1));
+        }
+    }
+    // Left cap (David owns the boundary-touching edges).
+    david.push(b.add_edge(bd(0, 0), cap(0)));
+    david.push(b.add_edge(bd(0, 1), cap(1)));
+    carol.push(b.add_edge(cap(0), cap(1)));
+    // Right cap (Carol owns the boundary-touching edges).
+    carol.push(b.add_edge(bd(n, 0), cap(2)));
+    carol.push(b.add_edge(bd(n, 1), cap(3)));
+    david.push(b.add_edge(cap(2), cap(3)));
+
+    TwoPartyGraphInstance::new(b.build(), carol, david)
+}
+
+/// Predicted cycle decomposition: `1` cycle if `x = y`, otherwise
+/// `Δ(x, y) + 1` cycles.
+pub fn predicted_cycle_count(x: &[bool], y: &[bool]) -> usize {
+    let d = x.iter().zip(y).filter(|&(&a, &b)| a != b).count();
+    d + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdc_graph::predicates;
+
+    #[test]
+    fn all_four_gadget_cases_give_two_regular_perfect_matchings() {
+        for &(xb, yb) in &[(false, false), (false, true), (true, false), (true, true)] {
+            let inst = gapeq_to_ham(&[xb], &[yb]);
+            let g = inst.graph();
+            assert_eq!(g.node_count(), 12);
+            assert_eq!(g.edge_count(), 12);
+            for v in g.nodes() {
+                assert_eq!(g.degree(v), 2, "case ({xb},{yb}) node {v}");
+            }
+            assert!(inst.both_sides_perfect_matchings(), "case ({xb},{yb})");
+        }
+    }
+
+    #[test]
+    fn equal_bits_pass_unequal_bits_turn() {
+        // n = 1 with caps: pass ⇒ 1 Hamiltonian cycle; turn ⇒ 2 cycles.
+        for &(xb, yb) in &[(false, false), (true, true)] {
+            let inst = gapeq_to_ham(&[xb], &[yb]);
+            assert!(
+                predicates::is_hamiltonian_cycle(inst.graph(), &inst.full_subgraph()),
+                "case ({xb},{yb}) should be Hamiltonian"
+            );
+        }
+        for &(xb, yb) in &[(false, true), (true, false)] {
+            let inst = gapeq_to_ham(&[xb], &[yb]);
+            assert_eq!(
+                predicates::cycle_count_two_regular(inst.graph(), &inst.full_subgraph()),
+                Ok(2),
+                "case ({xb},{yb}) should split into 2 cycles"
+            );
+        }
+    }
+
+    #[test]
+    fn hamiltonicity_iff_equal_exhaustively_n4() {
+        for xb in 0..16u8 {
+            for yb in 0..16u8 {
+                let x: Vec<bool> = (0..4).map(|i| xb >> i & 1 == 1).collect();
+                let y: Vec<bool> = (0..4).map(|i| yb >> i & 1 == 1).collect();
+                let inst = gapeq_to_ham(&x, &y);
+                let sub = inst.full_subgraph();
+                assert_eq!(
+                    predicates::is_hamiltonian_cycle(inst.graph(), &sub),
+                    x == y,
+                    "x={x:?} y={y:?}"
+                );
+                assert_eq!(
+                    predicates::cycle_count_two_regular(inst.graph(), &sub),
+                    Ok(predicted_cycle_count(&x, &y)),
+                    "x={x:?} y={y:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hamming_distance_controls_cycle_count_on_random_inputs() {
+        use qdc_graph::generate::random_bits;
+        for seed in 0..8 {
+            let n = 60;
+            let x = random_bits(n, 300 + seed);
+            let mut y = x.clone();
+            // Plant exactly `seed + 1` mismatches.
+            for j in 0..(seed as usize + 1) {
+                y[7 * j % n] = !y[7 * j % n];
+            }
+            let d = x.iter().zip(&y).filter(|&(&a, &b)| a != b).count();
+            let inst = gapeq_to_ham(&x, &y);
+            assert_eq!(
+                predicates::cycle_count_two_regular(inst.graph(), &inst.full_subgraph()),
+                Ok(d + 1),
+                "seed {seed}, d {d}"
+            );
+            assert!(inst.both_sides_perfect_matchings());
+        }
+    }
+
+    #[test]
+    fn far_inputs_are_far_from_hamiltonian() {
+        // δ-farness: merging k disjoint cycles into one Hamiltonian cycle
+        // needs at least k edge additions; so cycle count certifies
+        // distance. With Δ = n (complement), cycles = n + 1.
+        let n = 20;
+        let x = vec![false; n];
+        let y = vec![true; n];
+        let inst = gapeq_to_ham(&x, &y);
+        assert_eq!(
+            predicates::cycle_count_two_regular(inst.graph(), &inst.full_subgraph()),
+            Ok(n + 1)
+        );
+    }
+
+    #[test]
+    fn david_edges_depend_only_on_y() {
+        let y = vec![true, false, true, true];
+        let a = gapeq_to_ham(&[false; 4], &y);
+        let b = gapeq_to_ham(&[true; 4], &y);
+        let ends = |inst: &TwoPartyGraphInstance| -> Vec<_> {
+            inst.david_edges()
+                .iter()
+                .map(|&e| inst.graph().endpoints(e))
+                .collect()
+        };
+        assert_eq!(ends(&a), ends(&b));
+    }
+}

@@ -1,0 +1,112 @@
+//! The Ham → spanning-tree reduction from the proof of Theorem 3.6.
+//!
+//! To verify that `M` is a Hamiltonian cycle using a spanning-tree
+//! verifier: first check every node has degree 2 in `M` (locally, O(D)
+//! rounds in the distributed setting); if so, `M` is a disjoint union of
+//! cycles, and deleting one arbitrary edge yields a spanning tree **iff**
+//! `M` was a single spanning cycle.
+
+use qdc_graph::{predicates, EdgeId, Graph, Subgraph};
+
+/// The outcome of the degree pre-check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DegreeCheck {
+    /// All degrees are 2; the reduced instance is `M` minus the named edge.
+    Reduced {
+        /// `M` with one edge removed.
+        reduced: Subgraph,
+        /// The removed edge.
+        removed: EdgeId,
+    },
+    /// Some node has degree ≠ 2, so `M` is certainly not a Hamiltonian
+    /// cycle (no spanning-tree query needed).
+    NotTwoRegular,
+}
+
+/// Performs the reduction: degree check, then delete one edge.
+///
+/// Returns [`DegreeCheck::NotTwoRegular`] if some node's `M`-degree is not
+/// 2 (including the edgeless case).
+pub fn ham_to_spanning_tree(host: &Graph, sub: &Subgraph) -> DegreeCheck {
+    if host.nodes().any(|u| sub.degree_in(host, u) != 2) {
+        return DegreeCheck::NotTwoRegular;
+    }
+    let removed = sub.edges().next().expect("2-regular subgraph has edges");
+    let mut reduced = sub.clone();
+    reduced.remove(removed);
+    DegreeCheck::Reduced { reduced, removed }
+}
+
+/// The full reduction-based verifier: decides Hamiltonicity using only a
+/// spanning-tree oracle (here the sequential predicate; in `qdc-algos`
+/// the same shape runs distributed).
+pub fn verify_ham_via_spanning_tree(host: &Graph, sub: &Subgraph) -> bool {
+    match ham_to_spanning_tree(host, sub) {
+        DegreeCheck::NotTwoRegular => false,
+        DegreeCheck::Reduced { reduced, .. } => predicates::is_spanning_tree(host, &reduced),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdc_graph::Graph;
+
+    #[test]
+    fn cycle_reduces_to_spanning_tree() {
+        let g = Graph::cycle(6);
+        let sub = g.full_subgraph();
+        match ham_to_spanning_tree(&g, &sub) {
+            DegreeCheck::Reduced { reduced, removed } => {
+                assert!(!reduced.contains(removed));
+                assert!(predicates::is_spanning_tree(&g, &reduced));
+            }
+            other => panic!("expected reduction, got {other:?}"),
+        }
+        assert!(verify_ham_via_spanning_tree(&g, &sub));
+    }
+
+    #[test]
+    fn two_cycles_fail_via_reduction() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
+        let sub = g.full_subgraph();
+        // Degrees are all 2, so the reduction proceeds — but the result is
+        // not a spanning tree (disconnected).
+        assert!(matches!(
+            ham_to_spanning_tree(&g, &sub),
+            DegreeCheck::Reduced { .. }
+        ));
+        assert!(!verify_ham_via_spanning_tree(&g, &sub));
+    }
+
+    #[test]
+    fn wrong_degrees_short_circuit() {
+        let g = Graph::path(4);
+        assert_eq!(
+            ham_to_spanning_tree(&g, &g.full_subgraph()),
+            DegreeCheck::NotTwoRegular
+        );
+        assert!(!verify_ham_via_spanning_tree(&g, &g.full_subgraph()));
+        assert_eq!(
+            ham_to_spanning_tree(&g, &g.empty_subgraph()),
+            DegreeCheck::NotTwoRegular
+        );
+    }
+
+    #[test]
+    fn agrees_with_direct_predicate_on_gadget_instances() {
+        use crate::ipmod3_to_ham;
+        use qdc_graph::generate::random_bits;
+        for seed in 0..6 {
+            let x = random_bits(30, 500 + seed);
+            let y = random_bits(30, 600 + seed);
+            let inst = ipmod3_to_ham(&x, &y);
+            let sub = inst.full_subgraph();
+            assert_eq!(
+                verify_ham_via_spanning_tree(inst.graph(), &sub),
+                predicates::is_hamiltonian_cycle(inst.graph(), &sub),
+                "seed {seed}"
+            );
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! The two-party graph instance type shared by all reductions.
+
+use qdc_graph::{EdgeId, Graph, NodeId, Subgraph};
+
+/// A graph whose edge set is partitioned between Carol and David
+/// (Definition 3.3: `E(G) = E_C(G) ⊎ E_D(G)`).
+#[derive(Clone, Debug)]
+pub struct TwoPartyGraphInstance {
+    graph: Graph,
+    carol_edges: Vec<EdgeId>,
+    david_edges: Vec<EdgeId>,
+}
+
+impl TwoPartyGraphInstance {
+    /// Bundles a graph with its edge partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two edge lists do not partition `E(G)` exactly.
+    pub fn new(graph: Graph, carol_edges: Vec<EdgeId>, david_edges: Vec<EdgeId>) -> Self {
+        let mut seen = vec![false; graph.edge_count()];
+        for &e in carol_edges.iter().chain(&david_edges) {
+            assert!(
+                !std::mem::replace(&mut seen[e.index()], true),
+                "edge {e:?} assigned twice"
+            );
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "every edge must belong to Carol or David"
+        );
+        TwoPartyGraphInstance {
+            graph,
+            carol_edges,
+            david_edges,
+        }
+    }
+
+    /// The underlying graph `G`.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Carol's edges `E_C(G)`.
+    pub fn carol_edges(&self) -> &[EdgeId] {
+        &self.carol_edges
+    }
+
+    /// David's edges `E_D(G)`.
+    pub fn david_edges(&self) -> &[EdgeId] {
+        &self.david_edges
+    }
+
+    /// The full edge set as a subgraph of `G` (for the verification
+    /// predicates, which test properties of `G` itself).
+    pub fn full_subgraph(&self) -> Subgraph {
+        self.graph.full_subgraph()
+    }
+
+    /// Whether a player's edge list is a perfect matching on `V(G)`.
+    ///
+    /// Definition 3.3 restricts Hamiltonian-cycle instances to the case
+    /// where both `E_C` and `E_D` are perfect matchings; the Quantum
+    /// Simulation Theorem's embedding (Section 8) relies on it.
+    pub fn is_perfect_matching(&self, edges: &[EdgeId]) -> bool {
+        let n = self.graph.node_count();
+        if !n.is_multiple_of(2) || edges.len() != n / 2 {
+            return false;
+        }
+        let mut covered = vec![false; n];
+        for &e in edges {
+            let (u, v) = self.graph.endpoints(e);
+            if covered[u.index()] || covered[v.index()] {
+                return false;
+            }
+            covered[u.index()] = true;
+            covered[v.index()] = true;
+        }
+        covered.iter().all(|&c| c)
+    }
+
+    /// Checks the Definition 3.3 matching restriction for both players.
+    pub fn both_sides_perfect_matchings(&self) -> bool {
+        self.is_perfect_matching(&self.carol_edges) && self.is_perfect_matching(&self.david_edges)
+    }
+
+    /// Degree of `v` in `G`.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.graph.degree(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdc_graph::Graph;
+
+    #[test]
+    fn partition_is_validated() {
+        let g = Graph::cycle(4);
+        let edges: Vec<EdgeId> = g.edges().collect();
+        let inst = TwoPartyGraphInstance::new(
+            g,
+            vec![edges[0], edges[2]],
+            vec![edges[1], edges[3]],
+        );
+        assert!(inst.both_sides_perfect_matchings());
+    }
+
+    #[test]
+    #[should_panic(expected = "assigned twice")]
+    fn double_assignment_rejected() {
+        let g = Graph::cycle(4);
+        let edges: Vec<EdgeId> = g.edges().collect();
+        TwoPartyGraphInstance::new(g, vec![edges[0], edges[1]], vec![edges[1]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "every edge")]
+    fn missing_edge_rejected() {
+        let g = Graph::cycle(4);
+        let edges: Vec<EdgeId> = g.edges().collect();
+        TwoPartyGraphInstance::new(g, vec![edges[0]], vec![edges[1]]);
+    }
+
+    #[test]
+    fn non_matching_detected() {
+        let g = Graph::path(4); // 3 edges: a path is not two matchings
+        let edges: Vec<EdgeId> = g.edges().collect();
+        let inst = TwoPartyGraphInstance::new(g, vec![edges[0], edges[1]], vec![edges[2]]);
+        assert!(!inst.is_perfect_matching(inst.carol_edges()));
+        assert!(!inst.both_sides_perfect_matchings());
+    }
+}

@@ -1,0 +1,216 @@
+//! The `IPmod3 → Ham` reduction (Section 7, Figures 4–6 and 12).
+//!
+//! Given `x, y ∈ {0,1}ⁿ`, we build a graph `G` on `12n` nodes out of `n`
+//! gadgets `G₁ … Gₙ` chained on shared 3-node boundary columns
+//! `v_i⁰, v_i¹, v_i²` (with the wrap-around identification
+//! `v_n^j = v_0^j`), such that:
+//!
+//! * **Observation 7.1**: each gadget consists of three disjoint paths
+//!   connecting `v_{i-1}^j` to `v_i^{σᵢ(j)}` where `σᵢ` is a cyclic shift
+//!   by `2·xᵢyᵢ (mod 3)`; Carol's edges form a matching covering all
+//!   gadget nodes except the right boundary, David's all except the left;
+//! * **Lemma 7.2**: the chain composes the shifts, so `v_0^j` is joined by
+//!   a path to `v_n^{(j + 2Σxᵢyᵢ) mod 3}`;
+//! * **Lemma C.3**: after the wrap-around, `G` is a Hamiltonian cycle iff
+//!   `Σᵢ xᵢyᵢ ≢ 0 (mod 3)` (a shift by 2s is nonzero iff `s ≢ 0` since 2
+//!   is invertible mod 3), and otherwise consists of exactly 3 cycles;
+//!   both players' edge sets are perfect matchings of `G`.
+//!
+//! The paper's gadget realizes a shift by `xᵢyᵢ`; ours realizes `2·xᵢyᵢ`
+//! via the commutator-style wiring `(β^y α^x)²` with transpositions
+//! `α = (0 1)`, `β = (0 2)` — an equivalent relabeling with the same
+//! Hamiltonicity criterion.
+
+use crate::instance::TwoPartyGraphInstance;
+use qdc_graph::{GraphBuilder, NodeId};
+
+/// Nodes of `G` per input bit: 3 boundary + 9 internal.
+pub const NODES_PER_INPUT_BIT: usize = 12;
+
+/// The transposition `α = (0 1)` (applied when `xᵢ = 1`).
+fn alpha(apply: bool, j: usize) -> usize {
+    if apply {
+        [1, 0, 2][j]
+    } else {
+        j
+    }
+}
+
+/// The transposition `β = (0 2)` (applied when `yᵢ = 1`).
+fn beta(apply: bool, j: usize) -> usize {
+    if apply {
+        [2, 1, 0][j]
+    } else {
+        j
+    }
+}
+
+/// The per-gadget track permutation `σ = (β^y α^x)²`: a cyclic shift by
+/// `2·x·y (mod 3)`.
+pub fn gadget_permutation(x: bool, y: bool) -> [usize; 3] {
+    let mut sigma = [0usize; 3];
+    for (j, out) in sigma.iter_mut().enumerate() {
+        let mut t = j;
+        for _ in 0..2 {
+            t = beta(y, alpha(x, t));
+        }
+        *out = t;
+    }
+    sigma
+}
+
+/// Builds the `IPmod3 → Ham` instance for inputs `x, y`.
+///
+/// Carol's edges depend only on `x`, David's only on `y` (each player can
+/// construct their side without communication — the crux of the
+/// reduction).
+///
+/// # Panics
+///
+/// Panics if `x` and `y` have different lengths or are empty.
+pub fn ipmod3_to_ham(x: &[bool], y: &[bool]) -> TwoPartyGraphInstance {
+    assert_eq!(x.len(), y.len(), "inputs must have equal length");
+    let n = x.len();
+    assert!(n >= 1, "need at least one input bit");
+
+    let mut b = GraphBuilder::new(NODES_PER_INPUT_BIT * n);
+    // Boundary column `c` (0..n), wrapping: node (c mod n)*3 + j.
+    let boundary = |c: usize, j: usize| NodeId::from((c % n) * 3 + j);
+    // Internal stage s ∈ {0 = P, 1 = Q, 2 = S} of gadget i, track j.
+    let internal = |i: usize, s: usize, j: usize| NodeId::from(3 * n + 9 * i + 3 * s + j);
+
+    let mut carol = Vec::with_capacity(6 * n);
+    let mut david = Vec::with_capacity(6 * n);
+    for i in 0..n {
+        for j in 0..3 {
+            // Carol: L_j — P_{α^x(j)} and Q_j — S_{α^x(j)}.
+            carol.push(b.add_edge(boundary(i, j), internal(i, 0, alpha(x[i], j))));
+            carol.push(b.add_edge(internal(i, 1, j), internal(i, 2, alpha(x[i], j))));
+            // David: P_j — Q_{β^y(j)} and S_j — R_{β^y(j)}.
+            david.push(b.add_edge(internal(i, 0, j), internal(i, 1, beta(y[i], j))));
+            david.push(b.add_edge(internal(i, 2, j), boundary(i + 1, beta(y[i], j))));
+        }
+    }
+    TwoPartyGraphInstance::new(b.build(), carol, david)
+}
+
+/// The number of cycles `G` decomposes into: 1 if `Σ xᵢyᵢ ≢ 0 (mod 3)`
+/// (Hamiltonian), 3 otherwise (Lemma C.3 / Figure 12).
+pub fn predicted_cycle_count(x: &[bool], y: &[bool]) -> usize {
+    let s = x.iter().zip(y).filter(|&(&a, &b)| a && b).count();
+    if s % 3 == 0 {
+        3
+    } else {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdc_graph::predicates;
+
+    #[test]
+    fn gadget_permutation_is_shift_by_2xy() {
+        assert_eq!(gadget_permutation(false, false), [0, 1, 2]);
+        assert_eq!(gadget_permutation(true, false), [0, 1, 2]);
+        assert_eq!(gadget_permutation(false, true), [0, 1, 2]);
+        assert_eq!(gadget_permutation(true, true), [2, 0, 1]); // j → j+2 mod 3
+    }
+
+    #[test]
+    fn union_is_two_regular_and_matchings_are_perfect() {
+        for bits in 0..16u8 {
+            let x = vec![bits & 1 == 1, bits & 2 == 2];
+            let y = vec![bits & 4 == 4, bits & 8 == 8];
+            let inst = ipmod3_to_ham(&x, &y);
+            let g = inst.graph();
+            assert_eq!(g.node_count(), 24);
+            assert_eq!(g.edge_count(), 24);
+            for v in g.nodes() {
+                assert_eq!(g.degree(v), 2, "node {v} in case {bits:04b}");
+            }
+            assert!(inst.both_sides_perfect_matchings(), "case {bits:04b}");
+        }
+    }
+
+    #[test]
+    fn hamiltonicity_matches_residue_exhaustively_n3() {
+        // All 64 input pairs for n = 3.
+        for xb in 0..8u8 {
+            for yb in 0..8u8 {
+                let x: Vec<bool> = (0..3).map(|i| xb >> i & 1 == 1).collect();
+                let y: Vec<bool> = (0..3).map(|i| yb >> i & 1 == 1).collect();
+                let inst = ipmod3_to_ham(&x, &y);
+                let sub = inst.full_subgraph();
+                let s: usize = x.iter().zip(&y).filter(|&(&a, &b)| a && b).count();
+                let expect_ham = !s.is_multiple_of(3);
+                assert_eq!(
+                    predicates::is_hamiltonian_cycle(inst.graph(), &sub),
+                    expect_ham,
+                    "x={x:?} y={y:?} s={s}"
+                );
+                assert_eq!(
+                    predicates::cycle_count_two_regular(inst.graph(), &sub),
+                    Ok(predicted_cycle_count(&x, &y)),
+                    "x={x:?} y={y:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn large_random_instances_match_residue() {
+        use qdc_graph::generate::{random_bits, rng};
+        use rand::Rng;
+        let mut r = rng(42);
+        for trial in 0..10 {
+            let n = 50 + r.gen_range(0..100);
+            let x = random_bits(n, 100 + trial);
+            let y = random_bits(n, 200 + trial);
+            let inst = ipmod3_to_ham(&x, &y);
+            let sub = inst.full_subgraph();
+            let s: usize = x.iter().zip(&y).filter(|&(&a, &b)| a && b).count();
+            assert_eq!(
+                predicates::is_hamiltonian_cycle(inst.graph(), &sub),
+                !s.is_multiple_of(3),
+                "n={n}, s={s}"
+            );
+            assert!(inst.both_sides_perfect_matchings());
+        }
+    }
+
+    #[test]
+    fn single_bit_instances() {
+        // n = 1: x·y = 1 gives shift 2 ≠ 0 → Hamiltonian 12-cycle.
+        let inst = ipmod3_to_ham(&[true], &[true]);
+        assert!(predicates::is_hamiltonian_cycle(inst.graph(), &inst.full_subgraph()));
+        // x·y = 0 → three 4-cycles.
+        let inst0 = ipmod3_to_ham(&[true], &[false]);
+        assert_eq!(
+            predicates::cycle_count_two_regular(inst0.graph(), &inst0.full_subgraph()),
+            Ok(3)
+        );
+    }
+
+    #[test]
+    fn carol_edges_depend_only_on_x() {
+        let x = vec![true, false, true];
+        let a = ipmod3_to_ham(&x, &[false, false, false]);
+        let b = ipmod3_to_ham(&x, &[true, true, true]);
+        // Same Carol endpoints in both instances.
+        let ends = |inst: &TwoPartyGraphInstance| -> Vec<_> {
+            inst.carol_edges()
+                .iter()
+                .map(|&e| inst.graph().endpoints(e))
+                .collect()
+        };
+        assert_eq!(ends(&a), ends(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_rejected() {
+        ipmod3_to_ham(&[true], &[true, false]);
+    }
+}

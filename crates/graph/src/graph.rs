@@ -1,0 +1,434 @@
+//! Core undirected graph representation.
+
+use std::fmt;
+
+/// Identifier of a node in a [`Graph`].
+///
+/// Node ids are dense indices `0..n`; the newtype keeps them from being
+/// confused with edge ids or plain counters.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(v: usize) -> Self {
+        NodeId(u32::try_from(v).expect("node index exceeds u32::MAX"))
+    }
+}
+
+/// Identifier of an undirected edge in a [`Graph`].
+///
+/// Edge ids are dense indices `0..m` in insertion order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct EdgeId(pub u32);
+
+impl EdgeId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl From<usize> for EdgeId {
+    fn from(v: usize) -> Self {
+        EdgeId(u32::try_from(v).expect("edge index exceeds u32::MAX"))
+    }
+}
+
+/// An undirected simple graph with dense node and edge ids.
+///
+/// Nodes are `0..n`; parallel edges and self-loops are rejected at
+/// construction time. The adjacency structure is immutable after building
+/// (use [`GraphBuilder`] or the convenience constructors); this mirrors the
+/// paper's setting where the network `N` is fixed and only the *subnetwork*
+/// `M` (a [`crate::Subgraph`]) varies.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    n: usize,
+    /// Endpoints of edge `e`, with `endpoints[e].0 < endpoints[e].1`.
+    endpoints: Vec<(NodeId, NodeId)>,
+    /// For each node, the incident `(edge, other endpoint)` pairs.
+    adj: Vec<Vec<(EdgeId, NodeId)>>,
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Graph")
+            .field("n", &self.n)
+            .field("m", &self.endpoints.len())
+            .finish()
+    }
+}
+
+impl Graph {
+    /// Creates a graph with `n` nodes and the given undirected edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge is a self-loop, references a node `>= n`, or is a
+    /// duplicate of an earlier edge.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        let mut b = GraphBuilder::new(n);
+        for &(u, v) in edges {
+            b.add_edge(NodeId(u), NodeId(v));
+        }
+        b.build()
+    }
+
+    /// Creates the empty graph on `n` nodes.
+    pub fn empty(n: usize) -> Self {
+        GraphBuilder::new(n).build()
+    }
+
+    /// Creates the path graph `v0 - v1 - … - v(n-1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn path(n: usize) -> Self {
+        assert!(n > 0, "path graph needs at least one node");
+        let mut b = GraphBuilder::new(n);
+        for i in 1..n {
+            b.add_edge(NodeId((i - 1) as u32), NodeId(i as u32));
+        }
+        b.build()
+    }
+
+    /// Creates the cycle graph on `n >= 3` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3`.
+    pub fn cycle(n: usize) -> Self {
+        assert!(n >= 3, "cycle graph needs at least three nodes");
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n {
+            b.add_edge(NodeId(i as u32), NodeId(((i + 1) % n) as u32));
+        }
+        b.build()
+    }
+
+    /// Creates the complete graph on `n` nodes.
+    pub fn complete(n: usize) -> Self {
+        let mut b = GraphBuilder::new(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                b.add_edge(NodeId(u as u32), NodeId(v as u32));
+            }
+        }
+        b.build()
+    }
+
+    /// Creates the star graph with center `0` and `n - 1` leaves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn star(n: usize) -> Self {
+        assert!(n > 0, "star graph needs at least one node");
+        let mut b = GraphBuilder::new(n);
+        for v in 1..n {
+            b.add_edge(NodeId(0), NodeId(v as u32));
+        }
+        b.build()
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Iterates over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.n as u32).map(NodeId)
+    }
+
+    /// Iterates over all edge ids.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.endpoints.len() as u32).map(EdgeId)
+    }
+
+    /// Endpoints `(u, v)` of edge `e`, with `u < v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    #[inline]
+    pub fn endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        self.endpoints[e.index()]
+    }
+
+    /// The endpoint of `e` that is not `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is not an endpoint of `e`.
+    pub fn other_endpoint(&self, e: EdgeId, u: NodeId) -> NodeId {
+        let (a, b) = self.endpoints(e);
+        if a == u {
+            b
+        } else {
+            assert_eq!(b, u, "{u} is not an endpoint of {e:?}");
+            a
+        }
+    }
+
+    /// Incident `(edge, neighbor)` pairs of `u`.
+    #[inline]
+    pub fn incident(&self, u: NodeId) -> &[(EdgeId, NodeId)] {
+        &self.adj[u.index()]
+    }
+
+    /// Neighbors of `u`.
+    pub fn neighbors(&self, u: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.adj[u.index()].iter().map(|&(_, v)| v)
+    }
+
+    /// Degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.adj[u.index()].len()
+    }
+
+    /// Looks up the edge between `u` and `v`, if present.
+    pub fn find_edge(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        let (small, other) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.adj[small.index()]
+            .iter()
+            .find(|&&(_, w)| w == other)
+            .map(|&(e, _)| e)
+    }
+
+    /// Whether `u` and `v` are adjacent.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.find_edge(u, v).is_some()
+    }
+
+    /// A [`crate::Subgraph`] containing every edge of this graph.
+    pub fn full_subgraph(&self) -> crate::Subgraph {
+        crate::Subgraph::full(self)
+    }
+
+    /// A [`crate::Subgraph`] containing no edges.
+    pub fn empty_subgraph(&self) -> crate::Subgraph {
+        crate::Subgraph::empty(self)
+    }
+}
+
+/// Incremental builder for [`Graph`].
+///
+/// # Example
+///
+/// ```
+/// use qdc_graph::{GraphBuilder, NodeId};
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(NodeId(0), NodeId(1));
+/// b.add_edge(NodeId(1), NodeId(2));
+/// let g = b.build();
+/// assert_eq!(g.edge_count(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    n: usize,
+    endpoints: Vec<(NodeId, NodeId)>,
+    adj: Vec<Vec<(EdgeId, NodeId)>>,
+}
+
+impl GraphBuilder {
+    /// Starts a builder for a graph on `n` nodes.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            n,
+            endpoints: Vec::new(),
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Adds the undirected edge `{u, v}` and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops, out-of-range endpoints, or duplicate edges.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> EdgeId {
+        assert!(u != v, "self-loop at {u}");
+        assert!(
+            u.index() < self.n && v.index() < self.n,
+            "edge ({u}, {v}) out of range for n = {}",
+            self.n
+        );
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        assert!(
+            !self.adj[a.index()].iter().any(|&(_, w)| w == b),
+            "duplicate edge ({a}, {b})"
+        );
+        let e = EdgeId::from(self.endpoints.len());
+        self.endpoints.push((a, b));
+        self.adj[a.index()].push((e, b));
+        self.adj[b.index()].push((e, a));
+        e
+    }
+
+    /// Adds the edge `{u, v}` if absent; returns its id either way.
+    pub fn add_edge_if_absent(&mut self, u: NodeId, v: NodeId) -> EdgeId {
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        if let Some(&(e, _)) = self.adj[a.index()].iter().find(|&&(_, w)| w == b) {
+            e
+        } else {
+            self.add_edge(u, v)
+        }
+    }
+
+    /// Number of edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Finalizes the builder into an immutable [`Graph`].
+    pub fn build(self) -> Graph {
+        Graph {
+            n: self.n,
+            endpoints: self.endpoints,
+            adj: self.adj,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_graph_shape() {
+        let g = Graph::path(5);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.degree(NodeId(0)), 1);
+        assert_eq!(g.degree(NodeId(2)), 2);
+        assert_eq!(g.degree(NodeId(4)), 1);
+    }
+
+    #[test]
+    fn cycle_graph_is_two_regular() {
+        let g = Graph::cycle(7);
+        assert_eq!(g.edge_count(), 7);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn complete_graph_edge_count() {
+        let g = Graph::complete(6);
+        assert_eq!(g.edge_count(), 15);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 5);
+        }
+    }
+
+    #[test]
+    fn star_graph_degrees() {
+        let g = Graph::star(5);
+        assert_eq!(g.degree(NodeId(0)), 4);
+        for v in 1..5 {
+            assert_eq!(g.degree(NodeId(v)), 1);
+        }
+    }
+
+    #[test]
+    fn find_edge_and_endpoints() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 1), (3, 0)]);
+        let e = g.find_edge(NodeId(1), NodeId(2)).unwrap();
+        assert_eq!(g.endpoints(e), (NodeId(1), NodeId(2)));
+        assert_eq!(g.other_endpoint(e, NodeId(1)), NodeId(2));
+        assert_eq!(g.other_endpoint(e, NodeId(2)), NodeId(1));
+        assert!(g.has_edge(NodeId(0), NodeId(3)));
+        assert!(!g.has_edge(NodeId(2), NodeId(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loop() {
+        Graph::from_edges(2, &[(1, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge")]
+    fn rejects_duplicate_edge() {
+        Graph::from_edges(3, &[(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        Graph::from_edges(2, &[(0, 2)]);
+    }
+
+    #[test]
+    fn add_edge_if_absent_dedups() {
+        let mut b = GraphBuilder::new(3);
+        let e1 = b.add_edge_if_absent(NodeId(0), NodeId(1));
+        let e2 = b.add_edge_if_absent(NodeId(1), NodeId(0));
+        assert_eq!(e1, e2);
+        assert_eq!(b.edge_count(), 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(4);
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.nodes().count(), 4);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn node_id_display_and_index() {
+        assert_eq!(NodeId(3).to_string(), "v3");
+        assert_eq!(NodeId::from(7usize).index(), 7);
+        assert_eq!(format!("{:?}", EdgeId(2)), "e2");
+    }
+}

@@ -1,0 +1,146 @@
+//! Least-element lists (Cohen) and their verification, per Appendix A.2.
+//!
+//! Given distinct integer ranks `r(v)` on the nodes of a weighted graph,
+//! node `v` is a **least element** of `u` if `v` has the lowest rank among
+//! all nodes within weighted distance `d(u, v)` of `u`. The LE-list of `u`
+//! is `{(v, d(u, v)) : v is a least element of u}`. The paper's
+//! least-element-list *verification* problem hands a node `u` a candidate
+//! set `S` and asks whether `S` is exactly `u`'s LE-list.
+
+use crate::{algorithms, EdgeWeights, Graph, NodeId};
+
+/// One entry of a least-element list: a node and its weighted distance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LeEntry {
+    /// Weighted distance from the querying node.
+    pub distance: u64,
+    /// The least element at this distance scale.
+    pub node: NodeId,
+}
+
+/// Computes the least-element list of `u` under `ranks`.
+///
+/// The list is returned sorted by increasing distance; ranks along it are
+/// strictly decreasing (the defining property).
+///
+/// # Panics
+///
+/// Panics if `ranks.len() != host.node_count()` or ranks are not distinct.
+pub fn le_list(host: &Graph, weights: &EdgeWeights, ranks: &[u64], u: NodeId) -> Vec<LeEntry> {
+    assert_eq!(ranks.len(), host.node_count(), "one rank per node required");
+    {
+        let mut sorted: Vec<u64> = ranks.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ranks.len(), "ranks must be distinct");
+    }
+    let dist = algorithms::dijkstra(host, weights, u);
+    // Order reachable nodes by distance, tie-break by rank so that at equal
+    // distance only the lowest rank can qualify.
+    let mut order: Vec<NodeId> = host
+        .nodes()
+        .filter(|v| dist[v.index()] != algorithms::UNREACHABLE)
+        .collect();
+    order.sort_by_key(|v| (dist[v.index()], ranks[v.index()]));
+    let mut out = Vec::new();
+    let mut best_rank = u64::MAX;
+    for v in order {
+        if ranks[v.index()] < best_rank {
+            best_rank = ranks[v.index()];
+            out.push(LeEntry {
+                distance: dist[v.index()],
+                node: v,
+            });
+        }
+    }
+    out
+}
+
+/// **Least-element list verification**: is `candidate` exactly the LE-list
+/// of `u`? Order-insensitive.
+pub fn verify_le_list(
+    host: &Graph,
+    weights: &EdgeWeights,
+    ranks: &[u64],
+    u: NodeId,
+    candidate: &[LeEntry],
+) -> bool {
+    let mut truth = le_list(host, weights, ranks, u);
+    let mut cand = candidate.to_vec();
+    truth.sort();
+    cand.sort();
+    truth == cand
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EdgeWeights, Graph};
+
+    #[test]
+    fn le_list_on_path() {
+        // Path 0-1-2-3 with unit weights; ranks decreasing along the path.
+        let g = Graph::path(4);
+        let w = EdgeWeights::uniform(&g);
+        let ranks = vec![30, 20, 10, 0];
+        let l = le_list(&g, &w, &ranks, NodeId(0));
+        // From node 0: itself (rank 30, d 0), then node 1 (rank 20, d 1),
+        // node 2 (rank 10, d 2), node 3 (rank 0, d 3).
+        assert_eq!(l.len(), 4);
+        assert_eq!(l[0], LeEntry { distance: 0, node: NodeId(0) });
+        assert_eq!(l[3], LeEntry { distance: 3, node: NodeId(3) });
+    }
+
+    #[test]
+    fn le_list_stops_at_global_minimum() {
+        let g = Graph::path(4);
+        let w = EdgeWeights::uniform(&g);
+        // Node 1 has globally lowest rank; beyond it nothing qualifies.
+        let ranks = vec![5, 0, 7, 9];
+        let l = le_list(&g, &w, &ranks, NodeId(0));
+        assert_eq!(l.len(), 2);
+        assert_eq!(l[1].node, NodeId(1));
+    }
+
+    #[test]
+    fn ranks_strictly_decrease_along_list() {
+        let g = crate::generate::random_connected(20, 15, 11);
+        let w = crate::generate::random_weights(&g, 9, 12);
+        let ranks: Vec<u64> = (0..20).map(|i| (i * 7919 + 13) % 10007).collect();
+        for u in g.nodes() {
+            let l = le_list(&g, &w, &ranks, u);
+            for pair in l.windows(2) {
+                assert!(pair[0].distance <= pair[1].distance);
+                assert!(ranks[pair[0].node.index()] > ranks[pair[1].node.index()]);
+            }
+            // First entry is u itself at distance zero... unless a
+            // lower-ranked node is also at distance zero (impossible:
+            // positive weights), so it is u.
+            assert_eq!(l[0].node, u);
+            assert_eq!(l[0].distance, 0);
+        }
+    }
+
+    #[test]
+    fn verification_accepts_truth_and_rejects_corruption() {
+        let g = Graph::cycle(5);
+        let w = EdgeWeights::uniform(&g);
+        let ranks = vec![4, 3, 2, 1, 0];
+        let truth = le_list(&g, &w, &ranks, NodeId(0));
+        assert!(verify_le_list(&g, &w, &ranks, NodeId(0), &truth));
+        let mut bad = truth.clone();
+        bad.pop();
+        assert!(!verify_le_list(&g, &w, &ranks, NodeId(0), &bad));
+        let mut tampered = truth.clone();
+        tampered[0].distance += 1;
+        assert!(!verify_le_list(&g, &w, &ranks, NodeId(0), &tampered));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn duplicate_ranks_rejected() {
+        let g = Graph::path(3);
+        let w = EdgeWeights::uniform(&g);
+        le_list(&g, &w, &[1, 1, 2], NodeId(0));
+    }
+}

@@ -1,0 +1,428 @@
+//! Sequential verification predicates: every problem of Appendix A.2.
+//!
+//! These are the ground-truth oracles. Distributed verification algorithms
+//! (in `qdc-algos`) and the gadget reductions (in `qdc-gadgets`) are tested
+//! against them. Each predicate takes the host graph `N` and the subnetwork
+//! `M` as a [`Subgraph`], exactly mirroring the paper's problem statements.
+
+use crate::{DisjointSets, EdgeId, Graph, NodeId, Subgraph};
+
+/// Labels each node with the id of its connected component **in `sub`**,
+/// counting isolated nodes as singleton components.
+///
+/// Returns `(labels, component_count)` with labels in `0..component_count`.
+pub fn components(host: &Graph, sub: &Subgraph) -> (Vec<usize>, usize) {
+    let n = host.node_count();
+    let mut label = vec![usize::MAX; n];
+    let mut next = 0usize;
+    let mut stack = Vec::new();
+    for start in host.nodes() {
+        if label[start.index()] != usize::MAX {
+            continue;
+        }
+        label[start.index()] = next;
+        stack.push(start);
+        while let Some(u) = stack.pop() {
+            for &(e, v) in host.incident(u) {
+                if sub.contains(e) && label[v.index()] == usize::MAX {
+                    label[v.index()] = next;
+                    stack.push(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    (label, next)
+}
+
+/// Number of connected components of `sub` over **all** host nodes
+/// (isolated nodes are singleton components).
+pub fn component_count(host: &Graph, sub: &Subgraph) -> usize {
+    components(host, sub).1
+}
+
+/// **Connected spanning subgraph verification** (Appendix A.2): `M` is
+/// connected and every node of `N` is incident to an edge of `M`.
+pub fn is_spanning_connected_subgraph(host: &Graph, sub: &Subgraph) -> bool {
+    if host.node_count() <= 1 {
+        return true;
+    }
+    component_count(host, sub) == 1
+}
+
+/// **Connectivity verification**: whether `M` is connected.
+///
+/// Isolated nodes (incident to no `M`-edge) are ignored, i.e. this asks
+/// whether all `M`-edges lie in one component; an edgeless `M` counts as
+/// connected. Use [`is_spanning_connected_subgraph`] for the spanning
+/// variant.
+pub fn is_connected(host: &Graph, sub: &Subgraph) -> bool {
+    let (labels, _) = components(host, sub);
+    let mut touched = None;
+    for e in sub.edges() {
+        let (u, _) = host.endpoints(e);
+        match touched {
+            None => touched = Some(labels[u.index()]),
+            Some(c) if c != labels[u.index()] => return false,
+            _ => {}
+        }
+    }
+    true
+}
+
+/// Minimum number of edges (from anywhere) whose addition makes `M` a
+/// connected spanning subgraph: `component_count - 1`.
+///
+/// `M` is **δ-far from connected** in the paper's sense (Section 2.2) iff
+/// this value is at least δ.
+pub fn distance_from_spanning_connected(host: &Graph, sub: &Subgraph) -> usize {
+    component_count(host, sub).saturating_sub(1)
+}
+
+/// **Cycle containment verification**: whether `M` contains a cycle.
+pub fn contains_cycle(host: &Graph, sub: &Subgraph) -> bool {
+    let mut dsu = DisjointSets::new(host.node_count());
+    for e in sub.edges() {
+        let (u, v) = host.endpoints(e);
+        if !dsu.union(u.index(), v.index()) {
+            return true;
+        }
+    }
+    false
+}
+
+/// **e-cycle containment verification**: whether `M` contains a cycle
+/// through the edge `e`.
+///
+/// This holds iff `e ∈ M` and the endpoints of `e` remain connected in
+/// `M − e`.
+pub fn contains_cycle_through(host: &Graph, sub: &Subgraph, e: EdgeId) -> bool {
+    if !sub.contains(e) {
+        return false;
+    }
+    let (u, v) = host.endpoints(e);
+    let mut without = sub.clone();
+    without.remove(e);
+    st_connected(host, &without, u, v)
+}
+
+/// **s-t connectivity verification**: whether `s` and `t` lie in the same
+/// component of `M`.
+pub fn st_connected(host: &Graph, sub: &Subgraph, s: NodeId, t: NodeId) -> bool {
+    let (labels, _) = components(host, sub);
+    labels[s.index()] == labels[t.index()]
+}
+
+/// **Bipartiteness verification**: whether `M` is bipartite.
+pub fn is_bipartite(host: &Graph, sub: &Subgraph) -> bool {
+    let n = host.node_count();
+    let mut color = vec![u8::MAX; n];
+    let mut stack = Vec::new();
+    for start in host.nodes() {
+        if color[start.index()] != u8::MAX {
+            continue;
+        }
+        color[start.index()] = 0;
+        stack.push(start);
+        while let Some(u) = stack.pop() {
+            for &(e, v) in host.incident(u) {
+                if !sub.contains(e) {
+                    continue;
+                }
+                if color[v.index()] == u8::MAX {
+                    color[v.index()] = 1 - color[u.index()];
+                    stack.push(v);
+                } else if color[v.index()] == color[u.index()] {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// **Cut verification**: whether removing the edges of `M` disconnects `N`.
+///
+/// Edge case: if `N` is already disconnected, every `M` is a cut.
+pub fn is_cut(host: &Graph, sub: &Subgraph) -> bool {
+    component_count(host, &sub.complement()) > 1
+}
+
+/// **s-t cut verification**: whether removing the edges of `M` from `N`
+/// separates `s` from `t`.
+pub fn is_st_cut(host: &Graph, sub: &Subgraph, s: NodeId, t: NodeId) -> bool {
+    !st_connected(host, &sub.complement(), s, t)
+}
+
+/// **Edge on all paths verification**: whether `e` lies on every `u`–`v`
+/// path in `M` (i.e. `e` is a `u`-`v` cut in `M`).
+///
+/// If `u` and `v` are disconnected in `M` the answer is vacuously `true`
+/// (there are no paths), matching the cut formulation of Appendix A.2.
+pub fn edge_on_all_paths(host: &Graph, sub: &Subgraph, u: NodeId, v: NodeId, e: EdgeId) -> bool {
+    let mut without = sub.clone();
+    without.remove(e);
+    !st_connected(host, &without, u, v)
+}
+
+/// **Hamiltonian cycle verification**: whether `M` is a simple cycle of
+/// length `n` (Appendix A.2). Requires `n >= 3`.
+pub fn is_hamiltonian_cycle(host: &Graph, sub: &Subgraph) -> bool {
+    let n = host.node_count();
+    if n < 3 || sub.edge_count() != n {
+        return false;
+    }
+    if host.nodes().any(|u| sub.degree_in(host, u) != 2) {
+        return false;
+    }
+    component_count(host, sub) == 1
+}
+
+/// **Spanning tree verification**: whether `M` is a tree spanning `N`.
+pub fn is_spanning_tree(host: &Graph, sub: &Subgraph) -> bool {
+    let n = host.node_count();
+    if n == 0 {
+        return true;
+    }
+    sub.edge_count() == n - 1 && component_count(host, sub) == 1
+}
+
+/// **Simple path verification**: all nodes have degree 0 or 2 in `M`
+/// except exactly two nodes of degree 1, and `M` is acyclic (Appendix A.2).
+pub fn is_simple_path(host: &Graph, sub: &Subgraph) -> bool {
+    let mut deg1 = 0usize;
+    for u in host.nodes() {
+        match sub.degree_in(host, u) {
+            0 | 2 => {}
+            1 => deg1 += 1,
+            _ => return false,
+        }
+    }
+    if deg1 != 2 {
+        return false;
+    }
+    if contains_cycle(host, sub) {
+        return false;
+    }
+    // Degree conditions + acyclicity still allow a path plus separate
+    // degree-2 cycles; acyclicity already excludes those, but a path plus a
+    // second path would need four degree-1 nodes, so one path remains.
+    true
+}
+
+/// Decomposes a subgraph in which every node has degree 0 or 2 into its
+/// cycles, returning the number of cycles.
+///
+/// This is the quantity behind Observation 8.1 ("the number of cycles in
+/// `G` equals the number of cycles in `M`") and the δ-far analysis of the
+/// Gap-Eq → Ham reduction.
+///
+/// # Errors
+///
+/// Returns `Err(node)` naming an offending node if some node has degree
+/// other than 0 or 2.
+pub fn cycle_count_two_regular(host: &Graph, sub: &Subgraph) -> Result<usize, NodeId> {
+    for u in host.nodes() {
+        let d = sub.degree_in(host, u);
+        if d != 0 && d != 2 {
+            return Err(u);
+        }
+    }
+    let (labels, count) = components(host, sub);
+    // Each component containing an edge is a cycle; isolated nodes are not.
+    let mut has_edge = vec![false; count];
+    for e in sub.edges() {
+        let (u, _) = host.endpoints(e);
+        has_edge[labels[u.index()]] = true;
+    }
+    Ok(has_edge.iter().filter(|&&b| b).count())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+
+    fn cyc(n: usize) -> (Graph, Subgraph) {
+        let g = Graph::cycle(n);
+        let s = g.full_subgraph();
+        (g, s)
+    }
+
+    #[test]
+    fn hamiltonian_cycle_positive_and_negative() {
+        let (g, s) = cyc(6);
+        assert!(is_hamiltonian_cycle(&g, &s));
+        let mut broken = s.clone();
+        broken.remove(EdgeId(0));
+        assert!(!is_hamiltonian_cycle(&g, &broken));
+    }
+
+    #[test]
+    fn two_disjoint_triangles_are_not_hamiltonian() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
+        let s = g.full_subgraph();
+        assert!(!is_hamiltonian_cycle(&g, &s));
+        assert_eq!(cycle_count_two_regular(&g, &s), Ok(2));
+    }
+
+    #[test]
+    fn spanning_tree_checks() {
+        let g = Graph::complete(5);
+        let star = Subgraph::from_endpoint_pairs(
+            &g,
+            &[
+                (NodeId(0), NodeId(1)),
+                (NodeId(0), NodeId(2)),
+                (NodeId(0), NodeId(3)),
+                (NodeId(0), NodeId(4)),
+            ],
+        );
+        assert!(is_spanning_tree(&g, &star));
+        assert!(!is_spanning_tree(&g, &g.full_subgraph()));
+        assert!(!is_spanning_tree(&g, &g.empty_subgraph()));
+    }
+
+    #[test]
+    fn component_counting_with_isolated_nodes() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]);
+        let mut s = g.full_subgraph();
+        assert_eq!(component_count(&g, &s), 2);
+        s.remove(g.find_edge(NodeId(3), NodeId(4)).unwrap());
+        assert_eq!(component_count(&g, &s), 3);
+        assert_eq!(distance_from_spanning_connected(&g, &s), 2);
+    }
+
+    #[test]
+    fn connectivity_ignores_isolated_nodes() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let mut s = g.full_subgraph();
+        s.remove(g.find_edge(NodeId(2), NodeId(3)).unwrap());
+        // Only edge (0,1) participates; node 2 and 3 are isolated.
+        assert!(is_connected(&g, &s));
+        assert!(!is_spanning_connected_subgraph(&g, &s));
+    }
+
+    #[test]
+    fn disconnected_edges_fail_connectivity() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let s = g.full_subgraph();
+        assert!(!is_connected(&g, &s));
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let g = Graph::cycle(4);
+        assert!(contains_cycle(&g, &g.full_subgraph()));
+        let mut s = g.full_subgraph();
+        s.remove(EdgeId(2));
+        assert!(!contains_cycle(&g, &s));
+    }
+
+    #[test]
+    fn e_cycle_containment() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let s = g.full_subgraph();
+        let in_cycle = g.find_edge(NodeId(0), NodeId(1)).unwrap();
+        let pendant = g.find_edge(NodeId(2), NodeId(3)).unwrap();
+        assert!(contains_cycle_through(&g, &s, in_cycle));
+        assert!(!contains_cycle_through(&g, &s, pendant));
+        let mut without = s.clone();
+        without.remove(in_cycle);
+        assert!(!contains_cycle_through(&g, &without, in_cycle));
+    }
+
+    #[test]
+    fn bipartiteness() {
+        let even = Graph::cycle(4);
+        assert!(is_bipartite(&even, &even.full_subgraph()));
+        let odd = Graph::cycle(5);
+        assert!(!is_bipartite(&odd, &odd.full_subgraph()));
+        // Removing one edge of an odd cycle makes it an (even) path.
+        let mut s = odd.full_subgraph();
+        s.remove(EdgeId(0));
+        assert!(is_bipartite(&odd, &s));
+    }
+
+    #[test]
+    fn st_connectivity() {
+        let g = Graph::path(4);
+        let s = g.full_subgraph();
+        assert!(st_connected(&g, &s, NodeId(0), NodeId(3)));
+        let mut cut = s.clone();
+        cut.remove(EdgeId(1));
+        assert!(!st_connected(&g, &cut, NodeId(0), NodeId(3)));
+        assert!(st_connected(&g, &cut, NodeId(2), NodeId(3)));
+    }
+
+    #[test]
+    fn cut_verification() {
+        let g = Graph::cycle(4);
+        // Two opposite edges form a cut of the 4-cycle.
+        let m = Subgraph::from_endpoint_pairs(&g, &[(NodeId(0), NodeId(1)), (NodeId(2), NodeId(3))]);
+        assert!(is_cut(&g, &m));
+        // A single edge of a cycle is not a cut.
+        let single = Subgraph::from_endpoint_pairs(&g, &[(NodeId(0), NodeId(1))]);
+        assert!(!is_cut(&g, &single));
+    }
+
+    #[test]
+    fn st_cut_verification() {
+        let g = Graph::path(3);
+        let m = Subgraph::from_endpoint_pairs(&g, &[(NodeId(1), NodeId(2))]);
+        assert!(is_st_cut(&g, &m, NodeId(0), NodeId(2)));
+        assert!(!is_st_cut(&g, &m, NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn edge_on_all_paths_bridge_vs_cycle_edge() {
+        // Triangle 0-1-2 plus pendant edge 2-3.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let s = g.full_subgraph();
+        let bridge = g.find_edge(NodeId(2), NodeId(3)).unwrap();
+        let side = g.find_edge(NodeId(0), NodeId(1)).unwrap();
+        assert!(edge_on_all_paths(&g, &s, NodeId(0), NodeId(3), bridge));
+        assert!(!edge_on_all_paths(&g, &s, NodeId(0), NodeId(2), side));
+    }
+
+    #[test]
+    fn edge_on_all_paths_vacuous_when_disconnected() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let s = g.full_subgraph();
+        let e = g.find_edge(NodeId(0), NodeId(1)).unwrap();
+        assert!(edge_on_all_paths(&g, &s, NodeId(0), NodeId(3), e));
+    }
+
+    #[test]
+    fn simple_path_verification() {
+        let g = Graph::path(5);
+        assert!(is_simple_path(&g, &g.full_subgraph()));
+        // A cycle is not a simple path (no degree-1 nodes).
+        let c = Graph::cycle(4);
+        assert!(!is_simple_path(&c, &c.full_subgraph()));
+        // Two disjoint edges have four degree-1 nodes.
+        let g2 = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert!(!is_simple_path(&g2, &g2.full_subgraph()));
+    }
+
+    #[test]
+    fn cycle_count_rejects_bad_degrees() {
+        let g = Graph::star(4);
+        let s = g.full_subgraph();
+        assert_eq!(cycle_count_two_regular(&g, &s), Err(NodeId(0)));
+    }
+
+    #[test]
+    fn cycle_count_ignores_isolated_nodes() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 0)]);
+        let s = g.full_subgraph();
+        assert_eq!(cycle_count_two_regular(&g, &s), Ok(1));
+    }
+
+    #[test]
+    fn spanning_connected_trivial_hosts() {
+        let g = Graph::empty(1);
+        assert!(is_spanning_connected_subgraph(&g, &g.empty_subgraph()));
+        assert!(is_spanning_tree(&Graph::empty(0), &Graph::empty(0).empty_subgraph()));
+    }
+}

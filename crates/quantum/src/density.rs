@@ -1,0 +1,380 @@
+//! Density matrices, partial traces, entropies and the Holevo bound.
+//!
+//! The paper's "limited sight" discussion (Section 1) rests on Holevo's
+//! theorem: entanglement cannot replace communication — `n` qubits convey
+//! at most `n` bits of accessible information, so the Ω(D) argument
+//! survives prior entanglement. This module makes that quantitative:
+//! reduced states via partial trace, von Neumann entropy (in bits), the
+//! entanglement entropy of shared states (EPR = exactly 1 ebit), and the
+//! Holevo quantity `χ` of qubit ensembles, which never exceeds the number
+//! of qubits sent.
+
+use crate::complex::Complex;
+use crate::state::StateVector;
+
+/// A density matrix on `n` qubits (`2ⁿ × 2ⁿ`, row-major, Hermitian PSD
+/// with unit trace).
+#[derive(Clone)]
+pub struct DensityMatrix {
+    n: usize,
+    data: Vec<Complex>,
+}
+
+impl std::fmt::Debug for DensityMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DensityMatrix")
+            .field("qubits", &self.n)
+            .finish()
+    }
+}
+
+impl DensityMatrix {
+    /// The pure-state density matrix `|ψ⟩⟨ψ|`.
+    pub fn from_pure(psi: &StateVector) -> Self {
+        let n = psi.qubit_count();
+        let d = 1usize << n;
+        let mut data = vec![Complex::ZERO; d * d];
+        for i in 0..d {
+            for j in 0..d {
+                data[i * d + j] = psi.amplitude(i) * psi.amplitude(j).conj();
+            }
+        }
+        DensityMatrix { n, data }
+    }
+
+    /// The maximally mixed state `I/2ⁿ`.
+    pub fn maximally_mixed(n: usize) -> Self {
+        let d = 1usize << n;
+        let mut data = vec![Complex::ZERO; d * d];
+        for i in 0..d {
+            data[i * d + i] = Complex::real(1.0 / d as f64);
+        }
+        DensityMatrix { n, data }
+    }
+
+    /// A probabilistic mixture of density matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ensemble is empty, dimensions disagree, or the
+    /// probabilities do not sum to 1 (tolerance 1e-9).
+    pub fn mixture(ensemble: &[(f64, DensityMatrix)]) -> Self {
+        assert!(!ensemble.is_empty(), "empty ensemble");
+        let n = ensemble[0].1.n;
+        let total: f64 = ensemble.iter().map(|(p, _)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9, "probabilities must sum to 1");
+        let d = 1usize << n;
+        let mut data = vec![Complex::ZERO; d * d];
+        for (p, rho) in ensemble {
+            assert_eq!(rho.n, n, "ensemble dimension mismatch");
+            for (acc, &x) in data.iter_mut().zip(&rho.data) {
+                *acc += x.scale(*p);
+            }
+        }
+        DensityMatrix { n, data }
+    }
+
+    /// Number of qubits.
+    pub fn qubit_count(&self) -> usize {
+        self.n
+    }
+
+    /// Matrix dimension `2ⁿ`.
+    pub fn dim(&self) -> usize {
+        1 << self.n
+    }
+
+    /// Entry `(i, j)`.
+    pub fn get(&self, i: usize, j: usize) -> Complex {
+        self.data[i * self.dim() + j]
+    }
+
+    /// Trace (should be 1).
+    pub fn trace(&self) -> f64 {
+        (0..self.dim()).map(|i| self.get(i, i).re).sum()
+    }
+
+    /// Purity `Tr(ρ²)`: 1 for pure states, `1/2ⁿ` for maximally mixed.
+    pub fn purity(&self) -> f64 {
+        let d = self.dim();
+        let mut acc = 0.0;
+        for i in 0..d {
+            for j in 0..d {
+                acc += (self.get(i, j) * self.get(j, i)).re;
+            }
+        }
+        acc
+    }
+
+    /// Traces out one qubit, returning the reduced state on the rest
+    /// (qubit indices above `qubit` shift down by one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is a single-qubit state or `qubit` is out of range.
+    pub fn partial_trace_out(&self, qubit: usize) -> DensityMatrix {
+        assert!(self.n > 1, "cannot trace out the last qubit");
+        assert!(qubit < self.n, "qubit index out of range");
+        let nd = self.n - 1;
+        let dd = 1usize << nd;
+        let expand = |idx: usize, bit: usize| -> usize {
+            let low = idx & ((1 << qubit) - 1);
+            let high = idx >> qubit;
+            low | (bit << qubit) | (high << (qubit + 1))
+        };
+        let mut data = vec![Complex::ZERO; dd * dd];
+        for i in 0..dd {
+            for j in 0..dd {
+                let mut acc = Complex::ZERO;
+                for b in 0..2 {
+                    acc += self.get(expand(i, b), expand(j, b));
+                }
+                data[i * dd + j] = acc;
+            }
+        }
+        DensityMatrix { n: nd, data }
+    }
+
+    /// Reduces to the given subsystem by tracing out every other qubit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep` is empty, has duplicates, or indexes out of range.
+    pub fn reduce_to(&self, keep: &[usize]) -> DensityMatrix {
+        assert!(!keep.is_empty(), "must keep at least one qubit");
+        let mut keep_sorted = keep.to_vec();
+        keep_sorted.sort_unstable();
+        keep_sorted.dedup();
+        assert_eq!(keep_sorted.len(), keep.len(), "duplicate qubit in keep set");
+        let mut rho = self.clone();
+        // Trace out from the highest index down so lower indices stay
+        // stable.
+        for q in (0..self.n).rev() {
+            if !keep_sorted.contains(&q) {
+                rho = rho.partial_trace_out(q);
+            }
+        }
+        rho
+    }
+
+    /// Eigenvalues via power iteration with deflation (valid for the PSD
+    /// matrices density operators are). Sorted descending; clamped to
+    /// `[0, 1]`.
+    pub fn eigenvalues(&self) -> Vec<f64> {
+        let d = self.dim();
+        let mut m = self.data.clone();
+        let get = |m: &[Complex], i: usize, j: usize| m[i * d + j];
+        let mut eigs = Vec::with_capacity(d);
+        let mut remaining = self.trace();
+        for k in 0..d {
+            if remaining < 1e-12 {
+                eigs.push(0.0);
+                continue;
+            }
+            // Deterministic start vector, varied per deflation step.
+            let mut v: Vec<Complex> = (0..d)
+                .map(|i| Complex::new(1.0 + ((i + k) % 7) as f64 * 0.13, ((i * 3 + k) % 5) as f64 * 0.07))
+                .collect();
+            let mut lambda = 0.0;
+            for _ in 0..600 {
+                let mut w = vec![Complex::ZERO; d];
+                for (i, wi) in w.iter_mut().enumerate() {
+                    for (j, &vj) in v.iter().enumerate() {
+                        *wi += get(&m, i, j) * vj;
+                    }
+                }
+                let norm: f64 = w.iter().map(|x| x.norm_sqr()).sum::<f64>().sqrt();
+                if norm < 1e-14 {
+                    lambda = 0.0;
+                    break;
+                }
+                lambda = norm;
+                for (x, y) in v.iter_mut().zip(&w) {
+                    *x = y.scale(1.0 / norm);
+                }
+            }
+            // Rayleigh quotient for accuracy.
+            let mut num = Complex::ZERO;
+            for i in 0..d {
+                for j in 0..d {
+                    num += v[i].conj() * get(&m, i, j) * v[j];
+                }
+            }
+            let lam = num.re.clamp(0.0, 1.0);
+            let _ = lambda;
+            eigs.push(lam);
+            remaining -= lam;
+            // Deflate: m ← m − λ·v·vᴴ.
+            for i in 0..d {
+                for j in 0..d {
+                    let outer = v[i] * v[j].conj();
+                    m[i * d + j] = m[i * d + j] - outer.scale(lam);
+                }
+            }
+        }
+        eigs.sort_by(|a, b| b.total_cmp(a));
+        eigs
+    }
+
+    /// Von Neumann entropy `S(ρ) = −Σ λ log₂ λ`, in bits.
+    pub fn von_neumann_entropy(&self) -> f64 {
+        self.eigenvalues()
+            .iter()
+            .filter(|&&l| l > 1e-12)
+            .map(|&l| -l * l.log2())
+            .sum()
+    }
+}
+
+/// Entanglement entropy of a pure state across the cut
+/// `keep | complement`: the entropy of the reduced state. For an EPR pair
+/// and either single qubit this is exactly 1 ebit.
+pub fn entanglement_entropy(psi: &StateVector, keep: &[usize]) -> f64 {
+    DensityMatrix::from_pure(psi)
+        .reduce_to(keep)
+        .von_neumann_entropy()
+}
+
+/// The Holevo quantity `χ = S(Σ pᵢ ρᵢ) − Σ pᵢ S(ρᵢ)` of an ensemble:
+/// an upper bound on the classical information extractable from the
+/// quantum states, and at most the number of qubits — the reason
+/// entanglement cannot shortcut the paper's Ω(D) information-travel
+/// argument.
+pub fn holevo_chi(ensemble: &[(f64, DensityMatrix)]) -> f64 {
+    let avg = DensityMatrix::mixture(ensemble);
+    let mixed: f64 = ensemble
+        .iter()
+        .map(|(p, rho)| p * rho.von_neumann_entropy())
+        .sum();
+    avg.von_neumann_entropy() - mixed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates;
+    use crate::protocols::{epr_pair, prepare_qubit};
+
+    const EPS: f64 = 1e-6;
+
+    #[test]
+    fn pure_state_properties() {
+        let psi = prepare_qubit(0.7, 1.3);
+        let rho = DensityMatrix::from_pure(&psi);
+        assert!((rho.trace() - 1.0).abs() < EPS);
+        assert!((rho.purity() - 1.0).abs() < EPS);
+        assert!(rho.von_neumann_entropy() < EPS);
+    }
+
+    #[test]
+    fn maximally_mixed_properties() {
+        let rho = DensityMatrix::maximally_mixed(2);
+        assert!((rho.trace() - 1.0).abs() < EPS);
+        assert!((rho.purity() - 0.25).abs() < EPS);
+        assert!((rho.von_neumann_entropy() - 2.0).abs() < EPS);
+    }
+
+    #[test]
+    fn epr_reduced_state_is_maximally_mixed() {
+        let epr = epr_pair();
+        let rho = DensityMatrix::from_pure(&epr);
+        for q in 0..2 {
+            let reduced = rho.partial_trace_out(q);
+            assert!((reduced.purity() - 0.5).abs() < EPS, "qubit {q}");
+            assert!((reduced.von_neumann_entropy() - 1.0).abs() < EPS);
+        }
+        assert!((entanglement_entropy(&epr, &[0]) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn product_state_has_zero_entanglement() {
+        let mut psi = StateVector::zeros(2);
+        psi.apply_single(gates::H, 0);
+        psi.apply_single(gates::ry(0.9), 1);
+        assert!(entanglement_entropy(&psi, &[0]) < EPS);
+        assert!(entanglement_entropy(&psi, &[1]) < EPS);
+    }
+
+    #[test]
+    fn ghz_single_qubit_entropy_is_one() {
+        let mut ghz = StateVector::zeros(3);
+        ghz.apply_single(gates::H, 0);
+        ghz.apply_cnot(0, 1);
+        ghz.apply_cnot(1, 2);
+        for q in 0..3 {
+            assert!((entanglement_entropy(&ghz, &[q]) - 1.0).abs() < EPS, "qubit {q}");
+        }
+        // Two-qubit marginal of GHZ also has entropy 1 (classical
+        // correlation only).
+        assert!((entanglement_entropy(&ghz, &[0, 1]) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn holevo_of_orthogonal_qubit_ensemble_is_one_bit() {
+        let zero = DensityMatrix::from_pure(&StateVector::basis(1, 0));
+        let one = DensityMatrix::from_pure(&StateVector::basis(1, 1));
+        let chi = holevo_chi(&[(0.5, zero), (0.5, one)]);
+        assert!((chi - 1.0).abs() < EPS, "χ = {chi}");
+    }
+
+    #[test]
+    fn holevo_of_nonorthogonal_ensemble_is_below_one_bit() {
+        // {|0⟩, |+⟩} uniform: χ = H₂((1 + 1/√2)/2) ≈ 0.60088.
+        let zero = DensityMatrix::from_pure(&StateVector::basis(1, 0));
+        let mut plus_state = StateVector::zeros(1);
+        plus_state.apply_single(gates::H, 0);
+        let plus = DensityMatrix::from_pure(&plus_state);
+        let chi = holevo_chi(&[(0.5, zero), (0.5, plus)]);
+        let p = (1.0 + std::f64::consts::FRAC_1_SQRT_2) / 2.0;
+        let expected = -p * p.log2() - (1.0 - p) * (1.0 - p).log2();
+        assert!((chi - expected).abs() < 1e-4, "χ = {chi}, expected {expected}");
+        assert!(chi < 1.0);
+    }
+
+    #[test]
+    fn holevo_never_exceeds_qubit_count() {
+        // Four states crammed into one qubit still carry ≤ 1 bit: the
+        // quantitative form of "entanglement/qubits are not free bits".
+        let states = [
+            prepare_qubit(0.0, 0.0),
+            prepare_qubit(std::f64::consts::PI, 0.0),
+            prepare_qubit(std::f64::consts::FRAC_PI_2, 0.0),
+            prepare_qubit(std::f64::consts::FRAC_PI_2, std::f64::consts::FRAC_PI_2),
+        ];
+        let ensemble: Vec<(f64, DensityMatrix)> = states
+            .iter()
+            .map(|s| (0.25, DensityMatrix::from_pure(s)))
+            .collect();
+        let chi = holevo_chi(&ensemble);
+        assert!(chi <= 1.0 + EPS, "χ = {chi}");
+        assert!(chi > 0.5, "the BB84-style ensemble is informative: {chi}");
+    }
+
+    #[test]
+    fn reduce_to_matches_iterated_partial_trace() {
+        let mut psi = StateVector::zeros(3);
+        psi.apply_single(gates::H, 0);
+        psi.apply_cnot(0, 2);
+        psi.apply_single(gates::ry(0.4), 1);
+        let rho = DensityMatrix::from_pure(&psi);
+        let a = rho.reduce_to(&[0, 2]);
+        let b = rho.partial_trace_out(1);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((a.get(i, j) - b.get(i, j)).norm() < EPS);
+            }
+        }
+        // Qubits 0 and 2 are maximally entangled with each other.
+        assert!((a.purity() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn eigenvalues_of_known_states() {
+        let eigs = DensityMatrix::maximally_mixed(1).eigenvalues();
+        assert!((eigs[0] - 0.5).abs() < EPS && (eigs[1] - 0.5).abs() < EPS);
+        let pure = DensityMatrix::from_pure(&prepare_qubit(1.0, 2.0));
+        let eigs = pure.eigenvalues();
+        assert!((eigs[0] - 1.0).abs() < EPS);
+        assert!(eigs[1].abs() < EPS);
+    }
+}

@@ -1,0 +1,616 @@
+//! Two-player nonlocal games and the Lemma 3.2 abort simulation.
+//!
+//! Section 6 of the paper derives Server-model lower bounds from nonlocal
+//! games: two players receive `(x, y) ~ π`, cannot communicate, output one
+//! bit each, and the referee combines the bits with XOR or AND. The bridge
+//! (Lemma 3.2) is an *abort* strategy: the players share guessed transcript
+//! strings via entanglement and simulate a server-model protocol; with
+//! probability `4^{-2c}` (for a `c`-round protocol, teleported into `2c`
+//! classical bits per player) the guesses match the real transcript and the
+//! simulation outputs the protocol's answer; otherwise the players output
+//! noise (XOR games) or reject (AND games).
+//!
+//! This module implements:
+//!
+//! * [`XorGame`] with exact **classical bias** by strategy enumeration and
+//!   **entangled bias** for measurement-angle strategies on a shared state
+//!   (verifying CHSH: classical 1/2 vs Tsirelson √2/2);
+//! * the **normal-form server protocol** abstraction and the Lemma 3.2
+//!   abort strategy, with Monte-Carlo statistics matching the `4^{-2c}`
+//!   closed form.
+
+use crate::gates;
+use crate::protocols::epr_pair;
+use crate::StateVector;
+use rand::Rng;
+
+// ---------------------------------------------------------------------------
+// XOR games
+// ---------------------------------------------------------------------------
+
+/// A two-player XOR game: inputs `(x, y) ∈ X × Y` drawn from `π`, target
+/// boolean function `f`; the players win iff `a ⊕ b = f(x, y)`.
+#[derive(Clone, Debug)]
+pub struct XorGame {
+    x_size: usize,
+    y_size: usize,
+    /// Row-major `π(x, y)`.
+    dist: Vec<f64>,
+    /// Row-major `f(x, y)`.
+    f: Vec<bool>,
+}
+
+impl XorGame {
+    /// Creates a game; `dist` and `f` are row-major `x_size × y_size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sizes disagree, a probability is negative, or the
+    /// distribution does not sum to 1 (tolerance 1e-9).
+    pub fn new(x_size: usize, y_size: usize, dist: Vec<f64>, f: Vec<bool>) -> Self {
+        assert_eq!(dist.len(), x_size * y_size, "distribution size mismatch");
+        assert_eq!(f.len(), x_size * y_size, "function table size mismatch");
+        assert!(dist.iter().all(|&p| p >= 0.0), "negative probability");
+        let total: f64 = dist.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "distribution must sum to 1, got {total}");
+        XorGame {
+            x_size,
+            y_size,
+            dist,
+            f,
+        }
+    }
+
+    /// The CHSH game: uniform inputs over `{0,1}²`, `f(x, y) = x ∧ y`.
+    pub fn chsh() -> Self {
+        XorGame::new(
+            2,
+            2,
+            vec![0.25; 4],
+            vec![false, false, false, true],
+        )
+    }
+
+    /// Number of Alice inputs.
+    pub fn x_size(&self) -> usize {
+        self.x_size
+    }
+
+    /// Number of Bob inputs.
+    pub fn y_size(&self) -> usize {
+        self.y_size
+    }
+
+    /// `π(x, y)`.
+    pub fn probability(&self, x: usize, y: usize) -> f64 {
+        self.dist[x * self.y_size + y]
+    }
+
+    /// `f(x, y)`.
+    pub fn target(&self, x: usize, y: usize) -> bool {
+        self.f[x * self.y_size + y]
+    }
+
+    /// Exact classical bias: the maximum over deterministic strategies
+    /// `a : X → {0,1}`, `b : Y → {0,1}` of
+    /// `E_{(x,y)~π}[(-1)^{a(x) ⊕ b(y) ⊕ f(x,y)}]`.
+    ///
+    /// Shared randomness cannot beat the best deterministic strategy
+    /// (the bias is linear in the mixture), so this is the classical value.
+    /// Enumeration is `O(2^{|X|+|Y|} · |X||Y|)` — fine for the small games
+    /// the paper uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `|X| + |Y| > 24` (enumeration would be unreasonable).
+    pub fn classical_bias(&self) -> f64 {
+        assert!(self.x_size + self.y_size <= 24, "game too large to enumerate");
+        let mut best = f64::NEG_INFINITY;
+        for a in 0u64..(1 << self.x_size) {
+            for b in 0u64..(1 << self.y_size) {
+                let mut bias = 0.0;
+                for x in 0..self.x_size {
+                    for y in 0..self.y_size {
+                        let out = ((a >> x) & 1 == 1) ^ ((b >> y) & 1 == 1);
+                        let sign = if out == self.target(x, y) { 1.0 } else { -1.0 };
+                        bias += sign * self.probability(x, y);
+                    }
+                }
+                best = best.max(bias);
+            }
+        }
+        best
+    }
+
+    /// Bias of an entangled strategy: players share `strategy.state`
+    /// (Alice holds qubit 0, Bob qubit 1) and measure the ±1 observable
+    /// `cos θ·Z + sin θ·X` at their input's angle. The bias is
+    /// `Σ π(x,y)·(−1)^{f(x,y)}·⟨ψ|A_x ⊗ B_y|ψ⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the strategy's angle tables do not match the game sizes or
+    /// the shared state is not on two qubits.
+    pub fn entangled_bias(&self, strategy: &EntangledXorStrategy) -> f64 {
+        assert_eq!(strategy.alice_angles.len(), self.x_size, "alice angle table size");
+        assert_eq!(strategy.bob_angles.len(), self.y_size, "bob angle table size");
+        assert_eq!(strategy.state.qubit_count(), 2, "strategy state must be 2 qubits");
+        let mut bias = 0.0;
+        for x in 0..self.x_size {
+            for y in 0..self.y_size {
+                let corr = strategy.state.expectation(&[
+                    (0, gates::rotated_z_observable(strategy.alice_angles[x])),
+                    (1, gates::rotated_z_observable(strategy.bob_angles[y])),
+                ]);
+                let sign = if self.target(x, y) { -1.0 } else { 1.0 };
+                bias += self.probability(x, y) * sign * corr;
+            }
+        }
+        bias
+    }
+}
+
+/// An entangled XOR-game strategy: a shared 2-qubit state plus measurement
+/// angles per input.
+#[derive(Clone, Debug)]
+pub struct EntangledXorStrategy {
+    /// Shared state; Alice holds qubit 0, Bob qubit 1.
+    pub state: StateVector,
+    /// Alice's observable angle for each `x`.
+    pub alice_angles: Vec<f64>,
+    /// Bob's observable angle for each `y`.
+    pub bob_angles: Vec<f64>,
+}
+
+/// The optimal CHSH strategy: an EPR pair with Alice measuring at angles
+/// `{0, π/2}` and Bob at `{π/4, −π/4}`, achieving Tsirelson's bias `√2/2`.
+pub fn chsh_optimal_strategy() -> EntangledXorStrategy {
+    use std::f64::consts::{FRAC_PI_2, FRAC_PI_4};
+    EntangledXorStrategy {
+        state: epr_pair(),
+        alice_angles: vec![0.0, FRAC_PI_2],
+        bob_angles: vec![FRAC_PI_4, -FRAC_PI_4],
+    }
+}
+
+/// Measures the ±1 observable `cos θ·Z + sin θ·X` on one qubit of a
+/// state, collapsing it. Returns `true` for the −1 outcome (output bit 1).
+///
+/// Uses the identity `A(θ) = RY(θ)·Z·RY(θ)†`: rotate by `RY(−θ)`, measure
+/// in the computational basis, rotate back.
+pub fn measure_rotated<R: Rng + ?Sized>(
+    state: &mut StateVector,
+    qubit: usize,
+    theta: f64,
+    rng: &mut R,
+) -> bool {
+    state.apply_single(gates::ry(-theta), qubit);
+    let outcome = state.measure(qubit, rng);
+    state.apply_single(gates::ry(theta), qubit);
+    outcome
+}
+
+/// One *sampled* play of an XOR game with an entangled strategy: the
+/// referee draws `(x, y)` from the game distribution, both players measure
+/// their half of the shared state, and the play is won iff
+/// `a ⊕ b = f(x, y)`. This is the physical experiment behind
+/// [`XorGame::entangled_bias`].
+pub fn play_xor_game<R: Rng + ?Sized>(
+    game: &XorGame,
+    strategy: &EntangledXorStrategy,
+    rng: &mut R,
+) -> bool {
+    // Sample (x, y) ~ π.
+    let mut u: f64 = rng.gen();
+    let mut chosen = (0, 0);
+    'outer: for x in 0..game.x_size() {
+        for y in 0..game.y_size() {
+            u -= game.probability(x, y);
+            if u <= 0.0 {
+                chosen = (x, y);
+                break 'outer;
+            }
+        }
+    }
+    let (x, y) = chosen;
+    let mut state = strategy.state.clone();
+    let a = measure_rotated(&mut state, 0, strategy.alice_angles[x], rng);
+    let b = measure_rotated(&mut state, 1, strategy.bob_angles[y], rng);
+    (a ^ b) == game.target(x, y)
+}
+
+/// Monte-Carlo win rate over `trials` sampled plays. For an entangled
+/// strategy with bias `β` the expected win rate is `(1 + β)/2` — for the
+/// optimal CHSH strategy, ≈ 0.8536, violating the classical 0.75 bound
+/// (a Bell inequality violation, measured).
+pub fn empirical_win_rate<R: Rng + ?Sized>(
+    game: &XorGame,
+    strategy: &EntangledXorStrategy,
+    trials: usize,
+    rng: &mut R,
+) -> f64 {
+    let wins = (0..trials)
+        .filter(|_| play_xor_game(game, strategy, rng))
+        .count();
+    wins as f64 / trials as f64
+}
+
+// ---------------------------------------------------------------------------
+// Normal-form server-model protocols and the Lemma 3.2 abort simulation
+// ---------------------------------------------------------------------------
+
+/// One round of received bits in a normal-form protocol:
+/// `(Carol's two bits, David's two bits)`.
+pub type RoundBits = ((bool, bool), (bool, bool));
+
+/// A deterministic server-model protocol in the normal form Lemma 3.2
+/// assumes (after teleportation): in each of `c` rounds Carol sends two
+/// classical bits computed from her input and the messages the server has
+/// sent her, David symmetrically; the server's messages are a function of
+/// everything it has received. Carol holds the output.
+///
+/// Server messages are modelled as `u64`s — the server talks for free, so
+/// their size is unconstrained (Definition 3.1).
+pub trait NormalFormProtocol {
+    /// Number of communication rounds `c` (Carol and David each send `2c`
+    /// bits in total — the teleportation bookkeeping of Appendix B).
+    fn rounds(&self) -> usize;
+
+    /// Carol's two bits in round `t`, given her input and the server's
+    /// messages to her in rounds `0..t`.
+    fn carol_bits(&self, x: &[bool], server_to_carol: &[u64], t: usize) -> (bool, bool);
+
+    /// David's two bits in round `t`.
+    fn david_bits(&self, y: &[bool], server_to_david: &[u64], t: usize) -> (bool, bool);
+
+    /// The server's round-`t` messages `(to_carol, to_david)` given all
+    /// `(carol, david)` bit pairs received in rounds `0..=t`.
+    fn server_messages(&self, received: &[RoundBits], t: usize) -> (u64, u64);
+
+    /// Carol's output after the final round.
+    fn carol_output(&self, x: &[bool], server_to_carol: &[u64]) -> bool;
+}
+
+/// Runs a normal-form protocol honestly; returns Carol's output.
+pub fn run_protocol<P: NormalFormProtocol>(p: &P, x: &[bool], y: &[bool]) -> bool {
+    let c = p.rounds();
+    let mut to_carol = Vec::with_capacity(c);
+    let mut to_david = Vec::with_capacity(c);
+    let mut received = Vec::with_capacity(c);
+    for t in 0..c {
+        let cb = p.carol_bits(x, &to_carol, t);
+        let db = p.david_bits(y, &to_david, t);
+        received.push((cb, db));
+        let (mc, md) = p.server_messages(&received, t);
+        to_carol.push(mc);
+        to_david.push(md);
+    }
+    p.carol_output(x, &to_carol)
+}
+
+/// What a single abort-game play produced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AbortPlay {
+    /// Whether both players' guessed transcripts matched (no abort).
+    pub survived: bool,
+    /// The XOR-game combined output `a ⊕ b`.
+    pub xor_output: bool,
+    /// The AND-game combined output `a ∧ b`.
+    pub and_output: bool,
+}
+
+/// One play of the Lemma 3.2 abort strategy.
+///
+/// Alice, Bob and the *fake server* share guessed transcript strings
+/// `a', b'` (each `2c` bits, drawn from shared randomness). The fake server
+/// evolves the protocol **as if** the guesses were the real bits; Alice
+/// simulates Carol against the fake server's messages and aborts on the
+/// first mismatch between Carol's actual bit and the guess; Bob
+/// symmetrically. On survival Alice outputs Carol's output and Bob outputs
+/// 0 (XOR) / 1 (AND); on abort Alice outputs a random bit (XOR) / 0 (AND).
+pub fn abort_play<P: NormalFormProtocol, R: Rng + ?Sized>(
+    p: &P,
+    x: &[bool],
+    y: &[bool],
+    rng: &mut R,
+) -> AbortPlay {
+    let c = p.rounds();
+    // Shared guessed strings (in the real protocol these come from
+    // entanglement; shared classical randomness has the same distribution).
+    let guess_a: Vec<(bool, bool)> = (0..c).map(|_| (rng.gen(), rng.gen())).collect();
+    let guess_b: Vec<(bool, bool)> = (0..c).map(|_| (rng.gen(), rng.gen())).collect();
+
+    // The fake server's view: it pretends it received the guesses.
+    let mut to_carol = Vec::with_capacity(c);
+    let mut to_david = Vec::with_capacity(c);
+    let mut received = Vec::with_capacity(c);
+    let mut alice_abort = false;
+    let mut bob_abort = false;
+    for t in 0..c {
+        if !alice_abort {
+            let cb = p.carol_bits(x, &to_carol, t);
+            if cb != guess_a[t] {
+                alice_abort = true;
+            }
+        }
+        if !bob_abort {
+            let db = p.david_bits(y, &to_david, t);
+            if db != guess_b[t] {
+                bob_abort = true;
+            }
+        }
+        received.push((guess_a[t], guess_b[t]));
+        let (mc, md) = p.server_messages(&received, t);
+        to_carol.push(mc);
+        to_david.push(md);
+    }
+    let survived = !alice_abort && !bob_abort;
+    let alice_xor = if alice_abort {
+        rng.gen()
+    } else {
+        p.carol_output(x, &to_carol)
+    };
+    let bob_xor = false; // Bob always outputs 0 in the XOR game on survival.
+    let xor_output = if bob_abort { rng.gen::<bool>() ^ alice_xor } else { alice_xor ^ bob_xor };
+    let alice_and = !alice_abort && p.carol_output(x, &to_carol);
+    let bob_and = !bob_abort;
+    AbortPlay {
+        survived,
+        xor_output,
+        and_output: alice_and && bob_and,
+    }
+}
+
+/// Monte-Carlo statistics of the abort strategy over `trials` plays.
+#[derive(Clone, Copy, Debug)]
+pub struct AbortStats {
+    /// Fraction of plays where neither player aborted.
+    pub survival_rate: f64,
+    /// The Lemma 3.2 closed form `4^{-2c}`.
+    pub predicted_survival: f64,
+    /// Among surviving plays, fraction whose XOR output equals the honest
+    /// protocol output (should be 1.0 for deterministic protocols).
+    pub correct_given_survival: f64,
+    /// Number of surviving plays.
+    pub survivors: usize,
+}
+
+/// Runs `trials` abort plays and aggregates statistics against the
+/// Lemma 3.2 prediction.
+pub fn abort_statistics<P: NormalFormProtocol, R: Rng + ?Sized>(
+    p: &P,
+    x: &[bool],
+    y: &[bool],
+    trials: usize,
+    rng: &mut R,
+) -> AbortStats {
+    let honest = run_protocol(p, x, y);
+    let mut survivors = 0usize;
+    let mut correct = 0usize;
+    for _ in 0..trials {
+        let play = abort_play(p, x, y, rng);
+        if play.survived {
+            survivors += 1;
+            if play.xor_output == honest {
+                correct += 1;
+            }
+        }
+    }
+    AbortStats {
+        survival_rate: survivors as f64 / trials as f64,
+        predicted_survival: 4f64.powi(-2 * p.rounds() as i32),
+        correct_given_survival: if survivors == 0 {
+            1.0
+        } else {
+            correct as f64 / survivors as f64
+        },
+        survivors,
+    }
+}
+
+/// A concrete normal-form protocol: Carol and David stream their inputs to
+/// the server two bits per round; the server echoes everything back; Carol
+/// computes `f(x, y) = ⟨x, y⟩ mod 2` at the end. Used to exercise the
+/// Lemma 3.2 machinery.
+#[derive(Clone, Debug)]
+pub struct InnerProductStreaming {
+    bits: usize,
+}
+
+impl InnerProductStreaming {
+    /// A protocol for `bits`-bit inputs (`bits` must be even; two bits per
+    /// round).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero or odd.
+    pub fn new(bits: usize) -> Self {
+        assert!(bits > 0 && bits.is_multiple_of(2), "need a positive even bit count");
+        InnerProductStreaming { bits }
+    }
+}
+
+impl NormalFormProtocol for InnerProductStreaming {
+    fn rounds(&self) -> usize {
+        self.bits / 2
+    }
+
+    fn carol_bits(&self, x: &[bool], _server_to_carol: &[u64], t: usize) -> (bool, bool) {
+        (x[2 * t], x[2 * t + 1])
+    }
+
+    fn david_bits(&self, y: &[bool], _server_to_david: &[u64], t: usize) -> (bool, bool) {
+        (y[2 * t], y[2 * t + 1])
+    }
+
+    fn server_messages(&self, received: &[RoundBits], t: usize) -> (u64, u64) {
+        // Echo David's latest bits to Carol (packed) and vice versa.
+        let ((c0, c1), (d0, d1)) = received[t];
+        let to_carol = u64::from(d0) | (u64::from(d1) << 1);
+        let to_david = u64::from(c0) | (u64::from(c1) << 1);
+        (to_carol, to_david)
+    }
+
+    fn carol_output(&self, x: &[bool], server_to_carol: &[u64]) -> bool {
+        let mut acc = false;
+        for (t, &msg) in server_to_carol.iter().enumerate() {
+            let d0 = msg & 1 == 1;
+            let d1 = msg & 2 == 2;
+            acc ^= x[2 * t] & d0;
+            acc ^= x[2 * t + 1] & d1;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    const EPS: f64 = 1e-9;
+
+    #[test]
+    fn chsh_classical_bias_is_half() {
+        let g = XorGame::chsh();
+        assert!((g.classical_bias() - 0.5).abs() < EPS);
+    }
+
+    #[test]
+    fn chsh_quantum_bias_is_tsirelson() {
+        let g = XorGame::chsh();
+        let s = chsh_optimal_strategy();
+        let bias = g.entangled_bias(&s);
+        assert!(
+            (bias - std::f64::consts::FRAC_1_SQRT_2).abs() < EPS,
+            "CHSH entangled bias {bias}, expected √2/2"
+        );
+    }
+
+    #[test]
+    fn trivial_game_has_bias_one() {
+        // f constant: answering the constant wins always.
+        let g = XorGame::new(2, 2, vec![0.25; 4], vec![false; 4]);
+        assert!((g.classical_bias() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn non_uniform_distribution_respected() {
+        // All mass on (1,1) where f = 1: classical strategies reach bias 1.
+        let g = XorGame::new(2, 2, vec![0.0, 0.0, 0.0, 1.0], vec![false, false, false, true]);
+        assert!((g.classical_bias() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn bad_distribution_rejected() {
+        XorGame::new(1, 1, vec![0.5], vec![false]);
+    }
+
+    #[test]
+    fn inner_product_protocol_is_correct() {
+        let p = InnerProductStreaming::new(6);
+        let x = vec![true, false, true, true, false, true];
+        let y = vec![true, true, false, true, false, true];
+        // ⟨x,y⟩ = 1+0+0+1+0+1 = 3 ≡ 1 (mod 2).
+        assert!(run_protocol(&p, &x, &y));
+        let y2 = vec![true, true, false, true, false, false];
+        assert!(!run_protocol(&p, &x, &y2));
+    }
+
+    #[test]
+    fn abort_survival_matches_four_to_minus_2c() {
+        // c = 1 round ⇒ survival 4^{-2} = 1/16.
+        let p = InnerProductStreaming::new(2);
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        let stats = abort_statistics(&p, &[true, false], &[true, true], 40_000, &mut rng);
+        assert!((stats.predicted_survival - 1.0 / 16.0).abs() < EPS);
+        assert!(
+            (stats.survival_rate - stats.predicted_survival).abs() < 0.01,
+            "measured {} vs predicted {}",
+            stats.survival_rate,
+            stats.predicted_survival
+        );
+        assert!((stats.correct_given_survival - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn abort_survival_for_two_rounds() {
+        // c = 2 rounds ⇒ survival 4^{-4} = 1/256.
+        let p = InnerProductStreaming::new(4);
+        let mut rng = ChaCha8Rng::seed_from_u64(78);
+        let x = vec![true, false, false, true];
+        let y = vec![false, true, true, true];
+        let stats = abort_statistics(&p, &x, &y, 200_000, &mut rng);
+        assert!((stats.predicted_survival - 1.0 / 256.0).abs() < EPS);
+        let rel = (stats.survival_rate - stats.predicted_survival).abs() / stats.predicted_survival;
+        assert!(rel < 0.25, "relative error {rel} (measured {})", stats.survival_rate);
+        assert!((stats.correct_given_survival - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn surviving_and_plays_reproduce_protocol_output() {
+        let p = InnerProductStreaming::new(2);
+        let mut rng = ChaCha8Rng::seed_from_u64(79);
+        let x = vec![true, true];
+        let y = vec![true, false];
+        let honest = run_protocol(&p, &x, &y);
+        for _ in 0..5000 {
+            let play = abort_play(&p, &x, &y, &mut rng);
+            if play.survived {
+                assert_eq!(play.and_output, honest, "AND output must equal protocol output on survival");
+            } else {
+                // In the AND game, any abort forces output 0 from the
+                // aborting player, so the AND output can only be true if
+                // both survived.
+                assert!(!play.and_output || play.survived);
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_chsh_violates_bell_inequality() {
+        // Measured win rate ≈ (1 + √2/2)/2 ≈ 0.8536, above the classical
+        // maximum 3/4 — a Bell violation from actual measurements.
+        let game = XorGame::chsh();
+        let strategy = chsh_optimal_strategy();
+        let mut rng = ChaCha8Rng::seed_from_u64(123);
+        let rate = empirical_win_rate(&game, &strategy, 20_000, &mut rng);
+        let expected = (1.0 + std::f64::consts::FRAC_1_SQRT_2) / 2.0;
+        assert!(
+            (rate - expected).abs() < 0.01,
+            "measured {rate}, expected {expected}"
+        );
+        assert!(rate > 0.78, "must beat the classical 0.75 bound: {rate}");
+    }
+
+    #[test]
+    fn measure_rotated_matches_born_rule() {
+        // Measuring A(θ) on |0⟩: P(outcome 1, i.e. −1 eigenvalue) =
+        // sin²(θ/2).
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let theta = 1.1;
+        let mut ones = 0;
+        let trials = 20_000;
+        for _ in 0..trials {
+            let mut s = StateVector::zeros(1);
+            if measure_rotated(&mut s, 0, theta, &mut rng) {
+                ones += 1;
+            }
+        }
+        let rate = ones as f64 / trials as f64;
+        let expected = (theta / 2.0).sin().powi(2);
+        assert!((rate - expected).abs() < 0.01, "{rate} vs {expected}");
+    }
+
+    #[test]
+    fn game_accessors() {
+        let g = XorGame::chsh();
+        assert_eq!(g.x_size(), 2);
+        assert_eq!(g.y_size(), 2);
+        assert!((g.probability(0, 0) - 0.25).abs() < EPS);
+        assert!(g.target(1, 1));
+        assert!(!g.target(0, 1));
+    }
+}

@@ -1,0 +1,149 @@
+//! Standard single-qubit gates as 2×2 row-major matrices.
+
+use crate::complex::Complex;
+
+/// Shorthand for a real matrix entry.
+const fn r(x: f64) -> Complex {
+    Complex::new(x, 0.0)
+}
+
+/// `1/√2`, the Hadamard normalization.
+pub const FRAC_1_SQRT_2: f64 = std::f64::consts::FRAC_1_SQRT_2;
+
+/// Identity.
+pub const I: [[Complex; 2]; 2] = [[r(1.0), r(0.0)], [r(0.0), r(1.0)]];
+
+/// Pauli X (bit flip).
+pub const X: [[Complex; 2]; 2] = [[r(0.0), r(1.0)], [r(1.0), r(0.0)]];
+
+/// Pauli Y.
+pub const Y: [[Complex; 2]; 2] = [
+    [Complex::ZERO, Complex::new(0.0, -1.0)],
+    [Complex::new(0.0, 1.0), Complex::ZERO],
+];
+
+/// Pauli Z (phase flip).
+pub const Z: [[Complex; 2]; 2] = [[r(1.0), r(0.0)], [r(0.0), r(-1.0)]];
+
+/// Hadamard.
+pub const H: [[Complex; 2]; 2] = [
+    [r(FRAC_1_SQRT_2), r(FRAC_1_SQRT_2)],
+    [r(FRAC_1_SQRT_2), r(-FRAC_1_SQRT_2)],
+];
+
+/// Phase gate S = diag(1, i).
+pub const S: [[Complex; 2]; 2] = [[r(1.0), r(0.0)], [Complex::ZERO, Complex::I]];
+
+/// Rotation about the Y axis by angle `theta`:
+/// `RY(θ) = [[cos θ/2, −sin θ/2], [sin θ/2, cos θ/2]]`.
+pub fn ry(theta: f64) -> [[Complex; 2]; 2] {
+    let (s, c) = (theta / 2.0).sin_cos();
+    [[r(c), r(-s)], [r(s), r(c)]]
+}
+
+/// Rotation about the Z axis by angle `theta` (global-phase-free form):
+/// `RZ(θ) = diag(e^{−iθ/2}, e^{iθ/2})`.
+pub fn rz(theta: f64) -> [[Complex; 2]; 2] {
+    [
+        [Complex::from_phase(-theta / 2.0), Complex::ZERO],
+        [Complex::ZERO, Complex::from_phase(theta / 2.0)],
+    ]
+}
+
+/// The ±1-valued observable `cos θ · Z + sin θ · X`, the measurement family
+/// used by optimal XOR-game strategies (Appendix B.1).
+pub fn rotated_z_observable(theta: f64) -> [[Complex; 2]; 2] {
+    let (s, c) = theta.sin_cos();
+    [[r(c), r(s)], [r(s), r(-c)]]
+}
+
+/// Multiplies two 2×2 complex matrices.
+pub fn matmul(a: [[Complex; 2]; 2], b: [[Complex; 2]; 2]) -> [[Complex; 2]; 2] {
+    let mut out = [[Complex::ZERO; 2]; 2];
+    for (i, row) in out.iter_mut().enumerate() {
+        for (j, cell) in row.iter_mut().enumerate() {
+            *cell = a[i][0] * b[0][j] + a[i][1] * b[1][j];
+        }
+    }
+    out
+}
+
+/// Conjugate transpose of a 2×2 complex matrix.
+pub fn dagger(a: [[Complex; 2]; 2]) -> [[Complex; 2]; 2] {
+    [
+        [a[0][0].conj(), a[1][0].conj()],
+        [a[0][1].conj(), a[1][1].conj()],
+    ]
+}
+
+/// Whether `a` is unitary to tolerance `eps`.
+pub fn is_unitary(a: [[Complex; 2]; 2], eps: f64) -> bool {
+    let p = matmul(a, dagger(a));
+    (p[0][0].re - 1.0).abs() < eps
+        && p[0][0].im.abs() < eps
+        && (p[1][1].re - 1.0).abs() < eps
+        && p[1][1].im.abs() < eps
+        && p[0][1].norm() < eps
+        && p[1][0].norm() < eps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn constants_are_unitary() {
+        for g in [I, X, Y, Z, H, S] {
+            assert!(is_unitary(g, EPS));
+        }
+    }
+
+    #[test]
+    fn rotations_are_unitary() {
+        for k in 0..8 {
+            let theta = k as f64 * std::f64::consts::PI / 4.0;
+            assert!(is_unitary(ry(theta), EPS));
+            assert!(is_unitary(rz(theta), EPS));
+            assert!(is_unitary(rotated_z_observable(theta), EPS));
+        }
+    }
+
+    #[test]
+    fn pauli_algebra() {
+        // X·X = I, Z·Z = I, X·Z = -Z·X.
+        let xx = matmul(X, X);
+        assert!((xx[0][0].re - 1.0).abs() < EPS && xx[0][1].norm() < EPS);
+        let xz = matmul(X, Z);
+        let zx = matmul(Z, X);
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((xz[i][j] + zx[i][j]).norm() < EPS);
+            }
+        }
+    }
+
+    #[test]
+    fn rotated_observable_interpolates_pauli_z_and_x() {
+        let at0 = rotated_z_observable(0.0);
+        let at90 = rotated_z_observable(std::f64::consts::FRAC_PI_2);
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((at0[i][j] - Z[i][j]).norm() < EPS);
+                assert!((at90[i][j] - X[i][j]).norm() < EPS);
+            }
+        }
+    }
+
+    #[test]
+    fn hadamard_diagonalizes_x() {
+        // H·X·H = Z.
+        let hxh = matmul(matmul(H, X), H);
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((hxh[i][j] - Z[i][j]).norm() < 1e-12);
+            }
+        }
+    }
+}

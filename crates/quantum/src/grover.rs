@@ -1,0 +1,279 @@
+//! Grover search, the engine behind Example 1.1's quantum advantage.
+//!
+//! Example 1.1 of the paper: distributed Set Disjointness on `b`-bit inputs
+//! held by two nodes at distance `D` has a classical lower bound Ω̃(b) but a
+//! quantum protocol with O(√b) communication (Aaronson–Ambainis), hence
+//! O(√b·D) rounds — a genuine quantum speedup. The quantum protocol is a
+//! distributed Grover search for an index `i` with `x_i = y_i = 1`. This
+//! module provides the exact small-scale simulation and the query-count
+//! arithmetic used by the Example 1.1 benchmark.
+
+use crate::state::StateVector;
+use crate::Complex;
+use rand::Rng;
+
+/// Number of Grover iterations maximizing success probability for `marked`
+/// out of `n_items` elements: `⌊(π/4)·√(n_items/marked)⌋`, at least 1 when
+/// something is marked.
+///
+/// Returns 0 if `marked == 0` (nothing to find) and panics if
+/// `marked > n_items`.
+pub fn optimal_iterations(n_items: usize, marked: usize) -> usize {
+    assert!(marked <= n_items, "cannot mark more items than exist");
+    if marked == 0 {
+        return 0;
+    }
+    let ratio = (n_items as f64 / marked as f64).sqrt();
+    let k = (std::f64::consts::FRAC_PI_4 * ratio).floor() as usize;
+    k.max(1)
+}
+
+/// Closed-form success probability of Grover after `k` iterations with
+/// `marked` of `n_items` marked: `sin²((2k+1)·θ)` where `sin θ = √(M/N)`.
+pub fn success_probability(n_items: usize, marked: usize, k: usize) -> f64 {
+    if marked == 0 {
+        return 0.0;
+    }
+    if marked >= n_items {
+        return 1.0;
+    }
+    let theta = (marked as f64 / n_items as f64).sqrt().asin();
+    ((2 * k + 1) as f64 * theta).sin().powi(2)
+}
+
+/// An exact Grover run over `2^n_qubits` items.
+#[derive(Clone, Debug)]
+pub struct Grover {
+    n_qubits: usize,
+    marked: Vec<bool>,
+}
+
+impl Grover {
+    /// Creates a search over `2^n_qubits` items with the given marked set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_qubits` exceeds [`crate::MAX_QUBITS`] or a marked index
+    /// is out of range.
+    pub fn new(n_qubits: usize, marked_indices: &[usize]) -> Self {
+        assert!(n_qubits <= crate::MAX_QUBITS, "register too large");
+        let n = 1usize << n_qubits;
+        let mut marked = vec![false; n];
+        for &i in marked_indices {
+            assert!(i < n, "marked index {i} out of range for {n} items");
+            marked[i] = true;
+        }
+        Grover { n_qubits, marked }
+    }
+
+    /// Number of items searched over.
+    pub fn item_count(&self) -> usize {
+        1 << self.n_qubits
+    }
+
+    /// Number of marked items.
+    pub fn marked_count(&self) -> usize {
+        self.marked.iter().filter(|&&m| m).count()
+    }
+
+    /// Runs `iterations` Grover iterations starting from the uniform
+    /// superposition and returns the final state.
+    pub fn run(&self, iterations: usize) -> StateVector {
+        let n = self.item_count();
+        let amp = Complex::real(1.0 / (n as f64).sqrt());
+        let mut amps = vec![amp; n];
+        for _ in 0..iterations {
+            // Oracle: phase-flip marked items.
+            for (i, a) in amps.iter_mut().enumerate() {
+                if self.marked[i] {
+                    *a = -*a;
+                }
+            }
+            // Diffusion: reflect about the mean.
+            let mut mean = Complex::ZERO;
+            for a in &amps {
+                mean += *a;
+            }
+            mean = mean.scale(1.0 / n as f64);
+            for a in &mut amps {
+                *a = mean.scale(2.0) - *a;
+            }
+        }
+        StateVector::from_amplitudes(amps)
+    }
+
+    /// Probability that measuring after `iterations` yields a marked item.
+    pub fn marked_probability(&self, iterations: usize) -> f64 {
+        let s = self.run(iterations);
+        (0..self.item_count())
+            .filter(|&i| self.marked[i])
+            .map(|i| s.probability_of(i))
+            .sum()
+    }
+
+    /// Runs the optimal number of iterations and measures. Returns the
+    /// measured index, whether it is marked, and the query count used.
+    pub fn search<R: Rng + ?Sized>(&self, rng: &mut R) -> GroverOutcome {
+        let k = optimal_iterations(self.item_count(), self.marked_count());
+        let mut s = self.run(k);
+        let index = s.measure_all(rng);
+        GroverOutcome {
+            index,
+            found_marked: self.marked[index],
+            queries: k,
+        }
+    }
+}
+
+/// Result of a measured Grover search.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GroverOutcome {
+    /// The measured basis index.
+    pub index: usize,
+    /// Whether the measured index was marked.
+    pub found_marked: bool,
+    /// Oracle queries (Grover iterations) used.
+    pub queries: usize,
+}
+
+/// Query count of the quantum Disjointness protocol on `b`-bit inputs:
+/// `⌈(π/4)·√b⌉` Grover queries (each a round trip between the two input
+/// holders). With constant-probability amplification this is the O(√b)
+/// communication of Example 1.1.
+pub fn disjointness_queries(b: usize) -> usize {
+    if b == 0 {
+        return 0;
+    }
+    (std::f64::consts::FRAC_PI_4 * (b as f64).sqrt()).ceil() as usize
+}
+
+/// Exact simulated Disjointness decision via Grover: searches for an index
+/// with `x_i ∧ y_i`, repeating `repetitions` times to amplify. Returns
+/// `true` iff the inputs intersect (i.e. are **not** disjoint), together
+/// with the total number of oracle queries spent.
+///
+/// # Panics
+///
+/// Panics if the inputs differ in length or the padded length exceeds the
+/// simulator cap.
+pub fn disjointness_grover<R: Rng + ?Sized>(
+    x: &[bool],
+    y: &[bool],
+    repetitions: usize,
+    rng: &mut R,
+) -> (bool, usize) {
+    assert_eq!(x.len(), y.len(), "inputs must have equal length");
+    let b = x.len().max(1);
+    let n_qubits = (usize::BITS - (b - 1).leading_zeros()).max(1) as usize;
+    let marked: Vec<usize> = (0..x.len()).filter(|&i| x[i] && y[i]).collect();
+    let grover = Grover::new(n_qubits, &marked);
+    let mut queries = 0;
+    for _ in 0..repetitions.max(1) {
+        let out = grover.search(rng);
+        queries += out.queries;
+        // Verify the candidate classically (one extra exchange, O(log b)
+        // bits, absorbed in the Õ).
+        if out.index < x.len() && x[out.index] && y[out.index] {
+            return (true, queries);
+        }
+    }
+    (false, queries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn single_marked_item_found_with_high_probability() {
+        let g = Grover::new(8, &[137]);
+        let k = optimal_iterations(256, 1);
+        let p = g.marked_probability(k);
+        assert!(p > 0.99, "success probability {p}");
+    }
+
+    #[test]
+    fn closed_form_matches_simulation() {
+        let g = Grover::new(6, &[3, 17, 40]);
+        for k in 0..8 {
+            let sim = g.marked_probability(k);
+            let formula = success_probability(64, 3, k);
+            assert!(
+                (sim - formula).abs() < 1e-9,
+                "k={k}: sim {sim} vs formula {formula}"
+            );
+        }
+    }
+
+    #[test]
+    fn iteration_count_scales_as_sqrt() {
+        let k16 = optimal_iterations(16, 1);
+        let k64 = optimal_iterations(64, 1);
+        let k256 = optimal_iterations(256, 1);
+        // Quadrupling items doubles iterations (within floor rounding).
+        assert!(k64 >= 2 * k16 - 1 && k64 <= 2 * k16 + 2, "{k16} {k64}");
+        assert!(k256 >= 2 * k64 - 1 && k256 <= 2 * k64 + 2, "{k64} {k256}");
+    }
+
+    #[test]
+    fn no_marked_items_means_zero_iterations_and_probability() {
+        assert_eq!(optimal_iterations(64, 0), 0);
+        assert_eq!(success_probability(64, 0, 5), 0.0);
+        let g = Grover::new(4, &[]);
+        assert_eq!(g.marked_probability(3), 0.0);
+    }
+
+    #[test]
+    fn search_finds_marked_item() {
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let g = Grover::new(7, &[99]);
+        let mut hits = 0;
+        for _ in 0..20 {
+            let out = g.search(&mut rng);
+            if out.found_marked {
+                assert_eq!(out.index, 99);
+                hits += 1;
+            }
+        }
+        assert!(hits >= 18, "Grover should almost always succeed, got {hits}/20");
+    }
+
+    #[test]
+    fn disjointness_grover_detects_intersection() {
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let mut x = vec![false; 100];
+        let mut y = vec![false; 100];
+        x[73] = true;
+        y[73] = true;
+        x[10] = true; // not matched in y
+        let (intersects, queries) = disjointness_grover(&x, &y, 3, &mut rng);
+        assert!(intersects);
+        assert!(queries >= disjointness_queries(100) / 2, "queries {queries}");
+    }
+
+    #[test]
+    fn disjointness_grover_rejects_disjoint_inputs() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let x: Vec<bool> = (0..64).map(|i| i % 2 == 0).collect();
+        let y: Vec<bool> = (0..64).map(|i| i % 2 == 1).collect();
+        let (intersects, _) = disjointness_grover(&x, &y, 3, &mut rng);
+        assert!(!intersects);
+    }
+
+    #[test]
+    fn disjointness_query_count_is_sqrt_scale() {
+        assert_eq!(disjointness_queries(0), 0);
+        let q100 = disjointness_queries(100);
+        let q10000 = disjointness_queries(10_000);
+        assert!((8..=9).contains(&q100), "π/4·10 ≈ 7.85 → 8, got {q100}");
+        assert!((q10000 as f64 / q100 as f64 - 10.0).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn marked_index_out_of_range_rejected() {
+        Grover::new(3, &[8]);
+    }
+}

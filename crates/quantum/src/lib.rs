@@ -1,0 +1,50 @@
+//! Quantum simulation substrate for the `qdc` workspace.
+//!
+//! The paper (Elkin–Klauck–Nanongkai–Pandurangan, PODC 2014) works in the
+//! quantum CONGEST model with shared entanglement, but its proofs only ever
+//! *use* a handful of quantum primitives:
+//!
+//! * **EPR pairs and teleportation** (Appendix B: "using teleportation ...
+//!   Carol and David send 2T classical bits to the server instead of T
+//!   qubits") — [`protocols::teleport`];
+//! * **entanglement as shared randomness** (footnote 2) —
+//!   [`protocols::shared_random_bit`];
+//! * **nonlocal XOR/AND games** (Section 6, Appendix B.1) — [`games`];
+//! * the **O(√b) quantum Disjointness protocol** of Aaronson–Ambainis that
+//!   powers Example 1.1, whose engine is **Grover search** — [`grover`];
+//! * **density matrices, entanglement entropy and the Holevo bound**
+//!   (the quantitative form of "entanglement is not communication",
+//!   which keeps the Ω(D) argument alive quantumly) — [`density`].
+//!
+//! This crate implements all of them exactly on a dense state-vector
+//! simulator ([`StateVector`]), capped at [`MAX_QUBITS`] qubits (design
+//! decision D3: everything the paper touches needs at most a few qubits;
+//! Grover demos run at 8–16).
+//!
+//! # Example
+//!
+//! ```
+//! use qdc_quantum::{StateVector, gates};
+//!
+//! // Build an EPR pair and check perfect correlation.
+//! let mut psi = StateVector::zeros(2);
+//! psi.apply_single(gates::H, 0);
+//! psi.apply_cnot(0, 1);
+//! assert!((psi.probability_of(0b00) - 0.5).abs() < 1e-12);
+//! assert!((psi.probability_of(0b11) - 0.5).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod complex;
+mod state;
+
+pub mod density;
+pub mod games;
+pub mod gates;
+pub mod grover;
+pub mod protocols;
+
+pub use complex::Complex;
+pub use state::{StateVector, MAX_QUBITS};

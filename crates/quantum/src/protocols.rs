@@ -1,0 +1,191 @@
+//! The quantum communication primitives the paper's proofs invoke.
+//!
+//! * [`epr_pair`] / [`shared_random_bit`] — entanglement as shared
+//!   randomness (paper footnote 2);
+//! * [`teleport`] — quantum teleportation, the step in Appendix B that
+//!   converts "T qubits to the server" into "2T classical bits to the
+//!   server" (with server-provided entanglement);
+//! * [`superdense_decode`] / [`superdense_send`] — superdense coding, the
+//!   converse primitive (2 classical bits per qubit), which together with
+//!   Holevo's theorem motivates the factor-2 bookkeeping throughout.
+
+use crate::gates;
+use crate::state::StateVector;
+use crate::Complex;
+use rand::Rng;
+
+/// Creates a fresh EPR pair `(|00⟩ + |11⟩)/√2` on a 2-qubit register.
+pub fn epr_pair() -> StateVector {
+    let mut s = StateVector::zeros(2);
+    s.apply_single(gates::H, 0);
+    s.apply_cnot(0, 1);
+    s
+}
+
+/// Samples a shared random bit from a fresh EPR pair: both parties measure
+/// their half and obtain the *same* uniformly random bit.
+pub fn shared_random_bit<R: Rng + ?Sized>(rng: &mut R) -> (bool, bool) {
+    let mut s = epr_pair();
+    let a = s.measure(0, rng);
+    let b = s.measure(1, rng);
+    (a, b)
+}
+
+/// Prepares the single-qubit state `RY(θ)` then `RZ(φ)` applied to `|0⟩`,
+/// as a 1-qubit register. Any pure qubit state arises this way.
+pub fn prepare_qubit(theta: f64, phi: f64) -> StateVector {
+    let mut s = StateVector::zeros(1);
+    s.apply_single(gates::ry(theta), 0);
+    s.apply_single(gates::rz(phi), 0);
+    s
+}
+
+/// Outcome of one run of the teleportation protocol.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TeleportOutcome {
+    /// The two classical bits Alice sends to Bob.
+    pub classical_bits: (bool, bool),
+    /// Fidelity of Bob's received qubit with the original state (1.0 up to
+    /// float error — teleportation is exact).
+    pub fidelity: f64,
+}
+
+/// Teleports the qubit state `prepare_qubit(theta, phi)` from Alice to Bob
+/// using one EPR pair and two classical bits.
+///
+/// Register layout: qubit 0 = Alice's message qubit, qubit 1 = Alice's EPR
+/// half, qubit 2 = Bob's EPR half. Returns the classical bits sent and the
+/// fidelity of Bob's final qubit with the intended state.
+pub fn teleport<R: Rng + ?Sized>(theta: f64, phi: f64, rng: &mut R) -> TeleportOutcome {
+    // Prepare |ψ⟩ ⊗ EPR on three qubits.
+    let mut s = StateVector::zeros(3);
+    s.apply_single(gates::ry(theta), 0);
+    s.apply_single(gates::rz(phi), 0);
+    s.apply_single(gates::H, 1);
+    s.apply_cnot(1, 2);
+    // Alice's Bell measurement on qubits 0 and 1.
+    s.apply_cnot(0, 1);
+    s.apply_single(gates::H, 0);
+    let m0 = s.measure(0, rng);
+    let m1 = s.measure(1, rng);
+    // Bob's Pauli correction on qubit 2.
+    if m1 {
+        s.apply_single(gates::X, 2);
+    }
+    if m0 {
+        s.apply_single(gates::Z, 2);
+    }
+    // Compare Bob's qubit with the reference state. Qubits 0 and 1 are
+    // classical after measurement, so the 3-qubit state factorizes; the
+    // fidelity with |m0 m1⟩ ⊗ |ψ⟩ captures qubit 2 alone.
+    let reference = prepare_qubit(theta, phi);
+    // Build |m0⟩|m1⟩|ψ⟩: amplitudes of ψ at (q2 = 0, 1) with q0/q1 fixed.
+    let base = usize::from(m0) | (usize::from(m1) << 1);
+    let mut amps = vec![Complex::ZERO; 8];
+    amps[base] = reference.amplitude(0);
+    amps[base | 4] = reference.amplitude(1);
+    let expected = StateVector::from_amplitudes(amps);
+    let fidelity = s.fidelity(&expected);
+    TeleportOutcome {
+        classical_bits: (m0, m1),
+        fidelity,
+    }
+}
+
+/// Superdense coding, sender side: starting from a shared EPR pair
+/// (qubit 0 = Alice, qubit 1 = Bob), Alice encodes two classical bits by a
+/// Pauli on her half. Returns the full 2-qubit state "in transit".
+pub fn superdense_send(bits: (bool, bool)) -> StateVector {
+    let mut s = epr_pair();
+    if bits.1 {
+        s.apply_single(gates::X, 0);
+    }
+    if bits.0 {
+        s.apply_single(gates::Z, 0);
+    }
+    s
+}
+
+/// Superdense coding, receiver side: Bell-measures the pair and recovers
+/// the two encoded classical bits with certainty.
+pub fn superdense_decode<R: Rng + ?Sized>(mut s: StateVector, rng: &mut R) -> (bool, bool) {
+    s.apply_cnot(0, 1);
+    s.apply_single(gates::H, 0);
+    let b0 = s.measure(0, rng);
+    let b1 = s.measure(1, rng);
+    (b0, b1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn shared_random_bits_agree_and_are_balanced() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut ones = 0;
+        for _ in 0..300 {
+            let (a, b) = shared_random_bit(&mut rng);
+            assert_eq!(a, b);
+            ones += usize::from(a);
+        }
+        assert!(ones > 100 && ones < 200, "got {ones}");
+    }
+
+    #[test]
+    fn teleportation_is_exact_for_many_states() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for k in 0..12 {
+            let theta = k as f64 * 0.53;
+            let phi = k as f64 * 1.13;
+            for _ in 0..4 {
+                let out = teleport(theta, phi, &mut rng);
+                assert!(
+                    (out.fidelity - 1.0).abs() < 1e-10,
+                    "teleport fidelity {} for θ={theta}, φ={phi}",
+                    out.fidelity
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn teleportation_uses_two_classical_bits_all_four_syndromes_occur() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            let out = teleport(1.0, 0.5, &mut rng);
+            let idx = usize::from(out.classical_bits.0) * 2 + usize::from(out.classical_bits.1);
+            seen[idx] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all Bell syndromes should occur: {seen:?}");
+    }
+
+    #[test]
+    fn superdense_roundtrip_all_four_messages() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        for &bits in &[(false, false), (false, true), (true, false), (true, true)] {
+            for _ in 0..5 {
+                let in_transit = superdense_send(bits);
+                let decoded = superdense_decode(in_transit, &mut rng);
+                assert_eq!(decoded, bits);
+            }
+        }
+    }
+
+    #[test]
+    fn epr_pair_has_unit_norm() {
+        let s = epr_pair();
+        assert!((s.total_probability() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prepare_qubit_covers_bloch_sphere_poles() {
+        let zero = prepare_qubit(0.0, 0.0);
+        assert!((zero.probability_of(0) - 1.0).abs() < 1e-12);
+        let one = prepare_qubit(std::f64::consts::PI, 0.0);
+        assert!((one.probability_of(1) - 1.0).abs() < 1e-12);
+    }
+}

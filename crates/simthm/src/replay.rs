@@ -1,0 +1,251 @@
+//! The three-party simulation, actually executed.
+//!
+//! [`audit_trace`](crate::simulate::audit_trace) *prices* a run;
+//! [`three_party_replay`] *performs* it: Carol, David and the server each
+//! hold only the node states they own under the `S^t` schedule, exchange
+//! exactly the messages the proof of Theorem 3.5 entitles them to
+//! (internal messages free within a party, server messages free, the
+//! rest paid and metered), and step their nodes locally. At the end the
+//! replayed node states must coincide with a direct run of the same
+//! algorithm — demonstrating, not just asserting, that the three parties
+//! can reproduce any distributed computation on `N` at Server-model cost
+//! `O(B log L)` per round.
+
+use crate::network::{Party, SimulationNetwork};
+use qdc_congest::{CongestConfig, Inbox, Message, NodeAlgorithm, NodeInfo, Outbox, Simulator};
+use std::collections::HashMap;
+
+/// Outcome of a three-party replay.
+#[derive(Debug)]
+pub struct ReplayOutcome<A> {
+    /// Final node states, reassembled from the three parties.
+    pub nodes: Vec<A>,
+    /// Rounds replayed.
+    pub rounds: usize,
+    /// Bits Carol paid (messages her nodes sent to non-Carol receivers,
+    /// plus state handoffs she had to request are free — the server sends
+    /// them).
+    pub carol_paid_bits: u64,
+    /// Bits David paid.
+    pub david_paid_bits: u64,
+}
+
+/// Replays `init`'s algorithm on the simulation network for `rounds`
+/// rounds (≤ the horizon) with the ownership schedule, then returns the
+/// reassembled states and the paid-bit meters.
+///
+/// The replay is lockstep with explicit party boundaries:
+///
+/// 1. every party steps the nodes it owns at time `t`, producing
+///    outgoing messages;
+/// 2. each message `(u → v)` is routed: if the sender's owner at `t`
+///    differs from the receiver's owner at `t + 1`, the sender's party
+///    pays its bits (server pays nothing);
+/// 3. ownership expansion: node states crossing from the server to
+///    Carol/David move for free; the horizon guarantees Carol's and
+///    David's regions never exchange state directly.
+///
+/// # Panics
+///
+/// Panics if `rounds` exceeds the horizon (the schedule would overlap).
+pub fn three_party_replay<A, F>(
+    net: &SimulationNetwork,
+    cfg: CongestConfig,
+    mut init: F,
+    rounds: usize,
+) -> ReplayOutcome<A>
+where
+    A: NodeAlgorithm,
+    F: FnMut(&NodeInfo) -> A,
+{
+    assert!(
+        rounds <= net.horizon(),
+        "replay limited to the horizon L/2 − 2 = {}",
+        net.horizon()
+    );
+    let graph = net.graph();
+    let n = graph.node_count();
+    let sim = Simulator::new(graph, cfg);
+    let infos: Vec<NodeInfo> = graph.nodes().map(|v| sim.info(v).clone()).collect();
+
+    // Party-partitioned node states. Conceptually three address spaces;
+    // the type system of this test harness keeps them in one map keyed by
+    // (party, node) to avoid triple boilerplate, but every access below
+    // goes through the owner schedule — a node is only ever touched by
+    // its owner of the moment.
+    let mut states: HashMap<(Party, u32), A> = HashMap::new();
+    for v in graph.nodes() {
+        states.insert((net.owner(v, 0), v.0), init(&infos[v.index()]));
+    }
+
+    // Round 0: owners run on_start for their nodes.
+    let mut outgoing: Vec<Vec<Option<Message>>> = vec![Vec::new(); n];
+    for v in graph.nodes() {
+        let owner = net.owner(v, 0);
+        let node = states.get_mut(&(owner, v.0)).expect("owned");
+        let mut out = Outbox::detached(infos[v.index()].degree(), cfg.bandwidth_bits);
+        node.on_start(&infos[v.index()], &mut out);
+        outgoing[v.index()] = out.into_slots();
+    }
+
+    let mut carol_paid = 0u64;
+    let mut david_paid = 0u64;
+    for t in 0..rounds {
+        // Ownership expansion t → t+1: the server hands newly-acquired
+        // node states to Carol/David for free.
+        for v in graph.nodes() {
+            let before = net.owner(v, t);
+            let after = net.owner(v, t + 1);
+            if before != after {
+                assert_eq!(before, Party::Server, "only the server cedes nodes");
+                let state = states.remove(&(before, v.0)).expect("server owned it");
+                states.insert((after, v.0), state);
+            }
+        }
+
+        // Deliver messages, metering cross-party traffic.
+        let mut inboxes: Vec<Vec<Option<Message>>> =
+            infos.iter().map(|i| vec![None; i.degree()]).collect();
+        for u in graph.nodes() {
+            let ports = std::mem::take(&mut outgoing[u.index()]);
+            for (p, slot) in ports.into_iter().enumerate() {
+                let Some(msg) = slot else { continue };
+                let v = infos[u.index()].neighbors[p];
+                let back = infos[v.index()].port_to(u).expect("symmetric adjacency");
+                let sender = net.owner(u, t);
+                let receiver = net.owner(v, t + 1);
+                match sender {
+                    Party::Carol if receiver != Party::Carol => carol_paid += msg.bit_len() as u64,
+                    Party::David if receiver != Party::David => david_paid += msg.bit_len() as u64,
+                    _ => {}
+                }
+                inboxes[v.index()][back] = Some(msg);
+            }
+        }
+        // Each party steps its nodes with the messages routed to them.
+        for v in graph.nodes() {
+            let owner = net.owner(v, t + 1);
+            let node = states.get_mut(&(owner, v.0)).expect("owned after expansion");
+            let inbox = Inbox::from_slots(std::mem::take(&mut inboxes[v.index()]));
+            let mut out = Outbox::detached(infos[v.index()].degree(), cfg.bandwidth_bits);
+            node.on_round(&infos[v.index()], &inbox, &mut out);
+            outgoing[v.index()] = out.into_slots();
+        }
+    }
+
+    // Reassemble final states in node order.
+    let mut nodes: Vec<Option<A>> = (0..n).map(|_| None).collect();
+    for ((_, id), state) in states {
+        nodes[id as usize] = Some(state);
+    }
+    ReplayOutcome {
+        nodes: nodes.into_iter().map(|s| s.expect("every node owned")).collect(),
+        rounds,
+        carol_paid_bits: carol_paid,
+        david_paid_bits: david_paid,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdc_graph::generate;
+
+    /// The component-label flood used across the Theorem 3.5 experiments.
+    #[derive(Clone, PartialEq, Eq, Debug)]
+    struct MinFlood {
+        label: u64,
+        active: Vec<bool>,
+        width: usize,
+    }
+
+    impl NodeAlgorithm for MinFlood {
+        fn on_start(&mut self, _info: &NodeInfo, out: &mut Outbox) {
+            for p in 0..self.active.len() {
+                if self.active[p] {
+                    out.send(p, Message::from_uint(self.label, self.width));
+                }
+            }
+        }
+        fn on_round(&mut self, _info: &NodeInfo, inbox: &Inbox, out: &mut Outbox) {
+            let mut improved = false;
+            for (port, msg) in inbox.iter() {
+                if self.active[port] {
+                    if let Some(v) = msg.as_uint(self.width) {
+                        if v < self.label {
+                            self.label = v;
+                            improved = true;
+                        }
+                    }
+                }
+            }
+            if improved {
+                for p in 0..self.active.len() {
+                    if self.active[p] {
+                        out.send(p, Message::from_uint(self.label, self.width));
+                    }
+                }
+            }
+        }
+        fn is_terminated(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn replay_matches_direct_run_exactly() {
+        let net = SimulationNetwork::build(12, 17);
+        let tracks = net.track_count();
+        let (carol, david) = generate::hamiltonian_matching_pair(tracks);
+        let m = net.embed_matchings(&carol, &david);
+        let cfg = CongestConfig::quantum(32);
+        let width = 16;
+        let horizon = net.horizon();
+
+        let make = |info: &NodeInfo| MinFlood {
+            label: info.id.0 as u64,
+            active: info.incident_edges.iter().map(|&e| m.contains(e)).collect(),
+            width,
+        };
+
+        // Direct run, capped at the horizon.
+        let sim = Simulator::new(net.graph(), cfg);
+        let (direct, _) = sim.run(make, horizon);
+
+        // Three-party replay for the same number of rounds.
+        let replay = three_party_replay(&net, cfg, make, horizon);
+        assert_eq!(replay.rounds, horizon);
+        for v in net.graph().nodes() {
+            assert_eq!(
+                direct[v.index()].label,
+                replay.nodes[v.index()].label,
+                "node {v} diverged between direct run and three-party replay"
+            );
+        }
+        // And the metered cost respects the Theorem 3.5 budget.
+        let budget = 6 * net.highway_count() as u64 * 32 * horizon as u64;
+        assert!(
+            replay.carol_paid_bits + replay.david_paid_bits <= budget,
+            "paid {} vs budget {budget}",
+            replay.carol_paid_bits + replay.david_paid_bits
+        );
+        assert!(replay.carol_paid_bits > 0, "Carol pays something on this workload");
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon")]
+    fn replay_beyond_horizon_rejected() {
+        let net = SimulationNetwork::build(3, 9);
+        let cfg = CongestConfig::classical(8);
+        three_party_replay(
+            &net,
+            cfg,
+            |info| MinFlood {
+                label: info.id.0 as u64,
+                active: vec![false; info.degree()],
+                width: 8,
+            },
+            net.horizon() + 1,
+        );
+    }
+}

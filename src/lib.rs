@@ -1,0 +1,51 @@
+//! # qdc — Can Quantum Communication Speed Up Distributed Computation?
+//!
+//! An executable reproduction of Elkin, Klauck, Nanongkai and Pandurangan
+//! (PODC 2014, arXiv:1207.5211): the Server model, the Quantum Simulation
+//! Theorem, the gadget reductions, and the Ω̃(√n) / Ω̃(min(W/α, √n))
+//! quantum distributed lower bounds — together with every substrate they
+//! stand on (a CONGEST simulator, a state-vector quantum simulator,
+//! communication-complexity models, and the classical upper-bound
+//! algorithms the lower bounds are matched against).
+//!
+//! The workspace is organized as one crate per subsystem, re-exported
+//! here:
+//!
+//! * [`graph`] — graph substrate, verification predicates, sequential
+//!   reference algorithms;
+//! * [`quantum`] — state-vector simulation, teleportation, Grover,
+//!   nonlocal games and the Lemma 3.2 abort strategy;
+//! * [`congest`] — the CONGEST(B) simulator with bit-exact accounting;
+//! * [`cc`] — two-party and Server communication models, problems,
+//!   fooling sets, GV codes, the §B.3 spectral bounds;
+//! * [`gadgets`] — the Section 7 reductions (`IPmod3 → Ham`,
+//!   `Gap-Eq → Ham`, `Ham → ST`);
+//! * [`simthm`] — the Section 8 network and the Theorem 3.5 audit;
+//! * [`algos`] — distributed upper bounds (BFS, leader election, MST,
+//!   verification, SSSP, Disjointness);
+//! * [`core`] — bound formulas, theorem parameters, the Figure 1
+//!   pipeline.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use qdc::core::bounds;
+//! use qdc::simthm::SimulationNetwork;
+//!
+//! // The hard-instance network of Theorem 3.5 (scaled down)…
+//! let net = SimulationNetwork::build(8, 17);
+//! assert!(net.graph().node_count() > 8 * 17);
+//!
+//! // …and the lower bound any quantum algorithm on it must respect.
+//! let bound = bounds::verification_lower_bound(net.graph().node_count(), 16);
+//! assert!(bound > 1.0);
+//! ```
+
+pub use qdc_algos as algos;
+pub use qdc_cc as cc;
+pub use qdc_congest as congest;
+pub use qdc_core as core;
+pub use qdc_gadgets as gadgets;
+pub use qdc_graph as graph;
+pub use qdc_quantum as quantum;
+pub use qdc_simthm as simthm;

@@ -1,0 +1,123 @@
+//! Cross-crate integration tests: communication-complexity models —
+//! Server ⇄ two-party equivalence, fooling sets, codes, abort games.
+
+use proptest::prelude::*;
+use qdc::cc::codes::{binary_entropy, greedy_lexicographic_code, greedy_random_code};
+use qdc::cc::fooling::gap_equality_fooling_set;
+use qdc::cc::problems::{
+    hamming_distance, Equality, GapEquality, InnerProduct, IpMod3, TwoPartyFunction,
+};
+use qdc::cc::server::{run_server, simulate_in_two_party, StreamedServerProtocol};
+use qdc::quantum::games::{abort_play, run_protocol, InnerProductStreaming};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The §3.1 classical equivalence, property-tested: identical output,
+    /// identical Carol/David bit cost, for three different functions.
+    #[test]
+    fn server_two_party_equivalence(
+        x in prop::collection::vec(any::<bool>(), 1..40),
+        y in prop::collection::vec(any::<bool>(), 1..40),
+    ) {
+        let n = x.len().min(y.len());
+        let (x, y) = (&x[..n], &y[..n]);
+        let eq = StreamedServerProtocol::new(Equality::new(n));
+        let ip = StreamedServerProtocol::new(InnerProduct::new(n));
+        let ip3 = StreamedServerProtocol::new(IpMod3::new(n));
+        macro_rules! check {
+            ($p:expr, $f:expr) => {{
+                let sv = run_server(&$p, x, y);
+                let tp = simulate_in_two_party(&$p, x, y);
+                prop_assert_eq!(sv.output, tp.output);
+                prop_assert_eq!(sv.cost(), tp.total_bits());
+                prop_assert_eq!(sv.output, $f.evaluate(x, y));
+            }};
+        }
+        check!(eq, Equality::new(n));
+        check!(ip, InnerProduct::new(n));
+        check!(ip3, IpMod3::new(n));
+    }
+
+    /// Gilbert–Varshamov codes really have their distance, and the
+    /// fooling sets built from them verify against δ-Eq.
+    #[test]
+    fn gv_code_fooling_pipeline(n in 8usize..16, seed in 0u64..100) {
+        let d = (n / 3).max(2);
+        let code = greedy_lexicographic_code(n, d);
+        prop_assert!(code.validate());
+        let fs = gap_equality_fooling_set(&code, d - 1);
+        prop_assert!(fs.verify(&GapEquality::new(n, d - 1)).is_ok());
+        // Random variant agrees on the distance property.
+        let rcode = greedy_random_code(n, d, 40, 5_000, seed);
+        prop_assert!(rcode.validate());
+    }
+
+    /// Entropy bounds: H is symmetric, peaks at 1/2, and the GV rate is
+    /// consistent with it.
+    #[test]
+    fn entropy_properties(p in 0.01f64..0.99) {
+        prop_assert!((binary_entropy(p) - binary_entropy(1.0 - p)).abs() < 1e-12);
+        prop_assert!(binary_entropy(p) <= 1.0 + 1e-12);
+        prop_assert!(binary_entropy(p) > 0.0);
+    }
+
+    /// Lemma 3.2's abort plays: on survival the XOR output always equals
+    /// the protocol's honest output (the simulation is perfect).
+    #[test]
+    fn abort_survivors_are_faithful(
+        x in prop::collection::vec(any::<bool>(), 2..8),
+        seed in 0u64..1000,
+    ) {
+        let n = (x.len() / 2) * 2;
+        prop_assume!(n >= 2);
+        let x = &x[..n];
+        let y: Vec<bool> = x.iter().map(|&b| !b).collect();
+        let p = InnerProductStreaming::new(n);
+        let honest = run_protocol(&p, x, &y);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for _ in 0..200 {
+            let play = abort_play(&p, x, &y, &mut rng);
+            if play.survived {
+                prop_assert_eq!(play.xor_output, honest);
+            }
+        }
+    }
+
+    /// Hamming distance is a metric on bit strings.
+    #[test]
+    fn hamming_is_a_metric(
+        a in prop::collection::vec(any::<bool>(), 1..32),
+        bseed in any::<u64>(),
+        cseed in any::<u64>(),
+    ) {
+        let n = a.len();
+        let flip = |s: u64| -> Vec<bool> {
+            a.iter().enumerate()
+                .map(|(i, &v)| v ^ (s.rotate_left(i as u32) & 1 == 1))
+                .collect()
+        };
+        let b = flip(bseed);
+        let c = flip(cseed);
+        prop_assert_eq!(hamming_distance(&a, &a), 0);
+        prop_assert_eq!(hamming_distance(&a, &b), hamming_distance(&b, &a));
+        prop_assert!(
+            hamming_distance(&a, &c) <= hamming_distance(&a, &b) + hamming_distance(&b, &c)
+        );
+        let _ = n;
+    }
+}
+
+#[test]
+fn server_model_bound_composition_matches_paper_shape() {
+    // The Figure 1 left-to-middle arrows produce Ω(n) certificates whose
+    // values scale linearly in n.
+    use qdc::cc::norms::ipmod3_server_lower_bound;
+    let b64 = ipmod3_server_lower_bound(64);
+    let b256 = ipmod3_server_lower_bound(256);
+    let b1024 = ipmod3_server_lower_bound(1024);
+    assert!((b256 / b64 - 4.0).abs() < 1e-9);
+    assert!((b1024 / b256 - 4.0).abs() < 1e-9);
+}

@@ -1,0 +1,101 @@
+//! Cross-crate integration tests: quantum primitives, property-tested.
+
+use proptest::prelude::*;
+use qdc::quantum::games::{chsh_optimal_strategy, EntangledXorStrategy, XorGame};
+use qdc::quantum::grover::{optimal_iterations, success_probability, Grover};
+use qdc::quantum::protocols::{epr_pair, superdense_decode, superdense_send, teleport};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Teleportation is exact for every input state and every random
+    /// measurement outcome.
+    #[test]
+    fn teleportation_is_exact(theta in 0.0f64..std::f64::consts::PI,
+                              phi in 0.0f64..(2.0 * std::f64::consts::PI),
+                              seed in any::<u64>()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let out = teleport(theta, phi, &mut rng);
+        prop_assert!((out.fidelity - 1.0).abs() < 1e-9);
+    }
+
+    /// Superdense coding decodes every 2-bit message with certainty.
+    #[test]
+    fn superdense_is_exact(b0 in any::<bool>(), b1 in any::<bool>(), seed in any::<u64>()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let decoded = superdense_decode(superdense_send((b0, b1)), &mut rng);
+        prop_assert_eq!(decoded, (b0, b1));
+    }
+
+    /// Grover's closed-form success probability matches the exact
+    /// simulation for arbitrary marked sets and iteration counts.
+    #[test]
+    fn grover_formula_matches_simulation(
+        qubits in 3usize..8,
+        marks in prop::collection::btree_set(0usize..32, 1..5),
+        k in 0usize..10,
+    ) {
+        let n = 1usize << qubits;
+        let marked: Vec<usize> = marks.iter().copied().filter(|&m| m < n).collect();
+        prop_assume!(!marked.is_empty());
+        let g = Grover::new(qubits, &marked);
+        let sim = g.marked_probability(k);
+        let formula = success_probability(n, marked.len(), k);
+        prop_assert!((sim - formula).abs() < 1e-8, "sim {sim} vs formula {formula}");
+    }
+
+    /// The optimal iteration count really is near-optimal: one fewer or
+    /// one more iteration never improves success by a meaningful margin.
+    #[test]
+    fn optimal_iterations_is_a_local_max(qubits in 4usize..10) {
+        let n = 1usize << qubits;
+        let k = optimal_iterations(n, 1);
+        let at = success_probability(n, 1, k);
+        prop_assert!(at > 0.8);
+        // Any k' ≤ k has success ≤ monotone growth up to the peak.
+        prop_assert!(success_probability(n, 1, k / 2) <= at + 1e-9);
+    }
+
+    /// No entangled strategy at *aligned* angles (θ_A = θ_B per input)
+    /// beats Tsirelson for CHSH; the optimal strategy does hit it.
+    #[test]
+    fn chsh_strategies_respect_tsirelson(a0 in 0.0f64..3.2, a1 in 0.0f64..3.2,
+                                         b0 in 0.0f64..3.2, b1 in 0.0f64..3.2) {
+        let game = XorGame::chsh();
+        let strategy = EntangledXorStrategy {
+            state: epr_pair(),
+            alice_angles: vec![a0, a1],
+            bob_angles: vec![b0, b1],
+        };
+        let bias = game.entangled_bias(&strategy);
+        prop_assert!(bias <= std::f64::consts::FRAC_1_SQRT_2 + 1e-9,
+            "bias {bias} beats Tsirelson");
+    }
+}
+
+#[test]
+fn tsirelson_is_attained() {
+    let game = XorGame::chsh();
+    let bias = game.entangled_bias(&chsh_optimal_strategy());
+    assert!((bias - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+    assert!(bias > game.classical_bias() + 0.2, "quantum advantage is real");
+}
+
+#[test]
+fn entanglement_is_not_communication() {
+    // Holevo-flavored sanity check: measuring EPR halves yields perfectly
+    // correlated but *uniform* bits — no input-dependent information
+    // flows, which is why the paper's Ω(D) "limited sight" argument
+    // survives entanglement.
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let mut ones = 0usize;
+    for _ in 0..2000 {
+        let (a, b) = qdc::quantum::protocols::shared_random_bit(&mut rng);
+        assert_eq!(a, b);
+        ones += usize::from(a);
+    }
+    let rate = ones as f64 / 2000.0;
+    assert!((rate - 0.5).abs() < 0.05, "shared bit must be unbiased, got {rate}");
+}

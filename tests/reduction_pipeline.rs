@@ -1,0 +1,102 @@
+//! Cross-crate integration tests: the Section 7 reduction pipeline,
+//! property-tested over arbitrary inputs.
+
+use proptest::prelude::*;
+use qdc::cc::problems::{hamming_distance, IpMod3};
+use qdc::gadgets::ham_to_st::verify_ham_via_spanning_tree;
+use qdc::gadgets::{gapeq_to_ham, ipmod3_to_ham};
+use qdc::graph::predicates;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Lemma C.3 for arbitrary inputs: G is Hamiltonian iff ⟨x,y⟩ ≢ 0
+    /// (mod 3); otherwise exactly 3 cycles; both matchings perfect.
+    #[test]
+    fn ipmod3_reduction_invariants(
+        pairs in prop::collection::vec((any::<bool>(), any::<bool>()), 1..60)
+    ) {
+        let x: Vec<bool> = pairs.iter().map(|p| p.0).collect();
+        let y: Vec<bool> = pairs.iter().map(|p| p.1).collect();
+        let inst = ipmod3_to_ham(&x, &y);
+        let sub = inst.full_subgraph();
+        let f = IpMod3::new(x.len());
+        let residue = f.residue(&x, &y);
+        prop_assert_eq!(
+            predicates::is_hamiltonian_cycle(inst.graph(), &sub),
+            residue != 0
+        );
+        let cycles = predicates::cycle_count_two_regular(inst.graph(), &sub).unwrap();
+        prop_assert_eq!(cycles, if residue == 0 { 3 } else { 1 });
+        prop_assert!(inst.both_sides_perfect_matchings());
+        // 12 nodes per input bit (the reduction's constant c).
+        prop_assert_eq!(inst.graph().node_count(), 12 * x.len());
+    }
+
+    /// Figure 7 for arbitrary inputs: cycles = Δ(x,y) + 1, Hamiltonian iff
+    /// x = y.
+    #[test]
+    fn gapeq_reduction_invariants(
+        pairs in prop::collection::vec((any::<bool>(), any::<bool>()), 1..60)
+    ) {
+        let x: Vec<bool> = pairs.iter().map(|p| p.0).collect();
+        let y: Vec<bool> = pairs.iter().map(|p| p.1).collect();
+        let inst = gapeq_to_ham(&x, &y);
+        let sub = inst.full_subgraph();
+        let delta = hamming_distance(&x, &y);
+        let cycles = predicates::cycle_count_two_regular(inst.graph(), &sub).unwrap();
+        prop_assert_eq!(cycles, delta + 1);
+        prop_assert_eq!(
+            predicates::is_hamiltonian_cycle(inst.graph(), &sub),
+            x == y
+        );
+        prop_assert!(inst.both_sides_perfect_matchings());
+    }
+
+    /// The Theorem 3.6 reduction: deciding Ham via a spanning-tree oracle
+    /// agrees with the direct predicate on every reduction instance.
+    #[test]
+    fn ham_via_st_oracle_agrees(
+        pairs in prop::collection::vec((any::<bool>(), any::<bool>()), 1..40)
+    ) {
+        let x: Vec<bool> = pairs.iter().map(|p| p.0).collect();
+        let y: Vec<bool> = pairs.iter().map(|p| p.1).collect();
+        let inst = ipmod3_to_ham(&x, &y);
+        let sub = inst.full_subgraph();
+        prop_assert_eq!(
+            verify_ham_via_spanning_tree(inst.graph(), &sub),
+            predicates::is_hamiltonian_cycle(inst.graph(), &sub)
+        );
+    }
+
+    /// Carol's side of the reduction is oblivious to y and vice versa —
+    /// the defining property of a two-party reduction.
+    #[test]
+    fn reduction_sides_are_independent(
+        x in prop::collection::vec(any::<bool>(), 1..30),
+        y1 in prop::collection::vec(any::<bool>(), 1..30),
+        y2 in prop::collection::vec(any::<bool>(), 1..30),
+    ) {
+        let n = x.len().min(y1.len()).min(y2.len());
+        let x = &x[..n];
+        let a = ipmod3_to_ham(x, &y1[..n]);
+        let b = ipmod3_to_ham(x, &y2[..n]);
+        let ends = |inst: &qdc::gadgets::TwoPartyGraphInstance| -> Vec<_> {
+            inst.carol_edges().iter().map(|&e| inst.graph().endpoints(e)).collect()
+        };
+        prop_assert_eq!(ends(&a), ends(&b));
+    }
+}
+
+#[test]
+fn chained_residues_cover_all_three_classes() {
+    // Deterministic instance hitting residues 0, 1, 2 in one suite run.
+    for (ones, expected_cycles) in [(3usize, 3usize), (4, 1), (5, 1), (6, 3)] {
+        let x = vec![true; ones];
+        let y = vec![true; ones];
+        let inst = ipmod3_to_ham(&x, &y);
+        let cycles =
+            predicates::cycle_count_two_regular(inst.graph(), &inst.full_subgraph()).unwrap();
+        assert_eq!(cycles, expected_cycles, "ones = {ones}");
+    }
+}

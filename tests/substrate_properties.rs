@@ -1,0 +1,139 @@
+//! Property tests on the substrates themselves: bit strings, messages,
+//! simulator conservation laws, topologies, density matrices and
+//! LE-lists across crates.
+
+use proptest::prelude::*;
+use qdc::congest::{topology, BitString, CongestConfig, Message, Simulator};
+use qdc::graph::{algorithms, generate, NodeId};
+use qdc::quantum::density::{entanglement_entropy, DensityMatrix};
+use qdc::quantum::StateVector;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// BitString round-trips arbitrary (value, width) streams.
+    #[test]
+    fn bitstring_roundtrip(fields in prop::collection::vec((any::<u64>(), 1usize..=64), 1..10)) {
+        let mut bits = BitString::new();
+        for &(v, w) in &fields {
+            let masked = if w == 64 { v } else { v & ((1u64 << w) - 1) };
+            bits.push_uint(masked, w);
+        }
+        let mut r = bits.reader();
+        for &(v, w) in &fields {
+            let masked = if w == 64 { v } else { v & ((1u64 << w) - 1) };
+            prop_assert_eq!(r.read_uint(w), Some(masked));
+        }
+        prop_assert_eq!(r.remaining(), 0);
+    }
+
+    /// to_bools/from_bools is the identity; message length is exact.
+    #[test]
+    fn bools_roundtrip(v in prop::collection::vec(any::<bool>(), 0..200)) {
+        let b = BitString::from_bools(&v);
+        prop_assert_eq!(b.to_bools(), v.clone());
+        let m = Message::from_bits(b);
+        prop_assert_eq!(m.bit_len(), v.len());
+    }
+
+    /// Simulator conservation: every sent message is delivered exactly
+    /// once (count and bits agree between report and trace).
+    #[test]
+    fn traced_runs_conserve_messages(n in 4usize..20, seed in 0u64..200) {
+        use qdc::congest::{Inbox, NodeAlgorithm, NodeInfo, Outbox};
+        struct Echo { fired: bool }
+        impl NodeAlgorithm for Echo {
+            fn on_start(&mut self, _: &NodeInfo, out: &mut Outbox) {
+                self.fired = true;
+                out.broadcast(Message::from_uint(7, 4));
+            }
+            fn on_round(&mut self, _: &NodeInfo, _: &Inbox, _: &mut Outbox) {}
+            fn is_terminated(&self) -> bool { self.fired }
+        }
+        let g = generate::random_connected(n, n, seed);
+        let sim = Simulator::new(&g, CongestConfig::classical(8));
+        let (_, report, trace) = sim.run_traced(|_| Echo { fired: false }, 10);
+        let traced_msgs: usize = trace.rounds.iter().map(Vec::len).sum();
+        let traced_bits: usize = trace.rounds.iter().flatten().map(|m| m.bits).sum();
+        prop_assert_eq!(traced_msgs as u64, report.messages_sent);
+        prop_assert_eq!(traced_bits as u64, report.bits_sent);
+        prop_assert_eq!(report.messages_sent, 2 * g.edge_count() as u64);
+    }
+
+    /// Hypercube distances equal Hamming distances of the node labels.
+    #[test]
+    fn hypercube_metric_is_hamming(d in 2usize..7, a in any::<usize>(), b in any::<usize>()) {
+        let g = topology::hypercube(d);
+        let n = 1usize << d;
+        let (a, b) = (a % n, b % n);
+        let dist = algorithms::bfs_distances(&g, &g.full_subgraph(), NodeId::from(a));
+        prop_assert_eq!(dist[b] as u32, ((a ^ b) as u64).count_ones());
+    }
+
+    /// Entanglement entropy is symmetric under complementary cuts of a
+    /// pure state (Schmidt decomposition).
+    #[test]
+    fn pure_state_entropy_is_cut_symmetric(ops in prop::collection::vec((0usize..3, 0usize..3), 0..6)) {
+        use qdc::quantum::gates;
+        let mut psi = StateVector::zeros(3);
+        psi.apply_single(gates::H, 0);
+        for &(a, b) in &ops {
+            if a != b {
+                psi.apply_cnot(a, b);
+            } else {
+                psi.apply_single(gates::ry(0.7), a);
+            }
+        }
+        let s01 = entanglement_entropy(&psi, &[0, 1]);
+        let s2 = entanglement_entropy(&psi, &[2]);
+        prop_assert!((s01 - s2).abs() < 1e-5, "{s01} vs {s2}");
+    }
+
+    /// Density matrices stay trace-1 and PSD-ish under partial trace.
+    #[test]
+    fn partial_trace_preserves_trace(theta in 0.0f64..3.1, phi in 0.0f64..6.2) {
+        use qdc::quantum::gates;
+        let mut psi = StateVector::zeros(2);
+        psi.apply_single(gates::ry(theta), 0);
+        psi.apply_single(gates::rz(phi), 0);
+        psi.apply_cnot(0, 1);
+        let rho = DensityMatrix::from_pure(&psi);
+        for q in 0..2 {
+            let red = rho.partial_trace_out(q);
+            prop_assert!((red.trace() - 1.0).abs() < 1e-9);
+            let eigs = red.eigenvalues();
+            prop_assert!(eigs.iter().all(|&l| (-1e-6..=1.0 + 1e-6).contains(&l)));
+        }
+    }
+}
+
+#[test]
+fn distributed_le_lists_equal_sequential_on_topologies() {
+    use qdc::algos::lel::distributed_le_lists;
+    use qdc::graph::lel;
+    for g in [
+        topology::ring(9),
+        topology::grid(3, 4),
+        topology::hypercube(3),
+    ] {
+        let w = generate::random_weights(&g, 6, 3);
+        let ranks: Vec<u64> = (0..g.node_count() as u64).map(|i| (i * 37 + 5) % 997).collect();
+        let run = distributed_le_lists(&g, CongestConfig::classical(64), &w, &ranks);
+        for v in g.nodes() {
+            let mut reference = lel::le_list(&g, &w, &ranks, v);
+            reference.sort();
+            assert_eq!(run.lists[v.index()], reference, "node {v}");
+        }
+    }
+}
+
+#[test]
+fn certificate_pipeline_is_printable_and_positive() {
+    use qdc::core::certificates::{theorem36_certificate, CompositionConstants};
+    let cert = theorem36_certificate(1 << 20, 32, &CompositionConstants::default());
+    assert!(cert.rounds > 0.0);
+    let text = cert.render();
+    assert!(text.contains("Theorem 3.4"));
+    assert!(text.contains("Theorem 3.5"));
+    assert!(text.contains("⇒ T ≥"));
+}
