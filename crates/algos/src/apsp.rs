@@ -156,10 +156,7 @@ mod tests {
             generate::random_connected(20, 25, 9),
         ] {
             let run = distributed_apsp(&g, cfg());
-            assert_eq!(
-                run.diameter,
-                algorithms::diameter(&g).expect("connected"),
-            );
+            assert_eq!(run.diameter, algorithms::diameter(&g).expect("connected"),);
         }
     }
 

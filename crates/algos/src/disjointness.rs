@@ -134,10 +134,7 @@ pub fn classical_disjointness(
     let graph = Graph::path(d + 1);
     let chunk_bits = cfg.bandwidth_bits;
     // Chunks are popped back-to-front: store in reverse order.
-    let mut chunks: Vec<BitString> = y
-        .chunks(chunk_bits)
-        .map(BitString::from_bools)
-        .collect();
+    let mut chunks: Vec<BitString> = y.chunks(chunk_bits).map(BitString::from_bools).collect();
     chunks.reverse();
 
     let mut ledger = Ledger::new();
@@ -190,7 +187,10 @@ struct BounceNode {
 
 enum BounceKind {
     /// Node 0: initiates `trips` round trips.
-    Left { trips: usize, completed: usize },
+    Left {
+        trips: usize,
+        completed: usize,
+    },
     Relay,
     Right,
 }
@@ -251,7 +251,10 @@ pub fn quantum_disjointness<R: Rng + ?Sized>(
     assert!(!x.is_empty() && d >= 1, "need non-empty inputs and d ≥ 1");
     let b = x.len();
     let width = bits_for(b.saturating_sub(1) as u64);
-    assert!(width <= cfg.bandwidth_bits, "query register exceeds B qubits");
+    assert!(
+        width <= cfg.bandwidth_bits,
+        "query register exceeds B qubits"
+    );
     let trips = qdc_quantum::grover::disjointness_queries(b);
 
     // The decision itself: exact Grover simulation when feasible, else
@@ -315,7 +318,7 @@ mod tests {
         let y = vec![false; b];
         let run = classical_disjointness(&x, &y, d, cfg);
         let predicted = classical_rounds(b, d, 8); // 10 + 8 - 1 = 17
-        // Quiescence adds O(1) slack.
+                                                   // Quiescence adds O(1) slack.
         assert!(
             run.ledger.rounds >= predicted && run.ledger.rounds <= predicted + 2,
             "rounds {} vs predicted {predicted}",
@@ -346,14 +349,17 @@ mod tests {
         let bandwidth = 20; // B = log n
         let classical = classical_rounds(b, d, bandwidth); // ≈ 20 + 52
         let quantum = quantum_rounds(b, d); // 2·20·26 = 1040 … larger!
-        // At this scale the quantum protocol's 2·D·B factor still
-        // dominates (crossover at √b ≈ (π/2)·D·B ≈ 628); push b past it
-        // and quantum wins:
+                                            // At this scale the quantum protocol's 2·D·B factor still
+                                            // dominates (crossover at √b ≈ (π/2)·D·B ≈ 628); push b past it
+                                            // and quantum wins:
         let b2 = 1 << 22;
         assert!(quantum_rounds(b2, d) < classical_rounds(b2, d, bandwidth));
         // And the classical/quantum ratio grows like √b·…:
         let q_growth = quantum_rounds(b2 * 4, d) as f64 / quantum_rounds(b2, d) as f64;
-        assert!((q_growth - 2.0).abs() < 0.1, "quantum scales as √b: {q_growth}");
+        assert!(
+            (q_growth - 2.0).abs() < 0.1,
+            "quantum scales as √b: {q_growth}"
+        );
         let c_growth = classical_rounds(b2 * 4, d, bandwidth) as f64
             / classical_rounds(b2, d, bandwidth) as f64;
         assert!(c_growth > 3.5, "classical scales as b: {c_growth}");

@@ -49,7 +49,10 @@ impl NodeAlgorithm for MaxFlood {
 pub fn elect_leader(graph: &Graph, cfg: CongestConfig, ledger: &mut Ledger) -> NodeId {
     let n = graph.node_count();
     let width = id_width(n);
-    assert!(width <= cfg.bandwidth_bits, "node id ({width} bits) exceeds B");
+    assert!(
+        width <= cfg.bandwidth_bits,
+        "node id ({width} bits) exceeds B"
+    );
     let sim = Simulator::new(graph, cfg);
     let (nodes, report) = sim.run(
         |info| MaxFlood {
@@ -59,7 +62,11 @@ pub fn elect_leader(graph: &Graph, cfg: CongestConfig, ledger: &mut Ledger) -> N
         stage_cap(n),
     );
     ledger.absorb(&report);
-    let max = nodes.iter().map(|s| s.best).max().expect("non-empty network");
+    let max = nodes
+        .iter()
+        .map(|s| s.best)
+        .max()
+        .expect("non-empty network");
     NodeId(max as u32)
 }
 
@@ -206,7 +213,12 @@ pub fn build_bfs_tree(
 
     let in_tree: Vec<bool> = nodes.iter().map(|s| s.adopted).collect();
     let children_ports = discover_children(graph, cfg, &parent_port, &in_tree, ledger);
-    let height = depth.iter().copied().filter(|&d| d != u64::MAX).max().unwrap_or(0);
+    let height = depth
+        .iter()
+        .copied()
+        .filter(|&d| d != u64::MAX)
+        .max()
+        .unwrap_or(0);
     BfsTreeInfo {
         root,
         parent_port,

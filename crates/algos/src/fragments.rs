@@ -602,7 +602,10 @@ pub fn spanning_forest(
         let cands = local_candidates(graph, cfg, &state, weights, active, ledger);
 
         // Convergecast (min candidate, size) within each fragment.
-        assert!(sw + 1 + ww + ew <= cfg.bandwidth_bits, "converge width exceeds B");
+        assert!(
+            sw + 1 + ww + ew <= cfg.bandwidth_bits,
+            "converge width exceeds B"
+        );
         let (conv, report) = sim.run(
             |info| {
                 let i = info.id.index();
@@ -626,9 +629,7 @@ pub fn spanning_forest(
             .nodes()
             .map(|u| {
                 let i = u.index();
-                if state.fparent[i].is_none()
-                    && (conv[i].size as usize) < fc.size_threshold
-                {
+                if state.fparent[i].is_none() && (conv[i].size as usize) < fc.size_threshold {
                     conv[i].best.map(|(_, e)| e as u64)
                 } else {
                     None
@@ -721,8 +722,14 @@ pub fn spanning_forest(
     }
 
     // ---------------- Phase 2: globally pipelined Borůvka ----------------
-    assert!(1 + 2 * idw + ww + ew <= cfg.bandwidth_bits, "upcast width exceeds B");
-    assert!(2 + (2 * idw).max(ew) <= cfg.bandwidth_bits, "downcast width exceeds B");
+    assert!(
+        1 + 2 * idw + ww + ew <= cfg.bandwidth_bits,
+        "upcast width exceeds B"
+    );
+    assert!(
+        2 + (2 * idw).max(ew) <= cfg.bandwidth_bits,
+        "downcast width exceeds B"
+    );
     for _phase in 0..fc.max_phases {
         let cands = local_candidates(graph, cfg, &state, weights, active, ledger);
         let (up, report) = sim.run(
@@ -794,7 +801,11 @@ pub fn spanning_forest(
                 let i = info.id.index();
                 let is_root = info.id == bfs.root;
                 Downcast {
-                    queue: if is_root { stream.clone() } else { VecDeque::new() },
+                    queue: if is_root {
+                        stream.clone()
+                    } else {
+                        VecDeque::new()
+                    },
                     children: bfs.children_ports[i].clone(),
                     frag: state.frag[i],
                     incident: info
@@ -916,10 +927,7 @@ mod tests {
         active.insert(qdc_graph::EdgeId(4));
         let mut ledger = Ledger::new();
         let out = count_components(&g, cfg(), &active, &mut ledger);
-        assert_eq!(
-            out.fragment_count,
-            predicates::component_count(&g, &active)
-        );
+        assert_eq!(out.fragment_count, predicates::component_count(&g, &active));
         // Forest = active edges themselves (they are acyclic).
         assert_eq!(out.forest_edges.len(), 3);
     }

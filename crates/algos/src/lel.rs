@@ -45,7 +45,10 @@ impl LeFlood {
     /// distance, and duplicates / worse copies from the same origin —
     /// ranks are distinct, so equal rank means equal origin).
     fn accepts(&self, dist: u64, rank: u64) -> bool {
-        !self.accepted.iter().any(|&(d, r, _)| r <= rank && d <= dist)
+        !self
+            .accepted
+            .iter()
+            .any(|&(d, r, _)| r <= rank && d <= dist)
     }
 
     fn insert(&mut self, dist: u64, rank: u64, origin: u32) -> bool {
@@ -209,7 +212,9 @@ mod tests {
         for seed in 0..6 {
             let g = generate::random_connected(18, 16, seed + 10);
             let w = generate::random_weights(&g, 7, seed + 20);
-            let ranks: Vec<u64> = (0..18).map(|i| (i * 7919 + seed * 13 + 1) % 65536).collect();
+            let ranks: Vec<u64> = (0..18)
+                .map(|i| (i * 7919 + seed * 13 + 1) % 65536)
+                .collect();
             // Ensure distinctness of the synthetic ranks.
             let mut sorted = ranks.clone();
             sorted.sort_unstable();

@@ -41,7 +41,14 @@ pub struct MstRun {
 pub fn mst_exact(graph: &Graph, cfg: CongestConfig, weights: &EdgeWeights) -> MstRun {
     let mut ledger = Ledger::new();
     let fc = FragmentConfig::for_network(graph.node_count());
-    let out = spanning_forest(graph, cfg, weights, &graph.full_subgraph(), &fc, &mut ledger);
+    let out = spanning_forest(
+        graph,
+        cfg,
+        weights,
+        &graph.full_subgraph(),
+        &fc,
+        &mut ledger,
+    );
     let total_weight = out.forest_edges.iter().map(|&e| weights.weight(e)).sum();
     MstRun {
         edges: out.forest_edges,
@@ -184,7 +191,10 @@ mod tests {
             let g = generate::random_connected(24, 20, seed);
             let w = generate::random_weights(&g, 30, seed + 9);
             let run = mst_exact(&g, cfg(), &w);
-            assert_eq!(run.total_weight, algorithms::kruskal_mst(&g, &w).total_weight);
+            assert_eq!(
+                run.total_weight,
+                algorithms::kruskal_mst(&g, &w).total_weight
+            );
         }
     }
 

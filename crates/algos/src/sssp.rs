@@ -81,7 +81,10 @@ pub fn distributed_sssp(
     let n = graph.node_count();
     let w_max = graph.edges().map(|e| weights.weight(e)).max().unwrap_or(1);
     let width = distance_width(n, w_max);
-    assert!(width <= cfg.bandwidth_bits, "distance ({width} bits) exceeds B");
+    assert!(
+        width <= cfg.bandwidth_bits,
+        "distance ({width} bits) exceeds B"
+    );
     let mut ledger = Ledger::new();
     let sim = Simulator::new(graph, cfg);
     let (nodes, report) = sim.run(
@@ -120,7 +123,11 @@ mod tests {
             let g = generate::random_connected(30, 40, seed);
             let w = generate::random_weights(&g, 20, seed + 1);
             let run = distributed_sssp(&g, cfg(), &w, NodeId(0));
-            assert_eq!(run.dist, algorithms::dijkstra(&g, &w, NodeId(0)), "seed {seed}");
+            assert_eq!(
+                run.dist,
+                algorithms::dijkstra(&g, &w, NodeId(0)),
+                "seed {seed}"
+            );
         }
     }
 

@@ -77,7 +77,9 @@ impl NodeAlgorithm for ConvergeNode {
         for (port, msg) in inbox.iter() {
             if let Some(pos) = self.pending_children.iter().position(|&c| c == port) {
                 self.pending_children.swap_remove(pos);
-                let v = msg.as_uint(self.width).expect("malformed aggregate message");
+                let v = msg
+                    .as_uint(self.width)
+                    .expect("malformed aggregate message");
                 self.acc = self.agg.combine(self.acc, v);
             }
         }
@@ -234,8 +236,14 @@ mod tests {
             *values.iter().max().unwrap()
         );
         let bools: Vec<u64> = (0..9).map(|i| u64::from(i != 4)).collect();
-        assert_eq!(aggregate_to_root(&g, cfg, &tree, &bools, Agg::And, 1, &mut ledger), 0);
-        assert_eq!(aggregate_to_root(&g, cfg, &tree, &bools, Agg::Or, 1, &mut ledger), 1);
+        assert_eq!(
+            aggregate_to_root(&g, cfg, &tree, &bools, Agg::And, 1, &mut ledger),
+            0
+        );
+        assert_eq!(
+            aggregate_to_root(&g, cfg, &tree, &bools, Agg::Or, 1, &mut ledger),
+            1
+        );
     }
 
     #[test]

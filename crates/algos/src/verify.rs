@@ -42,7 +42,11 @@ fn finish(
 /// Checks "every `M`-degree is 2" (AND-aggregate) and "`M` has one
 /// component" (fragment count); together these force a single spanning
 /// `n`-cycle.
-pub fn verify_hamiltonian_cycle(graph: &Graph, cfg: CongestConfig, m: &Subgraph) -> VerificationRun {
+pub fn verify_hamiltonian_cycle(
+    graph: &Graph,
+    cfg: CongestConfig,
+    m: &Subgraph,
+) -> VerificationRun {
     let mut ledger = Ledger::new();
     let out = count_components(graph, cfg, m, &mut ledger);
     let deg_ok: Vec<u64> = graph
@@ -105,7 +109,11 @@ pub fn verify_connectivity(graph: &Graph, cfg: CongestConfig, m: &Subgraph) -> V
 
 /// **Connected spanning subgraph verification**: `M` is connected and
 /// touches every node.
-pub fn verify_spanning_connected(graph: &Graph, cfg: CongestConfig, m: &Subgraph) -> VerificationRun {
+pub fn verify_spanning_connected(
+    graph: &Graph,
+    cfg: CongestConfig,
+    m: &Subgraph,
+) -> VerificationRun {
     let mut ledger = Ledger::new();
     let out = count_components(graph, cfg, m, &mut ledger);
     let accept = out.fragment_count == 1;
@@ -231,7 +239,10 @@ mod tests {
         // two triangles (all M-degrees 2, two components).
         let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)]);
         let mut m = g.full_subgraph();
-        m.remove(g.find_edge(qdc_graph::NodeId(2), qdc_graph::NodeId(3)).unwrap());
+        m.remove(
+            g.find_edge(qdc_graph::NodeId(2), qdc_graph::NodeId(3))
+                .unwrap(),
+        );
         assert!(!verify_hamiltonian_cycle(&g, cfg(), &m).accept);
         assert!(!verify_spanning_tree(&g, cfg(), &m).accept);
         assert!(!verify_connectivity(&g, cfg(), &m).accept);

@@ -19,10 +19,17 @@ use qdc_graph::{EdgeId, Graph, NodeId, Subgraph};
 ///
 /// `M` is acyclic iff `|E(M)| = n − components(M)`; both sides are
 /// aggregates.
-pub fn verify_cycle_containment(graph: &Graph, cfg: CongestConfig, m: &Subgraph) -> VerificationRun {
+pub fn verify_cycle_containment(
+    graph: &Graph,
+    cfg: CongestConfig,
+    m: &Subgraph,
+) -> VerificationRun {
     let mut ledger = Ledger::new();
     let out = count_components(graph, cfg, m, &mut ledger);
-    let degrees: Vec<u64> = graph.nodes().map(|u| m.degree_in(graph, u) as u64).collect();
+    let degrees: Vec<u64> = graph
+        .nodes()
+        .map(|u| m.degree_in(graph, u) as u64)
+        .collect();
     let degree_sum = aggregate_to_root(
         graph,
         cfg,
@@ -95,8 +102,24 @@ pub fn verify_st_connectivity(
             })
             .collect()
     };
-    let s_label = aggregate_to_root(graph, cfg, &out.bfs, &inject(s), Agg::Min, width, &mut ledger);
-    let t_label = aggregate_to_root(graph, cfg, &out.bfs, &inject(t), Agg::Min, width, &mut ledger);
+    let s_label = aggregate_to_root(
+        graph,
+        cfg,
+        &out.bfs,
+        &inject(s),
+        Agg::Min,
+        width,
+        &mut ledger,
+    );
+    let t_label = aggregate_to_root(
+        graph,
+        cfg,
+        &out.bfs,
+        &inject(t),
+        Agg::Min,
+        width,
+        &mut ledger,
+    );
     let accept = s_label == t_label;
     let _ = broadcast_from_root(graph, cfg, &out.bfs, u64::from(accept), 1, &mut ledger);
     VerificationRun { accept, ledger }
@@ -164,7 +187,10 @@ pub fn verify_simple_path(graph: &Graph, cfg: CongestConfig, m: &Subgraph) -> Ve
         .collect();
     let sw = bits_for(graph.node_count() as u64);
     let deg1_count = aggregate_to_root(graph, cfg, &out.bfs, &deg1, Agg::Sum, sw, &mut ledger);
-    let degrees_all: Vec<u64> = graph.nodes().map(|n| m.degree_in(graph, n) as u64).collect();
+    let degrees_all: Vec<u64> = graph
+        .nodes()
+        .map(|n| m.degree_in(graph, n) as u64)
+        .collect();
     let degree_sum = aggregate_to_root(
         graph,
         cfg,
@@ -377,10 +403,7 @@ mod tests {
             &[(NodeId(0), NodeId(1)), (NodeId(3), NodeId(4))],
         );
         assert!(verify_cut(&g, cfg(), &m).accept);
-        assert_eq!(
-            verify_cut(&g, cfg(), &m).accept,
-            predicates::is_cut(&g, &m)
-        );
+        assert_eq!(verify_cut(&g, cfg(), &m).accept, predicates::is_cut(&g, &m));
         // Removing M splits the 6-cycle into arcs {1,2,3} and {4,5,0}.
         assert!(verify_st_cut(&g, cfg(), &m, NodeId(1), NodeId(4)).accept);
         assert!(!verify_st_cut(&g, cfg(), &m, NodeId(1), NodeId(3)).accept);

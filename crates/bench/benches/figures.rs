@@ -41,16 +41,20 @@ fn bench_ex11(c: &mut Criterion) {
     for &b_len in &[256usize, 1024] {
         let x = generate::random_bits(b_len, 5);
         let y: Vec<bool> = x.iter().map(|&v| !v).collect();
-        g.bench_with_input(BenchmarkId::new("classical_stream", b_len), &b_len, |b, _| {
-            b.iter(|| {
-                classical_disjointness(
-                    black_box(&x),
-                    black_box(&y),
-                    8,
-                    CongestConfig::classical(16),
-                )
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("classical_stream", b_len),
+            &b_len,
+            |b, _| {
+                b.iter(|| {
+                    classical_disjointness(
+                        black_box(&x),
+                        black_box(&y),
+                        8,
+                        CongestConfig::classical(16),
+                    )
+                })
+            },
+        );
     }
     g.finish();
 }

@@ -83,7 +83,12 @@ fn main() {
         ],
         &widths,
     );
-    let spt_edges = sssp.parent_port.iter().enumerate().filter(|(_, p)| p.is_some()).count();
+    let spt_edges = sssp
+        .parent_port
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.is_some())
+        .count();
     print_row(
         &[
             "shortest path tree",
@@ -159,7 +164,11 @@ fn main() {
 
     // Generalized Steiner forest.
     let groups = vec![
-        vec![NodeId(0), NodeId((n / 3) as u32), NodeId((2 * n / 3) as u32)],
+        vec![
+            NodeId(0),
+            NodeId((n / 3) as u32),
+            NodeId((2 * n / 3) as u32),
+        ],
         vec![NodeId(1), NodeId((n / 2) as u32)],
     ];
     let (forest, sf_weight) = steiner_forest(&g, &weights, &groups);

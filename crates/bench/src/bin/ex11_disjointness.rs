@@ -22,7 +22,10 @@ fn main() {
 
     println!("=== Example 1.1 (a): measured runs at distance D = {d}, B = {bandwidth} ===\n");
     let widths = [8, 12, 14, 14, 12];
-    print_header(&["b", "disjoint?", "classical rds", "quantum rds", "q wins?"], &widths);
+    print_header(
+        &["b", "disjoint?", "classical rds", "quantum rds", "q wins?"],
+        &widths,
+    );
     for &b in &[64usize, 256, 1024, 4096] {
         let x = generate::random_bits(b, 100 + b as u64);
         let mut y: Vec<bool> = x.iter().map(|&v| !v).collect();
@@ -48,7 +51,10 @@ fn main() {
 
     println!("\n=== Example 1.1 (b): closed-form crossover (D = {d}, B = {bandwidth}) ===\n");
     let widths = [12, 16, 16, 10];
-    print_header(&["b", "classical D+b/B", "quantum 2D·π√b/4", "q wins?"], &widths);
+    print_header(
+        &["b", "classical D+b/B", "quantum 2D·π√b/4", "q wins?"],
+        &widths,
+    );
     let mut crossover = None;
     for k in 6..=24 {
         let b = 1usize << k;

@@ -16,9 +16,15 @@ fn main() {
     );
     let r = run_pipeline(&cfg);
 
-    println!("[games]   CHSH classical bias        = {}", fmt_f(r.chsh_classical_bias));
-    println!("[games]   CHSH entangled bias        = {} (Tsirelson √2/2 = {})",
-        fmt_f(r.chsh_quantum_bias), fmt_f(std::f64::consts::FRAC_1_SQRT_2));
+    println!(
+        "[games]   CHSH classical bias        = {}",
+        fmt_f(r.chsh_classical_bias)
+    );
+    println!(
+        "[games]   CHSH entangled bias        = {} (Tsirelson √2/2 = {})",
+        fmt_f(r.chsh_quantum_bias),
+        fmt_f(std::f64::consts::FRAC_1_SQRT_2)
+    );
     println!(
         "[Lem 3.2] abort-game survival        = {} (predicted 4^-2c = {}), correct|survive = {}",
         fmt_f(r.abort.survival_rate),
@@ -36,7 +42,11 @@ fn main() {
     );
     println!(
         "[Thm 3.4] IPmod3 → Ham gadget chain  = {}",
-        if r.gadget_ok { "validated (Lemma C.3 holds, matchings perfect)" } else { "FAILED" }
+        if r.gadget_ok {
+            "validated (Lemma C.3 holds, matchings perfect)"
+        } else {
+            "FAILED"
+        }
     );
     println!(
         "[Thm 3.5] network N                  = {} nodes, diameter {} (Θ(log L)), horizon {}",
@@ -47,7 +57,11 @@ fn main() {
         r.audit.total_paid(),
         r.audit.max_paid_per_round,
         r.audit.per_round_budget,
-        if r.audit.within_budget { "WITHIN BUDGET" } else { "EXCEEDED" }
+        if r.audit.within_budget {
+            "WITHIN BUDGET"
+        } else {
+            "EXCEEDED"
+        }
     );
     println!(
         "[Thm 3.6] distributed decision ok    = {}, round lower bound at this n: Ω({}) rounds",

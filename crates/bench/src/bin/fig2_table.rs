@@ -18,7 +18,15 @@ fn main() {
 
     println!("=== Figure 2 (a): the bounds table at n = 4096, B = 16 ===\n");
     let widths = [44, 52, 62, 10];
-    print_header(&["problem", "previous", "this paper (quantum + entanglement)", "rounds"], &widths);
+    print_header(
+        &[
+            "problem",
+            "previous",
+            "this paper (quantum + entanglement)",
+            "rounds",
+        ],
+        &widths,
+    );
     for row in bounds::fig2_rows(4096, 16) {
         print_row(
             &[row.problem, row.previous, row.new, &fmt_f(row.bound_rounds)],
@@ -26,10 +34,20 @@ fn main() {
         );
     }
 
-    println!("\n=== Figure 2 (b): measured verification rounds vs the Ω(√(n/(B log n))) shape ===\n");
+    println!(
+        "\n=== Figure 2 (b): measured verification rounds vs the Ω(√(n/(B log n))) shape ===\n"
+    );
     let widths = [8, 8, 8, 10, 12, 12, 16];
     print_header(
-        &["Γ", "L", "n", "diam", "Ham rounds", "ST rounds", "Ω-bound (rounds)"],
+        &[
+            "Γ",
+            "L",
+            "n",
+            "diam",
+            "Ham rounds",
+            "ST rounds",
+            "Ω-bound (rounds)",
+        ],
         &widths,
     );
     for &(gamma, l) in &[(6usize, 9usize), (9, 17), (13, 17), (19, 33), (27, 33)] {

@@ -31,9 +31,11 @@ fn main() {
     let m = net.embed_matchings(&carol, &david);
 
     println!("=== Figure 3: T(n, W) for n = {n}, α = {alpha}, B = {bandwidth}, D = {diam} ===\n");
-    println!("theory crossovers: W = α√n ≈ {}, W = αn ≈ {}\n",
+    println!(
+        "theory crossovers: W = α√n ≈ {}, W = αn ≈ {}\n",
         fmt_f(bounds::fig3_first_crossover(n, alpha)),
-        fmt_f(bounds::fig3_second_crossover(n, alpha)));
+        fmt_f(bounds::fig3_second_crossover(n, alpha))
+    );
 
     let widths = [8, 14, 14, 14, 16, 16, 12];
     print_header(
@@ -48,7 +50,10 @@ fn main() {
         ],
         &widths,
     );
-    let opt = qdc_graph::algorithms::kruskal_mst(net.graph(), &theorems::weight_gadget(net.graph(), &m, 1));
+    let opt = qdc_graph::algorithms::kruskal_mst(
+        net.graph(),
+        &theorems::weight_gadget(net.graph(), &m, 1),
+    );
     let _ = opt;
     for &w in &[2u64, 8, 32, 128, 512, 2048] {
         let weights = theorems::weight_gadget(net.graph(), &m, w);
@@ -56,12 +61,17 @@ fn main() {
         let approx = mst_approx_sweep(net.graph(), cfg, &weights, alpha);
         let exact = mst_exact(net.graph(), cfg, &weights);
         let reference = qdc_graph::algorithms::kruskal_mst(net.graph(), &weights);
-        assert_eq!(exact.total_weight, reference.total_weight, "exact MST must match Kruskal");
+        assert_eq!(
+            exact.total_weight, reference.total_weight,
+            "exact MST must match Kruskal"
+        );
         let ratio_ok = approx.total_weight as f64 <= alpha * reference.total_weight as f64;
         print_row(
             &[
                 &w.to_string(),
-                &fmt_f(bounds::optimization_lower_bound(n, bandwidth, w as f64, alpha)),
+                &fmt_f(bounds::optimization_lower_bound(
+                    n, bandwidth, w as f64, alpha,
+                )),
                 &fmt_f(bounds::elkin_upper(w as f64, alpha, diam)),
                 &fmt_f(bounds::sqrt_n_plus_d_upper(n, diam)),
                 &approx.ledger.rounds.to_string(),

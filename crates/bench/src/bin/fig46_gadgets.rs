@@ -35,7 +35,17 @@ fn main() {
 
     println!("\n=== Figures 6 & 12: IPmod3 → Ham over random inputs (Lemma C.3) ===\n");
     let widths = [6, 14, 10, 8, 12, 14];
-    print_header(&["n", "Σxᵢyᵢ mod 3", "Ham?", "cycles", "|V(G)|", "matchings ok"], &widths);
+    print_header(
+        &[
+            "n",
+            "Σxᵢyᵢ mod 3",
+            "Ham?",
+            "cycles",
+            "|V(G)|",
+            "matchings ok",
+        ],
+        &widths,
+    );
     for &(n, seed) in &[(8usize, 1u64), (32, 2), (64, 3), (128, 4), (256, 5)] {
         let x = generate::random_bits(n, seed);
         let y = generate::random_bits(n, seed + 100);

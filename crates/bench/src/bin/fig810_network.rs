@@ -29,10 +29,26 @@ fn main() {
     println!("=== Figures 8/10/13 + Observation D.2: size and diameter of N(Γ, L) ===\n");
     let widths = [6, 6, 6, 8, 8, 14, 10, 16];
     print_header(
-        &["Γ", "L", "k", "nodes", "ΓL", "diam (with)", "4k+8", "diam (no hwy)"],
+        &[
+            "Γ",
+            "L",
+            "k",
+            "nodes",
+            "ΓL",
+            "diam (with)",
+            "4k+8",
+            "diam (no hwy)",
+        ],
         &widths,
     );
-    for &(gamma, l) in &[(4usize, 9usize), (4, 17), (4, 33), (4, 65), (8, 33), (16, 33)] {
+    for &(gamma, l) in &[
+        (4usize, 9usize),
+        (4, 17),
+        (4, 33),
+        (4, 65),
+        (8, 33),
+        (16, 33),
+    ] {
         let net = SimulationNetwork::build(gamma, l);
         let with = algorithms::diameter(net.graph()).unwrap();
         let without = algorithms::diameter(&ladder_without_highways(gamma, net.length())).unwrap();
@@ -54,7 +70,10 @@ fn main() {
 
     println!("\n=== Observation 8.1: cycles(M) = cycles(G) for random matchings ===\n");
     let widths = [8, 10, 12, 12, 8];
-    print_header(&["tracks", "seed", "cycles(G)", "cycles(M)", "equal"], &widths);
+    print_header(
+        &["tracks", "seed", "cycles(G)", "cycles(M)", "equal"],
+        &widths,
+    );
     let mut shown = 0;
     let mut seed = 0u64;
     while shown < 6 {

@@ -11,7 +11,10 @@ use qdc_quantum::protocols::epr_pair;
 fn main() {
     let game = XorGame::chsh();
     println!("=== CHSH: the canonical XOR game ===\n");
-    println!("classical bias (exact enumeration): {}", fmt_f(game.classical_bias()));
+    println!(
+        "classical bias (exact enumeration): {}",
+        fmt_f(game.classical_bias())
+    );
     println!(
         "entangled bias (optimal strategy):  {}  (Tsirelson √2/2 = {})\n",
         fmt_f(game.entangled_bias(&chsh_optimal_strategy())),

@@ -22,7 +22,10 @@ fn main() {
     println!("congestion phenomenon the question is about:\n");
 
     let widths = [24, 8, 8, 12, 14];
-    print_header(&["network", "n", "diam", "APSP rounds", "rounds / n"], &widths);
+    print_header(
+        &["network", "n", "diam", "APSP rounds", "rounds / n"],
+        &widths,
+    );
     let hard = SimulationNetwork::build(8, 17);
     let nets: Vec<(&str, qdc_graph::Graph)> = vec![
         ("ring", topology::ring(32)),
@@ -34,7 +37,10 @@ fn main() {
     for (name, g) in &nets {
         let run = distributed_apsp(g, cfg);
         let diam = algorithms::diameter(g).unwrap();
-        assert_eq!(run.diameter, diam, "{name}: distributed diameter must be exact");
+        assert_eq!(
+            run.diameter, diam,
+            "{name}: distributed diameter must be exact"
+        );
         let n = g.node_count();
         print_row(
             &[

@@ -49,7 +49,12 @@ fn main() {
     println!("=== §3.1: classical Server model ≡ two-party model (simulation) ===\n");
     let widths = [14, 14, 14, 22];
     print_header(
-        &["problem", "cost (bits)", "outputs agree", "two-party cost equal"],
+        &[
+            "problem",
+            "cost (bits)",
+            "outputs agree",
+            "two-party cost equal",
+        ],
         &widths,
     );
     check(Equality::new(16), 1, &widths);

@@ -57,7 +57,17 @@ fn main() {
     println!("workload: min-label flood along the embedded M (quantum channel, B = {bandwidth})\n");
     let widths = [6, 6, 6, 10, 10, 12, 14, 12, 10];
     print_header(
-        &["Γ", "L", "k", "horizon", "rounds", "paid bits", "max/round", "6kB budget", "within"],
+        &[
+            "Γ",
+            "L",
+            "k",
+            "horizon",
+            "rounds",
+            "paid bits",
+            "max/round",
+            "6kB budget",
+            "within",
+        ],
         &widths,
     );
     for &(gamma, l) in &[(11usize, 17usize), (11, 33), (11, 65), (27, 33), (59, 33)] {

@@ -37,7 +37,14 @@ fn main() {
     println!("\n=== measured verification rounds on hard networks (scaled) ===\n");
     let widths = [8, 10, 12, 12, 14, 12];
     print_header(
-        &["n", "√n", "Ham rounds", "ST rounds", "Ham→ST agree", "Ω-bound"],
+        &[
+            "n",
+            "√n",
+            "Ham rounds",
+            "ST rounds",
+            "Ham→ST agree",
+            "Ω-bound",
+        ],
         &widths,
     );
     for &(gamma, l) in &[(6usize, 9usize), (11, 17), (19, 17), (27, 33), (43, 33)] {

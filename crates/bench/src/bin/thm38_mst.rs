@@ -21,7 +21,13 @@ fn main() {
     println!("=== §9.2 parameters across the (W, α) plane at n = {n_theory} ===\n");
     let widths = [10, 6, 8, 10, 12, 12];
     print_header(&["W", "α", "L", "Γ", "Γ·L / n", "Ω-bound"], &widths);
-    for &(w, alpha) in &[(64f64, 2f64), (512.0, 2.0), (4096.0, 2.0), (4096.0, 8.0), (1e9, 2.0)] {
+    for &(w, alpha) in &[
+        (64f64, 2f64),
+        (512.0, 2.0),
+        (4096.0, 2.0),
+        (4096.0, 8.0),
+        (1e9, 2.0),
+    ] {
         let p = theorems::theorem38_params(n_theory, bandwidth, w, alpha);
         print_row(
             &[
@@ -30,7 +36,9 @@ fn main() {
                 &p.l.to_string(),
                 &p.gamma.to_string(),
                 &fmt_f(p.node_scale() as f64 / n_theory as f64),
-                &fmt_f(bounds::optimization_lower_bound(n_theory, bandwidth, w, alpha)),
+                &fmt_f(bounds::optimization_lower_bound(
+                    n_theory, bandwidth, w, alpha,
+                )),
             ],
             &widths,
         );
@@ -45,10 +53,22 @@ fn main() {
     let n = net.graph().node_count();
     let alpha = 2.0;
     let w = (alpha as u64) * (n as u64) * 2; // W > αn: the separating regime
-    println!("network: {} nodes, tracks = {tracks}, α = {alpha}, W = {w}\n", n);
+    println!(
+        "network: {} nodes, tracks = {tracks}, α = {alpha}, W = {w}\n",
+        n
+    );
 
     let widths = [10, 14, 16, 14, 12];
-    print_header(&["Δ planted", "cycles in M", "approx MST wt", "α(n−1) thr", "accept"], &widths);
+    print_header(
+        &[
+            "Δ planted",
+            "cycles in M",
+            "approx MST wt",
+            "α(n−1) thr",
+            "accept",
+        ],
+        &widths,
+    );
     let (carol, base_david) = generate::hamiltonian_matching_pair(tracks);
     for &delta in &[0usize, 1, 2, 4] {
         // Plant δ "breaks": rotate δ pairs of David's matching so G splits
@@ -67,7 +87,12 @@ fn main() {
         let m = net.embed_matchings(&carol, &david);
         let cycles = qdc_graph::predicates::cycle_count_two_regular(net.graph(), &m).unwrap();
         let weights = theorems::weight_gadget(net.graph(), &m, w);
-        let run = mst_approx_sweep(net.graph(), CongestConfig::classical(bandwidth), &weights, alpha);
+        let run = mst_approx_sweep(
+            net.graph(),
+            CongestConfig::classical(bandwidth),
+            &weights,
+            alpha,
+        );
         let accept = theorems::decide_connected_from_mst(run.total_weight, n, alpha);
         // Soundness: accept iff M is (spanning-)connected.
         let truly_connected =

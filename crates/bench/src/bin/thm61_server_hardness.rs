@@ -45,7 +45,14 @@ fn main() {
     println!("\n=== Theorem 6.1: Q*₀(βn-Eq) = Ω(n) via GV fooling sets ===\n");
     let widths = [8, 8, 14, 14, 16, 18];
     print_header(
-        &["n", "2βn", "GV log₂ bound", "greedy log₂", "KdW quantum ≥", "server (ε=1/2) ≥"],
+        &[
+            "n",
+            "2βn",
+            "GV log₂ bound",
+            "greedy log₂",
+            "KdW quantum ≥",
+            "server (ε=1/2) ≥",
+        ],
         &widths,
     );
     for &n in &[32usize, 64, 96, 128] {
@@ -56,7 +63,8 @@ fn main() {
         let target = (1usize << ((gv_log2_size_bound(n, d) * 0.8) as usize).min(12)).max(16);
         let code = greedy_random_code(n, d, target, 400_000, 9);
         let fs = gap_equality_fooling_set(&code, d - 1);
-        fs.verify(&GapEquality::new(n, d - 1)).expect("valid fooling set");
+        fs.verify(&GapEquality::new(n, d - 1))
+            .expect("valid fooling set");
         print_row(
             &[
                 &n.to_string(),

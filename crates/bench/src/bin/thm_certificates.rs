@@ -4,14 +4,14 @@
 //! hardness × simulation cost × parameter choice — at several scales,
 //! with every constant explicit.
 
-use qdc_core::certificates::{
-    theorem36_certificate, theorem38_certificate, CompositionConstants,
-};
+use qdc_core::certificates::{theorem36_certificate, theorem38_certificate, CompositionConstants};
 
 fn main() {
     let consts = CompositionConstants::default();
-    println!("=== Executable §9 certificates (c′ = {}, c = {}) ===\n",
-        consts.server_constant, consts.simulation_constant);
+    println!(
+        "=== Executable §9 certificates (c′ = {}, c = {}) ===\n",
+        consts.server_constant, consts.simulation_constant
+    );
 
     for &n in &[1usize << 14, 1 << 18, 1 << 22] {
         println!("{}", theorem36_certificate(n, 16, &consts).render());
@@ -19,7 +19,10 @@ fn main() {
 
     println!("--- Theorem 3.8 across the W sweep (n = 2^18, α = 2) ---\n");
     for &w in &[256.0f64, 4096.0, 1e9] {
-        println!("{}", theorem38_certificate(1 << 18, 16, w, 2.0, &consts).render());
+        println!(
+            "{}",
+            theorem38_certificate(1 << 18, 16, w, 2.0, &consts).render()
+        );
     }
 
     // The measured simulation constant (audits stay under 2) tightens the

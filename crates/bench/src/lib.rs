@@ -73,7 +73,7 @@ mod tests {
     fn formatting() {
         assert_eq!(fmt_f(0.0), "0");
         assert_eq!(fmt_f(1234.6), "1235");
-        assert_eq!(fmt_f(3.14159), "3.14");
+        assert_eq!(fmt_f(12.3456), "12.35");
         assert_eq!(fmt_f(0.1234), "0.1234");
     }
 }

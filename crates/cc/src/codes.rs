@@ -17,7 +17,10 @@ use rand_chacha::ChaCha8Rng;
 ///
 /// Panics if `p` is outside `[0, 1]`.
 pub fn binary_entropy(p: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&p), "entropy argument must be in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "entropy argument must be in [0,1]"
+    );
     if p == 0.0 || p == 1.0 {
         return 0.0;
     }
@@ -37,7 +40,12 @@ pub fn gv_log2_size_bound(n: usize, d: usize) -> f64 {
         vol_terms.push(log_binom);
     }
     let max = vol_terms.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    let log_vol = max + vol_terms.iter().map(|&t| 2f64.powf(t - max)).sum::<f64>().log2();
+    let log_vol = max
+        + vol_terms
+            .iter()
+            .map(|&t| 2f64.powf(t - max))
+            .sum::<f64>()
+            .log2();
     n as f64 - log_vol
 }
 

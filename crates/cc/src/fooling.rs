@@ -121,7 +121,12 @@ pub fn gap_equality_fooling_set(code: &BinaryCode, delta: usize) -> FoolingSet {
         "code distance {} must exceed the gap {delta}",
         code.min_distance()
     );
-    FoolingSet::from_pairs(code.words().iter().map(|w| (w.clone(), w.clone())).collect())
+    FoolingSet::from_pairs(
+        code.words()
+            .iter()
+            .map(|w| (w.clone(), w.clone()))
+            .collect(),
+    )
 }
 
 /// The classic fooling set for Set Disjointness on `n` bits:

@@ -236,8 +236,8 @@ impl IpMod3PromiseSampler {
         let mut x = Vec::with_capacity(4 * self.blocks);
         let mut y = Vec::with_capacity(4 * self.blocks);
         for _ in 0..self.blocks {
-            x.extend_from_slice(&Self::X_BLOCKS[rng.gen_range(0..4)]);
-            y.extend_from_slice(&Self::Y_BLOCKS[rng.gen_range(0..4)]);
+            x.extend_from_slice(&Self::X_BLOCKS[rng.gen_range(0..4usize)]);
+            y.extend_from_slice(&Self::Y_BLOCKS[rng.gen_range(0..4usize)]);
         }
         (x, y)
     }

@@ -96,7 +96,11 @@ impl CommunicationMatrix {
     pub fn rank_real(&self) -> usize {
         let size = self.size();
         let mut m: Vec<Vec<f64>> = (0..size)
-            .map(|x| (0..size).map(|y| f64::from(u8::from(self.get(x, y)))).collect())
+            .map(|x| {
+                (0..size)
+                    .map(|y| f64::from(u8::from(self.get(x, y))))
+                    .collect()
+            })
             .collect();
         let mut rank = 0;
         for col in 0..size {

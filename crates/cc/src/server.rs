@@ -165,7 +165,11 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         for _ in 0..40 {
             let x: Vec<bool> = (0..7).map(|_| rng.gen()).collect();
-            let y: Vec<bool> = if rng.gen() { x.clone() } else { (0..7).map(|_| rng.gen()).collect() };
+            let y: Vec<bool> = if rng.gen() {
+                x.clone()
+            } else {
+                (0..7).map(|_| rng.gen()).collect()
+            };
             let run = run_server(&p, &x, &y);
             assert_eq!(run.output, x == y);
             assert_eq!(run.cost(), 4 * 4); // ⌈7/2⌉ = 4 rounds, 4 bits each

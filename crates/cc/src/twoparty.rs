@@ -66,8 +66,7 @@ impl<F: TwoPartyFunction> TrivialProtocol<F> {
 
 impl<F: TwoPartyFunction> TwoPartyProtocol for TrivialProtocol<F> {
     fn run<R: Rng + ?Sized>(&self, x: &[bool], y: &[bool], _rng: &mut R) -> TwoPartyRun {
-        let mut transcript: Vec<(Party, bool)> =
-            x.iter().map(|&b| (Party::Alice, b)).collect();
+        let mut transcript: Vec<(Party, bool)> = x.iter().map(|&b| (Party::Alice, b)).collect();
         let output = self.f.evaluate(x, y);
         transcript.push((Party::Bob, output));
         TwoPartyRun {
@@ -168,8 +167,7 @@ impl TwoPartyProtocol for StreamingIpMod3 {
     fn run<R: Rng + ?Sized>(&self, x: &[bool], y: &[bool], _rng: &mut R) -> TwoPartyRun {
         assert_eq!(x.len(), self.n, "x has wrong length");
         assert_eq!(y.len(), self.n, "y has wrong length");
-        let mut transcript: Vec<(Party, bool)> =
-            x.iter().map(|&b| (Party::Alice, b)).collect();
+        let mut transcript: Vec<(Party, bool)> = x.iter().map(|&b| (Party::Alice, b)).collect();
         let residue = x.iter().zip(y).filter(|&(&a, &b)| a && b).count() % 3;
         transcript.push((Party::Bob, residue & 1 == 1));
         transcript.push((Party::Bob, residue & 2 == 2));
@@ -188,12 +186,7 @@ impl TwoPartyProtocol for StreamingIpMod3 {
 
 /// Empirical error rate of a protocol against the truth function over
 /// random inputs — used to validate randomized protocols' stated error.
-pub fn measure_error<P, F, R>(
-    protocol: &P,
-    truth: &F,
-    trials: usize,
-    rng: &mut R,
-) -> f64
+pub fn measure_error<P, F, R>(protocol: &P, truth: &F, trials: usize, rng: &mut R) -> f64
 where
     P: TwoPartyProtocol,
     F: TwoPartyFunction,
@@ -279,7 +272,9 @@ mod tests {
         let p = FingerprintEquality::new(1 << 16, 20);
         assert_eq!(p.worst_case_bits(), 40);
         // Versus the trivial protocol's 65537 bits.
-        assert!(p.worst_case_bits() < TrivialProtocol::new(Equality::new(1 << 16)).worst_case_bits());
+        assert!(
+            p.worst_case_bits() < TrivialProtocol::new(Equality::new(1 << 16)).worst_case_bits()
+        );
     }
 
     #[test]

@@ -5,8 +5,17 @@
 //! words and provides a little-endian writer/reader pair for encoding
 //! fixed-width integers — the only serialization the distributed
 //! algorithms need.
+//!
+//! All bulk operations (`push_uint`, `read_uint`, `extend_bits`,
+//! `from_bools`, `to_bools`) work on whole 64-bit words with at most one
+//! cross-word split per call, not bit-by-bit loops; the bit-by-bit
+//! originals survive in the test module as a differential oracle.
 
 /// A growable bit string packed into 64-bit words.
+///
+/// Invariant: `words.len() == len.div_ceil(64)` and every bit at
+/// position `>= len` in the last word is zero. Equality and hashing
+/// therefore compare packed words directly.
 ///
 /// # Example
 ///
@@ -41,19 +50,36 @@ impl std::fmt::Debug for BitString {
     }
 }
 
+/// The low `width` bits set, for `width <= 64`.
+#[inline(always)]
+fn low_mask(width: usize) -> u64 {
+    if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
 impl BitString {
     /// An empty bit string.
     pub fn new() -> Self {
         BitString::default()
     }
 
-    /// Builds from a slice of bools.
+    /// Builds from a slice of bools, packing 64 bits per word.
     pub fn from_bools(bits: &[bool]) -> Self {
-        let mut s = BitString::new();
-        for &b in bits {
-            s.push_bit(b);
+        let mut words = Vec::with_capacity(bits.len().div_ceil(64));
+        for chunk in bits.chunks(64) {
+            let mut w = 0u64;
+            for (i, &b) in chunk.iter().enumerate() {
+                w |= (b as u64) << i;
+            }
+            words.push(w);
         }
-        s
+        BitString {
+            words,
+            len: bits.len(),
+        }
     }
 
     /// Number of bits.
@@ -81,17 +107,17 @@ impl BitString {
 
     /// Appends a single bit.
     pub fn push_bit(&mut self, bit: bool) {
-        let word = self.len / 64;
-        if word == self.words.len() {
-            self.words.push(0);
-        }
-        if bit {
-            self.words[word] |= 1u64 << (self.len % 64);
+        let offset = self.len % 64;
+        if offset == 0 {
+            self.words.push(bit as u64);
+        } else if bit {
+            *self.words.last_mut().expect("non-empty by invariant") |= 1u64 << offset;
         }
         self.len += 1;
     }
 
-    /// Appends the low `width` bits of `value`, least-significant first.
+    /// Appends the low `width` bits of `value`, least-significant first,
+    /// in at most two word operations.
     ///
     /// # Panics
     ///
@@ -102,21 +128,85 @@ impl BitString {
             width == 64 || value < (1u64 << width),
             "value {value} does not fit in {width} bits"
         );
-        for i in 0..width {
-            self.push_bit(value >> i & 1 == 1);
+        if width == 0 {
+            return;
         }
+        let offset = self.len % 64;
+        if offset == 0 {
+            self.words.push(value);
+        } else {
+            *self.words.last_mut().expect("non-empty by invariant") |= value << offset;
+            if offset + width > 64 {
+                self.words.push(value >> (64 - offset));
+            }
+        }
+        self.len += width;
     }
 
-    /// Appends another bit string.
+    /// Appends another bit string, word by word (one cross-word split per
+    /// 64 bits when the tail is unaligned, a plain `Vec` extend when it
+    /// is aligned).
     pub fn extend_bits(&mut self, other: &BitString) {
-        for i in 0..other.len {
-            self.push_bit(other.get(i));
+        if other.len == 0 {
+            return;
+        }
+        if self.len.is_multiple_of(64) {
+            self.words.extend_from_slice(&other.words);
+            self.len += other.len;
+            return;
+        }
+        let mut remaining = other.len;
+        for &w in &other.words {
+            let take = remaining.min(64);
+            // The invariant zeroes bits past `other.len`, so `w` already
+            // fits in `take` bits and splits like a `push_uint`.
+            let offset = self.len % 64;
+            if offset == 0 {
+                self.words.push(w);
+            } else {
+                *self.words.last_mut().expect("non-empty by invariant") |= w << offset;
+                if offset + take > 64 {
+                    self.words.push(w >> (64 - offset));
+                }
+            }
+            self.len += take;
+            remaining -= take;
         }
     }
 
-    /// Materializes into a vector of bools.
+    /// Materializes into a vector of bools, unpacking one word at a time.
     pub fn to_bools(&self) -> Vec<bool> {
-        (0..self.len).map(|i| self.get(i)).collect()
+        let mut out = Vec::with_capacity(self.len);
+        let mut remaining = self.len;
+        for &w in &self.words {
+            let take = remaining.min(64);
+            for i in 0..take {
+                out.push(w >> i & 1 == 1);
+            }
+            remaining -= take;
+        }
+        out
+    }
+
+    /// The `width`-bit little-endian integer starting at bit `start`,
+    /// assembled from at most two words.
+    ///
+    /// Requires `start + width <= len` and `width <= 64` (checked by
+    /// callers).
+    #[inline]
+    fn extract(&self, start: usize, width: usize) -> u64 {
+        if width == 0 {
+            return 0;
+        }
+        let word = start / 64;
+        let offset = start % 64;
+        let lo = self.words[word] >> offset;
+        let v = if offset + width > 64 {
+            lo | self.words[word + 1] << (64 - offset)
+        } else {
+            lo
+        };
+        v & low_mask(width)
     }
 
     /// A sequential reader over the bits.
@@ -155,7 +245,8 @@ impl BitReader<'_> {
     }
 
     /// Reads a `width`-bit little-endian unsigned integer, or `None` if
-    /// fewer than `width` bits remain.
+    /// fewer than `width` bits remain. The value is assembled from at
+    /// most two packed words.
     ///
     /// # Panics
     ///
@@ -165,12 +256,7 @@ impl BitReader<'_> {
         if self.pos + width > self.bits.len() {
             return None;
         }
-        let mut v = 0u64;
-        for i in 0..width {
-            if self.bits.get(self.pos + i) {
-                v |= 1 << i;
-            }
-        }
+        let v = self.bits.extract(self.pos, width);
         self.pos += width;
         Some(v)
     }
@@ -184,6 +270,56 @@ impl BitReader<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
+
+    /// The original bit-by-bit implementations, retained verbatim as a
+    /// differential-testing oracle for the word-level fast paths.
+    mod oracle {
+        use super::BitString;
+
+        pub fn push_uint(s: &mut BitString, value: u64, width: usize) {
+            assert!(width <= 64, "width exceeds 64");
+            assert!(
+                width == 64 || value < (1u64 << width),
+                "value {value} does not fit in {width} bits"
+            );
+            for i in 0..width {
+                s.push_bit(value >> i & 1 == 1);
+            }
+        }
+
+        pub fn read_uint(s: &BitString, pos: usize, width: usize) -> Option<u64> {
+            assert!(width <= 64, "width exceeds 64");
+            if pos + width > s.len() {
+                return None;
+            }
+            let mut v = 0u64;
+            for i in 0..width {
+                if s.get(pos + i) {
+                    v |= 1 << i;
+                }
+            }
+            Some(v)
+        }
+
+        pub fn extend_bits(s: &mut BitString, other: &BitString) {
+            for i in 0..other.len() {
+                s.push_bit(other.get(i));
+            }
+        }
+
+        pub fn from_bools(bits: &[bool]) -> BitString {
+            let mut s = BitString::new();
+            for &b in bits {
+                s.push_bit(b);
+            }
+            s
+        }
+
+        pub fn to_bools(s: &BitString) -> Vec<bool> {
+            (0..s.len()).map(|i| s.get(i)).collect()
+        }
+    }
 
     #[test]
     fn push_and_get_bits() {
@@ -199,7 +335,14 @@ mod tests {
 
     #[test]
     fn uint_roundtrip_various_widths() {
-        for &(v, w) in &[(0u64, 1usize), (1, 1), (5, 3), (255, 8), (1 << 40, 41), (u64::MAX, 64)] {
+        for &(v, w) in &[
+            (0u64, 1usize),
+            (1, 1),
+            (5, 3),
+            (255, 8),
+            (1 << 40, 41),
+            (u64::MAX, 64),
+        ] {
             let mut b = BitString::new();
             b.push_uint(v, w);
             assert_eq!(b.len(), w);
@@ -266,8 +409,110 @@ mod tests {
     }
 
     #[test]
+    fn zero_width_push_is_a_noop() {
+        let mut b = BitString::new();
+        b.push_uint(0, 0);
+        assert!(b.is_empty());
+        b.push_uint(5, 3);
+        b.push_uint(0, 0);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.reader().read_uint(3), Some(5));
+    }
+
+    #[test]
+    fn word_invariant_holds_after_mixed_pushes() {
+        // High bits past `len` must stay zero or equality/extend break.
+        let mut b = BitString::new();
+        b.push_uint(u64::MAX, 64);
+        b.push_uint(1, 1);
+        assert_eq!(b.words.len(), 2);
+        assert_eq!(b.words[1], 1);
+        let mut c = BitString::new();
+        for _ in 0..64 {
+            c.push_bit(true);
+        }
+        c.push_bit(true);
+        assert_eq!(b, c);
+    }
+
+    #[test]
     fn debug_is_compact() {
         let b = BitString::from_bools(&[true, false, true]);
         assert_eq!(format!("{b:?}"), "BitString[101]");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(192))]
+
+        /// Word-level `push_uint` produces bit-identical strings to the
+        /// bit-by-bit oracle on arbitrary (value, width) streams.
+        #[test]
+        fn push_uint_matches_oracle(fields in prop::collection::vec((any::<u64>(), 0usize..=64), 1..24)) {
+            let mut fast = BitString::new();
+            let mut slow = BitString::new();
+            for &(v, w) in &fields {
+                let masked = v & super::low_mask(w);
+                fast.push_uint(masked, w);
+                oracle::push_uint(&mut slow, masked, w);
+            }
+            prop_assert_eq!(&fast, &slow);
+            prop_assert_eq!(fast.words.len(), fast.len.div_ceil(64));
+        }
+
+        /// Word-level `read_uint` agrees with the oracle at every
+        /// position, including reads spanning word boundaries.
+        #[test]
+        fn read_uint_matches_oracle(fields in prop::collection::vec((any::<u64>(), 1usize..=64), 1..24)) {
+            let mut bits = BitString::new();
+            for &(v, w) in &fields {
+                bits.push_uint(v & super::low_mask(w), w);
+            }
+            let mut r = bits.reader();
+            let mut pos = 0usize;
+            for &(_, w) in &fields {
+                prop_assert_eq!(r.read_uint(w), oracle::read_uint(&bits, pos, w));
+                pos += w;
+            }
+            prop_assert_eq!(r.remaining(), 0);
+        }
+
+        /// `extend_bits` concatenation matches the push_bit-by-push_bit
+        /// oracle for arbitrary (unaligned) tail offsets.
+        #[test]
+        fn extend_bits_matches_oracle(
+            head in prop::collection::vec(any::<bool>(), 0..130),
+            tail in prop::collection::vec(any::<bool>(), 0..130),
+        ) {
+            let mut fast = BitString::from_bools(&head);
+            let mut slow = oracle::from_bools(&head);
+            let other = BitString::from_bools(&tail);
+            fast.extend_bits(&other);
+            oracle::extend_bits(&mut slow, &other);
+            prop_assert_eq!(&fast, &slow);
+            prop_assert_eq!(fast.len(), head.len() + tail.len());
+        }
+
+        /// Packed `from_bools`/`to_bools` round-trip and match the
+        /// push_bit oracle.
+        #[test]
+        fn bools_roundtrip_matches_oracle(v in prop::collection::vec(any::<bool>(), 0..300)) {
+            let fast = BitString::from_bools(&v);
+            let slow = oracle::from_bools(&v);
+            prop_assert_eq!(&fast, &slow);
+            prop_assert_eq!(fast.to_bools(), v.clone());
+            prop_assert_eq!(oracle::to_bools(&fast), v);
+        }
+
+        /// Cross-word-boundary pattern: a 64-bit value pushed at every
+        /// possible offset reads back exactly.
+        #[test]
+        fn full_word_at_every_offset(offset in 0usize..64, v in any::<u64>()) {
+            let mut b = BitString::new();
+            b.push_uint(low_mask(offset) & 0xAAAA_AAAA_AAAA_AAAA, offset);
+            b.push_uint(v, 64);
+            let mut r = b.reader();
+            r.read_uint(offset);
+            prop_assert_eq!(r.read_uint(64), Some(v));
+        }
     }
 }

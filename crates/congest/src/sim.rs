@@ -120,6 +120,29 @@ impl Inbox {
     pub fn from_slots(slots: Vec<Option<Message>>) -> Self {
         Inbox { msgs: slots }
     }
+
+    /// Recovers the raw per-port slots, so harness loops can reuse one
+    /// allocation round after round instead of rebuilding inboxes.
+    pub fn into_slots(self) -> Vec<Option<Message>> {
+        self.msgs
+    }
+
+    /// Empties every slot in place, keeping the allocation.
+    pub fn clear(&mut self) {
+        for slot in &mut self.msgs {
+            *slot = None;
+        }
+    }
+
+    /// Places `msg` in `port`'s slot — for harnesses that route messages
+    /// themselves into a reused inbox.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is out of range.
+    pub fn put(&mut self, port: usize, msg: Message) {
+        self.msgs[port] = Some(msg);
+    }
 }
 
 /// Staging area for a node's outgoing messages this round.
@@ -130,6 +153,7 @@ impl Inbox {
 pub struct Outbox {
     budget_bits: usize,
     msgs: Vec<Option<Message>>,
+    queued: usize,
 }
 
 impl Outbox {
@@ -137,6 +161,21 @@ impl Outbox {
         Outbox {
             budget_bits,
             msgs: vec![None; ports],
+            queued: 0,
+        }
+    }
+
+    /// Wraps an already-emptied slot vector, so the round loop reuses one
+    /// allocation per node instead of building a fresh `Vec` every round.
+    fn reuse(msgs: Vec<Option<Message>>, budget_bits: usize) -> Self {
+        debug_assert!(
+            msgs.iter().all(Option::is_none),
+            "reused outbox must start empty"
+        );
+        Outbox {
+            budget_bits,
+            msgs,
+            queued: 0,
         }
     }
 
@@ -159,6 +198,7 @@ impl Outbox {
             "port {port} already has a message this round (one message per edge per round)"
         );
         self.msgs[port] = Some(msg);
+        self.queued += 1;
     }
 
     /// Sends a copy of `msg` on every port.
@@ -181,6 +221,17 @@ impl Outbox {
     /// outside the simulator. The same budget discipline applies.
     pub fn detached(ports: usize, budget_bits: usize) -> Self {
         Outbox::new(ports, budget_bits)
+    }
+
+    /// A detached outbox reusing an already-emptied slot vector (as
+    /// returned by [`into_slots`](Outbox::into_slots) after the messages
+    /// were taken), so harness loops keep one allocation per node.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if any slot is still occupied.
+    pub fn detached_reusing(slots: Vec<Option<Message>>, budget_bits: usize) -> Self {
+        Outbox::reuse(slots, budget_bits)
     }
 
     /// Extracts the queued messages from a detached outbox.
@@ -241,9 +292,11 @@ pub struct TracedMessage {
 }
 
 /// Per-round record of every delivered message, produced by
-/// [`Simulator::run_traced`]. Round `r` of the trace holds the messages
-/// *delivered* in round `r + 1` of the run (i.e. sent at the end of round
-/// `r`).
+/// [`Simulator::run_traced`]. Entry `r` of [`rounds`](TrafficTrace::rounds)
+/// holds the messages delivered at the start of round `r + 1` of the
+/// unified round loop (sent during round `r`, with round 0 being
+/// `on_start`) — the same delivery schedule [`Stepper::step`] walks one
+/// round at a time.
 #[derive(Clone, Debug, Default)]
 pub struct TrafficTrace {
     /// `rounds[r]` lists the messages delivered in round `r + 1`.
@@ -258,13 +311,17 @@ pub struct Simulator<'g> {
     graph: &'g Graph,
     config: CongestConfig,
     infos: Vec<NodeInfo>,
+    /// `back_port[u][p]` is the port on which `u`'s neighbor over port
+    /// `p` sees `u` — precomputed so delivery routes each message in
+    /// O(1) instead of scanning the receiver's neighbor list.
+    back_port: Vec<Vec<usize>>,
 }
 
 impl<'g> Simulator<'g> {
     /// Prepares a simulator on `graph` with the given configuration.
     pub fn new(graph: &'g Graph, config: CongestConfig) -> Self {
         let n = graph.node_count();
-        let infos = graph
+        let infos: Vec<NodeInfo> = graph
             .nodes()
             .map(|u| NodeInfo {
                 id: u,
@@ -273,10 +330,34 @@ impl<'g> Simulator<'g> {
                 incident_edges: graph.incident(u).iter().map(|&(e, _)| e).collect(),
             })
             .collect();
+        // Invert the port maps in O(Σ deg) via edge ids: record each
+        // endpoint's port per edge, then read the opposite side.
+        let mut edge_ports: Vec<[usize; 2]> = vec![[usize::MAX; 2]; graph.edge_count()];
+        for info in &infos {
+            for (p, &e) in info.incident_edges.iter().enumerate() {
+                let (a, _) = graph.endpoints(e);
+                let side = usize::from(a != info.id);
+                edge_ports[e.index()][side] = p;
+            }
+        }
+        let back_port = infos
+            .iter()
+            .map(|info| {
+                info.incident_edges
+                    .iter()
+                    .map(|&e| {
+                        let (a, _) = graph.endpoints(e);
+                        let other_side = usize::from(a == info.id);
+                        edge_ports[e.index()][other_side]
+                    })
+                    .collect()
+            })
+            .collect();
         Simulator {
             graph,
             config,
             infos,
+            back_port,
         }
     }
 
@@ -293,6 +374,13 @@ impl<'g> Simulator<'g> {
     /// Per-node topology information (what node `v` is told at start).
     pub fn info(&self, v: NodeId) -> &NodeInfo {
         &self.infos[v.index()]
+    }
+
+    /// The port on which `u`'s neighbor over port `port` sees `u` — the
+    /// precomputed O(1) reverse of [`NodeInfo::port_to`], for harnesses
+    /// that route messages themselves.
+    pub fn back_port(&self, u: NodeId, port: usize) -> usize {
+        self.back_port[u.index()][port]
     }
 
     /// Runs the algorithm to termination or `max_rounds`, whichever comes
@@ -321,7 +409,7 @@ impl<'g> Simulator<'g> {
 
     fn run_impl<A, F>(
         &self,
-        mut init: F,
+        init: F,
         max_rounds: usize,
         traced: bool,
     ) -> (Vec<A>, RunReport, TrafficTrace)
@@ -329,85 +417,153 @@ impl<'g> Simulator<'g> {
         A: NodeAlgorithm,
         F: FnMut(&NodeInfo) -> A,
     {
-        let n = self.graph.node_count();
-        let mut nodes: Vec<A> = self.infos.iter().map(&mut init).collect();
+        let mut engine = self.engine_start(init);
+        let mut trace = TrafficTrace::default();
+        loop {
+            if engine.is_quiescent() {
+                engine.report.completed = true;
+                return (engine.nodes, engine.report, trace);
+            }
+            if engine.report.rounds >= max_rounds {
+                return (engine.nodes, engine.report, trace);
+            }
+            if traced {
+                let mut round_trace = Vec::new();
+                self.engine_round(&mut engine, Some(&mut round_trace));
+                trace.rounds.push(round_trace);
+            } else {
+                self.engine_round(&mut engine, None);
+            }
+        }
+    }
 
-        // Round 0: initialization sends.
-        let mut outgoing: Vec<Vec<Option<Message>>> = Vec::with_capacity(n);
+    /// Runs every node's `on_start` and sets up the reusable round
+    /// buffers — the shared entry point of [`run`](Simulator::run) and
+    /// [`Stepper`].
+    fn engine_start<A, F>(&self, mut init: F) -> Engine<A>
+    where
+        A: NodeAlgorithm,
+        F: FnMut(&NodeInfo) -> A,
+    {
+        let mut nodes: Vec<A> = self.infos.iter().map(&mut init).collect();
+        let mut outgoing = Vec::with_capacity(nodes.len());
+        let mut pending = 0usize;
         for (i, node) in nodes.iter_mut().enumerate() {
             let mut out = Outbox::new(self.infos[i].degree(), self.config.bandwidth_bits);
             node.on_start(&self.infos[i], &mut out);
+            pending += out.queued;
             outgoing.push(out.take());
         }
+        let inboxes = self
+            .infos
+            .iter()
+            .map(|info| Inbox::new(info.degree()))
+            .collect();
+        Engine {
+            nodes,
+            outgoing,
+            inboxes,
+            pending,
+            report: RunReport {
+                rounds: 0,
+                completed: false,
+                messages_sent: 0,
+                bits_sent: 0,
+                max_bits_per_round: 0,
+                channel: self.config.channel,
+            },
+        }
+    }
 
-        let mut report = RunReport {
-            rounds: 0,
-            completed: false,
-            messages_sent: 0,
-            bits_sent: 0,
-            max_bits_per_round: 0,
-            channel: self.config.channel,
-        };
-        let mut trace = TrafficTrace::default();
-
-        loop {
-            let in_flight = outgoing.iter().flatten().any(Option::is_some);
-            if !in_flight && nodes.iter().all(|a| a.is_terminated()) {
-                report.completed = true;
-                return (nodes, report, trace);
-            }
-            if report.rounds >= max_rounds {
-                return (nodes, report, trace);
-            }
-
-            // Deliver: message from u's port p goes to v's matching port.
-            let mut inboxes: Vec<Inbox> = self
-                .infos
-                .iter()
-                .map(|info| Inbox::new(info.degree()))
-                .collect();
-            let mut round_bits = 0u64;
-            let mut round_trace = Vec::new();
-            for (u, ports) in outgoing.iter_mut().enumerate() {
-                for (p, slot) in ports.iter_mut().enumerate() {
-                    if let Some(msg) = slot.take() {
-                        let v = self.infos[u].neighbors[p];
-                        let back_port = self.infos[v.index()]
-                            .port_to(NodeId::from(u))
-                            .expect("adjacency must be symmetric");
-                        report.messages_sent += 1;
-                        report.bits_sent += msg.bit_len() as u64;
-                        round_bits += msg.bit_len() as u64;
-                        if traced {
-                            round_trace.push(TracedMessage {
-                                from: NodeId::from(u),
-                                to: v,
-                                bits: msg.bit_len(),
-                            });
-                        }
-                        inboxes[v.index()].msgs[back_port] = Some(msg);
+    /// Executes one synchronous round — deliver, account, step every
+    /// node — on the engine's reusable buffers. This is the single round
+    /// implementation behind both [`Simulator::run`] and
+    /// [`Stepper::step`], so batch and stepped execution cannot diverge.
+    fn engine_round<A: NodeAlgorithm>(
+        &self,
+        engine: &mut Engine<A>,
+        mut round_trace: Option<&mut Vec<TracedMessage>>,
+    ) -> StepSummary {
+        // Deliver: message from u's port p goes to v's precomputed back
+        // port. Inboxes are cleared in place and reused.
+        for inbox in &mut engine.inboxes {
+            inbox.clear();
+        }
+        let mut messages = 0u64;
+        let mut bits = 0u64;
+        let Engine {
+            outgoing, inboxes, ..
+        } = engine;
+        for (u, ports) in outgoing.iter_mut().enumerate() {
+            let info = &self.infos[u];
+            let backs = &self.back_port[u];
+            for (p, slot) in ports.iter_mut().enumerate() {
+                if let Some(msg) = slot.take() {
+                    let v = info.neighbors[p];
+                    messages += 1;
+                    bits += msg.bit_len() as u64;
+                    if let Some(tr) = round_trace.as_deref_mut() {
+                        tr.push(TracedMessage {
+                            from: info.id,
+                            to: v,
+                            bits: msg.bit_len(),
+                        });
                     }
+                    inboxes[v.index()].msgs[backs[p]] = Some(msg);
                 }
             }
-            if traced {
-                trace.rounds.push(round_trace);
-            }
-            report.max_bits_per_round = report.max_bits_per_round.max(round_bits);
-            report.rounds += 1;
-
-            // Compute: every node takes a step.
-            for (i, node) in nodes.iter_mut().enumerate() {
-                let mut out = Outbox::new(self.infos[i].degree(), self.config.bandwidth_bits);
-                node.on_round(&self.infos[i], &inboxes[i], &mut out);
-                outgoing[i] = out.take();
-            }
         }
+        engine.report.messages_sent += messages;
+        engine.report.bits_sent += bits;
+        engine.report.max_bits_per_round = engine.report.max_bits_per_round.max(bits);
+        engine.report.rounds += 1;
+
+        // Compute: every node takes a step, writing into its (emptied)
+        // outgoing slot vector.
+        engine.pending = 0;
+        for (i, node) in engine.nodes.iter_mut().enumerate() {
+            let slots = std::mem::take(&mut engine.outgoing[i]);
+            let mut out = Outbox::reuse(slots, self.config.bandwidth_bits);
+            node.on_round(&self.infos[i], &engine.inboxes[i], &mut out);
+            engine.pending += out.queued;
+            engine.outgoing[i] = out.take();
+        }
+        StepSummary {
+            round: engine.report.rounds,
+            messages,
+            bits,
+        }
+    }
+}
+
+/// The reusable execution state of one run: node states, double-buffered
+/// outgoing/inbox slot vectors (allocated once, cleared in place each
+/// round), the count of in-flight messages, and the accumulating
+/// [`RunReport`].
+struct Engine<A> {
+    nodes: Vec<A>,
+    outgoing: Vec<Vec<Option<Message>>>,
+    inboxes: Vec<Inbox>,
+    /// Messages queued for the next delivery phase, maintained by the
+    /// round loop so quiescence checks are O(n) instead of O(Σ deg).
+    pending: usize,
+    report: RunReport,
+}
+
+impl<A: NodeAlgorithm> Engine<A> {
+    fn is_quiescent(&self) -> bool {
+        self.pending == 0 && self.nodes.iter().all(|a| a.is_terminated())
     }
 }
 
 /// A round-by-round stepper over a network algorithm — the incremental
 /// counterpart of [`Simulator::run`], for debugging, visualization and
 /// harnesses that need to inspect state between rounds.
+///
+/// Both drive the same private round engine, so a stepped run is
+/// guaranteed to match the batch run round for round. Once the run is
+/// [quiescent](Stepper::is_quiescent), further [`step`](Stepper::step)
+/// calls are no-ops that deliver nothing.
 ///
 /// # Example
 ///
@@ -435,9 +591,7 @@ impl<'g> Simulator<'g> {
 /// ```
 pub struct Stepper<'g, A> {
     sim: Simulator<'g>,
-    nodes: Vec<A>,
-    outgoing: Vec<Vec<Option<Message>>>,
-    rounds: usize,
+    engine: Engine<A>,
 }
 
 /// What one [`Stepper::step`] delivered.
@@ -453,81 +607,52 @@ pub struct StepSummary {
 
 impl<'g, A: NodeAlgorithm> Stepper<'g, A> {
     /// Initializes the algorithm (runs every node's `on_start`).
-    pub fn new<F: FnMut(&NodeInfo) -> A>(
-        graph: &'g Graph,
-        config: CongestConfig,
-        mut init: F,
-    ) -> Self {
+    pub fn new<F: FnMut(&NodeInfo) -> A>(graph: &'g Graph, config: CongestConfig, init: F) -> Self {
         let sim = Simulator::new(graph, config);
-        let mut nodes: Vec<A> = sim.infos.iter().map(&mut init).collect();
-        let mut outgoing = Vec::with_capacity(nodes.len());
-        for (i, node) in nodes.iter_mut().enumerate() {
-            let mut out = Outbox::new(sim.infos[i].degree(), config.bandwidth_bits);
-            node.on_start(&sim.infos[i], &mut out);
-            outgoing.push(out.take());
-        }
-        Stepper {
-            sim,
-            nodes,
-            outgoing,
-            rounds: 0,
-        }
+        let engine = sim.engine_start(init);
+        Stepper { sim, engine }
     }
 
     /// The per-node states (index = node id).
     pub fn nodes(&self) -> &[A] {
-        &self.nodes
+        &self.engine.nodes
     }
 
     /// Rounds executed so far.
     pub fn rounds(&self) -> usize {
-        self.rounds
+        self.engine.report.rounds
+    }
+
+    /// The accounting so far, identical to what [`Simulator::run`] would
+    /// report after the same number of rounds. `completed` reflects
+    /// whether the run is currently quiescent.
+    pub fn report(&self) -> RunReport {
+        RunReport {
+            completed: self.engine.is_quiescent(),
+            ..self.engine.report
+        }
     }
 
     /// Whether the run has reached quiescence (all nodes terminated, no
     /// messages in flight). Further steps deliver nothing.
     pub fn is_quiescent(&self) -> bool {
-        self.outgoing.iter().flatten().all(Option::is_none)
-            && self.nodes.iter().all(|a| a.is_terminated())
+        self.engine.is_quiescent()
     }
 
     /// Executes one synchronous round: deliver, then step every node.
+    ///
+    /// Once the run is quiescent this is a no-op: no node is stepped, the
+    /// round counter stays put, and the returned summary reports zero
+    /// messages and bits.
     pub fn step(&mut self) -> StepSummary {
-        let mut inboxes: Vec<Inbox> = self
-            .sim
-            .infos
-            .iter()
-            .map(|info| Inbox::new(info.degree()))
-            .collect();
-        let mut messages = 0u64;
-        let mut bits = 0u64;
-        for (u, ports) in self.outgoing.iter_mut().enumerate() {
-            for (p, slot) in ports.iter_mut().enumerate() {
-                if let Some(msg) = slot.take() {
-                    let v = self.sim.infos[u].neighbors[p];
-                    let back = self.sim.infos[v.index()]
-                        .port_to(NodeId::from(u))
-                        .expect("adjacency must be symmetric");
-                    messages += 1;
-                    bits += msg.bit_len() as u64;
-                    inboxes[v.index()].msgs[back] = Some(msg);
-                }
-            }
+        if self.engine.is_quiescent() {
+            return StepSummary {
+                round: self.engine.report.rounds,
+                messages: 0,
+                bits: 0,
+            };
         }
-        self.rounds += 1;
-        for (i, node) in self.nodes.iter_mut().enumerate() {
-            let mut out = Outbox::new(
-                self.sim.infos[i].degree(),
-                self.sim.config.bandwidth_bits,
-            );
-            node.on_round(&self.sim.infos[i], &inboxes[i], &mut out);
-            self.outgoing[i] = out.take();
-        }
-        StepSummary {
-            round: self.rounds,
-            messages,
-            bits,
-        }
+        self.sim.engine_round(&mut self.engine, None)
     }
 
     /// Steps until quiescence or `max_rounds`; returns the rounds run.
@@ -698,6 +823,57 @@ mod tests {
         for (a, b) in batch.iter().zip(stepper.nodes()) {
             assert_eq!(a.heard, b.heard);
         }
+    }
+
+    #[test]
+    fn quiescent_step_is_a_noop() {
+        // Stepping past quiescence must not invoke on_round again, must
+        // not advance the round counter, and must report zero traffic.
+        let g = Graph::complete(4);
+        let cfg = CongestConfig::classical(16);
+        let make = |info: &NodeInfo| HearAll {
+            heard: 0,
+            need: info.degree(),
+        };
+        let mut stepper = Stepper::new(&g, cfg, make);
+        while !stepper.is_quiescent() {
+            stepper.step();
+        }
+        let rounds = stepper.rounds();
+        let report = stepper.report();
+        let heard: Vec<usize> = stepper.nodes().iter().map(|n| n.heard).collect();
+        for _ in 0..3 {
+            let summary = stepper.step();
+            assert_eq!(
+                summary,
+                StepSummary {
+                    round: rounds,
+                    messages: 0,
+                    bits: 0
+                }
+            );
+        }
+        assert_eq!(stepper.rounds(), rounds);
+        assert_eq!(stepper.report(), report);
+        let after: Vec<usize> = stepper.nodes().iter().map(|n| n.heard).collect();
+        assert_eq!(heard, after);
+    }
+
+    #[test]
+    fn stepper_report_matches_batch_report() {
+        let g = Graph::cycle(6);
+        let cfg = CongestConfig::classical(16);
+        let make = |info: &NodeInfo| HearAll {
+            heard: 0,
+            need: info.degree(),
+        };
+        let sim = Simulator::new(&g, cfg);
+        let (_, batch_report) = sim.run(make, 10);
+        let mut stepper = Stepper::new(&g, cfg, make);
+        while !stepper.is_quiescent() {
+            stepper.step();
+        }
+        assert_eq!(stepper.report(), batch_report);
     }
 
     #[test]

@@ -140,7 +140,13 @@ mod tests {
     fn algorithms_run_on_every_topology() {
         // Smoke: leader election across the zoo via the simulator.
         use crate::{CongestConfig, Simulator};
-        for g in [ring(9), grid(3, 4), torus(3, 3), hypercube(3), complete_bipartite(2, 3)] {
+        for g in [
+            ring(9),
+            grid(3, 4),
+            torus(3, 3),
+            hypercube(3),
+            complete_bipartite(2, 3),
+        ] {
             let sim = Simulator::new(&g, CongestConfig::classical(16));
             // A silent run sanity-checks port symmetry on the topology.
             struct Probe;
@@ -148,7 +154,13 @@ mod tests {
                 fn on_start(&mut self, _: &crate::NodeInfo, out: &mut crate::Outbox) {
                     out.broadcast(crate::Message::from_bit(true));
                 }
-                fn on_round(&mut self, _: &crate::NodeInfo, _: &crate::Inbox, _: &mut crate::Outbox) {}
+                fn on_round(
+                    &mut self,
+                    _: &crate::NodeInfo,
+                    _: &crate::Inbox,
+                    _: &mut crate::Outbox,
+                ) {
+                }
                 fn is_terminated(&self) -> bool {
                     true
                 }

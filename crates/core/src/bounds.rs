@@ -79,7 +79,10 @@ pub fn fig3_series(
     w_max: f64,
     points: usize,
 ) -> Vec<Fig3Point> {
-    assert!(points >= 2 && w_min > 0.0 && w_max > w_min, "bad sweep range");
+    assert!(
+        points >= 2 && w_min > 0.0 && w_max > w_min,
+        "bad sweep range"
+    );
     let ratio = (w_max / w_min).powf(1.0 / (points - 1) as f64);
     (0..points)
         .map(|i| {

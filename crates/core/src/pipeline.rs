@@ -164,7 +164,8 @@ pub fn run_pipeline(cfg: &PipelineConfig) -> PipelineReport {
     let y = generate::random_bits(cfg.input_bits, cfg.seed + 2);
     let inst = ipmod3_to_ham(&x, &y);
     let s: usize = x.iter().zip(&y).filter(|&(&a, &b)| a && b).count();
-    let gadget_ok = predicates::is_hamiltonian_cycle(inst.graph(), &inst.full_subgraph()) != s.is_multiple_of(3)
+    let gadget_ok = predicates::is_hamiltonian_cycle(inst.graph(), &inst.full_subgraph())
+        != s.is_multiple_of(3)
         && inst.both_sides_perfect_matchings();
 
     // --- Column 3: the distributed network -----------------------------
@@ -243,7 +244,11 @@ mod tests {
             report.abort.predicted_survival
         );
         assert!(report.ipmod3_server_bound > 0.0);
-        assert!(report.gapeq_fooling_log2 >= 6.0, "fooling {}", report.gapeq_fooling_log2);
+        assert!(
+            report.gapeq_fooling_log2 >= 6.0,
+            "fooling {}",
+            report.gapeq_fooling_log2
+        );
         assert!(report.gadget_ok);
         assert!(report.network_diameter <= 4 * 4 + 8);
         assert!(report.audit.within_budget);

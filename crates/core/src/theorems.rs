@@ -49,7 +49,8 @@ pub fn theorem38_params(n: usize, bandwidth: usize, w: f64, alpha: f64) -> Theor
     let logn = log2_clamped(n);
     let sqrt_blog = (bandwidth as f64 * logn).sqrt();
     let l = (((w / alpha).min((n as f64).sqrt()) / sqrt_blog).floor() as usize).max(3);
-    let gamma = ((sqrt_blog * (n as f64 * alpha / w).max((n as f64).sqrt())).ceil() as usize).max(1);
+    let gamma =
+        ((sqrt_blog * (n as f64 * alpha / w).max((n as f64).sqrt())).ceil() as usize).max(1);
     TheoremParams { l, gamma }
 }
 
@@ -95,10 +96,7 @@ mod tests {
         for &(n, b) in &[(1usize << 12, 16usize), (1 << 14, 16), (1 << 16, 32)] {
             let p = theorem36_params(n, b);
             let scale = p.node_scale() as f64 / n as f64;
-            assert!(
-                (0.5..2.0).contains(&scale),
-                "n={n}, B={b}: ΓL/n = {scale}"
-            );
+            assert!((0.5..2.0).contains(&scale), "n={n}, B={b}: ΓL/n = {scale}");
         }
     }
 
@@ -107,7 +105,11 @@ mod tests {
         let n = 1 << 14;
         let p = theorem36_params(n, 16);
         let bound = crate::bounds::verification_lower_bound(n, 16);
-        assert!((p.l as f64 - bound).abs() <= 1.0, "L={} vs bound {bound}", p.l);
+        assert!(
+            (p.l as f64 - bound).abs() <= 1.0,
+            "L={} vs bound {bound}",
+            p.l
+        );
     }
 
     #[test]

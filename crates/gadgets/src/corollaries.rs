@@ -87,7 +87,10 @@ mod tests {
         // Equal: connected (spanning).
         let (inst, s, t) = gapeq_connectivity_instance(&x, &x.clone());
         let sub = inst.full_subgraph();
-        assert!(predicates::is_spanning_connected_subgraph(inst.graph(), &sub));
+        assert!(predicates::is_spanning_connected_subgraph(
+            inst.graph(),
+            &sub
+        ));
         assert!(predicates::st_connected(inst.graph(), &sub, s, t));
         // Mismatched: disconnected, with farness = Δ.
         let mut y = x.clone();

@@ -99,11 +99,8 @@ mod tests {
     fn partition_is_validated() {
         let g = Graph::cycle(4);
         let edges: Vec<EdgeId> = g.edges().collect();
-        let inst = TwoPartyGraphInstance::new(
-            g,
-            vec![edges[0], edges[2]],
-            vec![edges[1], edges[3]],
-        );
+        let inst =
+            TwoPartyGraphInstance::new(g, vec![edges[0], edges[2]], vec![edges[1], edges[3]]);
         assert!(inst.both_sides_perfect_matchings());
     }
 

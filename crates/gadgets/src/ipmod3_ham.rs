@@ -165,7 +165,7 @@ mod tests {
         use rand::Rng;
         let mut r = rng(42);
         for trial in 0..10 {
-            let n = 50 + r.gen_range(0..100);
+            let n = 50 + r.gen_range(0..100usize);
             let x = random_bits(n, 100 + trial);
             let y = random_bits(n, 200 + trial);
             let inst = ipmod3_to_ham(&x, &y);
@@ -184,7 +184,10 @@ mod tests {
     fn single_bit_instances() {
         // n = 1: x·y = 1 gives shift 2 ≠ 0 → Hamiltonian 12-cycle.
         let inst = ipmod3_to_ham(&[true], &[true]);
-        assert!(predicates::is_hamiltonian_cycle(inst.graph(), &inst.full_subgraph()));
+        assert!(predicates::is_hamiltonian_cycle(
+            inst.graph(),
+            &inst.full_subgraph()
+        ));
         // x·y = 0 → three 4-cycles.
         let inst0 = ipmod3_to_ham(&[true], &[false]);
         assert_eq!(

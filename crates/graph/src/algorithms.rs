@@ -113,7 +113,11 @@ pub fn dijkstra(host: &Graph, weights: &EdgeWeights, source: NodeId) -> Vec<u64>
 
 /// A shortest path tree rooted at `source`: parent edges realizing the
 /// Dijkstra distances. Deterministic tie-break: the lowest-id edge wins.
-pub fn shortest_path_tree(host: &Graph, weights: &EdgeWeights, source: NodeId) -> Vec<Option<EdgeId>> {
+pub fn shortest_path_tree(
+    host: &Graph,
+    weights: &EdgeWeights,
+    source: NodeId,
+) -> Vec<Option<EdgeId>> {
     let dist = dijkstra(host, weights, source);
     let mut parent = vec![None; host.node_count()];
     for v in host.nodes() {
@@ -287,7 +291,11 @@ pub fn double_sweep_diameter_lower_bound(host: &Graph, start: NodeId) -> u64 {
         .map(|(i, _)| NodeId::from(i))
         .unwrap_or(start);
     let d2 = bfs_distances(host, &full, far);
-    d2.iter().copied().filter(|&d| d != UNREACHABLE).max().unwrap_or(0)
+    d2.iter()
+        .copied()
+        .filter(|&d| d != UNREACHABLE)
+        .max()
+        .unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -385,7 +393,10 @@ mod tests {
         let d = Graph::from_edges(4, &[(0, 1), (2, 3)]);
         assert_eq!(stoer_wagner_min_cut(&d, &EdgeWeights::uniform(&d)), Some(0));
         // Single node has no cut.
-        assert_eq!(stoer_wagner_min_cut(&Graph::empty(1), &EdgeWeights::uniform(&Graph::empty(1))), None);
+        assert_eq!(
+            stoer_wagner_min_cut(&Graph::empty(1), &EdgeWeights::uniform(&Graph::empty(1))),
+            None
+        );
     }
 
     #[test]

@@ -88,7 +88,10 @@ pub fn random_weights(host: &Graph, max_weight: u64, seed: u64) -> EdgeWeights {
 pub fn weights_with_aspect_ratio(host: &Graph, w_max: u64, seed: u64) -> EdgeWeights {
     let m = host.edge_count();
     if w_max > 1 {
-        assert!(m >= 2, "need at least two edges to realize aspect ratio > 1");
+        assert!(
+            m >= 2,
+            "need at least two edges to realize aspect ratio > 1"
+        );
     }
     let mut weights = random_weights(host, w_max.max(1), seed);
     if m >= 1 {
@@ -104,7 +107,10 @@ pub fn weights_with_aspect_ratio(host: &Graph, w_max: u64, seed: u64) -> EdgeWei
 /// pairs. This is the input distribution of the Simulation Theorem
 /// experiments (Carol and David each hold a perfect matching, Section 8).
 pub fn random_perfect_matching(k2: usize, seed: u64) -> Vec<(usize, usize)> {
-    assert!(k2.is_multiple_of(2), "perfect matching needs an even number of points");
+    assert!(
+        k2.is_multiple_of(2),
+        "perfect matching needs an even number of points"
+    );
     let mut r = rng(seed);
     let mut idx: Vec<usize> = (0..k2).collect();
     idx.shuffle(&mut r);
@@ -120,7 +126,9 @@ pub type Matching = Vec<(usize, usize)>;
 pub fn hamiltonian_matching_pair(gamma: usize) -> (Matching, Matching) {
     assert!(gamma >= 4 && gamma.is_multiple_of(2), "need even Γ ≥ 4");
     let carol = (0..gamma / 2).map(|i| (2 * i, 2 * i + 1)).collect();
-    let david = (0..gamma / 2).map(|i| (2 * i + 1, (2 * i + 2) % gamma)).collect();
+    let david = (0..gamma / 2)
+        .map(|i| (2 * i + 1, (2 * i + 2) % gamma))
+        .collect();
     (carol, david)
 }
 
@@ -142,11 +150,13 @@ mod tests {
         assert_eq!(a.edge_count(), b.edge_count());
         let c = gnp(20, 0.3, 43);
         // Overwhelmingly likely to differ.
-        assert!(a.edge_count() != c.edge_count() || {
-            let ae: Vec<_> = a.edges().map(|e| a.endpoints(e)).collect();
-            let ce: Vec<_> = c.edges().map(|e| c.endpoints(e)).collect();
-            ae != ce
-        });
+        assert!(
+            a.edge_count() != c.edge_count() || {
+                let ae: Vec<_> = a.edges().map(|e| a.endpoints(e)).collect();
+                let ce: Vec<_> = c.edges().map(|e| c.endpoints(e)).collect();
+                ae != ce
+            }
+        );
     }
 
     #[test]
@@ -160,7 +170,10 @@ mod tests {
     #[test]
     fn random_connected_is_connected_with_extra_edges() {
         let g = random_connected(25, 10, 7);
-        assert!(predicates::is_spanning_connected_subgraph(&g, &g.full_subgraph()));
+        assert!(predicates::is_spanning_connected_subgraph(
+            &g,
+            &g.full_subgraph()
+        ));
         assert!(g.edge_count() >= 24);
     }
 

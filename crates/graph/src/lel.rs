@@ -87,8 +87,20 @@ mod tests {
         // From node 0: itself (rank 30, d 0), then node 1 (rank 20, d 1),
         // node 2 (rank 10, d 2), node 3 (rank 0, d 3).
         assert_eq!(l.len(), 4);
-        assert_eq!(l[0], LeEntry { distance: 0, node: NodeId(0) });
-        assert_eq!(l[3], LeEntry { distance: 3, node: NodeId(3) });
+        assert_eq!(
+            l[0],
+            LeEntry {
+                distance: 0,
+                node: NodeId(0)
+            }
+        );
+        assert_eq!(
+            l[3],
+            LeEntry {
+                distance: 3,
+                node: NodeId(3)
+            }
+        );
     }
 
     #[test]

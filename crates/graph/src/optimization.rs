@@ -361,8 +361,9 @@ pub fn tree_respecting_min_cut(
             }
         }
     }
-    let in_subtree =
-        |v: NodeId, s: NodeId| tin[s.index()] <= tin[v.index()] && tout[v.index()] <= tout[s.index()];
+    let in_subtree = |v: NodeId, s: NodeId| {
+        tin[s.index()] <= tin[v.index()] && tout[v.index()] <= tout[s.index()]
+    };
 
     // For each non-root node s, cut(subtree(s)) = Σ incident weights of
     // subtree nodes − 2 × internal weight. Aggregate bottom-up.
@@ -419,7 +420,7 @@ pub fn sampled_min_cut(graph: &Graph, weights: &EdgeWeights, k: usize, seed: u64
             .edges()
             .map(|e| {
                 let w = weights.weight(e);
-                rng.gen_range(1..=1_000_000) / w.max(1)
+                rng.gen_range(1..=1_000_000u64) / w.max(1)
             })
             .map(|w| w.max(1))
             .collect();
@@ -527,7 +528,12 @@ mod tests {
             for e in &cut.cut_edges {
                 remaining.remove(*e);
             }
-            assert!(!predicates::st_connected(&g, &remaining, NodeId(0), NodeId(13)));
+            assert!(!predicates::st_connected(
+                &g,
+                &remaining,
+                NodeId(0),
+                NodeId(13)
+            ));
             // And the cut value matches the crossing weight.
             let crossing: u64 = cut.cut_edges.iter().map(|&e| w.weight(e)).sum();
             assert_eq!(crossing, cut.value);
@@ -615,7 +621,9 @@ mod tests {
         let tight = shallow_light_tree(&g, &w, NodeId(0), 1.01);
         let d_spt = dijkstra(&g, &w, NodeId(0));
         for v in g.nodes() {
-            assert!(tight.root_distances[v.index()] as f64 <= 1.01 * d_spt[v.index()] as f64 + 1e-9);
+            assert!(
+                tight.root_distances[v.index()] as f64 <= 1.01 * d_spt[v.index()] as f64 + 1e-9
+            );
         }
     }
 
@@ -675,7 +683,19 @@ mod tests {
         // and every sampled tree 1-respects it.
         let g = Graph::from_edges(
             8,
-            &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (4, 5), (5, 6), (6, 7), (7, 4), (5, 7), (3, 4)],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 0),
+                (0, 2),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 4),
+                (5, 7),
+                (3, 4),
+            ],
         );
         let mut w = EdgeWeights::uniform(&g);
         for e in g.edges() {

@@ -359,7 +359,8 @@ mod tests {
     fn cut_verification() {
         let g = Graph::cycle(4);
         // Two opposite edges form a cut of the 4-cycle.
-        let m = Subgraph::from_endpoint_pairs(&g, &[(NodeId(0), NodeId(1)), (NodeId(2), NodeId(3))]);
+        let m =
+            Subgraph::from_endpoint_pairs(&g, &[(NodeId(0), NodeId(1)), (NodeId(2), NodeId(3))]);
         assert!(is_cut(&g, &m));
         // A single edge of a cycle is not a cut.
         let single = Subgraph::from_endpoint_pairs(&g, &[(NodeId(0), NodeId(1))]);
@@ -423,6 +424,9 @@ mod tests {
     fn spanning_connected_trivial_hosts() {
         let g = Graph::empty(1);
         assert!(is_spanning_connected_subgraph(&g, &g.empty_subgraph()));
-        assert!(is_spanning_tree(&Graph::empty(0), &Graph::empty(0).empty_subgraph()));
+        assert!(is_spanning_tree(
+            &Graph::empty(0),
+            &Graph::empty(0).empty_subgraph()
+        ));
     }
 }

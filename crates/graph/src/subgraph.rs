@@ -215,7 +215,8 @@ mod tests {
     #[test]
     fn from_endpoint_pairs_resolves_edges() {
         let g = Graph::cycle(4);
-        let s = Subgraph::from_endpoint_pairs(&g, &[(NodeId(1), NodeId(0)), (NodeId(2), NodeId(3))]);
+        let s =
+            Subgraph::from_endpoint_pairs(&g, &[(NodeId(1), NodeId(0)), (NodeId(2), NodeId(3))]);
         assert_eq!(s.edge_count(), 2);
         assert!(s.contains(g.find_edge(NodeId(0), NodeId(1)).unwrap()));
     }

@@ -173,7 +173,12 @@ impl DensityMatrix {
             }
             // Deterministic start vector, varied per deflation step.
             let mut v: Vec<Complex> = (0..d)
-                .map(|i| Complex::new(1.0 + ((i + k) % 7) as f64 * 0.13, ((i * 3 + k) % 5) as f64 * 0.07))
+                .map(|i| {
+                    Complex::new(
+                        1.0 + ((i + k) % 7) as f64 * 0.13,
+                        ((i * 3 + k) % 5) as f64 * 0.07,
+                    )
+                })
                 .collect();
             let mut lambda = 0.0;
             for _ in 0..600 {
@@ -302,7 +307,10 @@ mod tests {
         ghz.apply_cnot(0, 1);
         ghz.apply_cnot(1, 2);
         for q in 0..3 {
-            assert!((entanglement_entropy(&ghz, &[q]) - 1.0).abs() < EPS, "qubit {q}");
+            assert!(
+                (entanglement_entropy(&ghz, &[q]) - 1.0).abs() < EPS,
+                "qubit {q}"
+            );
         }
         // Two-qubit marginal of GHZ also has entropy 1 (classical
         // correlation only).
@@ -327,7 +335,10 @@ mod tests {
         let chi = holevo_chi(&[(0.5, zero), (0.5, plus)]);
         let p = (1.0 + std::f64::consts::FRAC_1_SQRT_2) / 2.0;
         let expected = -p * p.log2() - (1.0 - p) * (1.0 - p).log2();
-        assert!((chi - expected).abs() < 1e-4, "χ = {chi}, expected {expected}");
+        assert!(
+            (chi - expected).abs() < 1e-4,
+            "χ = {chi}, expected {expected}"
+        );
         assert!(chi < 1.0);
     }
 

@@ -52,7 +52,10 @@ impl XorGame {
         assert_eq!(f.len(), x_size * y_size, "function table size mismatch");
         assert!(dist.iter().all(|&p| p >= 0.0), "negative probability");
         let total: f64 = dist.iter().sum();
-        assert!((total - 1.0).abs() < 1e-9, "distribution must sum to 1, got {total}");
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "distribution must sum to 1, got {total}"
+        );
         XorGame {
             x_size,
             y_size,
@@ -63,12 +66,7 @@ impl XorGame {
 
     /// The CHSH game: uniform inputs over `{0,1}²`, `f(x, y) = x ∧ y`.
     pub fn chsh() -> Self {
-        XorGame::new(
-            2,
-            2,
-            vec![0.25; 4],
-            vec![false, false, false, true],
-        )
+        XorGame::new(2, 2, vec![0.25; 4], vec![false, false, false, true])
     }
 
     /// Number of Alice inputs.
@@ -104,7 +102,10 @@ impl XorGame {
     ///
     /// Panics if `|X| + |Y| > 24` (enumeration would be unreasonable).
     pub fn classical_bias(&self) -> f64 {
-        assert!(self.x_size + self.y_size <= 24, "game too large to enumerate");
+        assert!(
+            self.x_size + self.y_size <= 24,
+            "game too large to enumerate"
+        );
         let mut best = f64::NEG_INFINITY;
         for a in 0u64..(1 << self.x_size) {
             for b in 0u64..(1 << self.y_size) {
@@ -132,9 +133,21 @@ impl XorGame {
     /// Panics if the strategy's angle tables do not match the game sizes or
     /// the shared state is not on two qubits.
     pub fn entangled_bias(&self, strategy: &EntangledXorStrategy) -> f64 {
-        assert_eq!(strategy.alice_angles.len(), self.x_size, "alice angle table size");
-        assert_eq!(strategy.bob_angles.len(), self.y_size, "bob angle table size");
-        assert_eq!(strategy.state.qubit_count(), 2, "strategy state must be 2 qubits");
+        assert_eq!(
+            strategy.alice_angles.len(),
+            self.x_size,
+            "alice angle table size"
+        );
+        assert_eq!(
+            strategy.bob_angles.len(),
+            self.y_size,
+            "bob angle table size"
+        );
+        assert_eq!(
+            strategy.state.qubit_count(),
+            2,
+            "strategy state must be 2 qubits"
+        );
         let mut bias = 0.0;
         for x in 0..self.x_size {
             for y in 0..self.y_size {
@@ -351,7 +364,11 @@ pub fn abort_play<P: NormalFormProtocol, R: Rng + ?Sized>(
         p.carol_output(x, &to_carol)
     };
     let bob_xor = false; // Bob always outputs 0 in the XOR game on survival.
-    let xor_output = if bob_abort { rng.gen::<bool>() ^ alice_xor } else { alice_xor ^ bob_xor };
+    let xor_output = if bob_abort {
+        rng.gen::<bool>() ^ alice_xor
+    } else {
+        alice_xor ^ bob_xor
+    };
     let alice_and = !alice_abort && p.carol_output(x, &to_carol);
     let bob_and = !bob_abort;
     AbortPlay {
@@ -425,7 +442,10 @@ impl InnerProductStreaming {
     ///
     /// Panics if `bits` is zero or odd.
     pub fn new(bits: usize) -> Self {
-        assert!(bits > 0 && bits.is_multiple_of(2), "need a positive even bit count");
+        assert!(
+            bits > 0 && bits.is_multiple_of(2),
+            "need a positive even bit count"
+        );
         InnerProductStreaming { bits }
     }
 }
@@ -498,7 +518,12 @@ mod tests {
     #[test]
     fn non_uniform_distribution_respected() {
         // All mass on (1,1) where f = 1: classical strategies reach bias 1.
-        let g = XorGame::new(2, 2, vec![0.0, 0.0, 0.0, 1.0], vec![false, false, false, true]);
+        let g = XorGame::new(
+            2,
+            2,
+            vec![0.0, 0.0, 0.0, 1.0],
+            vec![false, false, false, true],
+        );
         assert!((g.classical_bias() - 1.0).abs() < EPS);
     }
 
@@ -545,7 +570,11 @@ mod tests {
         let stats = abort_statistics(&p, &x, &y, 200_000, &mut rng);
         assert!((stats.predicted_survival - 1.0 / 256.0).abs() < EPS);
         let rel = (stats.survival_rate - stats.predicted_survival).abs() / stats.predicted_survival;
-        assert!(rel < 0.25, "relative error {rel} (measured {})", stats.survival_rate);
+        assert!(
+            rel < 0.25,
+            "relative error {rel} (measured {})",
+            stats.survival_rate
+        );
         assert!((stats.correct_given_survival - 1.0).abs() < EPS);
     }
 
@@ -559,7 +588,10 @@ mod tests {
         for _ in 0..5000 {
             let play = abort_play(&p, &x, &y, &mut rng);
             if play.survived {
-                assert_eq!(play.and_output, honest, "AND output must equal protocol output on survival");
+                assert_eq!(
+                    play.and_output, honest,
+                    "AND output must equal protocol output on survival"
+                );
             } else {
                 // In the AND game, any abort forces output 0 from the
                 // aborting player, so the AND output can only be true if

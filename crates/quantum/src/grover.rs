@@ -237,7 +237,10 @@ mod tests {
                 hits += 1;
             }
         }
-        assert!(hits >= 18, "Grover should almost always succeed, got {hits}/20");
+        assert!(
+            hits >= 18,
+            "Grover should almost always succeed, got {hits}/20"
+        );
     }
 
     #[test]
@@ -250,7 +253,10 @@ mod tests {
         x[10] = true; // not matched in y
         let (intersects, queries) = disjointness_grover(&x, &y, 3, &mut rng);
         assert!(intersects);
-        assert!(queries >= disjointness_queries(100) / 2, "queries {queries}");
+        assert!(
+            queries >= disjointness_queries(100) / 2,
+            "queries {queries}"
+        );
     }
 
     #[test]

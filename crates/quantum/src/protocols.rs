@@ -160,7 +160,10 @@ mod tests {
             let idx = usize::from(out.classical_bits.0) * 2 + usize::from(out.classical_bits.1);
             seen[idx] = true;
         }
-        assert!(seen.iter().all(|&s| s), "all Bell syndromes should occur: {seen:?}");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all Bell syndromes should occur: {seen:?}"
+        );
     }
 
     #[test]

@@ -141,7 +141,10 @@ impl StateVector {
     ///
     /// Panics if the indices coincide or are out of range.
     pub fn apply_controlled(&mut self, gate: [[Complex; 2]; 2], control: usize, target: usize) {
-        assert!(control < self.n && target < self.n, "qubit index out of range");
+        assert!(
+            control < self.n && target < self.n,
+            "qubit index out of range"
+        );
         assert_ne!(control, target, "control and target must differ");
         let cmask = 1usize << control;
         let tmask = 1usize << target;
@@ -197,7 +200,10 @@ impl StateVector {
                 *a = Complex::ZERO;
             }
         }
-        assert!(norm_sqr > 1e-12, "collapsing onto a zero-probability branch");
+        assert!(
+            norm_sqr > 1e-12,
+            "collapsing onto a zero-probability branch"
+        );
         let scale = 1.0 / norm_sqr.sqrt();
         for a in &mut self.amps {
             *a = a.scale(scale);
@@ -218,7 +224,11 @@ impl StateVector {
             }
         }
         for (i, a) in self.amps.iter_mut().enumerate() {
-            *a = if i == outcome { Complex::ONE } else { Complex::ZERO };
+            *a = if i == outcome {
+                Complex::ONE
+            } else {
+                Complex::ZERO
+            };
         }
         outcome
     }
@@ -320,7 +330,10 @@ mod tests {
             assert_eq!(a, b, "EPR halves must agree");
             ones += usize::from(a);
         }
-        assert!(ones > 60 && ones < 140, "should be roughly balanced, got {ones}");
+        assert!(
+            ones > 60 && ones < 140,
+            "should be roughly balanced, got {ones}"
+        );
     }
 
     #[test]

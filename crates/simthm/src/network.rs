@@ -233,11 +233,7 @@ impl SimulationNetwork {
     ///
     /// Panics if a matching references an out-of-range track or a pair is
     /// not actually adjacent (all boundary pairs are, via the cliques).
-    pub fn embed_matchings(
-        &self,
-        carol: &[(usize, usize)],
-        david: &[(usize, usize)],
-    ) -> Subgraph {
+    pub fn embed_matchings(&self, carol: &[(usize, usize)], david: &[(usize, usize)]) -> Subgraph {
         let mut m = Subgraph::empty(&self.graph);
         for &e in &self.track_edges {
             m.insert(e);
@@ -315,20 +311,23 @@ mod tests {
         let mut b = GraphBuilder::new(3 * 65);
         for t in 0..3u32 {
             for p in 0..64u32 {
-                b.add_edge(qdc_graph::NodeId(t * 65 + p), qdc_graph::NodeId(t * 65 + p + 1));
+                b.add_edge(
+                    qdc_graph::NodeId(t * 65 + p),
+                    qdc_graph::NodeId(t * 65 + p + 1),
+                );
             }
         }
         for a in 0..3u32 {
             for c in (a + 1)..3 {
                 b.add_edge(qdc_graph::NodeId(a * 65), qdc_graph::NodeId(c * 65));
-                b.add_edge(qdc_graph::NodeId(a * 65 + 64), qdc_graph::NodeId(c * 65 + 64));
+                b.add_edge(
+                    qdc_graph::NodeId(a * 65 + 64),
+                    qdc_graph::NodeId(c * 65 + 64),
+                );
             }
         }
         let without = algorithms::diameter(&b.build()).unwrap();
-        assert!(
-            with * 3 < without,
-            "highways: {with}, without: {without}"
-        );
+        assert!(with * 3 < without, "highways: {with}, without: {without}");
     }
 
     #[test]
@@ -395,8 +394,7 @@ mod tests {
             let g = b.build();
             let g_cycles = predicates::cycle_count_two_regular(&g, &g.full_subgraph()).unwrap();
             let m = net.embed_matchings(&carol, &david);
-            let m_cycles =
-                predicates::cycle_count_two_regular(net.graph(), &m).unwrap();
+            let m_cycles = predicates::cycle_count_two_regular(net.graph(), &m).unwrap();
             assert_eq!(m_cycles, g_cycles, "seed {seed}");
         }
     }

@@ -90,6 +90,12 @@ where
 
     let mut carol_paid = 0u64;
     let mut david_paid = 0u64;
+    // Reusable inbox buffers, cleared in place each round — the same
+    // discipline as the simulator's round engine.
+    let mut inboxes: Vec<Inbox> = infos
+        .iter()
+        .map(|i| Inbox::from_slots(vec![None; i.degree()]))
+        .collect();
     for t in 0..rounds {
         // Ownership expansion t → t+1: the server hands newly-acquired
         // node states to Carol/David for free.
@@ -103,15 +109,18 @@ where
             }
         }
 
-        // Deliver messages, metering cross-party traffic.
-        let mut inboxes: Vec<Vec<Option<Message>>> =
-            infos.iter().map(|i| vec![None; i.degree()]).collect();
+        // Deliver messages, metering cross-party traffic. Routing uses
+        // the simulator's precomputed back-port table.
+        for inbox in &mut inboxes {
+            inbox.clear();
+        }
         for u in graph.nodes() {
-            let ports = std::mem::take(&mut outgoing[u.index()]);
-            for (p, slot) in ports.into_iter().enumerate() {
-                let Some(msg) = slot else { continue };
+            for p in 0..outgoing[u.index()].len() {
+                let Some(msg) = outgoing[u.index()][p].take() else {
+                    continue;
+                };
                 let v = infos[u.index()].neighbors[p];
-                let back = infos[v.index()].port_to(u).expect("symmetric adjacency");
+                let back = sim.back_port(u, p);
                 let sender = net.owner(u, t);
                 let receiver = net.owner(v, t + 1);
                 match sender {
@@ -119,16 +128,18 @@ where
                     Party::David if receiver != Party::David => david_paid += msg.bit_len() as u64,
                     _ => {}
                 }
-                inboxes[v.index()][back] = Some(msg);
+                inboxes[v.index()].put(back, msg);
             }
         }
         // Each party steps its nodes with the messages routed to them.
         for v in graph.nodes() {
             let owner = net.owner(v, t + 1);
-            let node = states.get_mut(&(owner, v.0)).expect("owned after expansion");
-            let inbox = Inbox::from_slots(std::mem::take(&mut inboxes[v.index()]));
-            let mut out = Outbox::detached(infos[v.index()].degree(), cfg.bandwidth_bits);
-            node.on_round(&infos[v.index()], &inbox, &mut out);
+            let node = states
+                .get_mut(&(owner, v.0))
+                .expect("owned after expansion");
+            let slots = std::mem::take(&mut outgoing[v.index()]);
+            let mut out = Outbox::detached_reusing(slots, cfg.bandwidth_bits);
+            node.on_round(&infos[v.index()], &inboxes[v.index()], &mut out);
             outgoing[v.index()] = out.into_slots();
         }
     }
@@ -139,7 +150,10 @@ where
         nodes[id as usize] = Some(state);
     }
     ReplayOutcome {
-        nodes: nodes.into_iter().map(|s| s.expect("every node owned")).collect(),
+        nodes: nodes
+            .into_iter()
+            .map(|s| s.expect("every node owned"))
+            .collect(),
         rounds,
         carol_paid_bits: carol_paid,
         david_paid_bits: david_paid,
@@ -229,7 +243,10 @@ mod tests {
             "paid {} vs budget {budget}",
             replay.carol_paid_bits + replay.david_paid_bits
         );
-        assert!(replay.carol_paid_bits > 0, "Carol pays something on this workload");
+        assert!(
+            replay.carol_paid_bits > 0,
+            "Carol pays something on this workload"
+        );
     }
 
     #[test]

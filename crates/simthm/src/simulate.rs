@@ -230,10 +230,7 @@ mod tests {
         let net = SimulationNetwork::build(3, 9);
         let cfg = CongestConfig::classical(8);
         let sim = Simulator::new(net.graph(), cfg);
-        let (_, _, trace) = sim.run_traced(
-            |_| Chatter { rounds_left: 20 },
-            net.horizon() + 10,
-        );
+        let (_, _, trace) = sim.run_traced(|_| Chatter { rounds_left: 20 }, net.horizon() + 10);
         let audit = audit_trace(&net, &trace, 8);
         assert!(!audit.within_horizon);
     }
@@ -260,7 +257,12 @@ mod tests {
         }
         let cfg = CongestConfig::classical(8);
         let sim = Simulator::new(net.graph(), cfg);
-        let (_, _, trace) = sim.run_traced(|info| OneShot { fire: info.id == mid }, 5);
+        let (_, _, trace) = sim.run_traced(
+            |info| OneShot {
+                fire: info.id == mid,
+            },
+            5,
+        );
         let audit = audit_trace(&net, &trace, 8);
         assert_eq!(audit.total_paid(), 0);
     }

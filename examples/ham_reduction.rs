@@ -15,9 +15,19 @@ fn main() {
     let x = vec![true, true, false, true, true, false, true, false];
     let y = vec![true, false, false, true, true, true, true, true];
     let f = IpMod3::new(x.len());
-    println!("x = {:?}", x.iter().map(|&b| u8::from(b)).collect::<Vec<_>>());
-    println!("y = {:?}", y.iter().map(|&b| u8::from(b)).collect::<Vec<_>>());
-    println!("⟨x,y⟩ mod 3 = {} ⇒ IPmod3(x,y) = {}\n", f.residue(&x, &y), f.evaluate(&x, &y));
+    println!(
+        "x = {:?}",
+        x.iter().map(|&b| u8::from(b)).collect::<Vec<_>>()
+    );
+    println!(
+        "y = {:?}",
+        y.iter().map(|&b| u8::from(b)).collect::<Vec<_>>()
+    );
+    println!(
+        "⟨x,y⟩ mod 3 = {} ⇒ IPmod3(x,y) = {}\n",
+        f.residue(&x, &y),
+        f.evaluate(&x, &y)
+    );
 
     // Each input bit pair becomes a 3-track gadget whose permutation is a
     // cyclic shift by 2·xᵢyᵢ (Observation 7.1).
@@ -27,8 +37,11 @@ fn main() {
         let sigma = gadget_permutation(x[i], y[i]);
         let shift = sigma[0]; // σ(0) identifies the cyclic shift
         net_shift = (net_shift + shift) % 3;
-        println!("  gadget {i}: x={} y={} σ={sigma:?} (running shift {net_shift})",
-            u8::from(x[i]), u8::from(y[i]));
+        println!(
+            "  gadget {i}: x={} y={} σ={sigma:?} (running shift {net_shift})",
+            u8::from(x[i]),
+            u8::from(y[i])
+        );
     }
 
     // Chaining the gadgets and closing the loop (Figure 6/12): the graph
@@ -38,12 +51,21 @@ fn main() {
     let sub = inst.full_subgraph();
     let ham = predicates::is_hamiltonian_cycle(inst.graph(), &sub);
     let cycles = predicates::cycle_count_two_regular(inst.graph(), &sub).unwrap();
-    println!("\nG: {} nodes, {} edges; net shift {} ⇒ {} cycle(s) ⇒ Hamiltonian = {ham}",
-        inst.graph().node_count(), inst.graph().edge_count(), net_shift, cycles);
-    println!("Carol's edges form a perfect matching: {}",
-        inst.is_perfect_matching(inst.carol_edges()));
-    println!("David's edges form a perfect matching: {}",
-        inst.is_perfect_matching(inst.david_edges()));
+    println!(
+        "\nG: {} nodes, {} edges; net shift {} ⇒ {} cycle(s) ⇒ Hamiltonian = {ham}",
+        inst.graph().node_count(),
+        inst.graph().edge_count(),
+        net_shift,
+        cycles
+    );
+    println!(
+        "Carol's edges form a perfect matching: {}",
+        inst.is_perfect_matching(inst.carol_edges())
+    );
+    println!(
+        "David's edges form a perfect matching: {}",
+        inst.is_perfect_matching(inst.david_edges())
+    );
 
     // The gap version (Figure 7): Hamming distance δ ⇒ δ+1 cycles.
     println!("\nGap-Eq → Ham (Figure 7): planting mismatches");

@@ -56,7 +56,10 @@ fn main() {
     // Steps 1–3: the composed certificates, constants explicit.
     let consts = CompositionConstants::default();
     println!("{}", theorem36_certificate(1 << 20, 32, &consts).render());
-    println!("{}", theorem38_certificate(1 << 20, 32, 4096.0, 2.0, &consts).render());
+    println!(
+        "{}",
+        theorem38_certificate(1 << 20, 32, 4096.0, 2.0, &consts).render()
+    );
 
     println!("So: entanglement gives correlations, not bits; what quantum communication");
     println!("can still do is captured by the Server model, whose Ω(Γ) hardness survives");

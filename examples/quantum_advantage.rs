@@ -57,7 +57,11 @@ fn main() {
         let q = quantum_rounds(b, d);
         println!(
             "  b = 2^{k:<2}: classical {c:>8}, quantum {q:>8}  → {}",
-            if q < c { "QUANTUM WINS" } else { "classical wins" }
+            if q < c {
+                "QUANTUM WINS"
+            } else {
+                "classical wins"
+            }
         );
     }
 

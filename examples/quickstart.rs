@@ -16,7 +16,12 @@ fn main() {
     let net = SimulationNetwork::build(14, 17);
     let n = net.graph().node_count();
     let diam = qdc::graph::algorithms::diameter(net.graph()).expect("connected") as usize;
-    println!("network: {} nodes, diameter {} (≈ log L), horizon {}", n, diam, net.horizon());
+    println!(
+        "network: {} nodes, diameter {} (≈ log L), horizon {}",
+        n,
+        diam,
+        net.horizon()
+    );
 
     // 2. Embed a Server-model instance: two perfect matchings on the
     //    track labels form the subnetwork M (a Hamiltonian cycle here).

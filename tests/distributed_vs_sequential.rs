@@ -5,8 +5,7 @@ use proptest::prelude::*;
 use qdc::algos::mst::{mst_approx_sweep, mst_exact};
 use qdc::algos::sssp::distributed_sssp;
 use qdc::algos::verify::{
-    verify_connectivity, verify_hamiltonian_cycle, verify_spanning_connected,
-    verify_spanning_tree,
+    verify_connectivity, verify_hamiltonian_cycle, verify_spanning_connected, verify_spanning_tree,
 };
 use qdc::congest::CongestConfig;
 use qdc::graph::{algorithms, generate, predicates, NodeId, Subgraph};

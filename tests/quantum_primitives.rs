@@ -80,7 +80,10 @@ fn tsirelson_is_attained() {
     let game = XorGame::chsh();
     let bias = game.entangled_bias(&chsh_optimal_strategy());
     assert!((bias - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
-    assert!(bias > game.classical_bias() + 0.2, "quantum advantage is real");
+    assert!(
+        bias > game.classical_bias() + 0.2,
+        "quantum advantage is real"
+    );
 }
 
 #[test]
@@ -97,5 +100,8 @@ fn entanglement_is_not_communication() {
         ones += usize::from(a);
     }
     let rate = ones as f64 / 2000.0;
-    assert!((rate - 0.5).abs() < 0.05, "shared bit must be unbiased, got {rate}");
+    assert!(
+        (rate - 0.5).abs() < 0.05,
+        "shared bit must be unbiased, got {rate}"
+    );
 }

@@ -60,6 +60,51 @@ proptest! {
         prop_assert_eq!(report.messages_sent, 2 * g.edge_count() as u64);
     }
 
+    /// Determinism across execution modes: `run`, `run_traced` and a
+    /// `Stepper` driven to quiescence produce identical final states and
+    /// identical `RunReport`s on random connected graphs. All three share
+    /// one round engine, so any divergence would be a routing or
+    /// buffer-reuse bug.
+    #[test]
+    fn run_traced_and_stepper_agree(n in 4usize..24, extra in 0usize..10, seed in 0u64..200) {
+        use qdc::congest::{Inbox, NodeAlgorithm, NodeInfo, Outbox, Stepper};
+        /// Min-label flood with implicit termination: forwards strictly
+        /// improving labels, so runs last several rounds on sparse graphs.
+        struct MinFlood { label: u64 }
+        impl NodeAlgorithm for MinFlood {
+            fn on_start(&mut self, _: &NodeInfo, out: &mut Outbox) {
+                out.broadcast(Message::from_uint(self.label, 16));
+            }
+            fn on_round(&mut self, _: &NodeInfo, inbox: &Inbox, out: &mut Outbox) {
+                let best = inbox.iter().filter_map(|(_, m)| m.as_uint(16)).min();
+                if let Some(b) = best {
+                    if b < self.label {
+                        self.label = b;
+                        out.broadcast(Message::from_uint(b, 16));
+                    }
+                }
+            }
+            fn is_terminated(&self) -> bool { true }
+        }
+        let g = generate::random_connected(n, n + extra, seed);
+        let cfg = CongestConfig::classical(16);
+        let make = |info: &NodeInfo| MinFlood { label: 1000 + info.id.0 as u64 };
+        let sim = Simulator::new(&g, cfg);
+        let (plain, plain_report) = sim.run(make, 100);
+        let (traced, traced_report, _) = sim.run_traced(make, 100);
+        let mut stepper = Stepper::new(&g, cfg, make);
+        while !stepper.is_quiescent() {
+            stepper.step();
+        }
+        prop_assert_eq!(plain_report, traced_report);
+        prop_assert_eq!(plain_report, stepper.report());
+        for v in 0..g.node_count() {
+            prop_assert_eq!(plain[v].label, traced[v].label);
+            prop_assert_eq!(plain[v].label, stepper.nodes()[v].label);
+            prop_assert_eq!(plain[v].label, 1000); // flood converged to the min
+        }
+    }
+
     /// Hypercube distances equal Hamming distances of the node labels.
     #[test]
     fn hypercube_metric_is_hamming(d in 2usize..7, a in any::<usize>(), b in any::<usize>()) {
@@ -117,7 +162,9 @@ fn distributed_le_lists_equal_sequential_on_topologies() {
         topology::hypercube(3),
     ] {
         let w = generate::random_weights(&g, 6, 3);
-        let ranks: Vec<u64> = (0..g.node_count() as u64).map(|i| (i * 37 + 5) % 997).collect();
+        let ranks: Vec<u64> = (0..g.node_count() as u64)
+            .map(|i| (i * 37 + 5) % 997)
+            .collect();
         let run = distributed_le_lists(&g, CongestConfig::classical(64), &w, &ranks);
         for v in g.nodes() {
             let mut reference = lel::le_list(&g, &w, &ranks, v);

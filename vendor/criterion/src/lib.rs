@@ -1,0 +1,237 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API surface the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros — over a simple
+//! wall-clock harness: per sample, the closure is repeated enough times
+//! to dominate timer noise, and the report lists min / median / max
+//! per-iteration times. Tuning knobs: `QDC_BENCH_SAMPLE_MS` (target
+//! milliseconds per sample, default 5) and `QDC_BENCH_SAMPLES`
+//! (overrides every `sample_size`).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Formats a per-iteration duration with criterion-style units.
+fn fmt_time(nanos: f64) -> String {
+    if nanos < 1_000.0 {
+        format!("{nanos:.2} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.3} µs", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.3} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos / 1_000_000_000.0)
+    }
+}
+
+/// Identifies one benchmark within a group: `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Runs the timed closure and collects samples.
+pub struct Bencher {
+    samples: usize,
+    /// (min, median, max) per-iteration nanoseconds of the last `iter`.
+    result: Option<(f64, f64, f64)>,
+}
+
+impl Bencher {
+    /// Times `f`, choosing an iteration count large enough for stable
+    /// per-iteration estimates.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up and estimate a single iteration.
+        let mut est = Duration::ZERO;
+        let mut warm = 0u32;
+        let warm_start = Instant::now();
+        while warm < 3 || (est.is_zero() && warm < 1_000) {
+            let t = Instant::now();
+            black_box(f());
+            est = t.elapsed();
+            warm += 1;
+            if warm_start.elapsed() > Duration::from_millis(200) {
+                break;
+            }
+        }
+        let target = Duration::from_millis(env_usize("QDC_BENCH_SAMPLE_MS", 5) as u64);
+        let iters = if est.is_zero() {
+            10_000
+        } else {
+            (target.as_nanos() / est.as_nanos().max(1)).clamp(1, 100_000_000) as u64
+        };
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            per_iter.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let min = per_iter[0];
+        let median = per_iter[per_iter.len() / 2];
+        let max = per_iter[per_iter.len() - 1];
+        self.result = Some((min, median, max));
+    }
+}
+
+fn run_one(label: &str, samples: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        samples: env_usize("QDC_BENCH_SAMPLES", samples),
+        result: None,
+    };
+    f(&mut b);
+    match b.result {
+        Some((min, median, max)) => println!(
+            "{label:<44} time: [{} {} {}]",
+            fmt_time(min),
+            fmt_time(median),
+            fmt_time(max)
+        ),
+        None => println!("{label:<44} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` under `group/id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.id);
+        run_one(&label, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f` under `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (printing is eager, so this is bookkeeping only).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Mirror of upstream's CLI configuration hook; arguments from
+    /// `cargo bench -- …` are ignored by this harness.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(&id.to_string(), 20, f);
+        self
+    }
+}
+
+/// Bundles benchmark functions into a single callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` invoking each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_smoke() {
+        std::env::set_var("QDC_BENCH_SAMPLE_MS", "1");
+        let mut c = Criterion::default().configure_from_args();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3);
+        g.bench_with_input(BenchmarkId::new("sum", 64), &64u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+        c.bench_function("top_level", |b| b.iter(|| black_box(3 * 3)));
+    }
+
+    #[test]
+    fn time_formatting_scales_units() {
+        assert!(fmt_time(12.0).ends_with("ns"));
+        assert!(fmt_time(12_000.0).ends_with("µs"));
+        assert!(fmt_time(12_000_000.0).ends_with("ms"));
+        assert!(fmt_time(12_000_000_000.0).ends_with(" s"));
+    }
+}
