@@ -1,13 +1,37 @@
-//! Leader election and BFS-tree construction by flooding.
+//! Leader election and BFS-tree construction by flooding — plus a
+//! chaos-hardened broadcast that stays correct when the network drops,
+//! corrupts, or crash-loses messages.
 
 use crate::ledger::Ledger;
 use crate::widths::id_width;
-use qdc_congest::{CongestConfig, Inbox, Message, NodeAlgorithm, NodeInfo, Outbox, Simulator};
+use qdc_congest::{
+    ChaosConfig, CongestConfig, Inbox, Message, NodeAlgorithm, NodeInfo, Outbox, RunReport,
+    SimError, Simulator,
+};
 use qdc_graph::{Graph, NodeId};
 
 /// Generous per-stage round cap (stages reach quiescence long before).
 pub(crate) fn stage_cap(n: usize) -> usize {
     20 * n + 100
+}
+
+/// Chaos-aware round budget: [`stage_cap`] stretched by the expected
+/// number of retransmissions per delivery, `1 / (1 − drop_prob)`, plus
+/// slack. A retry-until-ack discipline (e.g. [`robust_broadcast`])
+/// running within this budget succeeds with overwhelming probability
+/// for any `drop_prob < 1` bounded away from 1 — at `p = 0.3` the
+/// budget leaves hundreds of retries per edge, and a single edge
+/// failing `r` consecutive times has probability `p^r`.
+///
+/// # Panics
+///
+/// Panics if `drop_prob` is not in `[0, 1)`.
+pub fn chaos_round_budget(n: usize, drop_prob: f64) -> usize {
+    assert!(
+        (0.0..1.0).contains(&drop_prob),
+        "drop_prob {drop_prob} outside [0, 1)"
+    );
+    (stage_cap(n) as f64 / (1.0 - drop_prob)).ceil() as usize + 50
 }
 
 // ---------------------------------------------------------------------------
@@ -228,6 +252,133 @@ pub fn build_bfs_tree(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Chaos-hardened broadcast (retransmit until neighbor-ack)
+// ---------------------------------------------------------------------------
+
+/// Message kinds for [`robust_broadcast`], encoded in 2 bits at Hamming
+/// distance 2 — a single flipped bit can never turn a token into an ack
+/// or vice versa, it only produces an invalid word that receivers
+/// ignore (so corruption degrades to a drop, which the retry discipline
+/// already absorbs).
+const ROBUST_TOKEN: u64 = 0b01;
+const ROBUST_ACK: u64 = 0b10;
+
+/// A drop-tolerant flooding broadcast: every informed node retransmits
+/// the token on each port every round until that neighbor acknowledges
+/// (or is learned to be informed), giving up after `give_up` rounds.
+///
+/// The naive flood sends each token once, so a single dropped message
+/// permanently cuts off a subtree. Here the per-edge exchange is a
+/// stop-and-wait retry loop — the minimal discipline that restores
+/// correctness under message loss.
+struct RobustFlood {
+    informed: bool,
+    /// Per port: this neighbor is known informed (token or ack seen), so
+    /// retransmission to it stops.
+    settled: Vec<bool>,
+    /// Per port: an ack is owed in response to a token received last
+    /// round (re-acked every time the token is re-received, so lost acks
+    /// are retried too).
+    owe_ack: Vec<bool>,
+    round: usize,
+    give_up: usize,
+}
+
+impl RobustFlood {
+    fn retransmitting(&self) -> bool {
+        self.round < self.give_up
+    }
+}
+
+impl NodeAlgorithm for RobustFlood {
+    fn on_start(&mut self, _info: &NodeInfo, out: &mut Outbox) {
+        if self.informed {
+            for p in 0..out.port_count() {
+                out.send(p, Message::from_uint(ROBUST_TOKEN, 2));
+            }
+        }
+    }
+    fn on_round(&mut self, _info: &NodeInfo, inbox: &Inbox, out: &mut Outbox) {
+        self.round += 1;
+        for (p, msg) in inbox.iter() {
+            // Corrupted payloads (wrong width or invalid word) fall
+            // through both arms and are treated as silence.
+            match msg.as_uint(2) {
+                Some(ROBUST_TOKEN) => {
+                    self.informed = true;
+                    self.settled[p] = true;
+                    self.owe_ack[p] = true;
+                }
+                Some(ROBUST_ACK) => self.settled[p] = true,
+                _ => {}
+            }
+        }
+        if !self.informed || !self.retransmitting() {
+            return;
+        }
+        for p in 0..out.port_count() {
+            if self.owe_ack[p] {
+                self.owe_ack[p] = false;
+                out.send(p, Message::from_uint(ROBUST_ACK, 2));
+            } else if !self.settled[p] {
+                out.send(p, Message::from_uint(ROBUST_TOKEN, 2));
+            }
+        }
+    }
+    fn is_terminated(&self) -> bool {
+        // Quiescence-driven: the run ends when every live node has
+        // settled all its ports (or given up) and no retries are in
+        // flight. `give_up` bounds the run even when a neighbor crashed
+        // and will never acknowledge.
+        true
+    }
+}
+
+/// Outcome of a [`robust_broadcast`] run.
+#[derive(Clone, Debug)]
+pub struct RobustBroadcastOutcome {
+    /// Whether each node held the token when the run ended.
+    pub informed: Vec<bool>,
+    /// The run's accounting, including the fault counters.
+    pub report: RunReport,
+}
+
+/// Floods a token from `root` under the fault plan described by
+/// `chaos`, retransmitting on every unacknowledged port each round
+/// until `give_up` rounds have passed (use
+/// [`chaos_round_budget`]`(n, drop_prob)` for a budget that makes
+/// non-delivery astronomically unlikely). Reaches every non-crashed
+/// node connected to `root` in the residual graph.
+///
+/// Requires `B ≥ 2` (messages are 2-bit words) and a
+/// [`max_rounds_watchdog`](ChaosConfig::max_rounds_watchdog) above
+/// `give_up + 1`, or the run cannot wind down before the watchdog.
+pub fn robust_broadcast(
+    graph: &Graph,
+    cfg: CongestConfig,
+    root: NodeId,
+    chaos: &ChaosConfig,
+    give_up: usize,
+) -> Result<RobustBroadcastOutcome, SimError> {
+    assert!(cfg.bandwidth_bits >= 2, "robust flood needs B >= 2");
+    let sim = Simulator::new(graph, cfg);
+    let (nodes, report) = sim.try_run(
+        |info| RobustFlood {
+            informed: info.id == root,
+            settled: vec![false; info.degree()],
+            owe_ack: vec![false; info.degree()],
+            round: 0,
+            give_up,
+        },
+        chaos,
+    )?;
+    Ok(RobustBroadcastOutcome {
+        informed: nodes.into_iter().map(|s| s.informed).collect(),
+        report,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -295,5 +446,93 @@ mod tests {
         assert!(tree.in_tree(NodeId(1)));
         assert!(!tree.in_tree(NodeId(2)));
         assert_eq!(tree.depth[2], u64::MAX);
+    }
+
+    // -----------------------------------------------------------------
+    // Chaos-hardened broadcast
+    // -----------------------------------------------------------------
+
+    fn chaos(seed: u64, drop: f64, give_up: usize) -> ChaosConfig {
+        ChaosConfig {
+            seed,
+            drop_prob: drop,
+            crash_schedule: Vec::new(),
+            corrupt_prob: 0.0,
+            max_rounds_watchdog: give_up + 5,
+        }
+    }
+
+    #[test]
+    fn chaos_robust_broadcast_fault_free_informs_everyone_quickly() {
+        let g = qdc_graph::generate::random_connected(30, 20, 4);
+        let out = robust_broadcast(&g, cfg(), NodeId(0), &chaos(0, 0.0, 200), 200)
+            .expect("fault-free run completes");
+        assert!(out.informed.iter().all(|&i| i));
+        assert_eq!(out.report.messages_dropped, 0);
+        assert!(out.report.completed);
+    }
+
+    #[test]
+    fn chaos_robust_broadcast_survives_heavy_drops() {
+        // At 30% loss a fire-once flood reliably strands nodes; the
+        // retry discipline must not.
+        let g = Graph::path(12);
+        let give_up = chaos_round_budget(12, 0.3);
+        for seed in 0..5 {
+            let out = robust_broadcast(&g, cfg(), NodeId(0), &chaos(seed, 0.3, give_up), give_up)
+                .expect("run completes within the chaos budget");
+            assert!(
+                out.informed.iter().all(|&i| i),
+                "seed {seed}: a node was stranded"
+            );
+            assert!(out.report.messages_dropped > 0, "seed {seed}: no drops");
+        }
+    }
+
+    #[test]
+    fn chaos_robust_broadcast_covers_residual_graph_around_crash() {
+        // A leaf hangs off node 0 and crashes early; the rest of the
+        // (connected) residual graph must still be fully informed, and
+        // the run must wind down despite the never-acking dead leaf.
+        let mut edges: Vec<(u32, u32)> = (0..9).map(|v| (v, v + 1)).collect();
+        edges.extend([(0, 5), (2, 7), (3, 9)]);
+        edges.push((0, 10)); // the doomed leaf
+        let g = Graph::from_edges(11, &edges);
+        let give_up = chaos_round_budget(11, 0.2);
+        let mut cc = chaos(3, 0.2, give_up);
+        cc.crash_schedule = vec![(NodeId(10), 2)];
+        let out =
+            robust_broadcast(&g, cfg(), NodeId(0), &cc, give_up).expect("winds down after give_up");
+        assert_eq!(out.report.nodes_crashed, 1);
+        for v in 0..10 {
+            assert!(out.informed[v], "live node {v} was stranded");
+        }
+    }
+
+    #[test]
+    fn chaos_robust_broadcast_tolerates_corruption_as_loss() {
+        // Corrupted tokens/acks decode to invalid words and are ignored;
+        // the Hamming-distance-2 encoding means a single bit flip can
+        // never forge the other message kind. Corruption therefore only
+        // slows the flood down, like drops.
+        let g = Graph::cycle(10);
+        let give_up = chaos_round_budget(10, 0.2);
+        let mut cc = chaos(11, 0.1, give_up);
+        cc.corrupt_prob = 0.2;
+        let out = robust_broadcast(&g, cfg(), NodeId(0), &cc, give_up).expect("completes");
+        assert!(out.informed.iter().all(|&i| i));
+        assert!(out.report.bits_corrupted > 0);
+    }
+
+    #[test]
+    fn chaos_round_budget_scales_with_drop_rate() {
+        assert_eq!(chaos_round_budget(10, 0.0), stage_cap(10) + 50);
+        assert!(chaos_round_budget(10, 0.5) > chaos_round_budget(10, 0.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1)")]
+    fn chaos_round_budget_rejects_certain_loss() {
+        chaos_round_budget(10, 1.0);
     }
 }

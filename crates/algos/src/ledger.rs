@@ -65,6 +65,9 @@ mod tests {
             bits_sent: bits,
             max_bits_per_round: 0,
             channel: ChannelKind::Classical,
+            messages_dropped: 0,
+            nodes_crashed: 0,
+            bits_corrupted: 0,
         }
     }
 

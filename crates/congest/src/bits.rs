@@ -209,6 +209,34 @@ impl BitString {
         v & low_mask(width)
     }
 
+    /// Flips the bit at position `i` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn toggle(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range ({})", self.len);
+        self.words[i / 64] ^= 1u64 << (i % 64);
+    }
+
+    /// Shortens the string to `new_len` bits, zeroing the discarded tail
+    /// so the packed-word equality invariant keeps holding. A no-op when
+    /// `new_len >= len`.
+    pub fn truncate(&mut self, new_len: usize) {
+        if new_len >= self.len {
+            return;
+        }
+        self.words.truncate(new_len.div_ceil(64));
+        if let Some(last) = self.words.last_mut() {
+            let tail = new_len % 64;
+            if tail != 0 {
+                *last &= low_mask(tail);
+            }
+        }
+        self.len = new_len;
+    }
+
     /// A sequential reader over the bits.
     pub fn reader(&self) -> BitReader<'_> {
         BitReader { bits: self, pos: 0 }
@@ -441,6 +469,31 @@ mod tests {
         assert_eq!(format!("{b:?}"), "BitString[101]");
     }
 
+    #[test]
+    fn toggle_flips_in_place() {
+        let mut b = BitString::from_bools(&[true, false, true]);
+        b.toggle(1);
+        assert_eq!(b.to_bools(), vec![true, true, true]);
+        b.toggle(1);
+        assert_eq!(b.to_bools(), vec![true, false, true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn toggle_out_of_range_panics() {
+        let mut b = BitString::from_bools(&[true]);
+        b.toggle(1);
+    }
+
+    #[test]
+    fn truncate_beyond_len_is_noop() {
+        let mut b = BitString::from_bools(&[true, false]);
+        b.truncate(5);
+        assert_eq!(b.to_bools(), vec![true, false]);
+        b.truncate(0);
+        assert!(b.is_empty());
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(192))]
 
@@ -513,6 +566,29 @@ mod tests {
             let mut r = b.reader();
             r.read_uint(offset);
             prop_assert_eq!(r.read_uint(64), Some(v));
+        }
+
+        /// `truncate` equals rebuilding from the bool prefix and keeps
+        /// the zero-tail packed-word invariant (so equality still works),
+        /// and `toggle` matches flipping the corresponding bool.
+        #[test]
+        fn truncate_and_toggle_match_bool_model(
+            v in prop::collection::vec(any::<bool>(), 1..200),
+            cut in any::<usize>(),
+            flip in any::<usize>(),
+        ) {
+            let cut = cut % (v.len() + 1);
+            let mut fast = BitString::from_bools(&v);
+            fast.truncate(cut);
+            prop_assert_eq!(&fast, &BitString::from_bools(&v[..cut]));
+            prop_assert_eq!(fast.words.len(), fast.len.div_ceil(64));
+            if cut > 0 {
+                let flip = flip % cut;
+                let mut model = v[..cut].to_vec();
+                model[flip] = !model[flip];
+                fast.toggle(flip);
+                prop_assert_eq!(&fast, &BitString::from_bools(&model));
+            }
         }
     }
 }

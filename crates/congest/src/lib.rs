@@ -15,6 +15,13 @@
 //! machines. See `qdc-algos` for BFS, leader election, MST, and the
 //! verification algorithms built on top.
 //!
+//! The model the paper analyzes is fault-free; the simulator also
+//! supports deterministic, seeded **fault injection** for robustness
+//! work ([`ChaosConfig`] / [`FaultPlan`] / [`Simulator::try_run`]):
+//! message drops, crash-stop failures, and payload corruption, replayed
+//! byte-exactly per seed, with structured [`SimError`]s instead of
+//! panics on discipline violations.
+//!
 //! # Example
 //!
 //! ```
@@ -55,14 +62,16 @@
 #![warn(missing_docs)]
 
 mod bits;
+mod chaos;
 mod message;
 mod sim;
 
 pub mod topology;
 
 pub use bits::{BitReader, BitString};
+pub use chaos::{ChaosConfig, FaultPlan, FaultStats};
 pub use message::Message;
 pub use sim::{
-    ChannelKind, CongestConfig, Inbox, NodeAlgorithm, NodeInfo, Outbox, RunReport, Simulator,
-    StepSummary, Stepper, TracedMessage, TrafficTrace,
+    ChannelKind, CongestConfig, Inbox, NodeAlgorithm, NodeInfo, Outbox, RunReport, SimError,
+    Simulator, StepSummary, Stepper, TracedMessage, TrafficTrace, WatchdogReport,
 };

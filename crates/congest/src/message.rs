@@ -58,6 +58,14 @@ impl Message {
         &self.payload
     }
 
+    /// Mutable access to the payload — used by the fault-injection layer
+    /// to flip or truncate bits in flight. Mutation cannot violate the
+    /// budget retroactively as long as it never grows the payload (the
+    /// [`FaultPlan`](crate::FaultPlan) only shrinks or preserves it).
+    pub fn payload_mut(&mut self) -> &mut BitString {
+        &mut self.payload
+    }
+
     /// A reader over the payload.
     pub fn reader(&self) -> BitReader<'_> {
         self.payload.reader()

@@ -1,7 +1,77 @@
 //! The lockstep CONGEST simulator.
 
+use crate::chaos::{ChaosConfig, FaultPlan};
 use crate::message::Message;
 use qdc_graph::{EdgeId, Graph, NodeId};
+
+/// A structured CONGEST-discipline violation.
+///
+/// The panicking APIs ([`Outbox::send`], [`Simulator::run`]) report these
+/// conditions by panicking with the same message the corresponding
+/// variant displays; the fallible APIs ([`Outbox::try_send`],
+/// [`Simulator::try_run`]) return them instead and never panic.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SimError {
+    /// A message exceeded the per-edge per-round `B`-bit budget.
+    BudgetExceeded {
+        /// Size of the offending message.
+        bits: usize,
+        /// The configured budget `B`.
+        budget: usize,
+    },
+    /// A second message was queued on the same port in one round.
+    DoublePortSend {
+        /// The contested port.
+        port: usize,
+    },
+    /// A port index at or beyond the node's degree.
+    PortOutOfRange {
+        /// The offending port.
+        port: usize,
+        /// The node's port count (its degree).
+        ports: usize,
+    },
+    /// A [`try_run`](Simulator::try_run) passed its
+    /// [`max_rounds_watchdog`](ChaosConfig::max_rounds_watchdog) cap
+    /// without reaching quiescence.
+    WatchdogTripped {
+        /// Rounds executed when the watchdog fired.
+        rounds: usize,
+    },
+    /// A [`ChaosConfig`] probability outside `[0, 1]`.
+    InvalidChaosConfig {
+        /// The offending probability.
+        prob: f64,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            SimError::BudgetExceeded { bits, budget } => {
+                write!(
+                    f,
+                    "message of {bits} bits exceeds the B = {budget} bit budget"
+                )
+            }
+            SimError::DoublePortSend { port } => write!(
+                f,
+                "port {port} already has a message this round (one message per edge per round)"
+            ),
+            SimError::PortOutOfRange { port, ports } => {
+                write!(f, "port {port} out of range (node has {ports} ports)")
+            }
+            SimError::WatchdogTripped { rounds } => {
+                write!(f, "watchdog tripped: no quiescence after {rounds} rounds")
+            }
+            SimError::InvalidChaosConfig { prob } => {
+                write!(f, "chaos probability {prob} outside [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
 
 /// Whether a link carries classical bits or qubits.
 ///
@@ -91,9 +161,18 @@ impl Inbox {
     ///
     /// # Panics
     ///
-    /// Panics if `port` is out of range.
+    /// Panics if `port >= degree` (an out-of-range port is a programming
+    /// error, not an empty slot). Use [`get_checked`](Inbox::get_checked)
+    /// to fold both cases into `None`.
     pub fn get(&self, port: usize) -> Option<&Message> {
         self.msgs[port].as_ref()
+    }
+
+    /// The message received on `port` this round — `None` both when the
+    /// slot is empty and when `port` is out of range. The non-panicking
+    /// twin of [`get`](Inbox::get).
+    pub fn get_checked(&self, port: usize) -> Option<&Message> {
+        self.msgs.get(port).and_then(Option::as_ref)
     }
 
     /// Iterates over `(port, message)` pairs received this round.
@@ -135,13 +214,30 @@ impl Inbox {
     }
 
     /// Places `msg` in `port`'s slot — for harnesses that route messages
-    /// themselves into a reused inbox.
+    /// themselves into a reused inbox. A message already in the slot is
+    /// silently replaced (harnesses enforce the one-message-per-edge
+    /// discipline on the sending side).
     ///
     /// # Panics
     ///
-    /// Panics if `port` is out of range.
+    /// Panics if `port >= degree`. Use [`try_put`](Inbox::try_put) for a
+    /// fallible variant.
     pub fn put(&mut self, port: usize, msg: Message) {
         self.msgs[port] = Some(msg);
+    }
+
+    /// Fallible [`put`](Inbox::put): returns
+    /// [`SimError::PortOutOfRange`] instead of panicking. Keeps `put`'s
+    /// replace-on-occupied semantics.
+    pub fn try_put(&mut self, port: usize, msg: Message) -> Result<(), SimError> {
+        let ports = self.msgs.len();
+        match self.msgs.get_mut(port) {
+            Some(slot) => {
+                *slot = Some(msg);
+                Ok(())
+            }
+            None => Err(SimError::PortOutOfRange { port, ports }),
+        }
     }
 }
 
@@ -154,20 +250,29 @@ pub struct Outbox {
     budget_bits: usize,
     msgs: Vec<Option<Message>>,
     queued: usize,
+    /// In strict mode (the default), a discipline violation via
+    /// [`send`](Outbox::send) panics. In lenient mode — used by
+    /// [`Simulator::try_run`] — the first violation is recorded in
+    /// `defect`, the offending message is discarded, and the round
+    /// engine surfaces the error at the end of the round.
+    strict: bool,
+    defect: Option<SimError>,
 }
 
 impl Outbox {
-    fn new(ports: usize, budget_bits: usize) -> Self {
+    fn new(ports: usize, budget_bits: usize, strict: bool) -> Self {
         Outbox {
             budget_bits,
             msgs: vec![None; ports],
             queued: 0,
+            strict,
+            defect: None,
         }
     }
 
     /// Wraps an already-emptied slot vector, so the round loop reuses one
     /// allocation per node instead of building a fresh `Vec` every round.
-    fn reuse(msgs: Vec<Option<Message>>, budget_bits: usize) -> Self {
+    fn reuse(msgs: Vec<Option<Message>>, budget_bits: usize, strict: bool) -> Self {
         debug_assert!(
             msgs.iter().all(Option::is_none),
             "reused outbox must start empty"
@@ -176,35 +281,64 @@ impl Outbox {
             budget_bits,
             msgs,
             queued: 0,
+            strict,
+            defect: None,
         }
     }
 
-    /// Queues `msg` on `port`.
+    /// Queues `msg` on `port`, returning the violated rule instead of
+    /// panicking: [`SimError::BudgetExceeded`] for an oversized message,
+    /// [`SimError::PortOutOfRange`] for a bad port, and
+    /// [`SimError::DoublePortSend`] for a second message on one port. On
+    /// `Err` nothing is queued.
+    pub fn try_send(&mut self, port: usize, msg: Message) -> Result<(), SimError> {
+        if msg.bit_len() > self.budget_bits {
+            return Err(SimError::BudgetExceeded {
+                bits: msg.bit_len(),
+                budget: self.budget_bits,
+            });
+        }
+        let ports = self.msgs.len();
+        let Some(slot) = self.msgs.get_mut(port) else {
+            return Err(SimError::PortOutOfRange { port, ports });
+        };
+        if slot.is_some() {
+            return Err(SimError::DoublePortSend { port });
+        }
+        *slot = Some(msg);
+        self.queued += 1;
+        Ok(())
+    }
+
+    /// Queues `msg` on `port` — the panicking wrapper over
+    /// [`try_send`](Outbox::try_send).
     ///
     /// # Panics
     ///
     /// Panics if the message exceeds the `B`-bit budget, the port already
-    /// has a message this round, or the port is out of range.
+    /// has a message this round, or the port is out of range — except
+    /// inside [`Simulator::try_run`], where the violation is recorded and
+    /// returned as that run's [`SimError`] instead.
     pub fn send(&mut self, port: usize, msg: Message) {
-        assert!(
-            msg.bit_len() <= self.budget_bits,
-            "message of {} bits exceeds the B = {} bit budget",
-            msg.bit_len(),
-            self.budget_bits
-        );
-        assert!(port < self.msgs.len(), "port {port} out of range");
-        assert!(
-            self.msgs[port].is_none(),
-            "port {port} already has a message this round (one message per edge per round)"
-        );
-        self.msgs[port] = Some(msg);
-        self.queued += 1;
+        if let Err(e) = self.try_send(port, msg) {
+            if self.strict {
+                panic!("{e}");
+            } else if self.defect.is_none() {
+                self.defect = Some(e);
+            }
+        }
     }
 
-    /// Sends a copy of `msg` on every port.
+    /// Sends a copy of `msg` on every port (moving, not cloning, the
+    /// original into the last port — one clone fewer per broadcast on
+    /// the round engine's hot path).
     pub fn broadcast(&mut self, msg: Message) {
-        for port in 0..self.msgs.len() {
+        let ports = self.msgs.len();
+        for port in 0..ports.saturating_sub(1) {
             self.send(port, msg.clone());
+        }
+        if ports > 0 {
+            self.send(ports - 1, msg);
         }
     }
 
@@ -218,9 +352,11 @@ impl Outbox {
     }
 
     /// A detached outbox for harnesses that drive a [`NodeAlgorithm`]
-    /// outside the simulator. The same budget discipline applies.
+    /// outside the simulator. The same budget discipline applies
+    /// (violations via [`send`](Outbox::send) panic; use
+    /// [`try_send`](Outbox::try_send) to handle them).
     pub fn detached(ports: usize, budget_bits: usize) -> Self {
-        Outbox::new(ports, budget_bits)
+        Outbox::new(ports, budget_bits, true)
     }
 
     /// A detached outbox reusing an already-emptied slot vector (as
@@ -231,7 +367,7 @@ impl Outbox {
     ///
     /// Debug-panics if any slot is still occupied.
     pub fn detached_reusing(slots: Vec<Option<Message>>, budget_bits: usize) -> Self {
-        Outbox::reuse(slots, budget_bits)
+        Outbox::reuse(slots, budget_bits, true)
     }
 
     /// Extracts the queued messages from a detached outbox.
@@ -278,6 +414,14 @@ pub struct RunReport {
     pub max_bits_per_round: u64,
     /// The channel kind the run was accounted under.
     pub channel: ChannelKind,
+    /// Messages removed in flight by the fault layer (random drops plus
+    /// messages lost to crashed endpoints). Zero on fault-free runs.
+    pub messages_dropped: u64,
+    /// Nodes crash-stopped by the fault layer. Zero on fault-free runs.
+    pub nodes_crashed: u64,
+    /// Payload bits flipped or truncated away by the fault layer. Zero
+    /// on fault-free runs.
+    pub bits_corrupted: u64,
 }
 
 /// One delivered message in a [`TrafficTrace`].
@@ -301,6 +445,11 @@ pub struct TracedMessage {
 pub struct TrafficTrace {
     /// `rounds[r]` lists the messages delivered in round `r + 1`.
     pub rounds: Vec<Vec<TracedMessage>>,
+    /// `dropped[r]` counts the messages the fault layer removed in round
+    /// `r + 1` (all zeros on fault-free runs). Same indexing as
+    /// [`rounds`](TrafficTrace::rounds), so trace consumers can line up
+    /// delivered and lost traffic per round.
+    pub dropped: Vec<u64>,
 }
 
 /// The lockstep CONGEST simulator over a fixed network graph.
@@ -392,7 +541,9 @@ impl<'g> Simulator<'g> {
         A: NodeAlgorithm,
         F: FnMut(&NodeInfo) -> A,
     {
-        let (nodes, report, _) = self.run_impl(init, max_rounds, false);
+        let (nodes, report, _) = self
+            .run_core(init, max_rounds, false, None, true)
+            .unwrap_or_else(|_| unreachable!("strict fault-free runs cannot fail"));
         (nodes, report)
     }
 
@@ -404,33 +555,94 @@ impl<'g> Simulator<'g> {
         A: NodeAlgorithm,
         F: FnMut(&NodeInfo) -> A,
     {
-        self.run_impl(init, max_rounds, true)
+        self.run_core(init, max_rounds, true, None, true)
+            .unwrap_or_else(|_| unreachable!("strict fault-free runs cannot fail"))
     }
 
-    fn run_impl<A, F>(
+    /// Runs the algorithm under fault injection, never panicking on
+    /// adversarial behavior: discipline violations (oversized messages,
+    /// double sends, out-of-range ports) and watchdog trips come back as
+    /// [`SimError`]s, and the faults described by `chaos` — seeded drops,
+    /// crash-stops, payload corruption — are applied at delivery time by
+    /// a [`FaultPlan`] built from it. Two invocations with the same
+    /// config produce byte-identical outcomes, including the fault
+    /// counters in the [`RunReport`].
+    ///
+    /// The run ends at quiescence (`Ok`) or at
+    /// [`max_rounds_watchdog`](ChaosConfig::max_rounds_watchdog) rounds
+    /// ([`SimError::WatchdogTripped`]).
+    pub fn try_run<A, F>(
         &self,
         init: F,
-        max_rounds: usize,
-        traced: bool,
-    ) -> (Vec<A>, RunReport, TrafficTrace)
+        chaos: &ChaosConfig,
+    ) -> Result<(Vec<A>, RunReport), SimError>
     where
         A: NodeAlgorithm,
         F: FnMut(&NodeInfo) -> A,
     {
-        let mut engine = self.engine_start(init);
+        chaos.validate()?;
+        let plan = FaultPlan::new(chaos, self.graph.node_count());
+        let (nodes, report, _) =
+            self.run_core(init, chaos.max_rounds_watchdog, false, Some(plan), false)?;
+        Ok((nodes, report))
+    }
+
+    /// [`try_run`](Simulator::try_run) with a per-round [`TrafficTrace`]
+    /// of delivered and dropped messages.
+    pub fn try_run_traced<A, F>(
+        &self,
+        init: F,
+        chaos: &ChaosConfig,
+    ) -> Result<(Vec<A>, RunReport, TrafficTrace), SimError>
+    where
+        A: NodeAlgorithm,
+        F: FnMut(&NodeInfo) -> A,
+    {
+        chaos.validate()?;
+        let plan = FaultPlan::new(chaos, self.graph.node_count());
+        self.run_core(init, chaos.max_rounds_watchdog, true, Some(plan), false)
+    }
+
+    /// The shared run loop behind the panicking and fallible entry
+    /// points. `strict` selects the violation policy (panic at send time
+    /// vs collect-and-return) and, with it, the round-cap policy: strict
+    /// runs return `completed = false` at `max_rounds`, lenient runs
+    /// treat the cap as a watchdog and fail.
+    fn run_core<A, F>(
+        &self,
+        init: F,
+        max_rounds: usize,
+        traced: bool,
+        plan: Option<FaultPlan>,
+        strict: bool,
+    ) -> Result<(Vec<A>, RunReport, TrafficTrace), SimError>
+    where
+        A: NodeAlgorithm,
+        F: FnMut(&NodeInfo) -> A,
+    {
+        let mut engine = self.engine_start(init, plan, strict);
         let mut trace = TrafficTrace::default();
         loop {
+            if let Some(defect) = engine.defect {
+                return Err(defect);
+            }
             if engine.is_quiescent() {
                 engine.report.completed = true;
-                return (engine.nodes, engine.report, trace);
+                return Ok((engine.nodes, engine.report, trace));
             }
             if engine.report.rounds >= max_rounds {
-                return (engine.nodes, engine.report, trace);
+                if strict {
+                    return Ok((engine.nodes, engine.report, trace));
+                }
+                return Err(SimError::WatchdogTripped {
+                    rounds: engine.report.rounds,
+                });
             }
             if traced {
                 let mut round_trace = Vec::new();
-                self.engine_round(&mut engine, Some(&mut round_trace));
+                let summary = self.engine_round(&mut engine, Some(&mut round_trace));
                 trace.rounds.push(round_trace);
+                trace.dropped.push(summary.dropped);
             } else {
                 self.engine_round(&mut engine, None);
             }
@@ -440,7 +652,7 @@ impl<'g> Simulator<'g> {
     /// Runs every node's `on_start` and sets up the reusable round
     /// buffers — the shared entry point of [`run`](Simulator::run) and
     /// [`Stepper`].
-    fn engine_start<A, F>(&self, mut init: F) -> Engine<A>
+    fn engine_start<A, F>(&self, mut init: F, plan: Option<FaultPlan>, strict: bool) -> Engine<A>
     where
         A: NodeAlgorithm,
         F: FnMut(&NodeInfo) -> A,
@@ -448,10 +660,14 @@ impl<'g> Simulator<'g> {
         let mut nodes: Vec<A> = self.infos.iter().map(&mut init).collect();
         let mut outgoing = Vec::with_capacity(nodes.len());
         let mut pending = 0usize;
+        let mut defect = None;
         for (i, node) in nodes.iter_mut().enumerate() {
-            let mut out = Outbox::new(self.infos[i].degree(), self.config.bandwidth_bits);
+            let mut out = Outbox::new(self.infos[i].degree(), self.config.bandwidth_bits, strict);
             node.on_start(&self.infos[i], &mut out);
             pending += out.queued;
+            if defect.is_none() {
+                defect = out.defect;
+            }
             outgoing.push(out.take());
         }
         let inboxes = self
@@ -464,6 +680,9 @@ impl<'g> Simulator<'g> {
             outgoing,
             inboxes,
             pending,
+            plan,
+            strict,
+            defect,
             report: RunReport {
                 rounds: 0,
                 completed: false,
@@ -471,6 +690,9 @@ impl<'g> Simulator<'g> {
                 bits_sent: 0,
                 max_bits_per_round: 0,
                 channel: self.config.channel,
+                messages_dropped: 0,
+                nodes_crashed: 0,
+                bits_corrupted: 0,
             },
         }
     }
@@ -484,22 +706,39 @@ impl<'g> Simulator<'g> {
         engine: &mut Engine<A>,
         mut round_trace: Option<&mut Vec<TracedMessage>>,
     ) -> StepSummary {
+        // Activate any crash-stops scheduled for this round before any
+        // delivery, so a crashed node's in-flight messages die with it.
+        let dropped_before = if let Some(plan) = &mut engine.plan {
+            plan.begin_round();
+            plan.stats().messages_dropped
+        } else {
+            0
+        };
         // Deliver: message from u's port p goes to v's precomputed back
-        // port. Inboxes are cleared in place and reused.
+        // port, unless the fault plan drops (or corrupts) it. Inboxes
+        // are cleared in place and reused.
         for inbox in &mut engine.inboxes {
             inbox.clear();
         }
         let mut messages = 0u64;
         let mut bits = 0u64;
         let Engine {
-            outgoing, inboxes, ..
+            outgoing,
+            inboxes,
+            plan,
+            ..
         } = engine;
         for (u, ports) in outgoing.iter_mut().enumerate() {
             let info = &self.infos[u];
             let backs = &self.back_port[u];
             for (p, slot) in ports.iter_mut().enumerate() {
-                if let Some(msg) = slot.take() {
+                if let Some(mut msg) = slot.take() {
                     let v = info.neighbors[p];
+                    if let Some(plan) = plan.as_mut() {
+                        if !plan.filter(info.id, v, &mut msg) {
+                            continue;
+                        }
+                    }
                     messages += 1;
                     bits += msg.bit_len() as u64;
                     if let Some(tr) = round_trace.as_deref_mut() {
@@ -517,21 +756,41 @@ impl<'g> Simulator<'g> {
         engine.report.bits_sent += bits;
         engine.report.max_bits_per_round = engine.report.max_bits_per_round.max(bits);
         engine.report.rounds += 1;
+        let mut dropped = 0;
+        if let Some(plan) = &engine.plan {
+            let stats = plan.stats();
+            engine.report.messages_dropped = stats.messages_dropped;
+            engine.report.nodes_crashed = stats.nodes_crashed;
+            engine.report.bits_corrupted = stats.bits_corrupted;
+            dropped = stats.messages_dropped - dropped_before;
+        }
 
-        // Compute: every node takes a step, writing into its (emptied)
-        // outgoing slot vector.
+        // Compute: every live node takes a step, writing into its
+        // (emptied) outgoing slot vector. Crashed nodes are frozen: their
+        // `on_round` is never called again and they queue nothing.
         engine.pending = 0;
         for (i, node) in engine.nodes.iter_mut().enumerate() {
+            if engine
+                .plan
+                .as_ref()
+                .is_some_and(|p| p.is_crashed(self.infos[i].id))
+            {
+                continue;
+            }
             let slots = std::mem::take(&mut engine.outgoing[i]);
-            let mut out = Outbox::reuse(slots, self.config.bandwidth_bits);
+            let mut out = Outbox::reuse(slots, self.config.bandwidth_bits, engine.strict);
             node.on_round(&self.infos[i], &engine.inboxes[i], &mut out);
             engine.pending += out.queued;
+            if engine.defect.is_none() {
+                engine.defect = out.defect;
+            }
             engine.outgoing[i] = out.take();
         }
         StepSummary {
             round: engine.report.rounds,
             messages,
             bits,
+            dropped,
         }
     }
 }
@@ -547,12 +806,29 @@ struct Engine<A> {
     /// Messages queued for the next delivery phase, maintained by the
     /// round loop so quiescence checks are O(n) instead of O(Σ deg).
     pending: usize,
+    /// Fault-injection state, `None` for fault-free runs.
+    plan: Option<FaultPlan>,
+    /// Violation policy for the outboxes handed to nodes: strict panics,
+    /// lenient records into `defect`.
+    strict: bool,
+    /// First discipline violation observed under the lenient policy.
+    defect: Option<SimError>,
     report: RunReport,
 }
 
 impl<A: NodeAlgorithm> Engine<A> {
+    /// Quiescence: nothing in flight and every *live* node terminated.
+    /// Crashed nodes are frozen, so waiting on them would never end —
+    /// they count as (involuntarily) terminated.
     fn is_quiescent(&self) -> bool {
-        self.pending == 0 && self.nodes.iter().all(|a| a.is_terminated())
+        self.pending == 0
+            && self.nodes.iter().enumerate().all(|(i, a)| {
+                a.is_terminated()
+                    || self
+                        .plan
+                        .as_ref()
+                        .is_some_and(|p| p.is_crashed(NodeId(i as u32)))
+            })
     }
 }
 
@@ -603,13 +879,51 @@ pub struct StepSummary {
     pub messages: u64,
     /// Payload bits delivered this round.
     pub bits: u64,
+    /// Messages the fault layer dropped this round (always zero without
+    /// a [`ChaosConfig`]).
+    pub dropped: u64,
+}
+
+/// Outcome of [`Stepper::run_to_quiescence`]: how many rounds ran and
+/// whether the watchdog cap cut the run short.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WatchdogReport {
+    /// Rounds executed by this call.
+    pub rounds: usize,
+    /// `true` when the cap was hit before quiescence — the signature of
+    /// a non-terminating (or not-yet-terminated) algorithm.
+    pub tripped: bool,
 }
 
 impl<'g, A: NodeAlgorithm> Stepper<'g, A> {
     /// Initializes the algorithm (runs every node's `on_start`).
     pub fn new<F: FnMut(&NodeInfo) -> A>(graph: &'g Graph, config: CongestConfig, init: F) -> Self {
         let sim = Simulator::new(graph, config);
-        let engine = sim.engine_start(init);
+        let engine = sim.engine_start(init, None, true);
+        Stepper { sim, engine }
+    }
+
+    /// A stepper with fault injection: each [`step`](Stepper::step)
+    /// consults a [`FaultPlan`] built from `chaos`, making the same
+    /// per-message decisions in the same order as
+    /// [`Simulator::try_run`] under the same config — a stepped chaos
+    /// run matches the batch chaos run round for round. Discipline
+    /// violations still panic (stepping is an interactive debugging
+    /// surface); use [`Simulator::try_run`] for fully fallible runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chaos` fails [`ChaosConfig::validate`].
+    pub fn with_chaos<F: FnMut(&NodeInfo) -> A>(
+        graph: &'g Graph,
+        config: CongestConfig,
+        chaos: &ChaosConfig,
+        init: F,
+    ) -> Self {
+        chaos.validate().unwrap_or_else(|e| panic!("{e}"));
+        let sim = Simulator::new(graph, config);
+        let plan = FaultPlan::new(chaos, graph.node_count());
+        let engine = sim.engine_start(init, Some(plan), true);
         Stepper { sim, engine }
     }
 
@@ -650,19 +964,29 @@ impl<'g, A: NodeAlgorithm> Stepper<'g, A> {
                 round: self.engine.report.rounds,
                 messages: 0,
                 bits: 0,
+                dropped: 0,
             };
         }
         self.sim.engine_round(&mut self.engine, None)
     }
 
-    /// Steps until quiescence or `max_rounds`; returns the rounds run.
-    pub fn run_to_quiescence(&mut self, max_rounds: usize) -> usize {
+    /// Steps until quiescence or `max_rounds`, whichever comes first.
+    ///
+    /// The report says how many rounds this call executed and whether
+    /// the cap tripped first (`tripped = true` means the algorithm had
+    /// not quiesced — previously this case was indistinguishable from a
+    /// run that finished exactly at the cap, so a non-terminating
+    /// algorithm looped silently).
+    pub fn run_to_quiescence(&mut self, max_rounds: usize) -> WatchdogReport {
         let mut done = 0;
         while !self.is_quiescent() && done < max_rounds {
             self.step();
             done += 1;
         }
-        done
+        WatchdogReport {
+            rounds: done,
+            tripped: !self.is_quiescent(),
+        }
     }
 }
 
@@ -849,7 +1173,8 @@ mod tests {
                 StepSummary {
                     round: rounds,
                     messages: 0,
-                    bits: 0
+                    bits: 0,
+                    dropped: 0
                 }
             );
         }
@@ -877,11 +1202,45 @@ mod tests {
     }
 
     #[test]
-    fn stepper_run_to_quiescence_caps() {
+    fn stepper_run_to_quiescence_trips_watchdog_on_nonterminating_algorithm() {
+        // Chatter never terminates: the cap must trip and say so, rather
+        // than returning a bare round count indistinguishable from a run
+        // that finished exactly at the cap.
         let g = Graph::path(2);
         let cfg = CongestConfig::classical(4);
         let mut stepper = Stepper::new(&g, cfg, |_| Chatter);
-        assert_eq!(stepper.run_to_quiescence(5), 5); // never quiesces
+        assert_eq!(
+            stepper.run_to_quiescence(5),
+            WatchdogReport {
+                rounds: 5,
+                tripped: true
+            }
+        );
+        // A second capped call keeps reporting the trip…
+        assert!(stepper.run_to_quiescence(3).tripped);
+        assert_eq!(stepper.rounds(), 8);
+    }
+
+    #[test]
+    fn stepper_run_to_quiescence_completes_without_tripping() {
+        let g = Graph::complete(4);
+        let cfg = CongestConfig::classical(16);
+        let mut stepper = Stepper::new(&g, cfg, |info: &NodeInfo| HearAll {
+            heard: 0,
+            need: info.degree(),
+        });
+        let report = stepper.run_to_quiescence(50);
+        assert!(!report.tripped);
+        assert!(report.rounds < 50);
+        assert!(stepper.is_quiescent());
+        // Quiescent already: a further call runs zero rounds, no trip.
+        assert_eq!(
+            stepper.run_to_quiescence(50),
+            WatchdogReport {
+                rounds: 0,
+                tripped: false
+            }
+        );
     }
 
     #[test]
@@ -898,5 +1257,345 @@ mod tests {
                 assert!((a == u && b == v) || (a == v && b == u));
             }
         }
+    }
+
+    // -----------------------------------------------------------------
+    // Structured errors and fault injection (chaos layer)
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn try_send_reports_each_violation_without_panicking() {
+        let mut out = Outbox::detached(2, 8);
+        assert_eq!(
+            out.try_send(0, Message::from_uint(0x1FF, 9)),
+            Err(SimError::BudgetExceeded { bits: 9, budget: 8 })
+        );
+        assert_eq!(
+            out.try_send(2, Message::from_bit(true)),
+            Err(SimError::PortOutOfRange { port: 2, ports: 2 })
+        );
+        assert_eq!(out.try_send(0, Message::from_bit(true)), Ok(()));
+        assert_eq!(
+            out.try_send(0, Message::from_bit(false)),
+            Err(SimError::DoublePortSend { port: 0 })
+        );
+        // Failed sends queue nothing; the successful one queued once.
+        let slots = out.into_slots();
+        assert_eq!(slots.iter().filter(|s| s.is_some()).count(), 1);
+    }
+
+    /// An adversarial node using the *panicking* API: under `try_run`
+    /// the violation must come back as a `SimError`, not a panic.
+    struct Adversary {
+        mode: u8,
+    }
+    impl NodeAlgorithm for Adversary {
+        fn on_start(&mut self, _: &NodeInfo, out: &mut Outbox) {
+            match self.mode {
+                0 => out.send(0, Message::from_uint(0xFFFF, 16)), // oversized
+                1 => {
+                    out.send(0, Message::from_bit(true));
+                    out.send(0, Message::from_bit(false)); // double send
+                }
+                _ => out.send(99, Message::from_bit(true)), // bad port
+            }
+        }
+        fn on_round(&mut self, _: &NodeInfo, _: &Inbox, _: &mut Outbox) {}
+        fn is_terminated(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn try_run_returns_structured_errors_for_adversarial_nodes() {
+        let g = Graph::path(2);
+        let sim = Simulator::new(&g, CongestConfig::classical(8));
+        let chaos = ChaosConfig::fault_free(10);
+        assert_eq!(
+            sim.try_run(|_| Adversary { mode: 0 }, &chaos).err(),
+            Some(SimError::BudgetExceeded {
+                bits: 16,
+                budget: 8
+            })
+        );
+        assert_eq!(
+            sim.try_run(|_| Adversary { mode: 1 }, &chaos).err(),
+            Some(SimError::DoublePortSend { port: 0 })
+        );
+        assert_eq!(
+            sim.try_run(|_| Adversary { mode: 2 }, &chaos).err(),
+            Some(SimError::PortOutOfRange { port: 99, ports: 1 })
+        );
+    }
+
+    #[test]
+    fn try_run_trips_watchdog_instead_of_spinning() {
+        let g = Graph::cycle(4);
+        let sim = Simulator::new(&g, CongestConfig::classical(4));
+        let chaos = ChaosConfig::fault_free(7);
+        assert_eq!(
+            sim.try_run(|_| Chatter, &chaos).err(),
+            Some(SimError::WatchdogTripped { rounds: 7 })
+        );
+    }
+
+    #[test]
+    fn try_run_rejects_invalid_probabilities() {
+        let g = Graph::path(2);
+        let sim = Simulator::new(&g, CongestConfig::classical(4));
+        let chaos = ChaosConfig {
+            drop_prob: 2.0,
+            ..ChaosConfig::fault_free(10)
+        };
+        assert!(matches!(
+            sim.try_run(|_| Silent, &chaos),
+            Err(SimError::InvalidChaosConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn try_run_fault_free_matches_run_bit_for_bit() {
+        let g = Graph::complete(5);
+        let sim = Simulator::new(&g, CongestConfig::classical(16));
+        let make = |info: &NodeInfo| HearAll {
+            heard: 0,
+            need: info.degree(),
+        };
+        let (nodes, report) = sim.run(make, 10);
+        let (chaos_nodes, chaos_report) = sim
+            .try_run(make, &ChaosConfig::fault_free(10))
+            .expect("fault-free run completes");
+        assert_eq!(report, chaos_report);
+        assert_eq!(report.messages_dropped, 0);
+        assert_eq!(report.nodes_crashed, 0);
+        assert_eq!(report.bits_corrupted, 0);
+        for (a, b) in nodes.iter().zip(&chaos_nodes) {
+            assert_eq!(a.heard, b.heard);
+        }
+    }
+
+    /// Broadcasts every round for a fixed number of rounds, then goes
+    /// silent — keeps traffic in flight long enough for drop and crash
+    /// schedules to bite, while still reaching quiescence.
+    struct Pulse {
+        rounds_left: usize,
+        heard: usize,
+    }
+    impl NodeAlgorithm for Pulse {
+        fn on_start(&mut self, _: &NodeInfo, out: &mut Outbox) {
+            out.broadcast(Message::from_uint(3, 8));
+        }
+        fn on_round(&mut self, _: &NodeInfo, inbox: &Inbox, out: &mut Outbox) {
+            self.heard += inbox.len();
+            if self.rounds_left > 0 {
+                self.rounds_left -= 1;
+                out.broadcast(Message::from_uint(3, 8));
+            }
+        }
+        fn is_terminated(&self) -> bool {
+            true // quiescence-driven: the run ends when traffic stops
+        }
+    }
+
+    #[test]
+    fn chaos_seeded_runs_replay_byte_exactly() {
+        let g = Graph::complete(6);
+        let sim = Simulator::new(&g, CongestConfig::classical(16));
+        let chaos = ChaosConfig {
+            seed: 42,
+            drop_prob: 0.25,
+            corrupt_prob: 0.1,
+            crash_schedule: vec![(NodeId(5), 2)],
+            max_rounds_watchdog: 50,
+        };
+        let make = |_: &NodeInfo| Pulse {
+            rounds_left: 5,
+            heard: 0,
+        };
+        let (_, a) = sim.try_run(make, &chaos).expect("completes");
+        let (_, b) = sim.try_run(make, &chaos).expect("completes");
+        assert_eq!(a, b);
+        assert!(a.messages_dropped > 0, "seed 42 drops something at 25%");
+        assert_eq!(a.nodes_crashed, 1);
+    }
+
+    #[test]
+    fn chaos_crashed_node_stops_sending_and_receiving() {
+        // Chatter on a path of 3 with the middle node crashing at round
+        // 2: from then on the endpoints hear nothing (their only
+        // neighbor is dead) and everything in flight to/from the middle
+        // is dropped.
+        struct CountingChatter {
+            heard: usize,
+        }
+        impl NodeAlgorithm for CountingChatter {
+            fn on_start(&mut self, _: &NodeInfo, out: &mut Outbox) {
+                out.broadcast(Message::from_bit(true));
+            }
+            fn on_round(&mut self, _: &NodeInfo, inbox: &Inbox, out: &mut Outbox) {
+                self.heard += inbox.len();
+                out.broadcast(Message::from_bit(true));
+            }
+            fn is_terminated(&self) -> bool {
+                false
+            }
+        }
+        let g = Graph::path(3);
+        let sim = Simulator::new(&g, CongestConfig::classical(4));
+        let chaos = ChaosConfig {
+            crash_schedule: vec![(NodeId(1), 2)],
+            ..ChaosConfig::fault_free(6)
+        };
+        let err = sim.try_run(|_| CountingChatter { heard: 0 }, &chaos);
+        // Endpoints keep chattering into the void: watchdog trips.
+        assert_eq!(err.err(), Some(SimError::WatchdogTripped { rounds: 6 }));
+
+        // Same setup, stepped, to inspect the states: endpoints hear the
+        // middle node only in round 1.
+        let mut stepper = Stepper::with_chaos(&g, CongestConfig::classical(4), &chaos, |_| {
+            CountingChatter { heard: 0 }
+        });
+        for _ in 0..6 {
+            stepper.step();
+        }
+        assert_eq!(stepper.nodes()[0].heard, 1);
+        assert_eq!(stepper.nodes()[2].heard, 1);
+        // The middle node froze after round 1 (crashed at round 2).
+        assert_eq!(stepper.nodes()[1].heard, 2);
+        let report = stepper.report();
+        assert_eq!(report.nodes_crashed, 1);
+        assert!(report.messages_dropped > 0);
+    }
+
+    #[test]
+    fn chaos_batch_traced_and_stepped_agree() {
+        let g = Graph::cycle(8);
+        let cfg = CongestConfig::classical(16);
+        let chaos = ChaosConfig {
+            seed: 3,
+            drop_prob: 0.2,
+            corrupt_prob: 0.05,
+            crash_schedule: vec![(NodeId(2), 3)],
+            max_rounds_watchdog: 40,
+        };
+        let make = |_: &NodeInfo| Pulse {
+            rounds_left: 6,
+            heard: 0,
+        };
+        let sim = Simulator::new(&g, cfg);
+        let (batch, batch_report) = sim.try_run(make, &chaos).expect("completes");
+        let (traced, traced_report, trace) = sim.try_run_traced(make, &chaos).expect("completes");
+        assert_eq!(batch_report, traced_report);
+        let traced_delivered: usize = trace.rounds.iter().map(Vec::len).sum();
+        assert_eq!(traced_delivered as u64, traced_report.messages_sent);
+        let traced_dropped: u64 = trace.dropped.iter().sum();
+        assert_eq!(traced_dropped, traced_report.messages_dropped);
+        let mut stepper = Stepper::with_chaos(&g, cfg, &chaos, make);
+        let mut stepped_dropped = 0;
+        while !stepper.is_quiescent() {
+            stepped_dropped += stepper.step().dropped;
+        }
+        assert_eq!(stepper.report(), batch_report);
+        assert_eq!(stepped_dropped, batch_report.messages_dropped);
+        for ((a, b), c) in batch.iter().zip(&traced).zip(stepper.nodes()) {
+            assert_eq!(a.heard, b.heard);
+            assert_eq!(a.heard, c.heard);
+        }
+    }
+
+    #[test]
+    fn chaos_corruption_is_metered_and_budget_bounded() {
+        let g = Graph::complete(4);
+        let sim = Simulator::new(&g, CongestConfig::classical(16));
+        let chaos = ChaosConfig {
+            seed: 9,
+            corrupt_prob: 1.0,
+            ..ChaosConfig::fault_free(20)
+        };
+        let make = |_: &NodeInfo| HearAll { heard: 0, need: 0 };
+        let (_, report) = sim.try_run(make, &chaos).expect("completes");
+        assert!(report.bits_corrupted > 0);
+        assert_eq!(report.messages_dropped, 0);
+        // Corruption only shrinks payloads: delivered bits cannot exceed
+        // the fault-free payload volume.
+        let (_, clean) = sim.run(make, 20);
+        assert!(report.bits_sent <= clean.bits_sent);
+        assert_eq!(report.messages_sent, clean.messages_sent);
+    }
+
+    #[test]
+    fn broadcast_skips_last_clone_but_matches_per_port_sends() {
+        let g = Graph::complete(4);
+        let sim = Simulator::new(&g, CongestConfig::classical(16));
+        // Broadcasting and port-by-port sending deliver identical traffic.
+        struct PortSender;
+        impl NodeAlgorithm for PortSender {
+            fn on_start(&mut self, _: &NodeInfo, out: &mut Outbox) {
+                for p in 0..out.port_count() {
+                    out.send(p, Message::from_uint(5, 8));
+                }
+            }
+            fn on_round(&mut self, _: &NodeInfo, _: &Inbox, _: &mut Outbox) {}
+            fn is_terminated(&self) -> bool {
+                true
+            }
+        }
+        struct Broadcaster;
+        impl NodeAlgorithm for Broadcaster {
+            fn on_start(&mut self, _: &NodeInfo, out: &mut Outbox) {
+                out.broadcast(Message::from_uint(5, 8));
+            }
+            fn on_round(&mut self, _: &NodeInfo, _: &Inbox, _: &mut Outbox) {}
+            fn is_terminated(&self) -> bool {
+                true
+            }
+        }
+        let (_, a) = sim.run(|_| PortSender, 5);
+        let (_, b) = sim.run(|_| Broadcaster, 5);
+        assert_eq!(a, b);
+        // Zero ports: broadcast on an isolated node is a no-op.
+        let isolated = Graph::from_edges(1, &[]);
+        let sim = Simulator::new(&isolated, CongestConfig::classical(4));
+        let (_, report) = sim.run(|_| Broadcaster, 5);
+        assert_eq!(report.messages_sent, 0);
+    }
+
+    #[test]
+    fn inbox_checked_accessors_never_panic() {
+        let mut inbox = Inbox::new(2);
+        assert!(inbox.get_checked(0).is_none());
+        assert!(inbox.get_checked(7).is_none()); // out of range folds to None
+        assert_eq!(inbox.try_put(0, Message::from_bit(true)), Ok(()));
+        assert_eq!(inbox.get_checked(0).and_then(Message::as_bit), Some(true));
+        assert_eq!(
+            inbox.try_put(2, Message::from_bit(true)),
+            Err(SimError::PortOutOfRange { port: 2, ports: 2 })
+        );
+        // try_put keeps put's replace semantics in range.
+        assert_eq!(inbox.try_put(0, Message::from_bit(false)), Ok(()));
+        assert_eq!(inbox.get_checked(0).and_then(Message::as_bit), Some(false));
+    }
+
+    #[test]
+    fn sim_error_messages_match_the_panicking_api() {
+        // The Display impl is what the panicking wrappers print, so the
+        // two reporting paths can never drift apart.
+        assert_eq!(
+            SimError::BudgetExceeded {
+                bits: 16,
+                budget: 8
+            }
+            .to_string(),
+            "message of 16 bits exceeds the B = 8 bit budget"
+        );
+        assert!(SimError::DoublePortSend { port: 3 }
+            .to_string()
+            .contains("one message per edge per round"));
+        assert!(SimError::PortOutOfRange { port: 9, ports: 2 }
+            .to_string()
+            .contains("port 9 out of range"));
+        assert!(SimError::WatchdogTripped { rounds: 77 }
+            .to_string()
+            .contains("77 rounds"));
     }
 }

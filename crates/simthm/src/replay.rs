@@ -12,7 +12,10 @@
 //! `O(B log L)` per round.
 
 use crate::network::{Party, SimulationNetwork};
-use qdc_congest::{CongestConfig, Inbox, Message, NodeAlgorithm, NodeInfo, Outbox, Simulator};
+use qdc_congest::{
+    ChaosConfig, CongestConfig, FaultPlan, Inbox, Message, NodeAlgorithm, NodeInfo, Outbox,
+    Simulator,
+};
 use std::collections::HashMap;
 
 /// Outcome of a three-party replay.
@@ -28,6 +31,9 @@ pub struct ReplayOutcome<A> {
     pub carol_paid_bits: u64,
     /// Bits David paid.
     pub david_paid_bits: u64,
+    /// Messages lost to fault injection (zero for the fault-free entry
+    /// point [`three_party_replay`]).
+    pub messages_dropped: u64,
 }
 
 /// Replays `init`'s algorithm on the simulation network for `rounds`
@@ -51,8 +57,42 @@ pub struct ReplayOutcome<A> {
 pub fn three_party_replay<A, F>(
     net: &SimulationNetwork,
     cfg: CongestConfig,
+    init: F,
+    rounds: usize,
+) -> ReplayOutcome<A>
+where
+    A: NodeAlgorithm,
+    F: FnMut(&NodeInfo) -> A,
+{
+    three_party_replay_chaos(net, cfg, init, rounds, &ChaosConfig::fault_free(rounds + 1))
+}
+
+/// [`three_party_replay`] under fault injection: the same lockstep
+/// protocol, with every in-flight message passed through a
+/// [`FaultPlan`] built from `chaos` before routing.
+///
+/// The replay honours the plan's determinism contract — one
+/// `begin_round` per synchronous round, then one `filter` per message
+/// in the simulator's delivery order (ascending sender id, then port) —
+/// so under the same config it observes **exactly** the drops,
+/// corruptions and crashes that [`Stepper::with_chaos`]
+/// (qdc_congest::Stepper::with_chaos) produces on the same network,
+/// and the replayed states still coincide with the direct run's. Paid
+/// bits are metered only for messages that survive the plan (a dropped
+/// message never crosses a party boundary); nodes that crash-stop are
+/// no longer stepped by their owner.
+///
+/// # Panics
+///
+/// Panics if `rounds` exceeds the horizon, if `chaos` fails
+/// [`validate`](ChaosConfig::validate), or if its crash schedule names
+/// a node outside the network.
+pub fn three_party_replay_chaos<A, F>(
+    net: &SimulationNetwork,
+    cfg: CongestConfig,
     mut init: F,
     rounds: usize,
+    chaos: &ChaosConfig,
 ) -> ReplayOutcome<A>
 where
     A: NodeAlgorithm,
@@ -63,8 +103,10 @@ where
         "replay limited to the horizon L/2 − 2 = {}",
         net.horizon()
     );
+    chaos.validate().expect("invalid chaos config");
     let graph = net.graph();
     let n = graph.node_count();
+    let mut plan = FaultPlan::new(chaos, n);
     let sim = Simulator::new(graph, cfg);
     let infos: Vec<NodeInfo> = graph.nodes().map(|v| sim.info(v).clone()).collect();
 
@@ -97,6 +139,11 @@ where
         .map(|i| Inbox::from_slots(vec![None; i.degree()]))
         .collect();
     for t in 0..rounds {
+        // Replay round t delivers what was queued at t − 1 (or on_start
+        // for t = 0) — the same work the engine does in round t + 1, so
+        // the plan's round counter advances here, activating any crashes
+        // scheduled for this round before their in-flight traffic lands.
+        plan.begin_round();
         // Ownership expansion t → t+1: the server hands newly-acquired
         // node states to Carol/David for free.
         for v in graph.nodes() {
@@ -116,13 +163,18 @@ where
         }
         for u in graph.nodes() {
             for p in 0..outgoing[u.index()].len() {
-                let Some(msg) = outgoing[u.index()][p].take() else {
+                let Some(mut msg) = outgoing[u.index()][p].take() else {
                     continue;
                 };
                 let v = infos[u.index()].neighbors[p];
+                if !plan.filter(u, v, &mut msg) {
+                    continue;
+                }
                 let back = sim.back_port(u, p);
                 let sender = net.owner(u, t);
                 let receiver = net.owner(v, t + 1);
+                // Paid bits meter the message as delivered (a corrupted
+                // payload may have been truncated in flight).
                 match sender {
                     Party::Carol if receiver != Party::Carol => carol_paid += msg.bit_len() as u64,
                     Party::David if receiver != Party::David => david_paid += msg.bit_len() as u64,
@@ -132,7 +184,12 @@ where
             }
         }
         // Each party steps its nodes with the messages routed to them.
+        // Crash-stopped nodes keep their last state and send nothing,
+        // exactly as in the engine's compute phase.
         for v in graph.nodes() {
+            if plan.is_crashed(v) {
+                continue;
+            }
             let owner = net.owner(v, t + 1);
             let node = states
                 .get_mut(&(owner, v.0))
@@ -157,6 +214,7 @@ where
         rounds,
         carol_paid_bits: carol_paid,
         david_paid_bits: david_paid,
+        messages_dropped: plan.stats().messages_dropped,
     }
 }
 
@@ -247,6 +305,71 @@ mod tests {
             replay.carol_paid_bits > 0,
             "Carol pays something on this workload"
         );
+    }
+
+    #[test]
+    fn chaos_replay_stays_in_lockstep_with_the_stepper() {
+        use qdc_congest::Stepper;
+        use qdc_graph::NodeId;
+
+        let net = SimulationNetwork::build(12, 17);
+        let tracks = net.track_count();
+        let (carol, david) = generate::hamiltonian_matching_pair(tracks);
+        let m = net.embed_matchings(&carol, &david);
+        let cfg = CongestConfig::quantum(32);
+        let width = 16;
+        let rounds = net.horizon();
+
+        let make = |info: &NodeInfo| MinFlood {
+            label: info.id.0 as u64,
+            active: info.incident_edges.iter().map(|&e| m.contains(e)).collect(),
+            width,
+        };
+        let chaos = ChaosConfig {
+            seed: 99,
+            drop_prob: 0.2,
+            crash_schedule: vec![(NodeId(4), 3)],
+            corrupt_prob: 0.1,
+            max_rounds_watchdog: rounds + 1,
+        };
+
+        // Direct run via the stepper, one engine round per replay round.
+        let mut stepper = Stepper::with_chaos(net.graph(), cfg, &chaos, make);
+        let mut direct_dropped = 0u64;
+        for _ in 0..rounds {
+            direct_dropped += stepper.step().dropped;
+        }
+
+        let replay = three_party_replay_chaos(&net, cfg, make, rounds, &chaos);
+        assert!(replay.messages_dropped > 0, "faults must actually fire");
+        assert_eq!(
+            replay.messages_dropped, direct_dropped,
+            "fault decisions diverged between replay and stepper"
+        );
+        for v in net.graph().nodes() {
+            assert_eq!(
+                stepper.nodes()[v.index()].label,
+                replay.nodes[v.index()].label,
+                "node {v} diverged under fault injection"
+            );
+        }
+    }
+
+    #[test]
+    fn fault_free_wrapper_reports_zero_drops() {
+        let net = SimulationNetwork::build(3, 9);
+        let cfg = CongestConfig::classical(8);
+        let out = three_party_replay(
+            &net,
+            cfg,
+            |info| MinFlood {
+                label: info.id.0 as u64,
+                active: vec![true; info.degree()],
+                width: 8,
+            },
+            net.horizon(),
+        );
+        assert_eq!(out.messages_dropped, 0);
     }
 
     #[test]

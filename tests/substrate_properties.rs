@@ -67,7 +67,7 @@ proptest! {
     /// buffer-reuse bug.
     #[test]
     fn run_traced_and_stepper_agree(n in 4usize..24, extra in 0usize..10, seed in 0u64..200) {
-        use qdc::congest::{Inbox, NodeAlgorithm, NodeInfo, Outbox, Stepper};
+        use qdc::congest::{ChaosConfig, Inbox, NodeAlgorithm, NodeInfo, Outbox, Stepper};
         /// Min-label flood with implicit termination: forwards strictly
         /// improving labels, so runs last several rounds on sparse graphs.
         struct MinFlood { label: u64 }
@@ -102,6 +102,33 @@ proptest! {
             prop_assert_eq!(plain[v].label, traced[v].label);
             prop_assert_eq!(plain[v].label, stepper.nodes()[v].label);
             prop_assert_eq!(plain[v].label, 1000); // flood converged to the min
+        }
+
+        // The same agreement must hold under fault injection: batch,
+        // traced and stepped execution share one engine consulting one
+        // FaultPlan, so a fixed seed yields identical drops, corruptions,
+        // crashes and final states in all three modes.
+        let chaos = ChaosConfig {
+            seed: seed ^ 0xC0FFEE,
+            drop_prob: 0.15,
+            crash_schedule: vec![(NodeId::from(n / 2), 2)],
+            corrupt_prob: 0.05,
+            max_rounds_watchdog: 100,
+        };
+        let (batch, batch_report) = sim.try_run(make, &chaos).expect("quiesces under faults");
+        let (ctraced, ctraced_report, ctrace) =
+            sim.try_run_traced(make, &chaos).expect("quiesces under faults");
+        let mut cstepper = Stepper::with_chaos(&g, cfg, &chaos, make);
+        while !cstepper.is_quiescent() {
+            cstepper.step();
+        }
+        prop_assert_eq!(batch_report, ctraced_report);
+        prop_assert_eq!(batch_report, cstepper.report());
+        let traced_dropped: u64 = ctrace.dropped.iter().sum();
+        prop_assert_eq!(traced_dropped, batch_report.messages_dropped);
+        for v in 0..g.node_count() {
+            prop_assert_eq!(batch[v].label, ctraced[v].label);
+            prop_assert_eq!(batch[v].label, cstepper.nodes()[v].label);
         }
     }
 
