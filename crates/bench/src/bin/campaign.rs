@@ -1,0 +1,196 @@
+//! Campaign runner CLI: execute a named experiment campaign on a worker
+//! pool and write machine-readable results.
+//!
+//! ```text
+//! campaign <spec> [--threads N] [--out FILE.jsonl] [--summary FILE.json]
+//!                 [--trace-dir DIR] [--list]
+//! ```
+//!
+//! * `<spec>` — a built-in campaign name (`campaign --list` prints them);
+//! * `--threads N` — worker pool size (default 1). The deterministic
+//!   output is byte-identical for every `N`;
+//! * `--out` — per-point JSONL records (default `campaign_<spec>.jsonl`);
+//! * `--summary` — aggregate summary (default `BENCH_<spec>.json`);
+//! * `--trace-dir` — also archive each traced point's per-round traffic
+//!   as `<dir>/point_<i>.trace.jsonl`.
+//!
+//! After writing, the binary re-reads the JSONL file and parses every
+//! line with the harness's own JSON parser, so a zero exit status
+//! certifies the output is well-formed (CI's smoke job relies on this).
+
+use qdc_bench::{print_header, print_row};
+use qdc_harness::{
+    builtin, builtin_names, run_campaign, summary_json, validate_output_paths, CampaignError,
+    CampaignOutcome, RunOptions,
+};
+
+struct Args {
+    spec: String,
+    threads: usize,
+    out: Option<String>,
+    summary: Option<String>,
+    trace_dir: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: campaign <spec> [--threads N] [--out FILE.jsonl] \
+         [--summary FILE.json] [--trace-dir DIR] [--list]"
+    );
+    eprintln!("built-in specs: {}", builtin_names().join(", "));
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        spec: String::new(),
+        threads: 1,
+        out: None,
+        summary: None,
+        trace_dir: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--list" => {
+                for name in builtin_names() {
+                    let spec = builtin(name).expect("listed builtins exist");
+                    println!("{name}  ({} points)", spec.points().len());
+                }
+                std::process::exit(0);
+            }
+            "--threads" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => args.threads = n,
+                None => usage(),
+            },
+            "--out" => match it.next() {
+                Some(v) => args.out = Some(v),
+                None => usage(),
+            },
+            "--summary" => match it.next() {
+                Some(v) => args.summary = Some(v),
+                None => usage(),
+            },
+            "--trace-dir" => match it.next() {
+                Some(v) => args.trace_dir = Some(v),
+                None => usage(),
+            },
+            "--help" | "-h" => usage(),
+            s if s.starts_with('-') => {
+                eprintln!("unknown flag `{s}`");
+                usage();
+            }
+            s if args.spec.is_empty() => args.spec = s.to_string(),
+            _ => usage(),
+        }
+    }
+    if args.spec.is_empty() {
+        usage();
+    }
+    args
+}
+
+fn fail(err: &CampaignError) -> ! {
+    eprintln!("campaign: {err}");
+    std::process::exit(2);
+}
+
+fn write_outputs(
+    args: &Args,
+    outcome: &CampaignOutcome,
+    out_path: &str,
+    summary_path: &str,
+) -> std::io::Result<usize> {
+    let mut jsonl = String::new();
+    for rec in &outcome.records {
+        jsonl.push_str(&qdc_harness::record_json(&outcome.spec_name, rec, true));
+        jsonl.push('\n');
+    }
+    std::fs::write(out_path, &jsonl)?;
+    std::fs::write(summary_path, summary_json(outcome) + "\n")?;
+
+    if let Some(dir) = &args.trace_dir {
+        std::fs::create_dir_all(dir)?;
+        for (i, trace) in outcome.traces.iter().enumerate() {
+            if let Some(trace) = trace {
+                std::fs::write(format!("{dir}/point_{i}.trace.jsonl"), trace.to_jsonl())?;
+            }
+        }
+    }
+
+    // Self-check: every line we wrote must parse back.
+    let written = std::fs::read_to_string(out_path)?;
+    let mut n = 0;
+    for (lineno, line) in written.lines().enumerate() {
+        if let Err(e) = qdc_harness::json::parse(line) {
+            eprintln!("campaign: self-check failed at line {}: {e}", lineno + 1);
+            std::process::exit(1);
+        }
+        n += 1;
+    }
+    Ok(n)
+}
+
+fn main() {
+    let args = parse_args();
+    let spec = match builtin(&args.spec) {
+        Some(s) => s,
+        None => {
+            eprintln!("campaign: unknown spec `{}`", args.spec);
+            eprintln!("built-in specs: {}", builtin_names().join(", "));
+            std::process::exit(2);
+        }
+    };
+    let out_path = args
+        .out
+        .clone()
+        .unwrap_or_else(|| format!("campaign_{}.jsonl", spec.name));
+    let summary_path = args
+        .summary
+        .clone()
+        .unwrap_or_else(|| format!("BENCH_{}.json", spec.name));
+    if let Err(e) = validate_output_paths(&out_path, &summary_path) {
+        fail(&e);
+    }
+
+    let options = RunOptions {
+        threads: args.threads,
+        keep_traces: args.trace_dir.is_some(),
+    };
+    let outcome = match run_campaign(&spec, &options) {
+        Ok(o) => o,
+        Err(e) => fail(&e),
+    };
+
+    let validated = match write_outputs(&args, &outcome, &out_path, &summary_path) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("campaign: writing outputs failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let agg = &outcome.aggregate;
+    println!(
+        "campaign `{}`: {} points on {} thread(s) in {} ms",
+        outcome.spec_name, agg.points, outcome.threads, outcome.wall_ms
+    );
+    let widths = [10, 10, 10, 12, 14, 12];
+    print_header(
+        &["ok", "errors", "accepted", "rounds", "bits", "dropped"],
+        &widths,
+    );
+    print_row(
+        &[
+            &agg.ok.to_string(),
+            &agg.errors.to_string(),
+            &agg.accepted.to_string(),
+            &agg.rounds.to_string(),
+            &agg.bits.to_string(),
+            &agg.dropped.to_string(),
+        ],
+        &widths,
+    );
+    println!("records: {out_path} (validated {validated} lines)");
+    println!("summary: {summary_path}");
+}

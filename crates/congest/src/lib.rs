@@ -65,6 +65,7 @@ mod bits;
 mod chaos;
 mod message;
 mod sim;
+mod trace_io;
 
 pub mod topology;
 
@@ -72,6 +73,7 @@ pub use bits::{BitReader, BitString};
 pub use chaos::{ChaosConfig, FaultPlan, FaultStats};
 pub use message::Message;
 pub use sim::{
-    ChannelKind, CongestConfig, Inbox, NodeAlgorithm, NodeInfo, Outbox, RunReport, SimError,
-    Simulator, StepSummary, Stepper, TracedMessage, TrafficTrace, WatchdogReport,
+    ChannelKind, CongestConfig, Inbox, NodeAlgorithm, NodeInfo, Outbox, RunMetrics, RunReport,
+    SimError, Simulator, StepSummary, Stepper, TracedMessage, TrafficTrace, WatchdogReport,
 };
+pub use trace_io::{TraceParseError, TRACE_SCHEMA};

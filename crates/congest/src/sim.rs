@@ -229,6 +229,7 @@ impl Inbox {
     /// Fallible [`put`](Inbox::put): returns
     /// [`SimError::PortOutOfRange`] instead of panicking. Keeps `put`'s
     /// replace-on-occupied semantics.
+    #[must_use = "an ignored Err means the message was silently not placed in any slot"]
     pub fn try_put(&mut self, port: usize, msg: Message) -> Result<(), SimError> {
         let ports = self.msgs.len();
         match self.msgs.get_mut(port) {
@@ -291,6 +292,7 @@ impl Outbox {
     /// [`SimError::PortOutOfRange`] for a bad port, and
     /// [`SimError::DoublePortSend`] for a second message on one port. On
     /// `Err` nothing is queued.
+    #[must_use = "an ignored Err means the message was silently never queued"]
     pub fn try_send(&mut self, port: usize, msg: Message) -> Result<(), SimError> {
         if msg.bit_len() > self.budget_bits {
             return Err(SimError::BudgetExceeded {
@@ -399,6 +401,37 @@ pub trait NodeAlgorithm {
     fn is_terminated(&self) -> bool;
 }
 
+/// The plain-data metric vector of one run — everything a campaign
+/// aggregator needs, extracted from a [`RunReport`] by
+/// [`RunReport::metrics`].
+///
+/// Unlike `RunReport` it is `Eq` and fully integral (no channel label,
+/// no floats), so metric vectors can be compared, hashed, summed and
+/// folded into order-independent aggregates without worrying about
+/// float formatting or partial equality. All fields are `u64` so the
+/// same schema serializes identically on every platform.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct RunMetrics {
+    /// Communication rounds executed.
+    pub rounds: u64,
+    /// Whether the run reached quiescence (1) or hit its round cap (0) —
+    /// kept integral so the whole struct folds with sums and maxes.
+    pub completed: u64,
+    /// Total messages delivered.
+    pub messages_sent: u64,
+    /// Total payload bits (or qubits) delivered.
+    pub bits_sent: u64,
+    /// Maximum total payload bits delivered in any single round — the
+    /// run's peak congestion.
+    pub max_bits_per_round: u64,
+    /// Messages removed in flight by the fault layer.
+    pub messages_dropped: u64,
+    /// Nodes crash-stopped by the fault layer.
+    pub nodes_crashed: u64,
+    /// Payload bits flipped or truncated away by the fault layer.
+    pub bits_corrupted: u64,
+}
+
 /// Round and traffic accounting for one simulated run.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RunReport {
@@ -422,6 +455,23 @@ pub struct RunReport {
     /// Payload bits flipped or truncated away by the fault layer. Zero
     /// on fault-free runs.
     pub bits_corrupted: u64,
+}
+
+impl RunReport {
+    /// Extracts the integral metric vector of this run — a cheap `Copy`
+    /// suitable for cross-thread aggregation (see `qdc-harness`).
+    pub fn metrics(&self) -> RunMetrics {
+        RunMetrics {
+            rounds: self.rounds as u64,
+            completed: u64::from(self.completed),
+            messages_sent: self.messages_sent,
+            bits_sent: self.bits_sent,
+            max_bits_per_round: self.max_bits_per_round,
+            messages_dropped: self.messages_dropped,
+            nodes_crashed: self.nodes_crashed,
+            bits_corrupted: self.bits_corrupted,
+        }
+    }
 }
 
 /// One delivered message in a [`TrafficTrace`].
@@ -571,6 +621,7 @@ impl<'g> Simulator<'g> {
     /// The run ends at quiescence (`Ok`) or at
     /// [`max_rounds_watchdog`](ChaosConfig::max_rounds_watchdog) rounds
     /// ([`SimError::WatchdogTripped`]).
+    #[must_use = "dropping the Result loses both the final states and the SimError diagnosis"]
     pub fn try_run<A, F>(
         &self,
         init: F,
@@ -589,6 +640,7 @@ impl<'g> Simulator<'g> {
 
     /// [`try_run`](Simulator::try_run) with a per-round [`TrafficTrace`]
     /// of delivered and dropped messages.
+    #[must_use = "dropping the Result loses the states, the trace, and the SimError diagnosis"]
     pub fn try_run_traced<A, F>(
         &self,
         init: F,
@@ -1597,5 +1649,61 @@ mod tests {
         assert!(SimError::WatchdogTripped { rounds: 77 }
             .to_string()
             .contains("77 rounds"));
+    }
+
+    /// The whole simulation stack must be shardable across threads: the
+    /// campaign harness (`qdc-harness`) builds simulators, chaos configs
+    /// and fault plans inside `std::thread::scope` workers. This is the
+    /// compile-time audit — if any type grows a non-`Send` field (an
+    /// `Rc`, a raw pointer, a thread-local handle), this test stops
+    /// compiling rather than failing at runtime.
+    #[test]
+    fn simulation_stack_is_send_and_sync() {
+        fn send<T: Send>() {}
+        fn sync<T: Sync>() {}
+        send::<Simulator<'static>>();
+        sync::<Simulator<'static>>();
+        send::<ChaosConfig>();
+        sync::<ChaosConfig>();
+        send::<FaultPlan>();
+        send::<RunReport>();
+        send::<RunMetrics>();
+        sync::<RunMetrics>();
+        send::<TrafficTrace>();
+        sync::<TrafficTrace>();
+        send::<Message>();
+        send::<SimError>();
+        sync::<SimError>();
+    }
+
+    #[test]
+    fn run_metrics_extraction_matches_report() {
+        let g = Graph::complete(5);
+        let sim = Simulator::new(&g, CongestConfig::classical(16));
+        let (_, report) = sim.run(
+            |info| HearAll {
+                heard: 0,
+                need: info.degree(),
+            },
+            10,
+        );
+        let m = report.metrics();
+        assert_eq!(m.rounds, report.rounds as u64);
+        assert_eq!(m.completed, 1);
+        assert_eq!(m.messages_sent, report.messages_sent);
+        assert_eq!(m.bits_sent, report.bits_sent);
+        assert_eq!(m.max_bits_per_round, report.max_bits_per_round);
+        assert_eq!(m.messages_dropped, 0);
+        assert_eq!(m.nodes_crashed, 0);
+        assert_eq!(m.bits_corrupted, 0);
+        // Metric vectors are Eq: two identical runs compare equal.
+        let (_, again) = sim.run(
+            |info| HearAll {
+                heard: 0,
+                need: info.degree(),
+            },
+            10,
+        );
+        assert_eq!(m, again.metrics());
     }
 }

@@ -26,12 +26,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod corollaries;
 pub mod gapeq_ham;
 pub mod ham_to_st;
 pub mod instance;
 pub mod ipmod3_ham;
 
+pub use campaign::{GadgetExperiment, GadgetFamily, GadgetPoint};
 pub use gapeq_ham::gapeq_to_ham;
 pub use instance::TwoPartyGraphInstance;
 pub use ipmod3_ham::ipmod3_to_ham;

@@ -1,0 +1,41 @@
+//! Experiment-campaign harness: declarative grids, deterministic
+//! parallel execution, machine-readable results.
+//!
+//! The paper's empirical claims (the Theorem 3.5 traffic budget, the
+//! robustness of the flood under loss, the gadget reductions' cycle
+//! predictions) are statements about *families* of instances, not
+//! single runs. This crate runs whole families:
+//!
+//! * [`CampaignSpec`] declares a named grid of experiment points —
+//!   a Γ×L simulation-theorem sweep, a chaos seed ensemble, or a
+//!   gadget instance sweep ([`spec`]);
+//! * [`run_campaign`] validates the spec up front (structured
+//!   [`CampaignError`]s for every degenerate input), expands the grid,
+//!   shards the points round-robin across a [`std::thread::scope`]
+//!   worker pool, and folds the per-point records into an
+//!   order-independent [`Aggregate`] ([`runner`]);
+//! * records and summaries serialize through a tiny hand-rolled JSON
+//!   layer ([`json`]) with fixed field order and integer-only metrics,
+//!   which is what makes the headline guarantee checkable: **the same
+//!   spec produces byte-identical deterministic output on 1 or N
+//!   threads**.
+//!
+//! The `campaign` binary in `qdc-bench` is the CLI front end; the
+//! root-level `tests/harness_properties.rs` property-tests the
+//! determinism contract with random small specs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod point;
+pub mod runner;
+pub mod spec;
+
+pub use json::Json;
+pub use point::{execute_point, record_json, PointRecord};
+pub use runner::{run_campaign, summary_json, Aggregate, CampaignOutcome, RunOptions};
+pub use spec::{
+    builtin, builtin_names, validate_output_paths, CampaignError, CampaignGrid, CampaignSpec,
+    PointSpec, CAMPAIGN_SCHEMA, POINT_SCHEMA,
+};

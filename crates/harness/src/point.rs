@@ -1,0 +1,352 @@
+//! Executing one expanded point and rendering its record.
+//!
+//! [`execute_point`] is the single dispatch site from a [`PointSpec`]
+//! to the underlying experiment code: the simulation-theorem adapter
+//! ([`qdc_simthm::campaign`]), the robust-broadcast chaos stack
+//! ([`qdc_algos::flood`]), or the gadget adapter plus distributed
+//! verifier ([`qdc_gadgets::campaign`] + [`qdc_algos::verify`]). Every
+//! path folds into the same [`PointRecord`] shape so the runner can
+//! aggregate without caring which kind it ran.
+//!
+//! Record serialization keeps wall-clock time in a **separate, final**
+//! field ([`record_json`] can omit it), because wall time is the one
+//! thing that legitimately differs between runs of the same campaign —
+//! everything else is covered by the byte-identical determinism
+//! contract.
+
+use crate::json::Json;
+use crate::spec::{PointSpec, POINT_SCHEMA};
+use qdc_algos::flood::{chaos_round_budget, robust_broadcast};
+use qdc_algos::verify::verify_hamiltonian_cycle;
+use qdc_congest::{ChaosConfig, CongestConfig, RunMetrics, TrafficTrace};
+use qdc_graph::{generate, Graph, GraphBuilder, NodeId, Subgraph};
+
+/// The outcome of one executed point, in kind-independent shape.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PointRecord {
+    /// Index of the point in the expanded grid (stable across thread
+    /// counts; names the record in the JSONL output).
+    pub index: usize,
+    /// Experiment kind: `"simthm"`, `"chaos"` or `"gadget"`.
+    pub kind: &'static str,
+    /// The grid coordinates of the point, as stable key/value pairs.
+    pub params: Vec<(&'static str, Json)>,
+    /// The run's traffic accounting.
+    pub metrics: RunMetrics,
+    /// The point's pass/fail verdict, when it has one: budget adherence
+    /// (simthm), full dissemination (chaos), verifier-vs-prediction
+    /// agreement (gadget). `None` when the run errored before deciding.
+    pub accept: Option<bool>,
+    /// Kind-specific extra observations (paid bits, informed counts, …).
+    pub extra: Vec<(&'static str, Json)>,
+    /// Structured error from the fallible entry points (watchdog trips
+    /// and friends); `None` on success.
+    pub error: Option<String>,
+    /// Wall-clock time of this point in microseconds. Excluded from the
+    /// determinism contract.
+    pub wall_us: u64,
+}
+
+/// Re-embeds a gadget instance as a subnetwork `M` of a connected host
+/// network (the CONGEST setup Definition 3.3 assumes): the host carries
+/// every instance edge plus a node path `0–1–…–(n−1)` so the verifier
+/// can communicate even when `M` splits into several cycles.
+fn embed_in_connected_host(instance: &Graph) -> (Graph, Subgraph) {
+    let n = instance.node_count();
+    let mut b = GraphBuilder::new(n);
+    let m_edges: Vec<_> = instance
+        .edges()
+        .map(|e| {
+            let (u, v) = instance.endpoints(e);
+            b.add_edge(u, v)
+        })
+        .collect();
+    for i in 0..n.saturating_sub(1) {
+        b.add_edge_if_absent(NodeId(i as u32), NodeId(i as u32 + 1));
+    }
+    let host = b.build();
+    let sub = Subgraph::from_edges(&host, m_edges);
+    (host, sub)
+}
+
+/// Runs one point. Returns the record plus, for traced kinds, the
+/// per-round traffic trace (archivable via [`TrafficTrace::to_jsonl`]).
+///
+/// Wall time is measured here but stored separately so callers can
+/// compare the deterministic parts of two runs byte for byte.
+pub fn execute_point(index: usize, spec: &PointSpec) -> (PointRecord, Option<TrafficTrace>) {
+    let start = std::time::Instant::now();
+    let (kind, params, metrics, accept, extra, error, trace) = match spec {
+        PointSpec::SimThm(p) => {
+            let out = qdc_simthm::campaign::run_point(p);
+            (
+                "simthm",
+                vec![
+                    ("gamma", Json::Num(p.gamma as u64)),
+                    ("l", Json::Num(p.l as u64)),
+                    ("bandwidth", Json::Num(p.bandwidth as u64)),
+                ],
+                out.metrics,
+                Some(out.within_budget),
+                vec![
+                    ("node_count", Json::Num(out.node_count)),
+                    ("highways", Json::Num(out.highways)),
+                    ("horizon", Json::Num(out.horizon)),
+                    ("paid_bits", Json::Num(out.paid_bits)),
+                    ("max_paid_per_round", Json::Num(out.max_paid_per_round)),
+                    ("per_round_budget", Json::Num(out.per_round_budget)),
+                ],
+                None,
+                Some(out.trace),
+            )
+        }
+        PointSpec::Chaos {
+            nodes,
+            extra_edges,
+            drop_pm,
+            seed,
+            bandwidth,
+        } => {
+            let graph = generate::random_connected(*nodes, *extra_edges, *seed);
+            let drop_prob = f64::from(*drop_pm) / 1000.0;
+            let give_up = chaos_round_budget(*nodes, drop_prob);
+            let chaos = ChaosConfig {
+                seed: *seed,
+                drop_prob,
+                crash_schedule: Vec::new(),
+                corrupt_prob: 0.0,
+                max_rounds_watchdog: give_up + 5,
+            };
+            let params = vec![
+                ("nodes", Json::Num(*nodes as u64)),
+                ("extra_edges", Json::Num(*extra_edges as u64)),
+                ("drop_pm", Json::Num(u64::from(*drop_pm))),
+                ("seed", Json::Num(*seed)),
+                ("bandwidth", Json::Num(*bandwidth as u64)),
+            ];
+            match robust_broadcast(
+                &graph,
+                CongestConfig::classical(*bandwidth),
+                NodeId(0),
+                &chaos,
+                give_up,
+            ) {
+                Ok(out) => {
+                    let informed = out.informed.iter().filter(|&&i| i).count() as u64;
+                    (
+                        "chaos",
+                        params,
+                        out.report.metrics(),
+                        Some(informed == *nodes as u64),
+                        vec![
+                            ("informed", Json::Num(informed)),
+                            ("give_up", Json::Num(give_up as u64)),
+                        ],
+                        None,
+                        None,
+                    )
+                }
+                Err(e) => (
+                    "chaos",
+                    params,
+                    RunMetrics::default(),
+                    None,
+                    vec![("give_up", Json::Num(give_up as u64))],
+                    Some(e.to_string()),
+                    None,
+                ),
+            }
+        }
+        PointSpec::Gadget { point, bandwidth } => {
+            let exp = qdc_gadgets::campaign::run_point(point);
+            let (host, sub) = embed_in_connected_host(exp.instance.graph());
+            let run = verify_hamiltonian_cycle(&host, CongestConfig::classical(*bandwidth), &sub);
+            // The verifier composes several complete simulator stages;
+            // its Ledger is the natural metrics source (no single trace
+            // exists, so max_bits_per_round is not defined here).
+            let metrics = RunMetrics {
+                rounds: run.ledger.rounds as u64,
+                completed: 1,
+                messages_sent: run.ledger.messages,
+                bits_sent: run.ledger.bits,
+                ..RunMetrics::default()
+            };
+            (
+                "gadget",
+                vec![
+                    ("family", Json::Str(point.family.name().to_string())),
+                    ("bits", Json::Num(point.bits as u64)),
+                    ("seed", Json::Num(point.seed)),
+                    ("bandwidth", Json::Num(*bandwidth as u64)),
+                ],
+                metrics,
+                Some(run.accept == exp.expected_ham && exp.prediction_holds),
+                vec![
+                    ("expected_ham", Json::Bool(exp.expected_ham)),
+                    ("verifier_accept", Json::Bool(run.accept)),
+                    ("predicted_cycles", Json::Num(exp.predicted_cycles)),
+                    ("stages", Json::Num(run.ledger.stages as u64)),
+                ],
+                None,
+                None,
+            )
+        }
+    };
+    let record = PointRecord {
+        index,
+        kind,
+        params,
+        metrics,
+        accept,
+        extra,
+        error,
+        wall_us: start.elapsed().as_micros() as u64,
+    };
+    (record, trace)
+}
+
+fn metrics_json(m: &RunMetrics) -> Json {
+    Json::obj([
+        ("rounds", Json::Num(m.rounds)),
+        ("completed", Json::Num(m.completed)),
+        ("messages_sent", Json::Num(m.messages_sent)),
+        ("bits_sent", Json::Num(m.bits_sent)),
+        ("max_bits_per_round", Json::Num(m.max_bits_per_round)),
+        ("messages_dropped", Json::Num(m.messages_dropped)),
+        ("nodes_crashed", Json::Num(m.nodes_crashed)),
+        ("bits_corrupted", Json::Num(m.bits_corrupted)),
+    ])
+}
+
+/// Renders one record as a single JSON document with a stable field
+/// order. With `with_wall = false` the volatile `wall_us` field is
+/// omitted — that form is the one covered by the byte-identical
+/// determinism contract.
+pub fn record_json(campaign: &str, rec: &PointRecord, with_wall: bool) -> String {
+    let mut fields = vec![
+        ("schema".to_string(), Json::Str(POINT_SCHEMA.to_string())),
+        ("campaign".to_string(), Json::Str(campaign.to_string())),
+        ("point".to_string(), Json::Num(rec.index as u64)),
+        ("kind".to_string(), Json::Str(rec.kind.to_string())),
+        (
+            "params".to_string(),
+            Json::Obj(
+                rec.params
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.clone()))
+                    .collect(),
+            ),
+        ),
+        ("metrics".to_string(), metrics_json(&rec.metrics)),
+        (
+            "accept".to_string(),
+            match rec.accept {
+                Some(b) => Json::Bool(b),
+                None => Json::Null,
+            },
+        ),
+        (
+            "extra".to_string(),
+            Json::Obj(
+                rec.extra
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.clone()))
+                    .collect(),
+            ),
+        ),
+        (
+            "error".to_string(),
+            match &rec.error {
+                Some(e) => Json::Str(e.clone()),
+                None => Json::Null,
+            },
+        ),
+    ];
+    if with_wall {
+        fields.push(("wall_us".to_string(), Json::Num(rec.wall_us)));
+    }
+    Json::Obj(fields).to_json()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::spec::builtin;
+
+    #[test]
+    fn point_simthm_record_matches_direct_run() {
+        let spec = builtin("simthm_smoke").expect("builtin");
+        let points = spec.points();
+        let (rec, trace) = execute_point(0, &points[0]);
+        let PointSpec::SimThm(p) = &points[0] else {
+            panic!("smoke grid is simthm");
+        };
+        let direct = qdc_simthm::campaign::run_point(p);
+        assert_eq!(rec.metrics, direct.metrics);
+        assert_eq!(rec.accept, Some(direct.within_budget));
+        assert_eq!(trace.expect("simthm is traced").rounds, direct.trace.rounds);
+        assert!(rec.error.is_none());
+    }
+
+    #[test]
+    fn point_chaos_record_reports_dissemination() {
+        let spec = PointSpec::Chaos {
+            nodes: 12,
+            extra_edges: 4,
+            drop_pm: 200,
+            seed: 3,
+            bandwidth: 8,
+        };
+        let (rec, trace) = execute_point(7, &spec);
+        assert_eq!(rec.kind, "chaos");
+        assert_eq!(rec.index, 7);
+        assert!(trace.is_none());
+        assert_eq!(rec.accept, Some(true), "error: {:?}", rec.error);
+        assert!(
+            rec.metrics.messages_dropped > 0,
+            "20% loss must drop something"
+        );
+    }
+
+    #[test]
+    fn point_gadget_record_cross_checks_verifier() {
+        let spec = PointSpec::Gadget {
+            point: qdc_gadgets::GadgetPoint {
+                family: qdc_gadgets::GadgetFamily::Ipmod3,
+                bits: 4,
+                seed: 1,
+            },
+            bandwidth: 32,
+        };
+        let (rec, _) = execute_point(0, &spec);
+        assert_eq!(rec.accept, Some(true));
+        assert!(rec.metrics.rounds > 0);
+        assert!(rec.metrics.bits_sent > 0);
+    }
+
+    #[test]
+    fn point_record_json_is_stable_and_parses() {
+        let spec = PointSpec::Chaos {
+            nodes: 8,
+            extra_edges: 2,
+            drop_pm: 0,
+            seed: 1,
+            bandwidth: 4,
+        };
+        let (rec, _) = execute_point(2, &spec);
+        let deterministic = record_json("t", &rec, false);
+        assert_eq!(deterministic, record_json("t", &rec, false));
+        assert!(!deterministic.contains("wall_us"));
+        let with_wall = record_json("t", &rec, true);
+        let doc = json::parse(&with_wall).expect("record is valid JSON");
+        assert_eq!(doc.get("point").and_then(Json::as_u64), Some(2));
+        assert_eq!(doc.get("kind"), Some(&Json::Str("chaos".into())));
+        assert!(doc.get("wall_us").is_some());
+        let metrics = doc.get("metrics").expect("metrics present");
+        assert_eq!(
+            metrics.get("messages_dropped").and_then(Json::as_u64),
+            Some(0)
+        );
+    }
+}

@@ -1,0 +1,379 @@
+//! The campaign runner: deterministic sharding, scoped worker threads,
+//! order-independent aggregation.
+//!
+//! # Determinism contract
+//!
+//! Running the same spec on 1 thread or N threads yields **byte-identical**
+//! deterministic output:
+//!
+//! 1. [`CampaignSpec::points`](crate::CampaignSpec::points) expands the
+//!    grid in a fixed order; a point's index is assigned *before*
+//!    sharding.
+//! 2. Worker `w` of `t` takes points `w, w + t, w + 2t, …` (round-robin
+//!    by index). Which worker runs a point cannot change its result:
+//!    every experiment is a pure function of its `PointSpec`.
+//! 3. Results are scattered back into an index-ordered table, so the
+//!    record list — and the JSONL file written from it — is in point
+//!    order no matter which worker finished first.
+//! 4. The aggregate folds only `u64` counters with commutative,
+//!    associative operations (`+` and `max`), walking the table in index
+//!    order. Even if the fold order changed, the result could not.
+//!
+//! The one thing that *does* vary between runs — wall-clock time — is
+//! kept in dedicated fields (`wall_us` per record, `wall_ms` per
+//! campaign) that the deterministic serializations omit.
+
+use crate::json::Json;
+use crate::point::{execute_point, PointRecord};
+use crate::spec::{CampaignError, CampaignSpec, CAMPAIGN_SCHEMA};
+use qdc_congest::TrafficTrace;
+
+/// How to run a campaign.
+#[derive(Clone, Debug)]
+pub struct RunOptions {
+    /// Worker thread count (must be ≥ 1).
+    pub threads: usize,
+    /// Whether to keep per-point traffic traces in the outcome (they
+    /// can be large; the CLI only asks for them when archiving).
+    pub keep_traces: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            threads: 1,
+            keep_traces: false,
+        }
+    }
+}
+
+/// Order-independent fold of every record's counters. All fields are
+/// `u64` and folded with `+`/`max` only, so the result cannot depend on
+/// evaluation order — see the module docs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Aggregate {
+    /// Total points executed.
+    pub points: u64,
+    /// Points that finished without a structured error.
+    pub ok: u64,
+    /// Points that returned a structured error.
+    pub errors: u64,
+    /// Points whose verdict was accept.
+    pub accepted: u64,
+    /// Points whose verdict was reject.
+    pub rejected: u64,
+    /// Sum of rounds across all points.
+    pub rounds: u64,
+    /// Sum of messages across all points.
+    pub messages: u64,
+    /// Sum of payload bits across all points.
+    pub bits: u64,
+    /// Max single-round bit volume seen by any point.
+    pub max_bits_per_round: u64,
+    /// Sum of dropped messages (fault injection).
+    pub dropped: u64,
+    /// Sum of crashed nodes (fault injection).
+    pub crashed: u64,
+    /// Sum of corrupted payloads (fault injection).
+    pub corrupted: u64,
+}
+
+impl Aggregate {
+    /// Folds a record list (in any order — the result is the same).
+    pub fn fold(records: &[PointRecord]) -> Aggregate {
+        let mut agg = Aggregate::default();
+        for rec in records {
+            agg.points += 1;
+            if rec.error.is_some() {
+                agg.errors += 1;
+            } else {
+                agg.ok += 1;
+            }
+            match rec.accept {
+                Some(true) => agg.accepted += 1,
+                Some(false) => agg.rejected += 1,
+                None => {}
+            }
+            agg.rounds += rec.metrics.rounds;
+            agg.messages += rec.metrics.messages_sent;
+            agg.bits += rec.metrics.bits_sent;
+            agg.max_bits_per_round = agg.max_bits_per_round.max(rec.metrics.max_bits_per_round);
+            agg.dropped += rec.metrics.messages_dropped;
+            agg.crashed += rec.metrics.nodes_crashed;
+            agg.corrupted += rec.metrics.bits_corrupted;
+        }
+        agg
+    }
+
+    /// Canonical JSON form (stable field order, integers only).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("points", Json::Num(self.points)),
+            ("ok", Json::Num(self.ok)),
+            ("errors", Json::Num(self.errors)),
+            ("accepted", Json::Num(self.accepted)),
+            ("rejected", Json::Num(self.rejected)),
+            ("rounds", Json::Num(self.rounds)),
+            ("messages", Json::Num(self.messages)),
+            ("bits", Json::Num(self.bits)),
+            ("max_bits_per_round", Json::Num(self.max_bits_per_round)),
+            ("dropped", Json::Num(self.dropped)),
+            ("crashed", Json::Num(self.crashed)),
+            ("corrupted", Json::Num(self.corrupted)),
+        ])
+    }
+}
+
+/// Everything one campaign run produced.
+#[derive(Clone, Debug)]
+pub struct CampaignOutcome {
+    /// The campaign's name (copied from the spec).
+    pub spec_name: String,
+    /// Per-point records, in point-index order.
+    pub records: Vec<PointRecord>,
+    /// Per-point traffic traces (index-aligned with `records`;
+    /// `None` for untraced kinds or when `keep_traces` was off).
+    pub traces: Vec<Option<TrafficTrace>>,
+    /// The order-independent fold of `records`.
+    pub aggregate: Aggregate,
+    /// Wall-clock time of the whole campaign in milliseconds.
+    /// Excluded from the determinism contract.
+    pub wall_ms: u64,
+    /// Thread count the campaign ran with.
+    pub threads: usize,
+}
+
+impl CampaignOutcome {
+    /// The deterministic portion of the run as JSONL: one record per
+    /// point, in index order, without wall-clock fields. Two runs of
+    /// the same spec agree on this string byte for byte regardless of
+    /// thread count.
+    pub fn deterministic_jsonl(&self) -> String {
+        let mut out = String::new();
+        for rec in &self.records {
+            out.push_str(&crate::point::record_json(&self.spec_name, rec, false));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Renders the campaign summary document (`BENCH_<name>.json` shape).
+/// The `aggregate` object inside it is the byte-identical part; the
+/// `threads` and `wall_ms` fields describe this particular run.
+pub fn summary_json(outcome: &CampaignOutcome) -> String {
+    Json::obj([
+        ("schema", Json::Str(CAMPAIGN_SCHEMA.to_string())),
+        ("campaign", Json::Str(outcome.spec_name.clone())),
+        ("threads", Json::Num(outcome.threads as u64)),
+        ("wall_ms", Json::Num(outcome.wall_ms)),
+        ("aggregate", outcome.aggregate.to_json()),
+    ])
+    .to_json()
+}
+
+/// Validates, expands, shards and runs a campaign.
+///
+/// Sharding is round-robin by point index over a
+/// [`std::thread::scope`] pool of `options.threads` workers; see the
+/// module docs for why the output cannot depend on the thread count.
+pub fn run_campaign(
+    spec: &CampaignSpec,
+    options: &RunOptions,
+) -> Result<CampaignOutcome, CampaignError> {
+    if options.threads == 0 {
+        return Err(CampaignError::ZeroThreads);
+    }
+    spec.validate()?;
+    let points = spec.points();
+    let start = std::time::Instant::now();
+
+    let threads = options.threads.min(points.len()).max(1);
+    let mut slots: Vec<Option<(PointRecord, Option<TrafficTrace>)>> = Vec::new();
+    slots.resize_with(points.len(), || None);
+
+    if threads == 1 {
+        for (i, point) in points.iter().enumerate() {
+            slots[i] = Some(execute_point(i, point));
+        }
+    } else {
+        let results = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for w in 0..threads {
+                let points = &points;
+                handles.push(scope.spawn(move || {
+                    (w..points.len())
+                        .step_by(threads)
+                        .map(|i| (i, execute_point(i, &points[i])))
+                        .collect::<Vec<_>>()
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("campaign worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        for shard in results {
+            for (i, result) in shard {
+                slots[i] = Some(result);
+            }
+        }
+    }
+
+    let mut records = Vec::with_capacity(slots.len());
+    let mut traces = Vec::with_capacity(slots.len());
+    for slot in slots {
+        let (rec, trace) = slot.expect("every point index was sharded to exactly one worker");
+        records.push(rec);
+        traces.push(if options.keep_traces { trace } else { None });
+    }
+    let aggregate = Aggregate::fold(&records);
+    Ok(CampaignOutcome {
+        spec_name: spec.name.clone(),
+        records,
+        traces,
+        aggregate,
+        wall_ms: start.elapsed().as_millis() as u64,
+        threads: options.threads,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::spec::builtin;
+
+    #[test]
+    fn runner_rejects_zero_threads() {
+        let spec = builtin("simthm_smoke").expect("builtin");
+        let err = run_campaign(
+            &spec,
+            &RunOptions {
+                threads: 0,
+                keep_traces: false,
+            },
+        )
+        .expect_err("zero threads is invalid");
+        assert_eq!(err, CampaignError::ZeroThreads);
+    }
+
+    #[test]
+    fn runner_one_and_four_threads_agree_byte_for_byte() {
+        let spec = builtin("simthm_smoke").expect("builtin");
+        let one = run_campaign(
+            &spec,
+            &RunOptions {
+                threads: 1,
+                keep_traces: false,
+            },
+        )
+        .expect("runs");
+        let four = run_campaign(
+            &spec,
+            &RunOptions {
+                threads: 4,
+                keep_traces: false,
+            },
+        )
+        .expect("runs");
+        assert_eq!(one.deterministic_jsonl(), four.deterministic_jsonl());
+        assert_eq!(one.aggregate, four.aggregate);
+        assert_eq!(
+            one.aggregate.to_json().to_json(),
+            four.aggregate.to_json().to_json()
+        );
+    }
+
+    #[test]
+    fn runner_records_are_in_point_order_with_complete_coverage() {
+        let spec = builtin("simthm_smoke").expect("builtin");
+        let out = run_campaign(
+            &spec,
+            &RunOptions {
+                threads: 3,
+                keep_traces: true,
+            },
+        )
+        .expect("runs");
+        assert_eq!(out.records.len(), spec.points().len());
+        for (i, rec) in out.records.iter().enumerate() {
+            assert_eq!(rec.index, i);
+        }
+        assert_eq!(out.traces.len(), out.records.len());
+        assert!(
+            out.traces.iter().all(Option::is_some),
+            "simthm runs are traced"
+        );
+        assert_eq!(out.aggregate.points, out.records.len() as u64);
+        assert_eq!(out.aggregate.accepted, out.records.len() as u64);
+        assert_eq!(out.aggregate.errors, 0);
+    }
+
+    #[test]
+    fn runner_aggregate_fold_is_order_independent() {
+        let spec = builtin("gadget_sweep").expect("builtin");
+        let out = run_campaign(
+            &spec,
+            &RunOptions {
+                threads: 2,
+                keep_traces: false,
+            },
+        )
+        .expect("runs");
+        let mut reversed = out.records.clone();
+        reversed.reverse();
+        assert_eq!(Aggregate::fold(&reversed), out.aggregate);
+    }
+
+    #[test]
+    fn runner_summary_parses_and_carries_the_aggregate() {
+        let spec = builtin("simthm_smoke").expect("builtin");
+        let out = run_campaign(&spec, &RunOptions::default()).expect("runs");
+        let doc = json::parse(&summary_json(&out)).expect("summary is valid JSON");
+        assert_eq!(
+            doc.get("schema"),
+            Some(&Json::Str(CAMPAIGN_SCHEMA.to_string()))
+        );
+        let agg = doc.get("aggregate").expect("aggregate present");
+        assert_eq!(
+            agg.get("points").and_then(Json::as_u64),
+            Some(out.aggregate.points)
+        );
+        assert_eq!(agg.get("errors").and_then(Json::as_u64), Some(0));
+    }
+
+    #[test]
+    fn runner_chaos_ensemble_runs_under_faults() {
+        // A trimmed chaos grid (the builtin's shape, fewer seeds) to keep
+        // unit-test wall time down while still exercising the fallible path.
+        let spec = CampaignSpec {
+            name: "chaos_mini".into(),
+            grid: crate::spec::CampaignGrid::Chaos {
+                nodes: 12,
+                extra_edges: 3,
+                drop_pm: vec![0, 250],
+                seeds: vec![1, 2],
+                bandwidth: 8,
+            },
+        };
+        let out = run_campaign(
+            &spec,
+            &RunOptions {
+                threads: 2,
+                keep_traces: false,
+            },
+        )
+        .expect("runs");
+        assert_eq!(out.aggregate.points, 4);
+        assert_eq!(out.aggregate.errors, 0);
+        assert_eq!(
+            out.aggregate.accepted, 4,
+            "robust broadcast should inform everyone"
+        );
+        assert!(
+            out.aggregate.dropped > 0,
+            "the lossy half must drop messages"
+        );
+    }
+}

@@ -1,0 +1,529 @@
+//! Declarative campaign specifications.
+//!
+//! A [`CampaignSpec`] names a grid of experiment points — a Γ×L
+//! simulation-theorem sweep, a chaos seed ensemble, or a gadget
+//! instance sweep — without saying anything about *how* it runs. The
+//! runner (see [`crate::runner`]) expands the grid into a flat,
+//! deterministically ordered `Vec<PointSpec>` via [`CampaignSpec::points`]
+//! and shards that list across worker threads.
+//!
+//! Specs are validated **up front** ([`CampaignSpec::validate`]): every
+//! way a grid can be degenerate — zero threads, an empty axis, Γ = 0, an
+//! L the network builder would reject, a drop probability above 1 — maps
+//! to a distinct [`CampaignError`] variant, so misconfigurations fail
+//! with a structured message before any thread is spawned.
+
+use qdc_gadgets::{GadgetFamily, GadgetPoint};
+use qdc_simthm::SimThmPoint;
+
+/// Schema tag stamped on every aggregate summary document.
+pub const CAMPAIGN_SCHEMA: &str = "qdc-campaign/v1";
+/// Schema tag stamped on every per-point JSONL record.
+pub const POINT_SCHEMA: &str = "qdc-campaign-point/v1";
+
+/// Why a campaign specification (or its CLI invocation) was rejected.
+///
+/// Every variant corresponds to exactly one degenerate input, checked
+/// before any experiment executes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CampaignError {
+    /// The campaign name is empty (it names output files and records).
+    EmptyName,
+    /// A worker pool of zero threads can run nothing.
+    ZeroThreads,
+    /// A grid axis is empty, so the campaign has no points. The payload
+    /// names the empty axis (e.g. `"gammas"`).
+    EmptyGrid(&'static str),
+    /// A simulation-theorem point requested Γ = 0 (the network builder
+    /// needs at least one path).
+    ZeroGamma,
+    /// A simulation-theorem point requested an unusable path length
+    /// (the builder needs `L ≥ 3`).
+    BadLength(usize),
+    /// A bandwidth of zero bits can carry no message (chaos ensembles
+    /// additionally need `B ≥ 2` for their ack words, also checked here).
+    BadBandwidth(usize),
+    /// A chaos drop probability above 1000 per-mille (i.e. > 1.0).
+    BadDropProb(u32),
+    /// A chaos ensemble over fewer than two nodes has nothing to
+    /// broadcast to.
+    TooFewNodes(usize),
+    /// A gadget point requested zero input bits (the reductions need at
+    /// least one gadget in the chain).
+    ZeroBits,
+    /// The records path and the summary path collide, so one output
+    /// would silently clobber the other.
+    OutputCollision(String),
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::EmptyName => write!(f, "campaign name must not be empty"),
+            CampaignError::ZeroThreads => write!(f, "thread count must be at least 1"),
+            CampaignError::EmptyGrid(axis) => {
+                write!(f, "grid axis `{axis}` is empty: the campaign has no points")
+            }
+            CampaignError::ZeroGamma => write!(f, "gamma must be at least 1"),
+            CampaignError::BadLength(l) => {
+                write!(
+                    f,
+                    "path length L = {l} is unusable: the network needs L >= 3"
+                )
+            }
+            CampaignError::BadBandwidth(b) => {
+                write!(
+                    f,
+                    "bandwidth B = {b} bits is too small for this campaign kind"
+                )
+            }
+            CampaignError::BadDropProb(pm) => {
+                write!(f, "drop probability {pm} per-mille exceeds 1000 (i.e. 1.0)")
+            }
+            CampaignError::TooFewNodes(n) => {
+                write!(f, "chaos ensemble needs at least 2 nodes, got {n}")
+            }
+            CampaignError::ZeroBits => write!(f, "gadget input length must be at least 1 bit"),
+            CampaignError::OutputCollision(path) => {
+                write!(f, "records and summary would both be written to `{path}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+/// The experiment grid of a campaign — one variant per experiment kind.
+///
+/// Axes are cartesian-multiplied by [`CampaignSpec::points`]; the
+/// expansion order (outer axis first, declared order within each axis)
+/// is part of the determinism contract because point indices name
+/// records in the output.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CampaignGrid {
+    /// Γ×L sweep of simulation-theorem networks (Theorem 3.5 audit).
+    SimThm {
+        /// Requested path counts Γ.
+        gammas: Vec<usize>,
+        /// Requested path lengths L (each rounded up to `2^k + 1`).
+        lengths: Vec<usize>,
+        /// CONGEST bandwidth in qubits.
+        bandwidth: usize,
+    },
+    /// Seed ensemble of robust broadcasts under fault injection.
+    Chaos {
+        /// Node count of the random connected host graph.
+        nodes: usize,
+        /// Extra edges beyond the spanning tree.
+        extra_edges: usize,
+        /// Drop probabilities in integer per-mille (`250` = 0.25) —
+        /// integers so records and aggregates never contain floats.
+        drop_pm: Vec<u32>,
+        /// Fault-plan seeds.
+        seeds: Vec<u64>,
+        /// CONGEST bandwidth in bits (must be ≥ 2).
+        bandwidth: usize,
+    },
+    /// Sweep of gadget reductions cross-checked by a distributed verifier.
+    Gadgets {
+        /// Input lengths `n` of the two-party problems.
+        bit_sizes: Vec<usize>,
+        /// Instance seeds.
+        seeds: Vec<u64>,
+        /// CONGEST bandwidth for the verifier runs.
+        bandwidth: usize,
+    },
+}
+
+/// One fully expanded experiment point, ready to execute.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PointSpec {
+    /// One Γ×L cell (see [`qdc_simthm::campaign`]).
+    SimThm(SimThmPoint),
+    /// One seeded robust-broadcast run under fault injection.
+    Chaos {
+        /// Node count of the host graph.
+        nodes: usize,
+        /// Extra edges beyond the spanning tree.
+        extra_edges: usize,
+        /// Drop probability in per-mille.
+        drop_pm: u32,
+        /// Seed shared by the graph generator and the fault plan.
+        seed: u64,
+        /// CONGEST bandwidth in bits.
+        bandwidth: usize,
+    },
+    /// One seeded gadget instance plus distributed verification.
+    Gadget {
+        /// The reduction point (see [`qdc_gadgets::campaign`]).
+        point: GadgetPoint,
+        /// CONGEST bandwidth for the verifier.
+        bandwidth: usize,
+    },
+}
+
+/// A named, declarative experiment campaign.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CampaignSpec {
+    /// Campaign name: names output files and is stamped on every record.
+    pub name: String,
+    /// The experiment grid.
+    pub grid: CampaignGrid,
+}
+
+impl CampaignSpec {
+    /// Checks the spec for every known degenerate input.
+    ///
+    /// Returns the **first** problem found, in a fixed check order, so
+    /// error messages are deterministic.
+    pub fn validate(&self) -> Result<(), CampaignError> {
+        if self.name.is_empty() {
+            return Err(CampaignError::EmptyName);
+        }
+        match &self.grid {
+            CampaignGrid::SimThm {
+                gammas,
+                lengths,
+                bandwidth,
+            } => {
+                if gammas.is_empty() {
+                    return Err(CampaignError::EmptyGrid("gammas"));
+                }
+                if lengths.is_empty() {
+                    return Err(CampaignError::EmptyGrid("lengths"));
+                }
+                if gammas.contains(&0) {
+                    return Err(CampaignError::ZeroGamma);
+                }
+                if let Some(&l) = lengths.iter().find(|&&l| l < 3) {
+                    return Err(CampaignError::BadLength(l));
+                }
+                if *bandwidth == 0 {
+                    return Err(CampaignError::BadBandwidth(*bandwidth));
+                }
+            }
+            CampaignGrid::Chaos {
+                nodes,
+                extra_edges: _,
+                drop_pm,
+                seeds,
+                bandwidth,
+            } => {
+                if drop_pm.is_empty() {
+                    return Err(CampaignError::EmptyGrid("drop_pm"));
+                }
+                if seeds.is_empty() {
+                    return Err(CampaignError::EmptyGrid("seeds"));
+                }
+                if *nodes < 2 {
+                    return Err(CampaignError::TooFewNodes(*nodes));
+                }
+                if let Some(&pm) = drop_pm.iter().find(|&&pm| pm > 1000) {
+                    return Err(CampaignError::BadDropProb(pm));
+                }
+                // robust_broadcast sends 2-bit token/ack words.
+                if *bandwidth < 2 {
+                    return Err(CampaignError::BadBandwidth(*bandwidth));
+                }
+            }
+            CampaignGrid::Gadgets {
+                bit_sizes,
+                seeds,
+                bandwidth,
+            } => {
+                if bit_sizes.is_empty() {
+                    return Err(CampaignError::EmptyGrid("bit_sizes"));
+                }
+                if seeds.is_empty() {
+                    return Err(CampaignError::EmptyGrid("seeds"));
+                }
+                if bit_sizes.contains(&0) {
+                    return Err(CampaignError::ZeroBits);
+                }
+                if *bandwidth == 0 {
+                    return Err(CampaignError::BadBandwidth(*bandwidth));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Expands the grid into a flat, deterministically ordered point
+    /// list. Point `i` of this list is record `"point": i` in the
+    /// campaign output, on any thread count.
+    pub fn points(&self) -> Vec<PointSpec> {
+        let mut out = Vec::new();
+        match &self.grid {
+            CampaignGrid::SimThm {
+                gammas,
+                lengths,
+                bandwidth,
+            } => {
+                for &gamma in gammas {
+                    for &l in lengths {
+                        out.push(PointSpec::SimThm(SimThmPoint {
+                            gamma,
+                            l,
+                            bandwidth: *bandwidth,
+                        }));
+                    }
+                }
+            }
+            CampaignGrid::Chaos {
+                nodes,
+                extra_edges,
+                drop_pm,
+                seeds,
+                bandwidth,
+            } => {
+                for &pm in drop_pm {
+                    for &seed in seeds {
+                        out.push(PointSpec::Chaos {
+                            nodes: *nodes,
+                            extra_edges: *extra_edges,
+                            drop_pm: pm,
+                            seed,
+                            bandwidth: *bandwidth,
+                        });
+                    }
+                }
+            }
+            CampaignGrid::Gadgets {
+                bit_sizes,
+                seeds,
+                bandwidth,
+            } => {
+                for family in [GadgetFamily::Ipmod3, GadgetFamily::GapEq] {
+                    for &bits in bit_sizes {
+                        for &seed in seeds {
+                            out.push(PointSpec::Gadget {
+                                point: GadgetPoint { family, bits, seed },
+                                bandwidth: *bandwidth,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Rejects a records/summary path pair that would clobber each other.
+pub fn validate_output_paths(records: &str, summary: &str) -> Result<(), CampaignError> {
+    if records == summary {
+        return Err(CampaignError::OutputCollision(records.to_string()));
+    }
+    Ok(())
+}
+
+/// The built-in campaigns, selectable by name in the `campaign` binary.
+pub fn builtin(name: &str) -> Option<CampaignSpec> {
+    let spec = match name {
+        // 2×2 grid: small enough for CI smoke runs.
+        "simthm_smoke" => CampaignSpec {
+            name: name.to_string(),
+            grid: CampaignGrid::SimThm {
+                gammas: vec![4, 6],
+                lengths: vec![9, 17],
+                bandwidth: 16,
+            },
+        },
+        // 8×4 = 32 points: the headline Theorem 3.5 audit grid.
+        "simthm_grid" => CampaignSpec {
+            name: name.to_string(),
+            grid: CampaignGrid::SimThm {
+                gammas: vec![7, 11, 15, 19, 23, 27, 31, 35],
+                lengths: vec![17, 33, 65, 129],
+                bandwidth: 32,
+            },
+        },
+        // 4×8 = 32 points: robust broadcast under increasing loss.
+        "chaos_ensemble" => CampaignSpec {
+            name: name.to_string(),
+            grid: CampaignGrid::Chaos {
+                nodes: 24,
+                extra_edges: 6,
+                drop_pm: vec![0, 100, 200, 300],
+                seeds: (1..=8).collect(),
+                bandwidth: 8,
+            },
+        },
+        // 2 families × 4 sizes × 4 seeds = 32 points.
+        "gadget_sweep" => CampaignSpec {
+            name: name.to_string(),
+            grid: CampaignGrid::Gadgets {
+                bit_sizes: vec![4, 6, 8, 10],
+                seeds: vec![1, 2, 3, 4],
+                bandwidth: 32,
+            },
+        },
+        _ => return None,
+    };
+    Some(spec)
+}
+
+/// Names of all built-in campaigns, in presentation order.
+pub fn builtin_names() -> [&'static str; 4] {
+    [
+        "simthm_smoke",
+        "simthm_grid",
+        "chaos_ensemble",
+        "gadget_sweep",
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simthm_spec() -> CampaignSpec {
+        builtin("simthm_smoke").expect("builtin")
+    }
+
+    #[test]
+    fn spec_builtins_validate_and_expand() {
+        for name in builtin_names() {
+            let spec = builtin(name).expect("known builtin");
+            spec.validate().expect("builtin specs are valid");
+            let points = spec.points();
+            assert!(!points.is_empty(), "{name} expands to no points");
+            if name != "simthm_smoke" {
+                assert!(points.len() >= 32, "{name} has {} points", points.len());
+            }
+        }
+        assert!(builtin("no_such_campaign").is_none());
+    }
+
+    #[test]
+    fn spec_point_order_is_deterministic() {
+        let spec = builtin("simthm_grid").expect("builtin");
+        assert_eq!(spec.points(), spec.points());
+        // First axis (gamma) is outermost: the first four points share Γ.
+        let points = spec.points();
+        match (&points[0], &points[3]) {
+            (PointSpec::SimThm(a), PointSpec::SimThm(b)) => {
+                assert_eq!(a.gamma, b.gamma);
+                assert_ne!(a.l, b.l);
+            }
+            other => panic!("unexpected points {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spec_rejects_empty_name() {
+        let mut spec = simthm_spec();
+        spec.name.clear();
+        assert_eq!(spec.validate(), Err(CampaignError::EmptyName));
+    }
+
+    #[test]
+    fn spec_rejects_empty_axes() {
+        let mut spec = simthm_spec();
+        if let CampaignGrid::SimThm { gammas, .. } = &mut spec.grid {
+            gammas.clear();
+        }
+        assert_eq!(spec.validate(), Err(CampaignError::EmptyGrid("gammas")));
+
+        let mut spec = simthm_spec();
+        if let CampaignGrid::SimThm { lengths, .. } = &mut spec.grid {
+            lengths.clear();
+        }
+        assert_eq!(spec.validate(), Err(CampaignError::EmptyGrid("lengths")));
+    }
+
+    #[test]
+    fn spec_rejects_degenerate_simthm_parameters() {
+        let mut spec = simthm_spec();
+        if let CampaignGrid::SimThm { gammas, .. } = &mut spec.grid {
+            gammas.push(0);
+        }
+        assert_eq!(spec.validate(), Err(CampaignError::ZeroGamma));
+
+        let mut spec = simthm_spec();
+        if let CampaignGrid::SimThm { lengths, .. } = &mut spec.grid {
+            lengths.push(2);
+        }
+        assert_eq!(spec.validate(), Err(CampaignError::BadLength(2)));
+
+        let mut spec = simthm_spec();
+        if let CampaignGrid::SimThm { bandwidth, .. } = &mut spec.grid {
+            *bandwidth = 0;
+        }
+        assert_eq!(spec.validate(), Err(CampaignError::BadBandwidth(0)));
+    }
+
+    #[test]
+    fn spec_rejects_degenerate_chaos_parameters() {
+        let base = builtin("chaos_ensemble").expect("builtin");
+
+        let mut spec = base.clone();
+        if let CampaignGrid::Chaos { drop_pm, .. } = &mut spec.grid {
+            drop_pm.push(1001);
+        }
+        assert_eq!(spec.validate(), Err(CampaignError::BadDropProb(1001)));
+
+        let mut spec = base.clone();
+        if let CampaignGrid::Chaos { nodes, .. } = &mut spec.grid {
+            *nodes = 1;
+        }
+        assert_eq!(spec.validate(), Err(CampaignError::TooFewNodes(1)));
+
+        let mut spec = base.clone();
+        if let CampaignGrid::Chaos { bandwidth, .. } = &mut spec.grid {
+            *bandwidth = 1;
+        }
+        assert_eq!(spec.validate(), Err(CampaignError::BadBandwidth(1)));
+
+        let mut spec = base;
+        if let CampaignGrid::Chaos { seeds, .. } = &mut spec.grid {
+            seeds.clear();
+        }
+        assert_eq!(spec.validate(), Err(CampaignError::EmptyGrid("seeds")));
+    }
+
+    #[test]
+    fn spec_rejects_degenerate_gadget_parameters() {
+        let base = builtin("gadget_sweep").expect("builtin");
+
+        let mut spec = base.clone();
+        if let CampaignGrid::Gadgets { bit_sizes, .. } = &mut spec.grid {
+            bit_sizes.push(0);
+        }
+        assert_eq!(spec.validate(), Err(CampaignError::ZeroBits));
+
+        let mut spec = base;
+        if let CampaignGrid::Gadgets { seeds, .. } = &mut spec.grid {
+            seeds.clear();
+        }
+        assert_eq!(spec.validate(), Err(CampaignError::EmptyGrid("seeds")));
+    }
+
+    #[test]
+    fn spec_rejects_output_collision() {
+        assert_eq!(
+            validate_output_paths("out.jsonl", "out.jsonl"),
+            Err(CampaignError::OutputCollision("out.jsonl".to_string()))
+        );
+        validate_output_paths("out.jsonl", "BENCH_x.json").expect("distinct paths are fine");
+    }
+
+    #[test]
+    fn spec_errors_display_without_panicking() {
+        let errors = [
+            CampaignError::EmptyName,
+            CampaignError::ZeroThreads,
+            CampaignError::EmptyGrid("gammas"),
+            CampaignError::ZeroGamma,
+            CampaignError::BadLength(2),
+            CampaignError::BadBandwidth(0),
+            CampaignError::BadDropProb(2000),
+            CampaignError::TooFewNodes(1),
+            CampaignError::ZeroBits,
+            CampaignError::OutputCollision("x".into()),
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Campaign adapter: one Γ×L parameter point → one runnable experiment.
+//!
+//! The campaign harness (`qdc-harness`) sweeps whole grids of
+//! simulation-theorem networks; this module is the bridge it uses. A
+//! [`SimThmPoint`] is plain `Send` data naming one grid cell; and
+//! [`run_point`] executes it: build `N(Γ, L)`, embed a
+//! Hamiltonian-matching subnetwork `M`, run the min-label component
+//! flood (the core of a Ham verifier) traced up to the Theorem 3.5
+//! horizon, and audit the Carol/David-paid traffic against the `6kB`
+//! budget. [`experiment`] wraps the same work as a `FnOnce() + Send`
+//! closure for harnesses that ship work to worker threads.
+//!
+//! Everything here is deterministic: a point's outcome is a pure
+//! function of `(gamma, l, bandwidth)`, which is what lets the harness
+//! promise bit-identical aggregates regardless of thread count.
+
+use crate::network::SimulationNetwork;
+use crate::simulate::audit_trace;
+use qdc_congest::{
+    CongestConfig, Inbox, Message, NodeAlgorithm, NodeInfo, Outbox, RunMetrics, Simulator,
+    TrafficTrace,
+};
+use qdc_graph::generate;
+
+/// One cell of a Γ×L campaign grid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SimThmPoint {
+    /// Requested number of paths Γ (bumped by one internally when the
+    /// track count `Γ + k` would be odd — the matching embedding needs
+    /// an even number of tracks, exactly as the suite binaries do).
+    pub gamma: usize,
+    /// Requested path length L (rounded up to `2^k + 1` by the network
+    /// builder).
+    pub l: usize,
+    /// CONGEST bandwidth `B` in qubits (the run is accounted under the
+    /// quantum channel, the paper's strongest model).
+    pub bandwidth: usize,
+}
+
+/// What one simulation-theorem point produced.
+#[derive(Clone, Debug)]
+pub struct SimThmOutcome {
+    /// Traffic accounting of the traced run (capped at the horizon).
+    pub metrics: RunMetrics,
+    /// Nodes in the realized network (after Γ/L adjustment).
+    pub node_count: u64,
+    /// Highway count `k` of the realized network.
+    pub highways: u64,
+    /// The Theorem 3.5 horizon `L/2 − 2` the run was capped at.
+    pub horizon: u64,
+    /// Total bits Carol and David paid under the ownership schedule.
+    pub paid_bits: u64,
+    /// Maximum Carol+David paid bits in any single round.
+    pub max_paid_per_round: u64,
+    /// The theorem's per-round budget `6kB`.
+    pub per_round_budget: u64,
+    /// Whether every audited round stayed within the budget (the
+    /// Theorem 3.5 claim; a campaign exists to observe this at scale).
+    pub within_budget: bool,
+    /// The per-round message trace, so the harness can archive the run
+    /// with [`TrafficTrace::to_jsonl`] and replay it offline.
+    pub trace: TrafficTrace,
+}
+
+/// Event-driven min-label flood along the embedded subnetwork `M` — the
+/// component-labeling core of a Ham verifier, the same workload the
+/// Theorem 3.5 suite binaries audit.
+struct ComponentFlood {
+    label: u64,
+    active_ports: Vec<bool>,
+    width: usize,
+}
+
+impl ComponentFlood {
+    fn send_all(&self, out: &mut Outbox) {
+        for p in 0..self.active_ports.len() {
+            if self.active_ports[p] {
+                out.send(p, Message::from_uint(self.label, self.width));
+            }
+        }
+    }
+}
+
+impl NodeAlgorithm for ComponentFlood {
+    fn on_start(&mut self, _info: &NodeInfo, out: &mut Outbox) {
+        self.send_all(out);
+    }
+    fn on_round(&mut self, _info: &NodeInfo, inbox: &Inbox, out: &mut Outbox) {
+        let mut improved = false;
+        for (port, msg) in inbox.iter() {
+            if self.active_ports[port] {
+                if let Some(v) = msg.as_uint(self.width) {
+                    if v < self.label {
+                        self.label = v;
+                        improved = true;
+                    }
+                }
+            }
+        }
+        if improved {
+            self.send_all(out);
+        }
+    }
+    fn is_terminated(&self) -> bool {
+        true
+    }
+}
+
+/// Executes one grid point: network, embedding, traced run, audit.
+///
+/// The run is capped at the horizon `L/2 − 2` — Theorem 3.5 only speaks
+/// about runs within it, so `metrics.completed` is usually 0 and that is
+/// the expected shape, not a failure.
+///
+/// # Panics
+///
+/// Panics if `gamma == 0` or `l < 3` (the network builder's own
+/// preconditions). Campaign specs are validated before any point runs,
+/// so the harness never reaches this.
+pub fn run_point(point: &SimThmPoint) -> SimThmOutcome {
+    let mut net = SimulationNetwork::build(point.gamma, point.l);
+    if net.track_count() % 2 == 1 {
+        net = SimulationNetwork::build(point.gamma + 1, point.l);
+    }
+    let tracks = net.track_count();
+    let (carol, david) = generate::hamiltonian_matching_pair(tracks);
+    let m = net.embed_matchings(&carol, &david);
+    let width = qdc_algos::widths::id_width(net.graph().node_count());
+    let sim = Simulator::new(net.graph(), CongestConfig::quantum(point.bandwidth));
+    let (_, report, trace) = sim.run_traced(
+        |info| ComponentFlood {
+            label: info.id.0 as u64,
+            active_ports: info.incident_edges.iter().map(|&e| m.contains(e)).collect(),
+            width,
+        },
+        net.horizon(),
+    );
+    let audit = audit_trace(&net, &trace, point.bandwidth);
+    SimThmOutcome {
+        metrics: report.metrics(),
+        node_count: net.graph().node_count() as u64,
+        highways: net.highway_count() as u64,
+        horizon: net.horizon() as u64,
+        paid_bits: audit.total_paid(),
+        max_paid_per_round: audit.max_paid_per_round,
+        per_round_budget: audit.per_round_budget,
+        within_budget: audit.within_budget,
+        trace,
+    }
+}
+
+/// Packages a point as a `FnOnce` experiment closure that can be shipped
+/// to a worker thread — the shape the campaign harness shards.
+pub fn experiment(point: SimThmPoint) -> impl FnOnce() -> SimThmOutcome + Send + 'static {
+    move || run_point(&point)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simthm_point_is_deterministic_and_within_budget() {
+        let p = SimThmPoint {
+            gamma: 6,
+            l: 17,
+            bandwidth: 32,
+        };
+        let a = run_point(&p);
+        let b = run_point(&p);
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.paid_bits, b.paid_bits);
+        assert_eq!(a.trace.rounds, b.trace.rounds);
+        assert!(a.within_budget, "Theorem 3.5 budget must hold");
+        assert!(a.metrics.rounds <= a.horizon);
+        assert!(a.metrics.messages_sent > 0);
+    }
+
+    #[test]
+    fn simthm_odd_track_count_is_adjusted_like_the_suite_binaries() {
+        // Γ = 11, L = 17 → k = 4, 15 tracks (odd) → realized Γ = 12.
+        let p = SimThmPoint {
+            gamma: 11,
+            l: 17,
+            bandwidth: 16,
+        };
+        let out = run_point(&p);
+        let net = SimulationNetwork::build(12, 17);
+        assert_eq!(out.node_count, net.graph().node_count() as u64);
+    }
+
+    #[test]
+    fn simthm_experiment_closure_is_send() {
+        fn assert_send<T: Send>(_: &T) {}
+        let e = experiment(SimThmPoint {
+            gamma: 4,
+            l: 9,
+            bandwidth: 8,
+        });
+        assert_send(&e);
+        let out = e();
+        assert!(out.within_budget);
+    }
+}

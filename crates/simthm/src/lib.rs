@@ -21,14 +21,19 @@
 //!   budget the proof of Theorem 3.5 uses;
 //! * [`replay`] — the simulation *performed*: three parties holding only
 //!   their owned node states re-execute the algorithm, exchanging exactly
-//!   the entitled messages, and reproduce the direct run bit for bit.
+//!   the entitled messages, and reproduce the direct run bit for bit;
+//! * [`campaign`] — the grid-sweep adapter: one Γ×L parameter point
+//!   packaged as a deterministic, `Send` experiment for the `qdc-harness`
+//!   campaign runner.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod network;
 pub mod replay;
 pub mod simulate;
 
+pub use campaign::{SimThmOutcome, SimThmPoint};
 pub use network::{Party, SimulationNetwork};
 pub use simulate::{audit_trace, ThreePartyAudit};

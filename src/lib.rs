@@ -24,7 +24,10 @@
 //! * [`algos`] — distributed upper bounds (BFS, leader election, MST,
 //!   verification, SSSP, Disjointness);
 //! * [`core`] — bound formulas, theorem parameters, the Figure 1
-//!   pipeline.
+//!   pipeline;
+//! * [`harness`] — the experiment-campaign runner: declarative grids,
+//!   deterministic parallel sharding, JSONL records and
+//!   order-independent aggregates.
 //!
 //! # Quickstart
 //!
@@ -47,5 +50,6 @@ pub use qdc_congest as congest;
 pub use qdc_core as core;
 pub use qdc_gadgets as gadgets;
 pub use qdc_graph as graph;
+pub use qdc_harness as harness;
 pub use qdc_quantum as quantum;
 pub use qdc_simthm as simthm;
