@@ -5,8 +5,8 @@
 use crate::ledger::Ledger;
 use crate::widths::id_width;
 use qdc_congest::{
-    ChaosConfig, CongestConfig, Inbox, Message, NodeAlgorithm, NodeInfo, Outbox, RunReport,
-    SimError, Simulator,
+    ChaosConfig, CongestConfig, Inbox, Message, NodeAlgorithm, NodeInfo, NullTelemetry, Outbox,
+    RunReport, SimError, Simulator, Telemetry,
 };
 use qdc_graph::{Graph, NodeId};
 
@@ -361,9 +361,25 @@ pub fn robust_broadcast(
     chaos: &ChaosConfig,
     give_up: usize,
 ) -> Result<RobustBroadcastOutcome, SimError> {
+    robust_broadcast_observed(graph, cfg, root, chaos, give_up, &mut NullTelemetry)
+}
+
+/// [`robust_broadcast`] with a [`Telemetry`] sink observing the run —
+/// per-round deliveries, plus every drop, corruption and crash the fault
+/// plan injects, attributed to the edge it struck. Observation never
+/// perturbs: the outcome is bit-for-bit that of [`robust_broadcast`]
+/// under the same config.
+pub fn robust_broadcast_observed<T: Telemetry>(
+    graph: &Graph,
+    cfg: CongestConfig,
+    root: NodeId,
+    chaos: &ChaosConfig,
+    give_up: usize,
+    telemetry: &mut T,
+) -> Result<RobustBroadcastOutcome, SimError> {
     assert!(cfg.bandwidth_bits >= 2, "robust flood needs B >= 2");
     let sim = Simulator::new(graph, cfg);
-    let (nodes, report) = sim.try_run(
+    let (nodes, report) = sim.try_run_observed(
         |info| RobustFlood {
             informed: info.id == root,
             settled: vec![false; info.degree()],
@@ -372,6 +388,7 @@ pub fn robust_broadcast(
             give_up,
         },
         chaos,
+        telemetry,
     )?;
     Ok(RobustBroadcastOutcome {
         informed: nodes.into_iter().map(|s| s.informed).collect(),
@@ -470,6 +487,23 @@ mod tests {
         assert!(out.informed.iter().all(|&i| i));
         assert_eq!(out.report.messages_dropped, 0);
         assert!(out.report.completed);
+    }
+
+    #[test]
+    fn chaos_robust_broadcast_observed_matches_plain_and_accounts_faults() {
+        let g = qdc_graph::generate::random_connected(15, 10, 8);
+        let give_up = chaos_round_budget(15, 0.2);
+        let cc = chaos(21, 0.2, give_up);
+        let plain = robust_broadcast(&g, cfg(), NodeId(0), &cc, give_up).expect("completes");
+        let mut prof = qdc_congest::RoundProfiler::new(g.node_count(), g.edge_count(), 32);
+        let observed = robust_broadcast_observed(&g, cfg(), NodeId(0), &cc, give_up, &mut prof)
+            .expect("completes");
+        assert_eq!(plain.informed, observed.informed);
+        assert_eq!(plain.report, observed.report);
+        let telemetry = prof.finish();
+        assert_eq!(telemetry.total_messages(), observed.report.messages_sent);
+        assert_eq!(telemetry.total_bits(), observed.report.bits_sent);
+        assert_eq!(telemetry.total_dropped(), observed.report.messages_dropped);
     }
 
     #[test]

@@ -9,7 +9,7 @@ use qdc_algos::verify::verify_hamiltonian_cycle;
 use qdc_algos::{flood, Ledger};
 use qdc_congest::{BitString, CongestConfig};
 use qdc_graph::{generate, Graph};
-use qdc_simthm::SimulationNetwork;
+use qdc_simthm::{SimThmPoint, SimulationNetwork};
 use std::hint::black_box;
 
 /// Encode `count` fields of `width` bits each into one `BitString`.
@@ -111,10 +111,33 @@ fn bench_verification_gamma13_l17(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry");
+    g.sample_size(10);
+    // The same Γ=13, L=17-class workload as the verification group, run
+    // three ways: the plain entry point (null sink — must stay on the
+    // PR 1 hot-path numbers), an explicit NullTelemetry-observed run
+    // (must be indistinguishable from plain: the sink is compiled out),
+    // and a RoundProfiler-observed run (the real observation cost).
+    let point = SimThmPoint {
+        gamma: 13,
+        l: 17,
+        bandwidth: 32,
+    };
+    g.bench_function("run_point/null_sink", |b| {
+        b.iter(|| qdc_simthm::campaign::run_point(black_box(&point)))
+    });
+    g.bench_function("run_point/profiler", |b| {
+        b.iter(|| qdc_simthm::campaign::run_point_observed(black_box(&point)))
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_bitstring_codec,
     bench_flood_complete,
-    bench_verification_gamma13_l17
+    bench_verification_gamma13_l17,
+    bench_telemetry_overhead
 );
 criterion_main!(benches);

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! campaign <spec> [--threads N] [--out FILE.jsonl] [--summary FILE.json]
-//!                 [--trace-dir DIR] [--list]
+//!                 [--trace-dir DIR] [--telemetry-dir DIR] [--list]
 //! ```
 //!
 //! * `<spec>` — a built-in campaign name (`campaign --list` prints them);
@@ -12,11 +12,16 @@
 //! * `--out` — per-point JSONL records (default `campaign_<spec>.jsonl`);
 //! * `--summary` — aggregate summary (default `BENCH_<spec>.json`);
 //! * `--trace-dir` — also archive each traced point's per-round traffic
-//!   as `<dir>/point_<i>.trace.jsonl`.
+//!   as `<dir>/point_<i>.trace.jsonl`;
+//! * `--telemetry-dir` — profile each point with a telemetry sink
+//!   (observation never changes results) and archive each profile as
+//!   `<dir>/point_<i>.telemetry.jsonl` (the `profile` binary renders
+//!   these).
 //!
-//! After writing, the binary re-reads the JSONL file and parses every
-//! line with the harness's own JSON parser, so a zero exit status
-//! certifies the output is well-formed (CI's smoke job relies on this).
+//! After writing, the binary re-reads the JSONL file and runs the strict
+//! conformance validator over every record line (and the summary), so a
+//! zero exit status certifies the output is schema-conformant (CI's
+//! smoke jobs rely on this).
 
 use qdc_bench::{print_header, print_row};
 use qdc_harness::{
@@ -30,12 +35,13 @@ struct Args {
     out: Option<String>,
     summary: Option<String>,
     trace_dir: Option<String>,
+    telemetry_dir: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: campaign <spec> [--threads N] [--out FILE.jsonl] \
-         [--summary FILE.json] [--trace-dir DIR] [--list]"
+         [--summary FILE.json] [--trace-dir DIR] [--telemetry-dir DIR] [--list]"
     );
     eprintln!("built-in specs: {}", builtin_names().join(", "));
     std::process::exit(2);
@@ -48,6 +54,7 @@ fn parse_args() -> Args {
         out: None,
         summary: None,
         trace_dir: None,
+        telemetry_dir: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -73,6 +80,10 @@ fn parse_args() -> Args {
             },
             "--trace-dir" => match it.next() {
                 Some(v) => args.trace_dir = Some(v),
+                None => usage(),
+            },
+            "--telemetry-dir" => match it.next() {
+                Some(v) => args.telemetry_dir = Some(v),
                 None => usage(),
             },
             "--help" | "-h" => usage(),
@@ -118,15 +129,32 @@ fn write_outputs(
         }
     }
 
-    // Self-check: every line we wrote must parse back.
+    if let Some(dir) = &args.telemetry_dir {
+        std::fs::create_dir_all(dir)?;
+        for (i, profile) in outcome.telemetry.iter().enumerate() {
+            if let Some(profile) = profile {
+                std::fs::write(
+                    format!("{dir}/point_{i}.telemetry.jsonl"),
+                    profile.to_jsonl(true),
+                )?;
+            }
+        }
+    }
+
+    // Self-check: every line we wrote must pass the strict conformance
+    // validator, not merely parse as JSON.
     let written = std::fs::read_to_string(out_path)?;
     let mut n = 0;
     for (lineno, line) in written.lines().enumerate() {
-        if let Err(e) = qdc_harness::json::parse(line) {
+        if let Err(e) = qdc_harness::validate_record_line(line) {
             eprintln!("campaign: self-check failed at line {}: {e}", lineno + 1);
             std::process::exit(1);
         }
         n += 1;
+    }
+    if let Err(e) = qdc_harness::validate_summary(&std::fs::read_to_string(summary_path)?) {
+        eprintln!("campaign: summary self-check failed: {e}");
+        std::process::exit(1);
     }
     Ok(n)
 }
@@ -156,6 +184,7 @@ fn main() {
     let options = RunOptions {
         threads: args.threads,
         keep_traces: args.trace_dir.is_some(),
+        keep_telemetry: args.telemetry_dir.is_some(),
     };
     let outcome = match run_campaign(&spec, &options) {
         Ok(o) => o,

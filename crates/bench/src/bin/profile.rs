@@ -1,0 +1,148 @@
+//! Telemetry profile viewer: render a `qdc-telemetry/v1` archive as a
+//! per-round utilisation table plus the top-k hottest edges.
+//!
+//! ```text
+//! profile <telemetry.jsonl> [--top K]
+//! ```
+//!
+//! * `<telemetry.jsonl>` — a profile archived by
+//!   `campaign --telemetry-dir` (or any [`TelemetryReport::to_jsonl`]
+//!   output);
+//! * `--top K` — how many hottest edges to list (default 5).
+//!
+//! The utilisation columns bucket each delivered message against the
+//! per-edge budget `B`: `idle` counts directed edge slots that carried
+//! nothing, and `<=B/4 … <=B` count messages by how much of the budget
+//! they used. For classified profiles (simulation-theorem networks) the
+//! path/highway/cross split of each round's bits is shown as well.
+
+use qdc_bench::{print_header, print_row};
+use qdc_congest::TelemetryReport;
+
+fn usage() -> ! {
+    eprintln!("usage: profile <telemetry.jsonl> [--top K]");
+    std::process::exit(2);
+}
+
+fn parse_args() -> (String, usize) {
+    let mut path = String::new();
+    let mut top = 5usize;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--top" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(k) => top = k,
+                None => usage(),
+            },
+            "--help" | "-h" => usage(),
+            s if s.starts_with('-') => {
+                eprintln!("unknown flag `{s}`");
+                usage();
+            }
+            s if path.is_empty() => path = s.to_string(),
+            _ => usage(),
+        }
+    }
+    if path.is_empty() {
+        usage();
+    }
+    (path, top)
+}
+
+fn main() {
+    let (path, top) = parse_args();
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("profile: cannot read `{path}`: {e}");
+            std::process::exit(1);
+        }
+    };
+    let report = match TelemetryReport::from_jsonl(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("profile: `{path}` is not a valid telemetry archive: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!(
+        "profile `{path}`: {} nodes, {} edges, B = {} bits, {} round(s){}",
+        report.nodes,
+        report.edges,
+        report.bandwidth,
+        report.rounds.len(),
+        if report.classified {
+            ", highway/path classified"
+        } else {
+            ""
+        }
+    );
+
+    let base: &[&str] = &[
+        "round", "msgs", "bits", "idle", "<=B/4", "<=B/2", "<=3B/4", "<=B",
+    ];
+    let split: &[&str] = &["path", "hwy", "cross"];
+    let faults: &[&str] = &["drop", "corr", "crash"];
+    let any_faults = report
+        .rounds
+        .iter()
+        .any(|r| r.dropped + r.corrupted_bits + r.crashes > 0);
+    let mut cols: Vec<&str> = base.to_vec();
+    if report.classified {
+        cols.extend_from_slice(split);
+    }
+    if any_faults {
+        cols.extend_from_slice(faults);
+    }
+    let widths: Vec<usize> = cols.iter().map(|c| c.len().max(7)).collect();
+    print_header(&cols, &widths);
+    for r in &report.rounds {
+        let mut row: Vec<String> = vec![
+            r.round.to_string(),
+            r.messages.to_string(),
+            r.bits.to_string(),
+        ];
+        row.extend(r.util.iter().map(u64::to_string));
+        if report.classified {
+            row.extend([
+                r.path_bits.to_string(),
+                r.highway_bits.to_string(),
+                r.cross_bits.to_string(),
+            ]);
+        }
+        if any_faults {
+            row.extend([
+                r.dropped.to_string(),
+                r.corrupted_bits.to_string(),
+                r.crashes.to_string(),
+            ]);
+        }
+        let refs: Vec<&str> = row.iter().map(String::as_str).collect();
+        print_row(&refs, &widths);
+    }
+
+    println!();
+    println!("top {top} hottest edges (by delivered bits):");
+    let widths = [8, 10, 12, 10, 12];
+    print_header(&["edge", "msgs", "bits", "dropped", "corrupted"], &widths);
+    for (edge, totals) in report.hottest_edges(top) {
+        print_row(
+            &[
+                &edge.to_string(),
+                &totals.messages.to_string(),
+                &totals.bits.to_string(),
+                &totals.dropped.to_string(),
+                &totals.corrupted_bits.to_string(),
+            ],
+            &widths,
+        );
+    }
+    println!(
+        "totals: {} messages, {} bits, {} dropped, {} bits corrupted",
+        report.total_messages(),
+        report.total_bits(),
+        report.total_dropped(),
+        report.total_corrupted_bits()
+    );
+}

@@ -142,6 +142,9 @@ pub struct FaultPlan {
     /// Scheduled crash round per node (`None` = never crashes).
     crash_round: Vec<Option<usize>>,
     crashed: Vec<bool>,
+    /// Nodes whose crash activated in the current round, in ascending id
+    /// order — refilled by every [`begin_round`](FaultPlan::begin_round).
+    fresh_crashes: Vec<NodeId>,
     round: usize,
     stats: FaultStats,
 }
@@ -171,6 +174,7 @@ impl FaultPlan {
             corrupt_prob: config.corrupt_prob,
             crash_round,
             crashed: vec![false; node_count],
+            fresh_crashes: Vec::new(),
             round: 0,
             stats: FaultStats::default(),
         }
@@ -180,12 +184,21 @@ impl FaultPlan {
     /// activates any crashes scheduled at or before the new round.
     pub fn begin_round(&mut self) {
         self.round += 1;
+        self.fresh_crashes.clear();
         for v in 0..self.crashed.len() {
             if !self.crashed[v] && self.crash_round[v].is_some_and(|r| self.round >= r) {
                 self.crashed[v] = true;
                 self.stats.nodes_crashed += 1;
+                self.fresh_crashes.push(NodeId(v as u32));
             }
         }
+    }
+
+    /// The nodes whose crash-stop activated in the current round (empty
+    /// on fault-free rounds), in ascending id order. Telemetry sinks use
+    /// this to attribute crash events to the round they struck.
+    pub fn crashes_this_round(&self) -> &[NodeId] {
+        &self.fresh_crashes
     }
 
     /// The current round (0 before the first [`begin_round`]
@@ -316,6 +329,23 @@ mod tests {
         let mut empty = Message::empty();
         assert!(plan.filter(NodeId(0), NodeId(1), &mut empty));
         assert_eq!(empty.bit_len(), 0);
+    }
+
+    #[test]
+    fn chaos_fresh_crashes_report_only_the_activating_round() {
+        let cfg = ChaosConfig {
+            crash_schedule: vec![(NodeId(2), 2), (NodeId(0), 2), (NodeId(1), 3)],
+            ..ChaosConfig::fault_free(10)
+        };
+        let mut plan = FaultPlan::new(&cfg, 4);
+        plan.begin_round();
+        assert!(plan.crashes_this_round().is_empty());
+        plan.begin_round();
+        assert_eq!(plan.crashes_this_round(), [NodeId(0), NodeId(2)]);
+        plan.begin_round();
+        assert_eq!(plan.crashes_this_round(), [NodeId(1)]);
+        plan.begin_round();
+        assert!(plan.crashes_this_round().is_empty());
     }
 
     #[test]

@@ -1,0 +1,98 @@
+//! Shared strict line-cursor for the crate's hand-rolled JSONL readers.
+//!
+//! Both archive formats this crate speaks — `qdc-trace/v1`
+//! ([`crate::trace_io`]) and `qdc-telemetry/v1` ([`crate::telemetry`]) —
+//! are parsed line by line against a fully specified grammar: no serde,
+//! no generic JSON tree, just a cursor that consumes exactly the tokens
+//! the writer emits (tolerating insignificant whitespace) and rejects
+//! everything else with a line-numbered error. Keeping the cursor in one
+//! place means the two parsers cannot drift apart in their notion of
+//! "strict".
+
+/// A position-annotated parse failure: which line, and what was expected
+/// or found. The schema-specific error types (`TraceParseError`,
+/// `TelemetryParseError`) are built from this via `From`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct LineError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was expected or found.
+    pub msg: String,
+}
+
+/// A strict cursor over one line of JSONL. Whitespace between tokens is
+/// skipped; everything else must match the expected grammar exactly.
+pub(crate) struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(line_no: usize, text: &'a str) -> Self {
+        Cursor {
+            bytes: text.as_bytes(),
+            pos: 0,
+            line: line_no,
+        }
+    }
+
+    pub(crate) fn err(&self, msg: impl Into<String>) -> LineError {
+        LineError {
+            line: self.line,
+            msg: msg.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    pub(crate) fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    /// Consumes `lit` (after whitespace) or errors.
+    pub(crate) fn expect(&mut self, lit: &str) -> Result<(), LineError> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            let rest = &self.bytes[self.pos..];
+            let shown = String::from_utf8_lossy(&rest[..rest.len().min(20)]);
+            Err(self.err(format!("expected `{lit}`, found `{shown}`")))
+        }
+    }
+
+    pub(crate) fn parse_u64(&mut self) -> Result<u64, LineError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(self.err("expected an unsigned integer"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("digits are ASCII")
+            .parse()
+            .map_err(|_| self.err("integer out of range"))
+    }
+
+    pub(crate) fn end(&mut self) -> Result<(), LineError> {
+        self.skip_ws();
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(self.err("trailing garbage after record"))
+        }
+    }
+}

@@ -22,6 +22,13 @@
 //! byte-exactly per seed, with structured [`SimError`]s instead of
 //! panics on discipline violations.
 //!
+//! Round-level **observability** is opt-in via the [`telemetry`] module:
+//! a [`Telemetry`] sink watches every round of an observed run
+//! ([`Simulator::try_run_observed`] and friends) without perturbing it,
+//! and [`RoundProfiler`] folds the event stream into a serializable
+//! [`TelemetryReport`]. The default [`NullTelemetry`] sink compiles the
+//! instrumentation away entirely.
+//!
 //! # Example
 //!
 //! ```
@@ -63,10 +70,12 @@
 
 mod bits;
 mod chaos;
+mod jsonl;
 mod message;
 mod sim;
 mod trace_io;
 
+pub mod telemetry;
 pub mod topology;
 
 pub use bits::{BitReader, BitString};
@@ -75,5 +84,9 @@ pub use message::Message;
 pub use sim::{
     ChannelKind, CongestConfig, Inbox, NodeAlgorithm, NodeInfo, Outbox, RunMetrics, RunReport,
     SimError, Simulator, StepSummary, Stepper, TracedMessage, TrafficTrace, WatchdogReport,
+};
+pub use telemetry::{
+    EdgeTotals, NodeClass, NodeTotals, NullTelemetry, RoundProfile, RoundProfiler, Telemetry,
+    TelemetryParseError, TelemetryReport, TELEMETRY_SCHEMA,
 };
 pub use trace_io::{TraceParseError, TRACE_SCHEMA};

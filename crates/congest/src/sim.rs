@@ -2,6 +2,7 @@
 
 use crate::chaos::{ChaosConfig, FaultPlan};
 use crate::message::Message;
+use crate::telemetry::{NullTelemetry, Telemetry};
 use qdc_graph::{EdgeId, Graph, NodeId};
 
 /// A structured CONGEST-discipline violation.
@@ -592,7 +593,7 @@ impl<'g> Simulator<'g> {
         F: FnMut(&NodeInfo) -> A,
     {
         let (nodes, report, _) = self
-            .run_core(init, max_rounds, false, None, true)
+            .run_core(init, max_rounds, false, None, true, &mut NullTelemetry)
             .unwrap_or_else(|_| unreachable!("strict fault-free runs cannot fail"));
         (nodes, report)
     }
@@ -605,7 +606,27 @@ impl<'g> Simulator<'g> {
         A: NodeAlgorithm,
         F: FnMut(&NodeInfo) -> A,
     {
-        self.run_core(init, max_rounds, true, None, true)
+        self.run_core(init, max_rounds, true, None, true, &mut NullTelemetry)
+            .unwrap_or_else(|_| unreachable!("strict fault-free runs cannot fail"))
+    }
+
+    /// [`run_traced`](Simulator::run_traced) with a [`Telemetry`] sink
+    /// observing every round: span open/close, one event per delivered
+    /// message (edge, endpoints, exact bit count), and the quiescence
+    /// outcome. Telemetry observes, never perturbs — the states, report
+    /// and trace are bit-for-bit those of the unobserved run.
+    pub fn run_traced_observed<A, F, T>(
+        &self,
+        init: F,
+        max_rounds: usize,
+        telemetry: &mut T,
+    ) -> (Vec<A>, RunReport, TrafficTrace)
+    where
+        A: NodeAlgorithm,
+        F: FnMut(&NodeInfo) -> A,
+        T: Telemetry,
+    {
+        self.run_core(init, max_rounds, true, None, true, telemetry)
             .unwrap_or_else(|_| unreachable!("strict fault-free runs cannot fail"))
     }
 
@@ -633,8 +654,45 @@ impl<'g> Simulator<'g> {
     {
         chaos.validate()?;
         let plan = FaultPlan::new(chaos, self.graph.node_count());
-        let (nodes, report, _) =
-            self.run_core(init, chaos.max_rounds_watchdog, false, Some(plan), false)?;
+        let (nodes, report, _) = self.run_core(
+            init,
+            chaos.max_rounds_watchdog,
+            false,
+            Some(plan),
+            false,
+            &mut NullTelemetry,
+        )?;
+        Ok((nodes, report))
+    }
+
+    /// [`try_run`](Simulator::try_run) with a [`Telemetry`] sink
+    /// observing every round, including chaos events attributed to the
+    /// faulting edge (drops, in-flight corruption, crash activations).
+    /// The [`FaultPlan`] is consulted in exactly the unobserved order,
+    /// so the outcome is bit-for-bit that of
+    /// [`try_run`](Simulator::try_run) under the same config.
+    #[must_use = "dropping the Result loses both the final states and the SimError diagnosis"]
+    pub fn try_run_observed<A, F, T>(
+        &self,
+        init: F,
+        chaos: &ChaosConfig,
+        telemetry: &mut T,
+    ) -> Result<(Vec<A>, RunReport), SimError>
+    where
+        A: NodeAlgorithm,
+        F: FnMut(&NodeInfo) -> A,
+        T: Telemetry,
+    {
+        chaos.validate()?;
+        let plan = FaultPlan::new(chaos, self.graph.node_count());
+        let (nodes, report, _) = self.run_core(
+            init,
+            chaos.max_rounds_watchdog,
+            false,
+            Some(plan),
+            false,
+            telemetry,
+        )?;
         Ok((nodes, report))
     }
 
@@ -652,7 +710,14 @@ impl<'g> Simulator<'g> {
     {
         chaos.validate()?;
         let plan = FaultPlan::new(chaos, self.graph.node_count());
-        self.run_core(init, chaos.max_rounds_watchdog, true, Some(plan), false)
+        self.run_core(
+            init,
+            chaos.max_rounds_watchdog,
+            true,
+            Some(plan),
+            false,
+            &mut NullTelemetry,
+        )
     }
 
     /// The shared run loop behind the panicking and fallible entry
@@ -660,17 +725,19 @@ impl<'g> Simulator<'g> {
     /// vs collect-and-return) and, with it, the round-cap policy: strict
     /// runs return `completed = false` at `max_rounds`, lenient runs
     /// treat the cap as a watchdog and fail.
-    fn run_core<A, F>(
+    fn run_core<A, F, T>(
         &self,
         init: F,
         max_rounds: usize,
         traced: bool,
         plan: Option<FaultPlan>,
         strict: bool,
+        telemetry: &mut T,
     ) -> Result<(Vec<A>, RunReport, TrafficTrace), SimError>
     where
         A: NodeAlgorithm,
         F: FnMut(&NodeInfo) -> A,
+        T: Telemetry,
     {
         let mut engine = self.engine_start(init, plan, strict);
         let mut trace = TrafficTrace::default();
@@ -692,11 +759,11 @@ impl<'g> Simulator<'g> {
             }
             if traced {
                 let mut round_trace = Vec::new();
-                let summary = self.engine_round(&mut engine, Some(&mut round_trace));
+                let summary = self.engine_round(&mut engine, Some(&mut round_trace), telemetry);
                 trace.rounds.push(round_trace);
                 trace.dropped.push(summary.dropped);
             } else {
-                self.engine_round(&mut engine, None);
+                self.engine_round(&mut engine, None, telemetry);
             }
         }
     }
@@ -753,15 +820,28 @@ impl<'g> Simulator<'g> {
     /// node — on the engine's reusable buffers. This is the single round
     /// implementation behind both [`Simulator::run`] and
     /// [`Stepper::step`], so batch and stepped execution cannot diverge.
-    fn engine_round<A: NodeAlgorithm>(
+    /// Every telemetry call site is gated on `T::ENABLED`, a constant:
+    /// with the [`NullTelemetry`] sink the whole instrumentation
+    /// monomorphizes away and this is exactly the unobserved hot path.
+    fn engine_round<A: NodeAlgorithm, T: Telemetry>(
         &self,
         engine: &mut Engine<A>,
         mut round_trace: Option<&mut Vec<TracedMessage>>,
+        telemetry: &mut T,
     ) -> StepSummary {
+        let round = engine.report.rounds + 1;
+        if T::ENABLED {
+            telemetry.on_round_start(round);
+        }
         // Activate any crash-stops scheduled for this round before any
         // delivery, so a crashed node's in-flight messages die with it.
         let dropped_before = if let Some(plan) = &mut engine.plan {
             plan.begin_round();
+            if T::ENABLED {
+                for &v in plan.crashes_this_round() {
+                    telemetry.on_crash(round, v);
+                }
+            }
             plan.stats().messages_dropped
         } else {
             0
@@ -787,12 +867,37 @@ impl<'g> Simulator<'g> {
                 if let Some(mut msg) = slot.take() {
                     let v = info.neighbors[p];
                     if let Some(plan) = plan.as_mut() {
-                        if !plan.filter(info.id, v, &mut msg) {
+                        if T::ENABLED {
+                            let corrupted_before = plan.stats().bits_corrupted;
+                            if !plan.filter(info.id, v, &mut msg) {
+                                telemetry.on_chaos_drop(round, info.incident_edges[p], info.id, v);
+                                continue;
+                            }
+                            let lost = plan.stats().bits_corrupted - corrupted_before;
+                            if lost > 0 {
+                                telemetry.on_chaos_corrupt(
+                                    round,
+                                    info.incident_edges[p],
+                                    info.id,
+                                    v,
+                                    lost,
+                                );
+                            }
+                        } else if !plan.filter(info.id, v, &mut msg) {
                             continue;
                         }
                     }
                     messages += 1;
                     bits += msg.bit_len() as u64;
+                    if T::ENABLED {
+                        telemetry.on_delivery(
+                            round,
+                            info.incident_edges[p],
+                            info.id,
+                            v,
+                            msg.bit_len(),
+                        );
+                    }
                     if let Some(tr) = round_trace.as_deref_mut() {
                         tr.push(TracedMessage {
                             from: info.id,
@@ -837,6 +942,9 @@ impl<'g> Simulator<'g> {
                 engine.defect = out.defect;
             }
             engine.outgoing[i] = out.take();
+        }
+        if T::ENABLED {
+            telemetry.on_round_end(round, engine.is_quiescent());
         }
         StepSummary {
             round: engine.report.rounds,
@@ -1011,6 +1119,13 @@ impl<'g, A: NodeAlgorithm> Stepper<'g, A> {
     /// round counter stays put, and the returned summary reports zero
     /// messages and bits.
     pub fn step(&mut self) -> StepSummary {
+        self.step_observed(&mut NullTelemetry)
+    }
+
+    /// [`step`](Stepper::step) with a [`Telemetry`] sink observing the
+    /// round. The quiescent no-op stays a no-op: no span is opened and
+    /// the sink sees nothing.
+    pub fn step_observed<T: Telemetry>(&mut self, telemetry: &mut T) -> StepSummary {
         if self.engine.is_quiescent() {
             return StepSummary {
                 round: self.engine.report.rounds,
@@ -1019,7 +1134,7 @@ impl<'g, A: NodeAlgorithm> Stepper<'g, A> {
                 dropped: 0,
             };
         }
-        self.sim.engine_round(&mut self.engine, None)
+        self.sim.engine_round(&mut self.engine, None, telemetry)
     }
 
     /// Steps until quiescence or `max_rounds`, whichever comes first.
@@ -1045,6 +1160,7 @@ impl<'g, A: NodeAlgorithm> Stepper<'g, A> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::telemetry::RoundProfiler;
     use qdc_graph::Graph;
 
     /// Echo once: leaf nodes send their id to every neighbor in round 0,
@@ -1674,6 +1790,107 @@ mod tests {
         send::<Message>();
         send::<SimError>();
         sync::<SimError>();
+        send::<crate::telemetry::NullTelemetry>();
+        sync::<crate::telemetry::NullTelemetry>();
+        send::<crate::telemetry::RoundProfiler>();
+        send::<crate::telemetry::TelemetryReport>();
+        sync::<crate::telemetry::TelemetryReport>();
+    }
+
+    // -----------------------------------------------------------------
+    // Telemetry: observation must never perturb
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn telemetry_observed_run_matches_unobserved_bit_for_bit() {
+        let g = Graph::complete(5);
+        let sim = Simulator::new(&g, CongestConfig::classical(16));
+        let make = |info: &NodeInfo| HearAll {
+            heard: 0,
+            need: info.degree(),
+        };
+        let (plain, plain_report, plain_trace) = sim.run_traced(make, 10);
+        let mut prof = RoundProfiler::new(g.node_count(), g.edge_count(), 16);
+        let (observed, observed_report, observed_trace) =
+            sim.run_traced_observed(make, 10, &mut prof);
+        assert_eq!(plain_report, observed_report);
+        assert_eq!(plain_trace.rounds, observed_trace.rounds);
+        assert_eq!(plain_trace.dropped, observed_trace.dropped);
+        for (a, b) in plain.iter().zip(&observed) {
+            assert_eq!(a.heard, b.heard);
+        }
+        // And the folded profile reproduces the report's totals.
+        let report = prof.finish();
+        assert_eq!(report.total_messages(), observed_report.messages_sent);
+        assert_eq!(report.total_bits(), observed_report.bits_sent);
+        assert_eq!(report.rounds.len(), observed_report.rounds);
+        assert!(report.rounds.last().expect("ran rounds").quiescent);
+    }
+
+    #[test]
+    fn telemetry_observed_chaos_run_matches_unobserved_and_attributes_faults() {
+        let g = Graph::cycle(8);
+        let sim = Simulator::new(&g, CongestConfig::classical(16));
+        let chaos = ChaosConfig {
+            seed: 3,
+            drop_prob: 0.2,
+            corrupt_prob: 0.1,
+            crash_schedule: vec![(NodeId(2), 3)],
+            max_rounds_watchdog: 40,
+        };
+        let make = |_: &NodeInfo| Pulse {
+            rounds_left: 6,
+            heard: 0,
+        };
+        let (plain, plain_report) = sim.try_run(make, &chaos).expect("completes");
+        let mut prof = RoundProfiler::new(g.node_count(), g.edge_count(), 16);
+        let (observed, observed_report) = sim
+            .try_run_observed(make, &chaos, &mut prof)
+            .expect("completes");
+        assert_eq!(plain_report, observed_report);
+        for (a, b) in plain.iter().zip(&observed) {
+            assert_eq!(a.heard, b.heard);
+        }
+        let report = prof.finish();
+        assert_eq!(report.total_messages(), observed_report.messages_sent);
+        assert_eq!(report.total_bits(), observed_report.bits_sent);
+        assert_eq!(report.total_dropped(), observed_report.messages_dropped);
+        assert_eq!(
+            report.total_corrupted_bits(),
+            observed_report.bits_corrupted
+        );
+        assert_eq!(
+            report.rounds.iter().map(|r| r.crashes).sum::<u64>(),
+            observed_report.nodes_crashed
+        );
+        // Fault attribution lands on real edges of the crashed node.
+        let edge_dropped: u64 = report.edge_totals.iter().map(|e| e.dropped).sum();
+        assert_eq!(edge_dropped, observed_report.messages_dropped);
+    }
+
+    #[test]
+    fn telemetry_stepper_observed_matches_batch_profile() {
+        let g = Graph::cycle(6);
+        let cfg = CongestConfig::classical(16);
+        let make = |info: &NodeInfo| HearAll {
+            heard: 0,
+            need: info.degree(),
+        };
+        let sim = Simulator::new(&g, cfg);
+        let mut batch_prof = RoundProfiler::new(g.node_count(), g.edge_count(), 16);
+        sim.run_traced_observed(make, 10, &mut batch_prof);
+        let batch = batch_prof.finish();
+
+        let mut stepper = Stepper::new(&g, cfg, make);
+        let mut step_prof = RoundProfiler::new(g.node_count(), g.edge_count(), 16);
+        while !stepper.is_quiescent() {
+            stepper.step_observed(&mut step_prof);
+        }
+        // Quiescent steps stay invisible to the sink.
+        stepper.step_observed(&mut step_prof);
+        let stepped = step_prof.finish();
+        // Wall-clock differs by construction; everything else is equal.
+        assert_eq!(batch.to_jsonl(false), stepped.to_jsonl(false));
     }
 
     #[test]

@@ -13,10 +13,12 @@
 //! ```
 //!
 //! [`TrafficTrace::from_jsonl`] inverts [`TrafficTrace::to_jsonl`]
-//! exactly (a round-trip is byte-identical), tolerates insignificant
+//! exactly (a round-trip is byte-identical, and the parser demands the
+//! final newline the writer always emits), tolerates insignificant
 //! whitespace, and rejects anything else with a line-numbered
 //! [`TraceParseError`] instead of panicking.
 
+use crate::jsonl::{Cursor, LineError};
 use crate::sim::{TracedMessage, TrafficTrace};
 use qdc_graph::NodeId;
 use std::fmt::Write as _;
@@ -41,79 +43,11 @@ impl std::fmt::Display for TraceParseError {
 
 impl std::error::Error for TraceParseError {}
 
-/// A strict cursor over one line of trace JSONL. Whitespace between
-/// tokens is skipped; everything else must match the schema exactly.
-struct Cursor<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-    line: usize,
-}
-
-impl<'a> Cursor<'a> {
-    fn new(line_no: usize, text: &'a str) -> Self {
-        Cursor {
-            bytes: text.as_bytes(),
-            pos: 0,
-            line: line_no,
-        }
-    }
-
-    fn err(&self, msg: impl Into<String>) -> TraceParseError {
+impl From<LineError> for TraceParseError {
+    fn from(e: LineError) -> Self {
         TraceParseError {
-            line: self.line,
-            msg: msg.into(),
-        }
-    }
-
-    fn skip_ws(&mut self) {
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(|b| b.is_ascii_whitespace())
-        {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&mut self) -> Option<u8> {
-        self.skip_ws();
-        self.bytes.get(self.pos).copied()
-    }
-
-    /// Consumes `lit` (after whitespace) or errors.
-    fn expect(&mut self, lit: &str) -> Result<(), TraceParseError> {
-        self.skip_ws();
-        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
-            self.pos += lit.len();
-            Ok(())
-        } else {
-            let rest = &self.bytes[self.pos..];
-            let shown = String::from_utf8_lossy(&rest[..rest.len().min(20)]);
-            Err(self.err(format!("expected `{lit}`, found `{shown}`")))
-        }
-    }
-
-    fn parse_u64(&mut self) -> Result<u64, TraceParseError> {
-        self.skip_ws();
-        let start = self.pos;
-        while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
-            self.pos += 1;
-        }
-        if start == self.pos {
-            return Err(self.err("expected an unsigned integer"));
-        }
-        std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("digits are ASCII")
-            .parse()
-            .map_err(|_| self.err("integer out of range"))
-    }
-
-    fn end(&mut self) -> Result<(), TraceParseError> {
-        self.skip_ws();
-        if self.pos == self.bytes.len() {
-            Ok(())
-        } else {
-            Err(self.err("trailing garbage after record"))
+            line: e.line,
+            msg: e.msg,
         }
     }
 }
@@ -152,9 +86,17 @@ impl TrafficTrace {
 
     /// Parses a JSONL archive produced by [`to_jsonl`]
     /// (TrafficTrace::to_jsonl). Insignificant whitespace is tolerated;
-    /// a wrong schema tag, a wrong round number, or any malformed line
-    /// is rejected with a [`TraceParseError`].
+    /// a wrong schema tag, a wrong round number, a missing final newline
+    /// (the writer always emits one — the parser demands it, keeping the
+    /// round-trip contract symmetric), or any malformed line is rejected
+    /// with a [`TraceParseError`].
     pub fn from_jsonl(text: &str) -> Result<TrafficTrace, TraceParseError> {
+        if !text.is_empty() && !text.ends_with('\n') {
+            return Err(TraceParseError {
+                line: text.lines().count(),
+                msg: "missing final newline (to_jsonl always emits one)".into(),
+            });
+        }
         let mut lines = text
             .lines()
             .enumerate()
@@ -184,10 +126,12 @@ impl TrafficTrace {
             c.expect(":")?;
             let round = c.parse_u64()? as usize;
             if round != trace.rounds.len() + 1 {
-                return Err(c.err(format!(
-                    "round {round} out of order (expected {})",
-                    trace.rounds.len() + 1
-                )));
+                return Err(c
+                    .err(format!(
+                        "round {round} out of order (expected {})",
+                        trace.rounds.len() + 1
+                    ))
+                    .into());
             }
             c.expect(",")?;
             c.expect("\"dropped\"")?;
@@ -214,7 +158,8 @@ impl TrafficTrace {
                     let bits = c.parse_u64()? as usize;
                     c.expect("}")?;
                     let narrow = |v: u64, what: &str| -> Result<u32, TraceParseError> {
-                        u32::try_from(v).map_err(|_| c.err(format!("{what} id {v} exceeds u32")))
+                        u32::try_from(v)
+                            .map_err(|_| c.err(format!("{what} id {v} exceeds u32")).into())
                     };
                     msgs.push(TracedMessage {
                         from: NodeId(narrow(from, "sender")?),
@@ -378,6 +323,22 @@ mod tests {
         let err = TrafficTrace::from_jsonl("nonsense").unwrap_err();
         assert_eq!(err.line, 1);
         assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn trace_jsonl_newline_contract_is_symmetric() {
+        // The writer always ends with `\n`; the parser must demand it,
+        // so a truncated archive (e.g. a half-flushed file) can never
+        // round-trip to different bytes than it parsed from.
+        let text = sample_trace().to_jsonl();
+        assert!(text.ends_with('\n'), "writer always emits a final newline");
+        let clipped = &text[..text.len() - 1];
+        let err = TrafficTrace::from_jsonl(clipped).expect_err("missing newline is rejected");
+        assert_eq!(err.line, clipped.lines().count());
+        assert!(err.msg.contains("missing final newline"));
+        // Empty input stays an "empty archive" error, not a newline one.
+        let err = TrafficTrace::from_jsonl("").unwrap_err();
+        assert!(err.msg.contains("empty trace archive"));
     }
 
     #[test]

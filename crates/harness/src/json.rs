@@ -119,6 +119,39 @@ fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// Checks that `doc` is an object whose key sequence is exactly
+/// `required` (in order), optionally followed — still in order — by a
+/// prefix of `optional_tail`. This is the primitive behind the record
+/// and summary conformance validators: field *order* is part of the
+/// byte-identical output contract, so a reordered key is an error, not
+/// a stylistic variation.
+pub fn require_keys(doc: &Json, required: &[&str], optional_tail: &[&str]) -> Result<(), String> {
+    let Json::Obj(fields) = doc else {
+        return Err("expected a JSON object".into());
+    };
+    let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+    for (i, want) in required.iter().enumerate() {
+        match keys.get(i) {
+            Some(k) if k == want => {}
+            Some(k) => return Err(format!("field {i}: expected key `{want}`, found `{k}`")),
+            None => return Err(format!("missing required key `{want}`")),
+        }
+    }
+    let tail = &keys[required.len()..];
+    if tail.len() > optional_tail.len() {
+        return Err(format!(
+            "unexpected trailing key `{}`",
+            tail[optional_tail.len()]
+        ));
+    }
+    for (k, want) in tail.iter().zip(optional_tail) {
+        if k != want {
+            return Err(format!("unexpected key `{k}` (expected optional `{want}`)"));
+        }
+    }
+    Ok(())
+}
+
 /// Parses one JSON document, rejecting trailing garbage.
 pub fn parse(text: &str) -> Result<Json, String> {
     let mut p = Parser {
@@ -322,6 +355,34 @@ mod tests {
             Some(&Json::Arr(vec![Json::Bool(true), Json::Null]))
         );
         assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn json_require_keys_enforces_exact_order() {
+        let doc = Json::obj([
+            ("a", Json::Num(1)),
+            ("b", Json::Num(2)),
+            ("wall", Json::Num(3)),
+        ]);
+        require_keys(&doc, &["a", "b"], &["wall"]).expect("exact match with optional tail");
+        require_keys(&doc, &["a", "b", "wall"], &[]).expect("tail may be required instead");
+        assert!(
+            require_keys(&doc, &["b", "a"], &["wall"]).is_err(),
+            "order matters"
+        );
+        assert!(
+            require_keys(&doc, &["a", "b"], &[]).is_err(),
+            "unexpected trailing key"
+        );
+        assert!(
+            require_keys(&doc, &["a", "b", "wall", "z"], &[]).is_err(),
+            "missing key"
+        );
+        assert!(
+            require_keys(&doc, &["a", "b"], &["other"]).is_err(),
+            "wrong optional key"
+        );
+        assert!(require_keys(&Json::Num(1), &[], &[]).is_err(), "non-object");
     }
 
     #[test]

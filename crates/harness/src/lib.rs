@@ -33,8 +33,12 @@ pub mod runner;
 pub mod spec;
 
 pub use json::Json;
-pub use point::{execute_point, record_json, PointRecord};
-pub use runner::{run_campaign, summary_json, Aggregate, CampaignOutcome, RunOptions};
+pub use point::{
+    execute_point, execute_point_with_telemetry, record_json, validate_record_line, PointRecord,
+};
+pub use runner::{
+    run_campaign, summary_json, validate_summary, Aggregate, CampaignOutcome, RunOptions,
+};
 pub use spec::{
     builtin, builtin_names, validate_output_paths, CampaignError, CampaignGrid, CampaignSpec,
     PointSpec, CAMPAIGN_SCHEMA, POINT_SCHEMA,

@@ -16,9 +16,11 @@
 
 use crate::json::Json;
 use crate::spec::{PointSpec, POINT_SCHEMA};
-use qdc_algos::flood::{chaos_round_budget, robust_broadcast};
+use qdc_algos::flood::{chaos_round_budget, robust_broadcast, robust_broadcast_observed};
 use qdc_algos::verify::verify_hamiltonian_cycle;
-use qdc_congest::{ChaosConfig, CongestConfig, RunMetrics, TrafficTrace};
+use qdc_congest::{
+    ChaosConfig, CongestConfig, RoundProfiler, RunMetrics, TelemetryReport, TrafficTrace,
+};
 use qdc_graph::{generate, Graph, GraphBuilder, NodeId, Subgraph};
 
 /// The outcome of one executed point, in kind-independent shape.
@@ -75,10 +77,42 @@ fn embed_in_connected_host(instance: &Graph) -> (Graph, Subgraph) {
 /// Wall time is measured here but stored separately so callers can
 /// compare the deterministic parts of two runs byte for byte.
 pub fn execute_point(index: usize, spec: &PointSpec) -> (PointRecord, Option<TrafficTrace>) {
+    let (record, trace, _) = execute_point_impl(index, spec, false);
+    (record, trace)
+}
+
+/// [`execute_point`] with a [`RoundProfiler`] observing the run.
+///
+/// Simulation-theorem points are profiled with the highway/path node
+/// classification ([`qdc_simthm::campaign::run_point_observed`]); chaos
+/// points are profiled unclassified, and the profile is produced even
+/// when the broadcast errors (a watchdog trip's partial profile is
+/// exactly what one wants to inspect). Gadget points compose several
+/// simulator stages with no single run to profile, so they yield `None`.
+///
+/// Telemetry observes, never perturbs: the record is bit-for-bit the
+/// one [`execute_point`] produces (modulo `wall_us`).
+pub fn execute_point_with_telemetry(
+    index: usize,
+    spec: &PointSpec,
+) -> (PointRecord, Option<TrafficTrace>, Option<TelemetryReport>) {
+    execute_point_impl(index, spec, true)
+}
+
+fn execute_point_impl(
+    index: usize,
+    spec: &PointSpec,
+    with_telemetry: bool,
+) -> (PointRecord, Option<TrafficTrace>, Option<TelemetryReport>) {
     let start = std::time::Instant::now();
-    let (kind, params, metrics, accept, extra, error, trace) = match spec {
+    let (kind, params, metrics, accept, extra, error, trace, telemetry) = match spec {
         PointSpec::SimThm(p) => {
-            let out = qdc_simthm::campaign::run_point(p);
+            let (out, telemetry) = if with_telemetry {
+                let (out, t) = qdc_simthm::campaign::run_point_observed(p);
+                (out, Some(t))
+            } else {
+                (qdc_simthm::campaign::run_point(p), None)
+            };
             (
                 "simthm",
                 vec![
@@ -98,6 +132,7 @@ pub fn execute_point(index: usize, spec: &PointSpec) -> (PointRecord, Option<Tra
                 ],
                 None,
                 Some(out.trace),
+                telemetry,
             )
         }
         PointSpec::Chaos {
@@ -124,13 +159,26 @@ pub fn execute_point(index: usize, spec: &PointSpec) -> (PointRecord, Option<Tra
                 ("seed", Json::Num(*seed)),
                 ("bandwidth", Json::Num(*bandwidth as u64)),
             ];
-            match robust_broadcast(
-                &graph,
-                CongestConfig::classical(*bandwidth),
-                NodeId(0),
-                &chaos,
-                give_up,
-            ) {
+            let cfg = CongestConfig::classical(*bandwidth);
+            let (result, telemetry) = if with_telemetry {
+                let mut profiler =
+                    RoundProfiler::new(graph.node_count(), graph.edge_count(), *bandwidth);
+                let result = robust_broadcast_observed(
+                    &graph,
+                    cfg,
+                    NodeId(0),
+                    &chaos,
+                    give_up,
+                    &mut profiler,
+                );
+                (result, Some(profiler.finish()))
+            } else {
+                (
+                    robust_broadcast(&graph, cfg, NodeId(0), &chaos, give_up),
+                    None,
+                )
+            };
+            match result {
                 Ok(out) => {
                     let informed = out.informed.iter().filter(|&&i| i).count() as u64;
                     (
@@ -144,6 +192,7 @@ pub fn execute_point(index: usize, spec: &PointSpec) -> (PointRecord, Option<Tra
                         ],
                         None,
                         None,
+                        telemetry,
                     )
                 }
                 Err(e) => (
@@ -154,6 +203,7 @@ pub fn execute_point(index: usize, spec: &PointSpec) -> (PointRecord, Option<Tra
                     vec![("give_up", Json::Num(give_up as u64))],
                     Some(e.to_string()),
                     None,
+                    telemetry,
                 ),
             }
         }
@@ -189,6 +239,7 @@ pub fn execute_point(index: usize, spec: &PointSpec) -> (PointRecord, Option<Tra
                 ],
                 None,
                 None,
+                None,
             )
         }
     };
@@ -202,7 +253,7 @@ pub fn execute_point(index: usize, spec: &PointSpec) -> (PointRecord, Option<Tra
         error,
         wall_us: start.elapsed().as_micros() as u64,
     };
-    (record, trace)
+    (record, trace, telemetry)
 }
 
 fn metrics_json(m: &RunMetrics) -> Json {
@@ -268,6 +319,74 @@ pub fn record_json(campaign: &str, rec: &PointRecord, with_wall: bool) -> String
     Json::Obj(fields).to_json()
 }
 
+/// Strict conformance check for one `qdc-campaign-point/v1` record line:
+/// the exact field list in the exact order (with `wall_us` as the only
+/// optional, trailing field), the schema tag, integer-only metrics, and
+/// the `accept`/`error` nullability rules. The campaign binary runs
+/// this over every line it writes before declaring success.
+pub fn validate_record_line(line: &str) -> Result<(), String> {
+    let doc = crate::json::parse(line)?;
+    crate::json::require_keys(
+        &doc,
+        &[
+            "schema", "campaign", "point", "kind", "params", "metrics", "accept", "extra", "error",
+        ],
+        &["wall_us"],
+    )?;
+    match doc.get("schema") {
+        Some(Json::Str(s)) if s == POINT_SCHEMA => {}
+        _ => return Err(format!("schema tag must be `{POINT_SCHEMA}`")),
+    }
+    for key in ["campaign", "kind"] {
+        if !matches!(doc.get(key), Some(Json::Str(_))) {
+            return Err(format!("`{key}` must be a string"));
+        }
+    }
+    if doc.get("point").and_then(Json::as_u64).is_none() {
+        return Err("`point` must be an unsigned integer".into());
+    }
+    for key in ["params", "extra"] {
+        if !matches!(doc.get(key), Some(Json::Obj(_))) {
+            return Err(format!("`{key}` must be an object"));
+        }
+    }
+    let metrics = doc.get("metrics").expect("checked above");
+    crate::json::require_keys(
+        metrics,
+        &[
+            "rounds",
+            "completed",
+            "messages_sent",
+            "bits_sent",
+            "max_bits_per_round",
+            "messages_dropped",
+            "nodes_crashed",
+            "bits_corrupted",
+        ],
+        &[],
+    )
+    .map_err(|e| format!("metrics: {e}"))?;
+    if let Json::Obj(fields) = metrics {
+        for (k, v) in fields {
+            if v.as_u64().is_none() {
+                return Err(format!("metric `{k}` must be an unsigned integer"));
+            }
+        }
+    }
+    if !matches!(doc.get("accept"), Some(Json::Bool(_) | Json::Null)) {
+        return Err("`accept` must be a boolean or null".into());
+    }
+    if !matches!(doc.get("error"), Some(Json::Str(_) | Json::Null)) {
+        return Err("`error` must be a string or null".into());
+    }
+    if let Some(w) = doc.get("wall_us") {
+        if w.as_u64().is_none() {
+            return Err("`wall_us` must be an unsigned integer".into());
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -323,6 +442,105 @@ mod tests {
         assert_eq!(rec.accept, Some(true));
         assert!(rec.metrics.rounds > 0);
         assert!(rec.metrics.bits_sent > 0);
+    }
+
+    #[test]
+    fn point_telemetry_observes_without_perturbing() {
+        let spec = builtin("simthm_smoke").expect("builtin");
+        let point = &spec.points()[0];
+        let (plain, _) = execute_point(0, point);
+        let (observed, _, telemetry) = execute_point_with_telemetry(0, point);
+        let telemetry = telemetry.expect("simthm points are profiled");
+        assert_eq!(
+            record_json("t", &plain, false),
+            record_json("t", &observed, false)
+        );
+        assert_eq!(telemetry.total_messages(), observed.metrics.messages_sent);
+        assert_eq!(telemetry.total_bits(), observed.metrics.bits_sent);
+        assert_eq!(telemetry.rounds.len() as u64, observed.metrics.rounds);
+        assert!(
+            telemetry.classified,
+            "simthm profiles carry the traffic split"
+        );
+    }
+
+    #[test]
+    fn point_chaos_telemetry_attributes_faults() {
+        let spec = PointSpec::Chaos {
+            nodes: 12,
+            extra_edges: 4,
+            drop_pm: 200,
+            seed: 3,
+            bandwidth: 8,
+        };
+        let (plain, _) = execute_point(7, &spec);
+        let (rec, _, telemetry) = execute_point_with_telemetry(7, &spec);
+        let telemetry = telemetry.expect("chaos points are profiled");
+        assert_eq!(
+            record_json("t", &plain, false),
+            record_json("t", &rec, false)
+        );
+        assert_eq!(telemetry.total_dropped(), rec.metrics.messages_dropped);
+        assert_eq!(telemetry.total_bits(), rec.metrics.bits_sent);
+        assert!(!telemetry.classified, "chaos hosts have no highway layout");
+    }
+
+    #[test]
+    fn point_gadget_has_no_single_run_to_profile() {
+        let spec = PointSpec::Gadget {
+            point: qdc_gadgets::GadgetPoint {
+                family: qdc_gadgets::GadgetFamily::GapEq,
+                bits: 4,
+                seed: 2,
+            },
+            bandwidth: 32,
+        };
+        let (_, _, telemetry) = execute_point_with_telemetry(0, &spec);
+        assert!(telemetry.is_none());
+    }
+
+    #[test]
+    fn point_validator_accepts_real_records_and_rejects_mutants() {
+        let spec = PointSpec::Chaos {
+            nodes: 8,
+            extra_edges: 2,
+            drop_pm: 0,
+            seed: 1,
+            bandwidth: 4,
+        };
+        let (rec, _) = execute_point(2, &spec);
+        validate_record_line(&record_json("t", &rec, false)).expect("deterministic form conforms");
+        validate_record_line(&record_json("t", &rec, true)).expect("wall form conforms");
+
+        let line = record_json("t", &rec, true);
+        for (broken, why) in [
+            (
+                line.replace("qdc-campaign-point/v1", "qdc-campaign-point/v2"),
+                "wrong schema tag",
+            ),
+            (
+                line.replace("\"accept\":true", "\"accept\":1"),
+                "non-boolean accept",
+            ),
+            (
+                line.replace("\"rounds\"", "\"rundes\""),
+                "unknown metric key",
+            ),
+            (
+                line.replace("\"wall_us\":", "\"wall_ms\":"),
+                "unknown trailing key",
+            ),
+            (
+                line.replace("\"point\":2", "\"point\":2.5"),
+                "non-integer point",
+            ),
+            (line[..line.len() - 4].to_string(), "truncated document"),
+        ] {
+            assert!(
+                validate_record_line(&broken).is_err(),
+                "should reject {why}: {broken}"
+            );
+        }
     }
 
     #[test]

@@ -24,9 +24,9 @@
 //! campaign) that the deterministic serializations omit.
 
 use crate::json::Json;
-use crate::point::{execute_point, PointRecord};
-use crate::spec::{CampaignError, CampaignSpec, CAMPAIGN_SCHEMA};
-use qdc_congest::TrafficTrace;
+use crate::point::{execute_point, execute_point_with_telemetry, PointRecord};
+use crate::spec::{CampaignError, CampaignSpec, PointSpec, CAMPAIGN_SCHEMA};
+use qdc_congest::{TelemetryReport, TrafficTrace};
 
 /// How to run a campaign.
 #[derive(Clone, Debug)]
@@ -36,6 +36,10 @@ pub struct RunOptions {
     /// Whether to keep per-point traffic traces in the outcome (they
     /// can be large; the CLI only asks for them when archiving).
     pub keep_traces: bool,
+    /// Whether to profile each point with a telemetry sink
+    /// ([`execute_point_with_telemetry`]). Off by default: the null-sink
+    /// path is the zero-overhead one.
+    pub keep_telemetry: bool,
 }
 
 impl Default for RunOptions {
@@ -43,6 +47,7 @@ impl Default for RunOptions {
         RunOptions {
             threads: 1,
             keep_traces: false,
+            keep_telemetry: false,
         }
     }
 }
@@ -134,6 +139,9 @@ pub struct CampaignOutcome {
     /// Per-point traffic traces (index-aligned with `records`;
     /// `None` for untraced kinds or when `keep_traces` was off).
     pub traces: Vec<Option<TrafficTrace>>,
+    /// Per-point telemetry profiles (index-aligned with `records`;
+    /// `None` for unprofiled kinds or when `keep_telemetry` was off).
+    pub telemetry: Vec<Option<TelemetryReport>>,
     /// The order-independent fold of `records`.
     pub aggregate: Aggregate,
     /// Wall-clock time of the whole campaign in milliseconds.
@@ -172,6 +180,61 @@ pub fn summary_json(outcome: &CampaignOutcome) -> String {
     .to_json()
 }
 
+/// Strict conformance check for one `qdc-campaign/v1` summary document:
+/// the exact field list in the exact order, the schema tag, and an
+/// integer-only aggregate with the exact counter list. A trailing
+/// newline (as written by the campaign binary) is accepted.
+pub fn validate_summary(text: &str) -> Result<(), String> {
+    let doc = crate::json::parse(text.strip_suffix('\n').unwrap_or(text))?;
+    crate::json::require_keys(
+        &doc,
+        &["schema", "campaign", "threads", "wall_ms", "aggregate"],
+        &[],
+    )?;
+    match doc.get("schema") {
+        Some(Json::Str(s)) if s == CAMPAIGN_SCHEMA => {}
+        _ => return Err(format!("schema tag must be `{CAMPAIGN_SCHEMA}`")),
+    }
+    if !matches!(doc.get("campaign"), Some(Json::Str(_))) {
+        return Err("`campaign` must be a string".into());
+    }
+    for key in ["threads", "wall_ms"] {
+        if doc.get(key).and_then(Json::as_u64).is_none() {
+            return Err(format!("`{key}` must be an unsigned integer"));
+        }
+    }
+    let agg = doc.get("aggregate").expect("checked above");
+    crate::json::require_keys(
+        agg,
+        &[
+            "points",
+            "ok",
+            "errors",
+            "accepted",
+            "rejected",
+            "rounds",
+            "messages",
+            "bits",
+            "max_bits_per_round",
+            "dropped",
+            "crashed",
+            "corrupted",
+        ],
+        &[],
+    )
+    .map_err(|e| format!("aggregate: {e}"))?;
+    if let Json::Obj(fields) = agg {
+        for (k, v) in fields {
+            if v.as_u64().is_none() {
+                return Err(format!(
+                    "aggregate counter `{k}` must be an unsigned integer"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Validates, expands, shards and runs a campaign.
 ///
 /// Sharding is round-robin by point index over a
@@ -189,22 +252,35 @@ pub fn run_campaign(
     let start = std::time::Instant::now();
 
     let threads = options.threads.min(points.len()).max(1);
-    let mut slots: Vec<Option<(PointRecord, Option<TrafficTrace>)>> = Vec::new();
+    type Slot = (PointRecord, Option<TrafficTrace>, Option<TelemetryReport>);
+    let mut slots: Vec<Option<Slot>> = Vec::new();
     slots.resize_with(points.len(), || None);
+
+    // Which worker runs a point cannot change its result, and neither
+    // can observation: the profiled path is bit-for-bit the plain one.
+    let run_one = |i: usize, point: &PointSpec| -> Slot {
+        if options.keep_telemetry {
+            execute_point_with_telemetry(i, point)
+        } else {
+            let (rec, trace) = execute_point(i, point);
+            (rec, trace, None)
+        }
+    };
 
     if threads == 1 {
         for (i, point) in points.iter().enumerate() {
-            slots[i] = Some(execute_point(i, point));
+            slots[i] = Some(run_one(i, point));
         }
     } else {
         let results = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(threads);
             for w in 0..threads {
                 let points = &points;
+                let run_one = &run_one;
                 handles.push(scope.spawn(move || {
                     (w..points.len())
                         .step_by(threads)
-                        .map(|i| (i, execute_point(i, &points[i])))
+                        .map(|i| (i, run_one(i, &points[i])))
                         .collect::<Vec<_>>()
                 }));
             }
@@ -222,16 +298,20 @@ pub fn run_campaign(
 
     let mut records = Vec::with_capacity(slots.len());
     let mut traces = Vec::with_capacity(slots.len());
+    let mut telemetry = Vec::with_capacity(slots.len());
     for slot in slots {
-        let (rec, trace) = slot.expect("every point index was sharded to exactly one worker");
+        let (rec, trace, profile) =
+            slot.expect("every point index was sharded to exactly one worker");
         records.push(rec);
         traces.push(if options.keep_traces { trace } else { None });
+        telemetry.push(profile);
     }
     let aggregate = Aggregate::fold(&records);
     Ok(CampaignOutcome {
         spec_name: spec.name.clone(),
         records,
         traces,
+        telemetry,
         aggregate,
         wall_ms: start.elapsed().as_millis() as u64,
         threads: options.threads,
@@ -252,6 +332,7 @@ mod tests {
             &RunOptions {
                 threads: 0,
                 keep_traces: false,
+                keep_telemetry: false,
             },
         )
         .expect_err("zero threads is invalid");
@@ -266,6 +347,7 @@ mod tests {
             &RunOptions {
                 threads: 1,
                 keep_traces: false,
+                keep_telemetry: false,
             },
         )
         .expect("runs");
@@ -274,6 +356,7 @@ mod tests {
             &RunOptions {
                 threads: 4,
                 keep_traces: false,
+                keep_telemetry: false,
             },
         )
         .expect("runs");
@@ -293,6 +376,7 @@ mod tests {
             &RunOptions {
                 threads: 3,
                 keep_traces: true,
+                keep_telemetry: false,
             },
         )
         .expect("runs");
@@ -318,6 +402,7 @@ mod tests {
             &RunOptions {
                 threads: 2,
                 keep_traces: false,
+                keep_telemetry: false,
             },
         )
         .expect("runs");
@@ -344,6 +429,64 @@ mod tests {
     }
 
     #[test]
+    fn runner_keep_telemetry_profiles_points_without_perturbing_records() {
+        let spec = builtin("telemetry_smoke").expect("builtin");
+        let plain = run_campaign(&spec, &RunOptions::default()).expect("runs");
+        let observed = run_campaign(
+            &spec,
+            &RunOptions {
+                threads: 2,
+                keep_traces: false,
+                keep_telemetry: true,
+            },
+        )
+        .expect("runs");
+        // Observation never perturbs the deterministic output.
+        assert_eq!(plain.deterministic_jsonl(), observed.deterministic_jsonl());
+        assert!(plain.telemetry.iter().all(Option::is_none));
+        assert_eq!(observed.telemetry.len(), observed.records.len());
+        for (rec, profile) in observed.records.iter().zip(&observed.telemetry) {
+            let profile = profile.as_ref().expect("simthm points are profiled");
+            assert_eq!(profile.total_messages(), rec.metrics.messages_sent);
+            assert_eq!(profile.total_bits(), rec.metrics.bits_sent);
+            assert_eq!(profile.rounds.len() as u64, rec.metrics.rounds);
+        }
+    }
+
+    #[test]
+    fn runner_summary_validator_accepts_real_output_and_rejects_mutants() {
+        let spec = builtin("telemetry_smoke").expect("builtin");
+        let out = run_campaign(&spec, &RunOptions::default()).expect("runs");
+        let summary = summary_json(&out);
+        validate_summary(&summary).expect("real summary conforms");
+        validate_summary(&format!("{summary}\n")).expect("trailing newline is fine");
+        for (broken, why) in [
+            (
+                summary.replace("qdc-campaign/v1", "qdc-campaign/v0"),
+                "wrong schema tag",
+            ),
+            (
+                summary.replace("\"points\"", "\"pts\""),
+                "unknown aggregate key",
+            ),
+            (
+                summary.replace("\"wall_ms\"", "\"wall_us\""),
+                "wrong field name",
+            ),
+            (
+                summary.replace("{\"schema\"", "{\"campaign\":\"x\",\"schema\""),
+                "reordered fields",
+            ),
+        ] {
+            assert!(validate_summary(&broken).is_err(), "should reject {why}");
+        }
+        // Every record line passes the strict line validator too.
+        for line in out.deterministic_jsonl().lines() {
+            crate::point::validate_record_line(line).expect("record line conforms");
+        }
+    }
+
+    #[test]
     fn runner_chaos_ensemble_runs_under_faults() {
         // A trimmed chaos grid (the builtin's shape, fewer seeds) to keep
         // unit-test wall time down while still exercising the fallible path.
@@ -362,6 +505,7 @@ mod tests {
             &RunOptions {
                 threads: 2,
                 keep_traces: false,
+                keep_telemetry: false,
             },
         )
         .expect("runs");

@@ -349,6 +349,16 @@ pub fn builtin(name: &str) -> Option<CampaignSpec> {
                 bandwidth: 8,
             },
         },
+        // 1×2 grid: the CI telemetry-smoke job runs this with
+        // `--telemetry-dir` and cross-checks profiles against records.
+        "telemetry_smoke" => CampaignSpec {
+            name: name.to_string(),
+            grid: CampaignGrid::SimThm {
+                gammas: vec![4],
+                lengths: vec![9, 17],
+                bandwidth: 16,
+            },
+        },
         // 2 families × 4 sizes × 4 seeds = 32 points.
         "gadget_sweep" => CampaignSpec {
             name: name.to_string(),
@@ -364,12 +374,13 @@ pub fn builtin(name: &str) -> Option<CampaignSpec> {
 }
 
 /// Names of all built-in campaigns, in presentation order.
-pub fn builtin_names() -> [&'static str; 4] {
+pub fn builtin_names() -> [&'static str; 5] {
     [
         "simthm_smoke",
         "simthm_grid",
         "chaos_ensemble",
         "gadget_sweep",
+        "telemetry_smoke",
     ]
 }
 
@@ -388,7 +399,7 @@ mod tests {
             spec.validate().expect("builtin specs are valid");
             let points = spec.points();
             assert!(!points.is_empty(), "{name} expands to no points");
-            if name != "simthm_smoke" {
+            if !name.ends_with("_smoke") {
                 assert!(points.len() >= 32, "{name} has {} points", points.len());
             }
         }

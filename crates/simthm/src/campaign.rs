@@ -17,8 +17,8 @@
 use crate::network::SimulationNetwork;
 use crate::simulate::audit_trace;
 use qdc_congest::{
-    CongestConfig, Inbox, Message, NodeAlgorithm, NodeInfo, Outbox, RunMetrics, Simulator,
-    TrafficTrace,
+    CongestConfig, Inbox, Message, NodeAlgorithm, NodeClass, NodeInfo, NullTelemetry, Outbox,
+    RoundProfiler, RunMetrics, Simulator, Telemetry, TelemetryReport, TrafficTrace,
 };
 use qdc_graph::generate;
 
@@ -118,24 +118,75 @@ impl NodeAlgorithm for ComponentFlood {
 /// preconditions). Campaign specs are validated before any point runs,
 /// so the harness never reaches this.
 pub fn run_point(point: &SimThmPoint) -> SimThmOutcome {
-    let mut net = SimulationNetwork::build(point.gamma, point.l);
+    let net = build_network(point);
+    run_on(&net, point, &mut NullTelemetry)
+}
+
+/// [`run_point`] with a [`RoundProfiler`] observing the run, classified
+/// by [`highway_classes`] so the resulting [`TelemetryReport`] carries
+/// the highway-vs-path traffic split of Figs. 8–10. Telemetry observes,
+/// never perturbs: the outcome is bit-for-bit that of [`run_point`].
+pub fn run_point_observed(point: &SimThmPoint) -> (SimThmOutcome, TelemetryReport) {
+    let net = build_network(point);
+    let mut profiler = RoundProfiler::new(
+        net.graph().node_count(),
+        net.graph().edge_count(),
+        point.bandwidth,
+    )
+    .with_classes(highway_classes(&net));
+    let outcome = run_on(&net, point, &mut profiler);
+    (outcome, profiler.finish())
+}
+
+/// The node classification of `N(Γ, L)` for telemetry's traffic split:
+/// tracks `0..Γ` are [`NodeClass::Path`], tracks `Γ..Γ+k` are
+/// [`NodeClass::Highway`], indexed by node id.
+pub fn highway_classes(net: &SimulationNetwork) -> Vec<NodeClass> {
+    net.graph()
+        .nodes()
+        .map(|v| {
+            if net.track(v) < net.path_count() {
+                NodeClass::Path
+            } else {
+                NodeClass::Highway
+            }
+        })
+        .collect()
+}
+
+/// Realizes a point's network, bumping Γ by one when the track count
+/// `Γ + k` would be odd (the matching embedding needs an even number of
+/// tracks, exactly as the suite binaries do).
+fn build_network(point: &SimThmPoint) -> SimulationNetwork {
+    let net = SimulationNetwork::build(point.gamma, point.l);
     if net.track_count() % 2 == 1 {
-        net = SimulationNetwork::build(point.gamma + 1, point.l);
+        SimulationNetwork::build(point.gamma + 1, point.l)
+    } else {
+        net
     }
+}
+
+/// The shared execution path behind the plain and observed entry points.
+fn run_on<T: Telemetry>(
+    net: &SimulationNetwork,
+    point: &SimThmPoint,
+    telemetry: &mut T,
+) -> SimThmOutcome {
     let tracks = net.track_count();
     let (carol, david) = generate::hamiltonian_matching_pair(tracks);
     let m = net.embed_matchings(&carol, &david);
     let width = qdc_algos::widths::id_width(net.graph().node_count());
     let sim = Simulator::new(net.graph(), CongestConfig::quantum(point.bandwidth));
-    let (_, report, trace) = sim.run_traced(
+    let (_, report, trace) = sim.run_traced_observed(
         |info| ComponentFlood {
             label: info.id.0 as u64,
             active_ports: info.incident_edges.iter().map(|&e| m.contains(e)).collect(),
             width,
         },
         net.horizon(),
+        telemetry,
     );
-    let audit = audit_trace(&net, &trace, point.bandwidth);
+    let audit = audit_trace(net, &trace, point.bandwidth);
     SimThmOutcome {
         metrics: report.metrics(),
         node_count: net.graph().node_count() as u64,
@@ -187,6 +238,50 @@ mod tests {
         let out = run_point(&p);
         let net = SimulationNetwork::build(12, 17);
         assert_eq!(out.node_count, net.graph().node_count() as u64);
+    }
+
+    #[test]
+    fn simthm_observed_point_matches_plain_and_splits_traffic() {
+        let p = SimThmPoint {
+            gamma: 4,
+            l: 9,
+            bandwidth: 16,
+        };
+        let plain = run_point(&p);
+        let (observed, telemetry) = run_point_observed(&p);
+        // Observation never perturbs the run.
+        assert_eq!(plain.metrics, observed.metrics);
+        assert_eq!(plain.paid_bits, observed.paid_bits);
+        assert_eq!(plain.trace.rounds, observed.trace.rounds);
+        // The profile reproduces the run's totals…
+        assert_eq!(telemetry.total_messages(), observed.metrics.messages_sent);
+        assert_eq!(telemetry.total_bits(), observed.metrics.bits_sent);
+        assert_eq!(telemetry.rounds.len() as u64, observed.metrics.rounds);
+        // …and the highway/path split covers every delivered bit.
+        assert!(telemetry.classified);
+        let split: u64 = telemetry
+            .rounds
+            .iter()
+            .map(|r| r.path_bits + r.highway_bits + r.cross_bits)
+            .sum();
+        assert_eq!(split, observed.metrics.bits_sent);
+        // The boundary cliques guarantee cross-class traffic in a
+        // component flood; pure path traffic flows along the paths.
+        let cross: u64 = telemetry.rounds.iter().map(|r| r.cross_bits).sum();
+        assert!(cross > 0, "path↔highway edges must carry traffic");
+    }
+
+    #[test]
+    fn simthm_highway_classes_match_track_layout() {
+        let net = SimulationNetwork::build(4, 9);
+        let classes = highway_classes(&net);
+        assert_eq!(classes.len(), net.graph().node_count());
+        let highways = classes.iter().filter(|c| **c == NodeClass::Highway).count();
+        let paths = classes.len() - highways;
+        // Γ paths of L nodes; k highways thin out with height but share
+        // the same class.
+        assert_eq!(paths, net.path_count() * net.length());
+        assert!(highways > 0);
     }
 
     #[test]

@@ -7,10 +7,49 @@ use qdc::cc::fooling::gap_equality_fooling_set;
 use qdc::cc::problems::{
     hamming_distance, Equality, GapEquality, InnerProduct, IpMod3, TwoPartyFunction,
 };
-use qdc::cc::server::{run_server, simulate_in_two_party, StreamedServerProtocol};
-use qdc::quantum::games::{abort_play, run_protocol, InnerProductStreaming};
+use qdc::cc::server::{
+    run_server, simulate_in_two_party, NormalFormProtocol, StreamedServerProtocol,
+};
+use qdc::cc::twoparty::Party;
+use qdc::quantum::games::{abort_play, run_protocol, InnerProductStreaming, RoundBits};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+
+/// An inner-product protocol whose server pads every message with
+/// arbitrary extra bits above the two Carol actually reads. Definition 3.1
+/// charges nothing for server talk, so the pad must be invisible to both
+/// the output and the cost accounting.
+#[derive(Clone)]
+struct PaddedIp {
+    bits: usize,
+    pad: u64,
+}
+
+impl NormalFormProtocol for PaddedIp {
+    fn rounds(&self) -> usize {
+        self.bits / 2
+    }
+    fn carol_bits(&self, x: &[bool], _: &[u64], t: usize) -> (bool, bool) {
+        (x[2 * t], x[2 * t + 1])
+    }
+    fn david_bits(&self, y: &[bool], _: &[u64], t: usize) -> (bool, bool) {
+        (y[2 * t], y[2 * t + 1])
+    }
+    fn server_messages(&self, received: &[RoundBits], t: usize) -> (u64, u64) {
+        let ((c0, c1), (d0, d1)) = received[t];
+        let to_carol = u64::from(d0) | (u64::from(d1) << 1) | (self.pad << 2);
+        let to_david = u64::from(c0) | (u64::from(c1) << 1) | (self.pad << 2);
+        (to_carol, to_david)
+    }
+    fn carol_output(&self, x: &[bool], server_to_carol: &[u64]) -> bool {
+        let mut acc = false;
+        for (t, &msg) in server_to_carol.iter().enumerate() {
+            acc ^= x[2 * t] & (msg & 1 == 1);
+            acc ^= x[2 * t + 1] & (msg & 2 == 2);
+        }
+        acc
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -84,6 +123,46 @@ proptest! {
                 prop_assert_eq!(play.xor_output, honest);
             }
         }
+    }
+
+    /// Definition 3.1 accounting, property-tested: the cost is exactly
+    /// the players' bits (`4·⌈n/2⌉` for the streaming upper bound), the
+    /// server's verbosity is free, and the two-party simulation's
+    /// transcript records one entry per charged bit — two Alice bits
+    /// then two Bob bits, every round.
+    #[test]
+    fn definition_3_1_charges_exactly_the_player_bits(
+        x in prop::collection::vec(any::<bool>(), 1..40),
+        pad in any::<u64>(),
+    ) {
+        let n = x.len();
+        let y: Vec<bool> = x.iter().rev().copied().collect();
+        let p = StreamedServerProtocol::new(Equality::new(n));
+        let sv = run_server(&p, &x, &y);
+        prop_assert_eq!(sv.carol_bits, 2 * p.rounds());
+        prop_assert_eq!(sv.david_bits, 2 * p.rounds());
+        prop_assert_eq!(sv.cost(), 4 * n.div_ceil(2));
+        let tp = simulate_in_two_party(&p, &x, &y);
+        prop_assert_eq!(tp.transcript.len(), sv.cost());
+        for (r, chunk) in tp.transcript.chunks(4).enumerate() {
+            prop_assert_eq!(chunk[0].0, Party::Alice, "round {}", r);
+            prop_assert_eq!(chunk[1].0, Party::Alice, "round {}", r);
+            prop_assert_eq!(chunk[2].0, Party::Bob, "round {}", r);
+            prop_assert_eq!(chunk[3].0, Party::Bob, "round {}", r);
+        }
+        // A server that pads every message costs exactly the same as a
+        // terse one and computes the same value.
+        let m = (n / 2) * 2;
+        prop_assume!(m >= 2);
+        let terse = PaddedIp { bits: m, pad: 0 };
+        let bloated = PaddedIp { bits: m, pad: pad & ((1 << 62) - 1) };
+        let a = run_server(&terse, &x[..m], &y[..m]);
+        let b = run_server(&bloated, &x[..m], &y[..m]);
+        prop_assert_eq!(a.output, b.output);
+        prop_assert_eq!(a.output, InnerProduct::new(m).evaluate(&x[..m], &y[..m]));
+        prop_assert_eq!(a.cost(), b.cost());
+        prop_assert_eq!(b.cost(), 4 * bloated.rounds());
+        prop_assert_eq!(simulate_in_two_party(&bloated, &x[..m], &y[..m]).total_bits(), b.cost());
     }
 
     /// Hamming distance is a metric on bit strings.

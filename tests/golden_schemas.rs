@@ -1,0 +1,282 @@
+//! Golden-file conformance tests for the four JSONL/JSON schemas the
+//! workspace emits: `qdc-trace/v1`, `qdc-telemetry/v1`,
+//! `qdc-campaign-point/v1` and `qdc-campaign/v1`.
+//!
+//! Each schema has a committed fixture under `tests/golden/`, generated
+//! from a fixed, fully deterministic workload. The tests pin three
+//! things per schema:
+//!
+//! 1. **Byte-exact emission**: the writer reproduces the fixture byte
+//!    for byte (any formatting drift is a schema change and must be
+//!    made deliberately, by regenerating);
+//! 2. **Round-trip**: the strict parser accepts the fixture and
+//!    re-serializes it byte-identically;
+//! 3. **Rejection corpus**: truncation, an unknown field, a wrong
+//!    version tag and a non-integer value are each rejected with an
+//!    error.
+//!
+//! Regenerate fixtures after a deliberate schema change with:
+//!
+//! ```text
+//! QDC_UPDATE_GOLDEN=1 cargo test --test golden_schemas
+//! ```
+
+use qdc::congest::{ChaosConfig, CongestConfig, TelemetryReport, TrafficTrace};
+use qdc::harness::{
+    builtin, execute_point, record_json, run_campaign, summary_json, validate_record_line,
+    validate_summary, PointSpec, RunOptions,
+};
+use qdc::simthm::SimThmPoint;
+
+fn golden_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Compares `produced` against the committed fixture, or rewrites the
+/// fixture when `QDC_UPDATE_GOLDEN=1` is set.
+fn assert_matches_golden(name: &str, produced: &str) {
+    let path = golden_path(name);
+    if std::env::var("QDC_UPDATE_GOLDEN").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir");
+        std::fs::write(&path, produced).expect("write fixture");
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); regenerate with QDC_UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        produced,
+        want,
+        "writer output drifted from {}; if the change is deliberate, \
+         regenerate with QDC_UPDATE_GOLDEN=1",
+        path.display()
+    );
+}
+
+/// The fixed trace workload: a seeded lossy min-label flood on a small
+/// random graph (deterministic in the seed, exercises the dropped
+/// counters in the round lines).
+fn golden_trace() -> TrafficTrace {
+    let g = qdc::graph::generate::random_connected(8, 3, 5);
+    let chaos = ChaosConfig {
+        seed: 5,
+        drop_prob: 0.25,
+        crash_schedule: Vec::new(),
+        corrupt_prob: 0.0,
+        max_rounds_watchdog: 200,
+    };
+    let sim = qdc::congest::Simulator::new(&g, CongestConfig::classical(8));
+    let (_, _, trace) = sim
+        .try_run_traced(
+            |info| GoldenFlood {
+                label: 100 + info.id.0 as u64,
+            },
+            &chaos,
+        )
+        .expect("fixed workload completes");
+    trace
+}
+
+/// Min-label flood used by the trace fixture.
+struct GoldenFlood {
+    label: u64,
+}
+
+impl qdc::congest::NodeAlgorithm for GoldenFlood {
+    fn on_start(&mut self, _: &qdc::congest::NodeInfo, out: &mut qdc::congest::Outbox) {
+        out.broadcast(qdc::congest::Message::from_uint(self.label, 8));
+    }
+    fn on_round(
+        &mut self,
+        _: &qdc::congest::NodeInfo,
+        inbox: &qdc::congest::Inbox,
+        out: &mut qdc::congest::Outbox,
+    ) {
+        let best = inbox.iter().filter_map(|(_, m)| m.as_uint(8)).min();
+        if let Some(b) = best {
+            if b < self.label {
+                self.label = b;
+                out.broadcast(qdc::congest::Message::from_uint(b, 8));
+            }
+        }
+    }
+    fn is_terminated(&self) -> bool {
+        true
+    }
+}
+
+/// The fixed telemetry workload: the Γ=4, L=9 simulation-theorem point,
+/// profiled with the highway/path classification (exercises the split).
+fn golden_telemetry() -> TelemetryReport {
+    let (_, profile) = qdc::simthm::campaign::run_point_observed(&SimThmPoint {
+        gamma: 4,
+        l: 9,
+        bandwidth: 16,
+    });
+    profile
+}
+
+/// The fixed point record: a deterministic lossy chaos point.
+fn golden_record() -> String {
+    let spec = PointSpec::Chaos {
+        nodes: 8,
+        extra_edges: 2,
+        drop_pm: 250,
+        seed: 4,
+        bandwidth: 8,
+    };
+    let (rec, _) = execute_point(3, &spec);
+    record_json("golden", &rec, false) + "\n"
+}
+
+/// The fixed campaign summary: the telemetry_smoke builtin with the
+/// volatile wall-clock field pinned (wall time is the one legitimate
+/// run-to-run difference; the fixture pins everything else).
+fn golden_summary() -> String {
+    let spec = builtin("telemetry_smoke").expect("builtin");
+    let mut outcome = run_campaign(&spec, &RunOptions::default()).expect("runs");
+    outcome.wall_ms = 7;
+    summary_json(&outcome) + "\n"
+}
+
+#[test]
+fn golden_trace_v1_byte_exact_round_trip() {
+    let trace = golden_trace();
+    let text = trace.to_jsonl();
+    assert_matches_golden("trace_v1.jsonl", &text);
+    let back = TrafficTrace::from_jsonl(&text).expect("fixture parses");
+    assert_eq!(back.to_jsonl(), text, "round-trip is byte-exact");
+}
+
+#[test]
+fn golden_trace_v1_rejection_corpus() {
+    let text = golden_trace().to_jsonl();
+    let cases = [
+        (
+            text.trim_end_matches('\n').to_string(),
+            "truncated (missing final newline)",
+        ),
+        (text.replace("\"rounds\"", "\"roundz\""), "unknown field"),
+        (
+            text.replace("qdc-trace/v1", "qdc-trace/v9"),
+            "wrong version tag",
+        ),
+        (
+            text.replacen("\"from\":0", "\"from\":0.5", 1),
+            "non-integer value",
+        ),
+    ];
+    for (bad, why) in cases {
+        let err = TrafficTrace::from_jsonl(&bad).expect_err(why);
+        assert!(!err.to_string().is_empty(), "{why} must explain itself");
+    }
+}
+
+#[test]
+fn golden_telemetry_v1_byte_exact_round_trip() {
+    let profile = golden_telemetry();
+    let text = profile.to_jsonl(false);
+    assert_matches_golden("telemetry_v1.jsonl", &text);
+    let back = TelemetryReport::from_jsonl(&text).expect("fixture parses");
+    assert_eq!(back.to_jsonl(false), text, "round-trip is byte-exact");
+    // Structural equality holds on everything but the wall-clock spans,
+    // which the deterministic form deliberately omits (parsed back as 0).
+    assert_eq!(back.node_totals, profile.node_totals);
+    assert_eq!(back.edge_totals, profile.edge_totals);
+    assert_eq!(back.total_bits(), profile.total_bits());
+}
+
+#[test]
+fn golden_telemetry_v1_rejection_corpus() {
+    let text = golden_telemetry().to_jsonl(false);
+    let cases = [
+        (
+            text.trim_end_matches('\n').to_string(),
+            "truncated (missing final newline)",
+        ),
+        (text.replacen("\"bits\"", "\"bitz\"", 1), "unknown field"),
+        (
+            text.replace("qdc-telemetry/v1", "qdc-telemetry/v2"),
+            "wrong version tag",
+        ),
+        (
+            text.replacen("\"round\":1", "\"round\":1.5", 1),
+            "non-integer value",
+        ),
+    ];
+    for (bad, why) in cases {
+        let err = TelemetryReport::from_jsonl(&bad).expect_err(why);
+        assert!(!err.to_string().is_empty(), "{why} must explain itself");
+    }
+}
+
+#[test]
+fn golden_campaign_point_v1_byte_exact_and_validated() {
+    let line = golden_record();
+    assert_matches_golden("campaign_point_v1.jsonl", &line);
+    validate_record_line(line.trim_end()).expect("fixture conforms");
+}
+
+#[test]
+fn golden_campaign_point_v1_rejection_corpus() {
+    let line = golden_record();
+    let line = line.trim_end();
+    let cases = [
+        (line[..line.len() - 2].to_string(), "truncated document"),
+        (
+            line.replace("\"bits_sent\"", "\"bits_cent\""),
+            "unknown field",
+        ),
+        (
+            line.replace("qdc-campaign-point/v1", "qdc-campaign-point/v0"),
+            "wrong version tag",
+        ),
+        (
+            line.replace("\"point\":3", "\"point\":3.5"),
+            "non-integer value",
+        ),
+    ];
+    for (bad, why) in cases {
+        let err = validate_record_line(&bad).expect_err(why);
+        assert!(!err.is_empty(), "{why} must explain itself");
+    }
+}
+
+#[test]
+fn golden_campaign_v1_byte_exact_and_validated() {
+    let summary = golden_summary();
+    assert_matches_golden("campaign_v1.json", &summary);
+    validate_summary(&summary).expect("fixture conforms");
+}
+
+#[test]
+fn golden_campaign_v1_rejection_corpus() {
+    let summary = golden_summary();
+    let cases = [
+        (
+            summary[..summary.len() - 3].to_string(),
+            "truncated document",
+        ),
+        (
+            summary.replace("\"accepted\"", "\"acepted\""),
+            "unknown field",
+        ),
+        (
+            summary.replace("qdc-campaign/v1", "qdc-campaign/v2"),
+            "wrong version tag",
+        ),
+        (
+            summary.replace("\"wall_ms\":7", "\"wall_ms\":7.5"),
+            "non-integer value",
+        ),
+    ];
+    for (bad, why) in cases {
+        let err = validate_summary(&bad).expect_err(why);
+        assert!(!err.is_empty(), "{why} must explain itself");
+    }
+}

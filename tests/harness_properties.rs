@@ -27,6 +27,7 @@ fn opts(threads: usize) -> RunOptions {
     RunOptions {
         threads,
         keep_traces: false,
+        keep_telemetry: false,
     }
 }
 

@@ -1,11 +1,29 @@
 //! Cross-crate integration tests: quantum primitives, property-tested.
 
 use proptest::prelude::*;
-use qdc::quantum::games::{chsh_optimal_strategy, EntangledXorStrategy, XorGame};
+use qdc::quantum::games::{
+    abort_play, chsh_optimal_strategy, run_protocol, EntangledXorStrategy, InnerProductStreaming,
+    NormalFormProtocol, XorGame,
+};
 use qdc::quantum::grover::{optimal_iterations, success_probability, Grover};
 use qdc::quantum::protocols::{epr_pair, superdense_decode, superdense_send, teleport};
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+
+/// The XOR game induced by 2-bit inner product: uniform inputs over
+/// `{0,1}² × {0,1}²`, target `⟨x, y⟩ mod 2` — the Lemma 3.2 bridge target
+/// for `InnerProductStreaming::new(2)`.
+fn ip2_xor_game() -> XorGame {
+    let bits = |i: usize| [(i & 1) == 1, (i & 2) == 2];
+    let mut f = Vec::with_capacity(16);
+    for x in 0..4 {
+        for y in 0..4 {
+            let (xb, yb) = (bits(x), bits(y));
+            f.push((xb[0] & yb[0]) ^ (xb[1] & yb[1]));
+        }
+    }
+    XorGame::new(4, 4, vec![1.0 / 16.0; 16], f)
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -58,6 +76,32 @@ proptest! {
         prop_assert!(success_probability(n, 1, k / 2) <= at + 1e-9);
     }
 
+    /// Lemma 3.2 on random small instances: an AND-game win implies
+    /// survival, and survivors reproduce the honest protocol output —
+    /// for every input pair and round count, not just the fixed ones.
+    #[test]
+    fn abort_and_wins_imply_survival(
+        xb in any::<u8>(),
+        yb in any::<u8>(),
+        rounds in 1usize..3,
+        seed in any::<u64>(),
+    ) {
+        let n = 2 * rounds;
+        let x: Vec<bool> = (0..n).map(|i| (xb >> i) & 1 == 1).collect();
+        let y: Vec<bool> = (0..n).map(|i| (yb >> i) & 1 == 1).collect();
+        let p = InnerProductStreaming::new(n);
+        let honest = run_protocol(&p, &x, &y);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for _ in 0..300 {
+            let play = abort_play(&p, &x, &y, &mut rng);
+            prop_assert!(!play.and_output || play.survived);
+            if play.survived {
+                prop_assert_eq!(play.and_output, honest);
+                prop_assert_eq!(play.xor_output, honest);
+            }
+        }
+    }
+
     /// No entangled strategy at *aligned* angles (θ_A = θ_B per input)
     /// beats Tsirelson for CHSH; the optimal strategy does hit it.
     #[test]
@@ -73,6 +117,81 @@ proptest! {
         prop_assert!(bias <= std::f64::consts::FRAC_1_SQRT_2 + 1e-9,
             "bias {bias} beats Tsirelson");
     }
+}
+
+#[test]
+fn lemma_3_2_xor_game_value_bound_on_ip2() {
+    // A 1-round protocol for ⟨x,y⟩ mod 2 on 2-bit inputs, pushed through
+    // the Lemma 3.2 abort map, plays the induced XOR game with bias
+    // exactly 4^{-2c} = 1/16: survivors (probability 1/16) answer
+    // perfectly, aborts contribute zero bias. Measured on the physical
+    // sampled game, and sandwiched by the enumerated game value.
+    let game = ip2_xor_game();
+    let p = InnerProductStreaming::new(2);
+    let bits = |i: usize| [(i & 1) == 1, (i & 2) == 2];
+    let mut rng = ChaCha8Rng::seed_from_u64(41);
+    let trials = 120_000;
+    let mut signed = 0i64;
+    for _ in 0..trials {
+        let (xi, yi) = (rng.gen_range(0..4usize), rng.gen_range(0..4usize));
+        let play = abort_play(&p, &bits(xi), &bits(yi), &mut rng);
+        signed += if play.xor_output == game.target(xi, yi) {
+            1
+        } else {
+            -1
+        };
+    }
+    let bias = signed as f64 / trials as f64;
+    let predicted = 4f64.powi(-2);
+    assert!(
+        (bias - predicted).abs() < 0.01,
+        "abort-map bias {bias}, Lemma 3.2 predicts {predicted}"
+    );
+    // Shared randomness cannot beat the enumerated classical game value…
+    assert!(
+        bias <= game.classical_bias() + 0.01,
+        "bias {bias} exceeds the classical value {}",
+        game.classical_bias()
+    );
+    // …and the measured value recovers the paper's round lower bound:
+    // any protocol mapped to bias β needs c ≥ ½·log₄(1/β) rounds.
+    let c_lower = 0.5 * (1.0 / (bias + 0.01)).log(4.0);
+    assert!(
+        p.rounds() as f64 >= c_lower,
+        "round count {} below the game-value bound {c_lower}",
+        p.rounds()
+    );
+}
+
+#[test]
+fn lemma_3_2_and_game_value_bounds() {
+    // AND-game side of Lemma 3.2, c = 1: on a NO instance the AND output
+    // is *identically* 0 (an aborting player outputs 0, a surviving
+    // Alice outputs the honest 0), so the game value on NO instances is
+    // exact; on a YES instance the value is the survival rate 4^{-2c}.
+    let p = InnerProductStreaming::new(2);
+    let x = [true, false];
+    let y_yes = [true, false]; // ⟨x,y⟩ = 1
+    let y_no = [false, true]; // ⟨x,y⟩ = 0
+    assert!(run_protocol(&p, &x, &y_yes));
+    assert!(!run_protocol(&p, &x, &y_no));
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let trials = 60_000;
+    let mut and_wins = 0usize;
+    for _ in 0..trials {
+        if abort_play(&p, &x, &y_yes, &mut rng).and_output {
+            and_wins += 1;
+        }
+        assert!(
+            !abort_play(&p, &x, &y_no, &mut rng).and_output,
+            "AND value on a NO instance must be exactly 0"
+        );
+    }
+    let rate = and_wins as f64 / trials as f64;
+    assert!(
+        (rate - 1.0 / 16.0).abs() < 0.01,
+        "AND game value {rate} on the YES instance, expected 1/16"
+    );
 }
 
 #[test]

@@ -1,0 +1,155 @@
+//! Property tests for the telemetry layer: observation never perturbs.
+//!
+//! Two contracts on random connected graphs and seeds:
+//!
+//! 1. **Fault-free differential**: `run_traced_observed` with a
+//!    [`RoundProfiler`] produces the same final states, `RunReport` and
+//!    `TrafficTrace` as the unobserved `run_traced`, and folding the
+//!    profile's per-round / per-edge / per-node counters reproduces the
+//!    report's totals exactly.
+//! 2. **Chaos differential**: the same holds for the fallible path —
+//!    `robust_broadcast_observed` under seeded drops + corruption + a
+//!    crash matches `robust_broadcast` bit for bit, with the profile
+//!    additionally accounting every dropped message and corrupted bit.
+//!
+//! The CI chaos job re-runs these under several `QDC_CHAOS_SEED` values;
+//! the seed perturbs every generated case while each individual run stays
+//! fully deterministic.
+
+use proptest::prelude::*;
+use qdc::algos::flood::{chaos_round_budget, robust_broadcast, robust_broadcast_observed};
+use qdc::congest::{
+    ChaosConfig, CongestConfig, Inbox, Message, NodeAlgorithm, NodeInfo, Outbox, RoundProfiler,
+    Simulator, TelemetryReport,
+};
+use qdc::graph::{generate, NodeId};
+
+/// CI-provided seed perturbation (defaults to 0 for local runs).
+fn env_seed() -> u64 {
+    std::env::var("QDC_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Min-label flood with implicit termination (quiescence-driven).
+#[derive(PartialEq, Eq, Debug)]
+struct MinFlood {
+    label: u64,
+}
+
+impl NodeAlgorithm for MinFlood {
+    fn on_start(&mut self, _: &NodeInfo, out: &mut Outbox) {
+        out.broadcast(Message::from_uint(self.label, 16));
+    }
+    fn on_round(&mut self, _: &NodeInfo, inbox: &Inbox, out: &mut Outbox) {
+        let best = inbox.iter().filter_map(|(_, m)| m.as_uint(16)).min();
+        if let Some(b) = best {
+            if b < self.label {
+                self.label = b;
+                out.broadcast(Message::from_uint(b, 16));
+            }
+        }
+    }
+    fn is_terminated(&self) -> bool {
+        true
+    }
+}
+
+/// Asserts the profile's three counter views (per-round, per-edge,
+/// per-node) each sum to the same message/bit totals.
+fn assert_internally_consistent(profile: &TelemetryReport) -> Result<(), TestCaseError> {
+    let round_msgs: u64 = profile.rounds.iter().map(|r| r.messages).sum();
+    let round_bits: u64 = profile.rounds.iter().map(|r| r.bits).sum();
+    let edge_msgs: u64 = profile.edge_totals.iter().map(|e| e.messages).sum();
+    let edge_bits: u64 = profile.edge_totals.iter().map(|e| e.bits).sum();
+    let sent_msgs: u64 = profile.node_totals.iter().map(|n| n.sent_messages).sum();
+    let recv_bits: u64 = profile.node_totals.iter().map(|n| n.recv_bits).sum();
+    prop_assert_eq!(round_msgs, edge_msgs);
+    prop_assert_eq!(round_bits, edge_bits);
+    prop_assert_eq!(round_msgs, sent_msgs);
+    prop_assert_eq!(round_bits, recv_bits);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Fault-free: observing a traced run changes nothing, and the
+    /// profile's counters reproduce the report exactly.
+    #[test]
+    fn telemetry_observed_traced_run_is_bit_identical(
+        n in 4usize..20,
+        extra in 0usize..8,
+        seed in 0u64..200,
+    ) {
+        let g = generate::random_connected(n, n + extra, seed ^ env_seed());
+        let cfg = CongestConfig::classical(16);
+        let make = |info: &NodeInfo| MinFlood { label: 1000 + info.id.0 as u64 };
+        let sim = Simulator::new(&g, cfg);
+        let (plain, plain_report, plain_trace) = sim.run_traced(make, 100);
+        let mut profiler = RoundProfiler::new(g.node_count(), g.edge_count(), 16);
+        let (observed, report, trace) = sim.run_traced_observed(make, 100, &mut profiler);
+        let profile = profiler.finish();
+
+        prop_assert_eq!(plain, observed);
+        prop_assert_eq!(plain_report.clone(), report.clone());
+        prop_assert_eq!(plain_trace.rounds, trace.rounds);
+
+        prop_assert_eq!(profile.rounds.len(), report.rounds);
+        prop_assert_eq!(profile.total_messages(), report.messages_sent);
+        prop_assert_eq!(profile.total_bits(), report.bits_sent);
+        prop_assert_eq!(profile.total_dropped(), 0);
+        prop_assert_eq!(profile.total_corrupted_bits(), 0);
+        assert_internally_consistent(&profile)?;
+        // The last observed round is the quiescent one that ends the run.
+        prop_assert!(profile.rounds.last().is_some_and(|r| r.quiescent));
+    }
+
+    /// Under chaos: the observed fallible path matches the plain one bit
+    /// for bit, and the profile accounts every fault.
+    #[test]
+    fn telemetry_observed_chaos_run_accounts_every_fault(
+        n in 4usize..16,
+        extra in 0usize..6,
+        seed in 0u64..100,
+        drop in 0.0f64..=0.25,
+    ) {
+        let g = generate::random_connected(n, n + extra, seed.wrapping_add(env_seed()));
+        let give_up = chaos_round_budget(n, drop);
+        let chaos = ChaosConfig {
+            seed: seed ^ env_seed().rotate_left(17),
+            drop_prob: drop,
+            crash_schedule: vec![(NodeId(n as u32 - 1), 3)],
+            corrupt_prob: 0.05,
+            max_rounds_watchdog: give_up + 5,
+        };
+        let cfg = CongestConfig::classical(8);
+        let plain = robust_broadcast(&g, cfg, NodeId(0), &chaos, give_up);
+        let mut profiler = RoundProfiler::new(g.node_count(), g.edge_count(), 8);
+        let observed =
+            robust_broadcast_observed(&g, cfg, NodeId(0), &chaos, give_up, &mut profiler);
+        let profile = profiler.finish();
+
+        match (plain, observed) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.informed, b.informed);
+                prop_assert_eq!(a.report.clone(), b.report.clone());
+                prop_assert_eq!(profile.rounds.len(), b.report.rounds);
+                prop_assert_eq!(profile.total_messages(), b.report.messages_sent);
+                prop_assert_eq!(profile.total_bits(), b.report.bits_sent);
+                prop_assert_eq!(profile.total_dropped(), b.report.messages_dropped);
+                prop_assert_eq!(profile.total_corrupted_bits(), b.report.bits_corrupted);
+                let crashes: u64 = profile.rounds.iter().map(|r| r.crashes).sum();
+                prop_assert_eq!(crashes, b.report.nodes_crashed);
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a.to_string(), b.to_string()),
+            (a, b) => prop_assert!(false, "observation changed the outcome: {a:?} vs {b:?}"),
+        }
+        assert_internally_consistent(&profile)?;
+        // The profile itself round-trips through its JSONL schema.
+        let back = TelemetryReport::from_jsonl(&profile.to_jsonl(false))
+            .expect("profile serializes validly");
+        prop_assert_eq!(back.to_jsonl(false), profile.to_jsonl(false));
+    }
+}
