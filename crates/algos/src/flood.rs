@@ -6,7 +6,7 @@ use crate::ledger::Ledger;
 use crate::widths::id_width;
 use qdc_congest::{
     ChaosConfig, CongestConfig, Inbox, Message, NodeAlgorithm, NodeInfo, NullTelemetry, Outbox,
-    RunReport, SimError, Simulator, Telemetry,
+    RunOptions, RunReport, SimError, Simulator, Telemetry,
 };
 use qdc_graph::{Graph, NodeId};
 
@@ -377,8 +377,31 @@ pub fn robust_broadcast_observed<T: Telemetry>(
     give_up: usize,
     telemetry: &mut T,
 ) -> Result<RobustBroadcastOutcome, SimError> {
+    robust_broadcast_with(
+        graph,
+        cfg,
+        RunOptions::default(),
+        root,
+        chaos,
+        give_up,
+        telemetry,
+    )
+}
+
+/// [`robust_broadcast_observed`] with explicit simulator [`RunOptions`]
+/// (worker threads for the engine's compute phase). Thread count never
+/// changes the outcome, the report, or the telemetry stream.
+pub fn robust_broadcast_with<T: Telemetry>(
+    graph: &Graph,
+    cfg: CongestConfig,
+    options: RunOptions,
+    root: NodeId,
+    chaos: &ChaosConfig,
+    give_up: usize,
+    telemetry: &mut T,
+) -> Result<RobustBroadcastOutcome, SimError> {
     assert!(cfg.bandwidth_bits >= 2, "robust flood needs B >= 2");
-    let sim = Simulator::new(graph, cfg);
+    let sim = Simulator::with_options(graph, cfg, options);
     let (nodes, report) = sim.try_run_observed(
         |info| RobustFlood {
             informed: info.id == root,

@@ -7,7 +7,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qdc_algos::verify::verify_hamiltonian_cycle;
 use qdc_algos::{flood, Ledger};
-use qdc_congest::{BitString, CongestConfig};
+use qdc_congest::{BitString, CongestConfig, RunOptions, Simulator};
 use qdc_graph::{generate, Graph};
 use qdc_simthm::{SimThmPoint, SimulationNetwork};
 use std::hint::black_box;
@@ -133,11 +133,48 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_slab_delivery(c: &mut Criterion) {
+    use qdc_congest::{Inbox, Message, NodeAlgorithm, NodeInfo, Outbox};
+    let mut g = c.benchmark_group("slab");
+    g.sample_size(10);
+    // An every-round rebroadcast on a dense graph is the message plane's
+    // worst case: every directed slot is packed, masked and scattered
+    // every round. This pins the columnar (SoA) delivery path; the
+    // `flood` and `verification` groups above cover the mixed regimes.
+    struct Rebroadcast {
+        rounds_left: usize,
+    }
+    impl NodeAlgorithm for Rebroadcast {
+        fn on_start(&mut self, info: &NodeInfo, out: &mut Outbox) {
+            out.broadcast(Message::from_uint(info.id.0 as u64, 32));
+        }
+        fn on_round(&mut self, info: &NodeInfo, _: &Inbox, out: &mut Outbox) {
+            if self.rounds_left > 0 {
+                self.rounds_left -= 1;
+                out.broadcast(Message::from_uint(info.id.0 as u64, 32));
+            }
+        }
+        fn is_terminated(&self) -> bool {
+            self.rounds_left == 0
+        }
+    }
+    let graph = Graph::complete(128);
+    let cfg = CongestConfig::classical(32);
+    for &threads in &[1usize, 4] {
+        let sim = Simulator::with_options(&graph, cfg, RunOptions { threads });
+        g.bench_function(format!("rebroadcast/complete128/t{threads}"), |b| {
+            b.iter(|| sim.run(|_| Rebroadcast { rounds_left: 16 }, black_box(64)))
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_bitstring_codec,
     bench_flood_complete,
     bench_verification_gamma13_l17,
-    bench_telemetry_overhead
+    bench_telemetry_overhead,
+    bench_slab_delivery
 );
 criterion_main!(benches);

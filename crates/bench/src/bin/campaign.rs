@@ -2,13 +2,22 @@
 //! pool and write machine-readable results.
 //!
 //! ```text
-//! campaign <spec> [--threads N] [--out FILE.jsonl] [--summary FILE.json]
+//! campaign <spec> [--threads N] [--sim-threads N] [--deterministic]
+//!                 [--out FILE.jsonl] [--summary FILE.json]
 //!                 [--trace-dir DIR] [--telemetry-dir DIR] [--list]
 //! ```
 //!
 //! * `<spec>` — a built-in campaign name (`campaign --list` prints them);
 //! * `--threads N` — worker pool size (default 1). The deterministic
 //!   output is byte-identical for every `N`;
+//! * `--sim-threads N` — worker threads for each point's round engine
+//!   (the simulator's sharded compute phase; default 1). Also covered by
+//!   the byte-identical contract;
+//! * `--deterministic` — omit the volatile wall-clock fields from the
+//!   record and telemetry files, so two runs of the same spec can be
+//!   diffed byte-for-byte (CI's parallel-differential job does exactly
+//!   this). The summary keeps its `threads`/`wall_ms` fields — its
+//!   schema pins them — so only records and archives are diffable;
 //! * `--out` — per-point JSONL records (default `campaign_<spec>.jsonl`);
 //! * `--summary` — aggregate summary (default `BENCH_<spec>.json`);
 //! * `--trace-dir` — also archive each traced point's per-round traffic
@@ -32,6 +41,8 @@ use qdc_harness::{
 struct Args {
     spec: String,
     threads: usize,
+    sim_threads: usize,
+    deterministic: bool,
     out: Option<String>,
     summary: Option<String>,
     trace_dir: Option<String>,
@@ -40,8 +51,9 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: campaign <spec> [--threads N] [--out FILE.jsonl] \
-         [--summary FILE.json] [--trace-dir DIR] [--telemetry-dir DIR] [--list]"
+        "usage: campaign <spec> [--threads N] [--sim-threads N] [--deterministic] \
+         [--out FILE.jsonl] [--summary FILE.json] [--trace-dir DIR] \
+         [--telemetry-dir DIR] [--list]"
     );
     eprintln!("built-in specs: {}", builtin_names().join(", "));
     std::process::exit(2);
@@ -51,6 +63,8 @@ fn parse_args() -> Args {
     let mut args = Args {
         spec: String::new(),
         threads: 1,
+        sim_threads: 1,
+        deterministic: false,
         out: None,
         summary: None,
         trace_dir: None,
@@ -70,6 +84,11 @@ fn parse_args() -> Args {
                 Some(n) => args.threads = n,
                 None => usage(),
             },
+            "--sim-threads" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => args.sim_threads = n,
+                None => usage(),
+            },
+            "--deterministic" => args.deterministic = true,
             "--out" => match it.next() {
                 Some(v) => args.out = Some(v),
                 None => usage(),
@@ -114,7 +133,11 @@ fn write_outputs(
 ) -> std::io::Result<usize> {
     let mut jsonl = String::new();
     for rec in &outcome.records {
-        jsonl.push_str(&qdc_harness::record_json(&outcome.spec_name, rec, true));
+        jsonl.push_str(&qdc_harness::record_json(
+            &outcome.spec_name,
+            rec,
+            !args.deterministic,
+        ));
         jsonl.push('\n');
     }
     std::fs::write(out_path, &jsonl)?;
@@ -135,7 +158,7 @@ fn write_outputs(
             if let Some(profile) = profile {
                 std::fs::write(
                     format!("{dir}/point_{i}.telemetry.jsonl"),
-                    profile.to_jsonl(true),
+                    profile.to_jsonl(!args.deterministic),
                 )?;
             }
         }
@@ -185,6 +208,7 @@ fn main() {
         threads: args.threads,
         keep_traces: args.trace_dir.is_some(),
         keep_telemetry: args.telemetry_dir.is_some(),
+        sim_threads: args.sim_threads,
     };
     let outcome = match run_campaign(&spec, &options) {
         Ok(o) => o,

@@ -237,6 +237,43 @@ impl BitString {
         self.len = new_len;
     }
 
+    /// Empties the string in place, keeping the word allocation — the
+    /// reset the round engine's payload slab performs once per round.
+    pub fn clear(&mut self) {
+        self.words.clear();
+        self.len = 0;
+    }
+
+    /// Overwrites `dst` with the `len` bits starting at `start`, reusing
+    /// `dst`'s word allocation. The copy works a whole word at a time
+    /// (one shift-and-or per 64 bits) and masks the final partial word,
+    /// so `dst` always satisfies the zero-tail packed-word invariant —
+    /// this is how the round engine scatters payloads out of its
+    /// per-round slab without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start + len` exceeds the string length.
+    pub fn copy_range_into(&self, start: usize, len: usize, dst: &mut BitString) {
+        assert!(
+            start + len <= self.len,
+            "range {start}..{} out of bounds ({})",
+            start + len,
+            self.len
+        );
+        dst.words.clear();
+        dst.words.reserve(len.div_ceil(64));
+        dst.len = len;
+        let mut pos = start;
+        let mut remaining = len;
+        while remaining > 0 {
+            let take = remaining.min(64);
+            dst.words.push(self.extract(pos, take));
+            pos += take;
+            remaining -= take;
+        }
+    }
+
     /// A sequential reader over the bits.
     pub fn reader(&self) -> BitReader<'_> {
         BitReader { bits: self, pos: 0 }
@@ -486,6 +523,24 @@ mod tests {
     }
 
     #[test]
+    fn clear_empties_but_keeps_equality_semantics() {
+        let mut b = BitString::from_bools(&[true, false, true]);
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b, BitString::new());
+        b.push_bit(true); // reusable after clear
+        assert_eq!(b.to_bools(), vec![true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn copy_range_into_out_of_bounds_panics() {
+        let slab = BitString::from_bools(&[true, false]);
+        let mut dst = BitString::new();
+        slab.copy_range_into(1, 2, &mut dst);
+    }
+
+    #[test]
     fn truncate_beyond_len_is_noop() {
         let mut b = BitString::from_bools(&[true, false]);
         b.truncate(5);
@@ -566,6 +621,24 @@ mod tests {
             let mut r = b.reader();
             r.read_uint(offset);
             prop_assert_eq!(r.read_uint(64), Some(v));
+        }
+
+        /// `copy_range_into` carves exactly the bool-model slice out of
+        /// an arbitrary (unaligned) range, reuses the destination's
+        /// allocation, and keeps the zero-tail packed-word invariant.
+        #[test]
+        fn copy_range_into_matches_bool_slice(
+            v in prop::collection::vec(any::<bool>(), 0..300),
+            a in any::<usize>(),
+            b in any::<usize>(),
+        ) {
+            let (a, b) = (a % (v.len() + 1), b % (v.len() + 1));
+            let (start, end) = (a.min(b), a.max(b));
+            let slab = BitString::from_bools(&v);
+            let mut dst = BitString::from_bools(&[true; 70]); // stale content
+            slab.copy_range_into(start, end - start, &mut dst);
+            prop_assert_eq!(&dst, &BitString::from_bools(&v[start..end]));
+            prop_assert_eq!(dst.words.len(), dst.len.div_ceil(64));
         }
 
         /// `truncate` equals rebuilding from the bool prefix and keeps

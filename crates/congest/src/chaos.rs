@@ -123,6 +123,27 @@ pub struct FaultStats {
     pub bits_corrupted: u64,
 }
 
+/// The fate of one in-flight message, as decided by
+/// [`FaultPlan::decide`].
+///
+/// The columnar round engine applies the action to its bit-packed
+/// payload slab (a word XOR for `Toggle`, a length cut for `Truncate`)
+/// instead of materialising a `Message` first; [`FaultPlan::filter`]
+/// applies the same action to a `Message` in place. Both paths draw the
+/// same randomness in the same order, so they replay byte-exactly under
+/// the same config.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Deliver the payload untouched.
+    Deliver,
+    /// Remove the message in flight.
+    Drop,
+    /// Deliver with payload bit `i` flipped.
+    Toggle(usize),
+    /// Deliver only the first `keep` payload bits.
+    Truncate(usize),
+}
+
 /// The executable form of a [`ChaosConfig`]: one seeded RNG stream plus
 /// per-node crash state, consulted by the round engine (and by the
 /// three-party replay in `qdc-simthm`) at delivery time.
@@ -212,41 +233,56 @@ impl FaultPlan {
         self.crashed[v.index()]
     }
 
-    /// Decides the fate of one in-flight message `from → to`. Returns
-    /// `true` to deliver (possibly after corrupting `msg` in place) or
-    /// `false` to drop it; fault counters update either way.
-    pub fn filter(&mut self, from: NodeId, to: NodeId, msg: &mut Message) -> bool {
+    /// Decides the fate of one `bits`-bit in-flight message `from → to`
+    /// without materialising its payload. Fault counters update exactly
+    /// as for [`filter`](FaultPlan::filter), and the RNG draws are
+    /// identical, so engines consuming actions and engines consuming
+    /// filtered messages stay in lockstep under the same config.
+    ///
+    /// Corruption picks by coin flip between toggling one uniformly
+    /// random bit and truncating to a uniformly random shorter length.
+    /// Both strictly shrink-or-preserve the bit length, so the result
+    /// always fits the original `B`-bit budget.
+    pub fn decide(&mut self, from: NodeId, to: NodeId, bits: usize) -> FaultAction {
         if self.crashed[from.index()] || self.crashed[to.index()] {
             self.stats.messages_dropped += 1;
-            return false;
+            return FaultAction::Drop;
         }
         if self.drop_prob > 0.0 && self.rng.gen_bool(self.drop_prob) {
             self.stats.messages_dropped += 1;
-            return false;
+            return FaultAction::Drop;
         }
-        if self.corrupt_prob > 0.0
-            && !msg.payload().is_empty()
-            && self.rng.gen_bool(self.corrupt_prob)
-        {
-            self.corrupt(msg);
+        if self.corrupt_prob > 0.0 && bits > 0 && self.rng.gen_bool(self.corrupt_prob) {
+            if self.rng.gen_bool(0.5) {
+                let i = self.rng.gen_range(0..bits);
+                self.stats.bits_corrupted += 1;
+                return FaultAction::Toggle(i);
+            }
+            let keep = self.rng.gen_range(0..bits);
+            self.stats.bits_corrupted += (bits - keep) as u64;
+            return FaultAction::Truncate(keep);
         }
-        true
+        FaultAction::Deliver
     }
 
-    /// Corrupts a non-empty payload: a coin flip picks between toggling
-    /// one uniformly random bit and truncating to a uniformly random
-    /// shorter length. Both strictly shrink-or-preserve the bit length,
-    /// so the result always fits the original `B`-bit budget.
-    fn corrupt(&mut self, msg: &mut Message) {
-        let len = msg.bit_len();
-        if self.rng.gen_bool(0.5) {
-            let i = self.rng.gen_range(0..len);
-            msg.payload_mut().toggle(i);
-            self.stats.bits_corrupted += 1;
-        } else {
-            let keep = self.rng.gen_range(0..len);
-            msg.payload_mut().truncate(keep);
-            self.stats.bits_corrupted += (len - keep) as u64;
+    /// Decides the fate of one in-flight message `from → to`. Returns
+    /// `true` to deliver (possibly after corrupting `msg` in place) or
+    /// `false` to drop it; fault counters update either way.
+    ///
+    /// This is [`decide`](FaultPlan::decide) applied to a materialised
+    /// `Message` — the two share one implementation and one RNG stream.
+    pub fn filter(&mut self, from: NodeId, to: NodeId, msg: &mut Message) -> bool {
+        match self.decide(from, to, msg.bit_len()) {
+            FaultAction::Drop => false,
+            FaultAction::Deliver => true,
+            FaultAction::Toggle(i) => {
+                msg.payload_mut().toggle(i);
+                true
+            }
+            FaultAction::Truncate(keep) => {
+                msg.payload_mut().truncate(keep);
+                true
+            }
         }
     }
 
@@ -375,6 +411,48 @@ mod tests {
             ..cfg.clone()
         };
         assert_ne!(run(&cfg).0, run(&other).0);
+    }
+
+    #[test]
+    fn chaos_decide_and_filter_make_identical_decisions() {
+        let cfg = ChaosConfig {
+            seed: 42,
+            drop_prob: 0.25,
+            corrupt_prob: 0.4,
+            crash_schedule: vec![(NodeId(3), 4)],
+            ..ChaosConfig::fault_free(50)
+        };
+        let mut by_action = FaultPlan::new(&cfg, 5);
+        let mut by_filter = FaultPlan::new(&cfg, 5);
+        for _ in 0..30 {
+            by_action.begin_round();
+            by_filter.begin_round();
+            for s in 0..4u32 {
+                let mut m = msg(12);
+                let action = by_action.decide(NodeId(s), NodeId((s + 1) % 5), 12);
+                let delivered = by_filter.filter(NodeId(s), NodeId((s + 1) % 5), &mut m);
+                match action {
+                    FaultAction::Drop => assert!(!delivered),
+                    FaultAction::Deliver => {
+                        assert!(delivered);
+                        assert_eq!(m, msg(12));
+                    }
+                    FaultAction::Toggle(i) => {
+                        assert!(delivered);
+                        let mut want = msg(12);
+                        want.payload_mut().toggle(i);
+                        assert_eq!(m, want);
+                    }
+                    FaultAction::Truncate(keep) => {
+                        assert!(delivered);
+                        assert_eq!(m.bit_len(), keep);
+                    }
+                }
+            }
+            assert_eq!(by_action.stats(), by_filter.stats());
+        }
+        let stats = by_action.stats();
+        assert!(stats.messages_dropped > 0 && stats.bits_corrupted > 0);
     }
 
     #[test]

@@ -81,6 +81,12 @@ impl<'a> Cursor<'a> {
         if start == self.pos {
             return Err(self.err("expected an unsigned integer"));
         }
+        // JSON's canonical integer form: only `0` itself may start with
+        // a zero. A lenient scanner here would bless records (`007`)
+        // whose re-emission differs byte-for-byte from their input.
+        if self.pos - start > 1 && self.bytes[start] == b'0' {
+            return Err(self.err("integer has a leading zero"));
+        }
         std::str::from_utf8(&self.bytes[start..self.pos])
             .expect("digits are ASCII")
             .parse()

@@ -79,11 +79,12 @@ pub mod telemetry;
 pub mod topology;
 
 pub use bits::{BitReader, BitString};
-pub use chaos::{ChaosConfig, FaultPlan, FaultStats};
+pub use chaos::{ChaosConfig, FaultAction, FaultPlan, FaultStats};
 pub use message::Message;
 pub use sim::{
-    ChannelKind, CongestConfig, Inbox, NodeAlgorithm, NodeInfo, Outbox, RunMetrics, RunReport,
-    SimError, Simulator, StepSummary, Stepper, TracedMessage, TrafficTrace, WatchdogReport,
+    ChannelKind, CongestConfig, Inbox, NodeAlgorithm, NodeInfo, Outbox, RunMetrics, RunOptions,
+    RunReport, SimError, Simulator, StepSummary, Stepper, TracedMessage, TrafficTrace,
+    WatchdogReport,
 };
 pub use telemetry::{
     EdgeTotals, NodeClass, NodeTotals, NullTelemetry, RoundProfile, RoundProfiler, Telemetry,

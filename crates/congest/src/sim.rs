@@ -1,6 +1,7 @@
 //! The lockstep CONGEST simulator.
 
-use crate::chaos::{ChaosConfig, FaultPlan};
+use crate::bits::BitString;
+use crate::chaos::{ChaosConfig, FaultAction, FaultPlan};
 use crate::message::Message;
 use crate::telemetry::{NullTelemetry, Telemetry};
 use qdc_graph::{EdgeId, Graph, NodeId};
@@ -114,6 +115,31 @@ impl CongestConfig {
             bandwidth_bits,
             channel: ChannelKind::Quantum,
         }
+    }
+}
+
+/// Execution options of a [`Simulator`], orthogonal to the CONGEST model
+/// parameters in [`CongestConfig`]: how the engine runs, never what it
+/// computes.
+///
+/// The compute phase (every node's `on_round`) shards across `threads`
+/// scoped workers with a fixed chunking by node index; delivery, chaos
+/// decisions and accounting always run on the calling thread in the
+/// engine's one deterministic order. The outcome — states, reports,
+/// traces, telemetry — is therefore **byte-identical at every thread
+/// count** (the same contract the campaign runner in `qdc-harness`
+/// keeps at the experiment level).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunOptions {
+    /// Worker threads for the node compute phase. `1` (the default)
+    /// steps every node inline; `0` is treated as `1`, and values above
+    /// the node count are clamped down.
+    pub threads: usize,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions { threads: 1 }
     }
 }
 
@@ -389,7 +415,12 @@ impl Outbox {
 /// "always terminated" but keep forwarding improvements — the run ends
 /// exactly when the information flow dies down (the standard implicit-
 /// termination convention in synchronous models).
-pub trait NodeAlgorithm {
+///
+/// The `Send` supertrait lets the engine shard the compute phase across
+/// scoped worker threads ([`RunOptions::threads`]); node states are
+/// plain data moved between rounds, never shared, so any ordinary
+/// algorithm state satisfies it automatically.
+pub trait NodeAlgorithm: Send {
     /// Round-0 initialization; may send messages.
     fn on_start(&mut self, info: &NodeInfo, out: &mut Outbox);
 
@@ -510,16 +541,34 @@ pub struct TrafficTrace {
 pub struct Simulator<'g> {
     graph: &'g Graph,
     config: CongestConfig,
+    options: RunOptions,
     infos: Vec<NodeInfo>,
     /// `back_port[u][p]` is the port on which `u`'s neighbor over port
     /// `p` sees `u` — precomputed so delivery routes each message in
     /// O(1) instead of scanning the receiver's neighbor list.
     back_port: Vec<Vec<usize>>,
+    /// `slot_base[u] + p` is the directed-slot index of `u`'s port `p`
+    /// in the engine's columnar offset tables (prefix sums of degrees,
+    /// `Σ deg = 2·|E|` slots total).
+    slot_base: Vec<usize>,
+    /// `slot_dst[s]` is the receiver coordinate `(node index, inbox
+    /// port)` of directed slot `s` — the back-port tables flattened
+    /// into slot order, so scatter resolves a slot straight to its
+    /// inbox cell without re-deriving the port inversion.
+    slot_dst: Vec<(usize, usize)>,
 }
 
 impl<'g> Simulator<'g> {
-    /// Prepares a simulator on `graph` with the given configuration.
+    /// Prepares a simulator on `graph` with the given configuration and
+    /// default [`RunOptions`] (single-threaded compute).
     pub fn new(graph: &'g Graph, config: CongestConfig) -> Self {
+        Simulator::with_options(graph, config, RunOptions::default())
+    }
+
+    /// Prepares a simulator on `graph` with explicit execution options.
+    /// Options never change outcomes — a run at any thread count is
+    /// byte-identical to the same run under [`new`](Simulator::new).
+    pub fn with_options(graph: &'g Graph, config: CongestConfig, options: RunOptions) -> Self {
         let n = graph.node_count();
         let infos: Vec<NodeInfo> = graph
             .nodes()
@@ -540,7 +589,7 @@ impl<'g> Simulator<'g> {
                 edge_ports[e.index()][side] = p;
             }
         }
-        let back_port = infos
+        let back_port: Vec<Vec<usize>> = infos
             .iter()
             .map(|info| {
                 info.incident_edges
@@ -553,11 +602,26 @@ impl<'g> Simulator<'g> {
                     .collect()
             })
             .collect();
+        let mut slot_base = Vec::with_capacity(infos.len());
+        let mut acc = 0usize;
+        for info in &infos {
+            slot_base.push(acc);
+            acc += info.degree();
+        }
+        let mut slot_dst = Vec::with_capacity(acc);
+        for (u, info) in infos.iter().enumerate() {
+            for (p, &v) in info.neighbors.iter().enumerate() {
+                slot_dst.push((v.index(), back_port[u][p]));
+            }
+        }
         Simulator {
             graph,
             config,
+            options,
             infos,
             back_port,
+            slot_base,
+            slot_dst,
         }
     }
 
@@ -569,6 +633,11 @@ impl<'g> Simulator<'g> {
     /// The configuration.
     pub fn config(&self) -> CongestConfig {
         self.config
+    }
+
+    /// The execution options.
+    pub fn options(&self) -> RunOptions {
+        self.options
     }
 
     /// Per-node topology information (what node `v` is told at start).
@@ -794,10 +863,19 @@ impl<'g> Simulator<'g> {
             .iter()
             .map(|info| Inbox::new(info.degree()))
             .collect();
+        let total_slots = 2 * self.graph.edge_count();
         Engine {
             nodes,
             outgoing,
             inboxes,
+            slab: BitString::new(),
+            slot_start: vec![0; total_slots],
+            slot_bits: vec![0; total_slots],
+            active: Vec::new(),
+            prev_active: Vec::new(),
+            scratch: Vec::new(),
+            dead: vec![false; self.infos.len()],
+            live_slots: total_slots as u64,
             pending,
             plan,
             strict,
@@ -816,10 +894,14 @@ impl<'g> Simulator<'g> {
         }
     }
 
-    /// Executes one synchronous round — deliver, account, step every
-    /// node — on the engine's reusable buffers. This is the single round
-    /// implementation behind both [`Simulator::run`] and
-    /// [`Stepper::step`], so batch and stepped execution cannot diverge.
+    /// Executes one synchronous round — pack, chaos-mask, scatter,
+    /// account, step every node — on the engine's reusable buffers. The
+    /// message plane is columnar: payloads pack into one per-round bit
+    /// slab in delivery order, chaos applies as word-level edits to the
+    /// slab, and delivery scatters slab ranges into recycled message
+    /// shells. This is the single round implementation behind both
+    /// [`Simulator::run`] and [`Stepper::step`], so batch and stepped
+    /// execution cannot diverge.
     /// Every telemetry call site is gated on `T::ENABLED`, a constant:
     /// with the [`NullTelemetry`] sink the whole instrumentation
     /// monomorphizes away and this is exactly the unobserved hot path.
@@ -835,80 +917,147 @@ impl<'g> Simulator<'g> {
         }
         // Activate any crash-stops scheduled for this round before any
         // delivery, so a crashed node's in-flight messages die with it.
+        // Each fresh crash retires both directions of its still-live
+        // incident edges from the live-capacity count; processing the
+        // crashes one by one (against the engine's own `dead` mirror)
+        // counts an edge between two same-round crashes exactly once.
         let dropped_before = if let Some(plan) = &mut engine.plan {
             plan.begin_round();
-            if T::ENABLED {
-                for &v in plan.crashes_this_round() {
+            for &v in plan.crashes_this_round() {
+                if T::ENABLED {
                     telemetry.on_crash(round, v);
                 }
+                for &w in &self.infos[v.index()].neighbors {
+                    if !engine.dead[w.index()] {
+                        engine.live_slots -= 2;
+                    }
+                }
+                engine.dead[v.index()] = true;
             }
             plan.stats().messages_dropped
         } else {
             0
         };
-        // Deliver: message from u's port p goes to v's precomputed back
-        // port, unless the fault plan drops (or corrupts) it. Inboxes
-        // are cleared in place and reused.
-        for inbox in &mut engine.inboxes {
-            inbox.clear();
-        }
+        // Pack: every queued payload concatenates into the per-round bit
+        // slab in the fixed delivery order (ascending sender id, then
+        // port), with the offset tables recording where each directed
+        // slot's payload lives. Chaos applies to the packed form — a
+        // drop leaves the slot off the active list, a toggle is a
+        // word-level XOR into the slab, a truncation shortens the
+        // recorded length (the scatter copy masks off the severed
+        // tail).
         let mut messages = 0u64;
         let mut bits = 0u64;
         let Engine {
             outgoing,
             inboxes,
             plan,
+            slab,
+            slot_start,
+            slot_bits,
+            active,
+            prev_active,
+            scratch,
             ..
         } = engine;
+        slab.clear();
+        active.clear();
         for (u, ports) in outgoing.iter_mut().enumerate() {
             let info = &self.infos[u];
-            let backs = &self.back_port[u];
+            let base = self.slot_base[u];
             for (p, slot) in ports.iter_mut().enumerate() {
-                if let Some(mut msg) = slot.take() {
-                    let v = info.neighbors[p];
-                    if let Some(plan) = plan.as_mut() {
-                        if T::ENABLED {
-                            let corrupted_before = plan.stats().bits_corrupted;
-                            if !plan.filter(info.id, v, &mut msg) {
+                let Some(msg) = slot.take() else { continue };
+                let v = info.neighbors[p];
+                let len = msg.bit_len();
+                let start = slab.len();
+                slab.extend_bits(msg.payload());
+                let mut kept = len;
+                if let Some(plan) = plan.as_mut() {
+                    match plan.decide(info.id, v, len) {
+                        FaultAction::Deliver => {}
+                        FaultAction::Drop => {
+                            if T::ENABLED {
                                 telemetry.on_chaos_drop(round, info.incident_edges[p], info.id, v);
-                                continue;
                             }
-                            let lost = plan.stats().bits_corrupted - corrupted_before;
-                            if lost > 0 {
+                            continue;
+                        }
+                        FaultAction::Toggle(i) => {
+                            slab.toggle(start + i);
+                            if T::ENABLED {
                                 telemetry.on_chaos_corrupt(
                                     round,
                                     info.incident_edges[p],
                                     info.id,
                                     v,
-                                    lost,
+                                    1,
                                 );
                             }
-                        } else if !plan.filter(info.id, v, &mut msg) {
-                            continue;
+                        }
+                        FaultAction::Truncate(keep) => {
+                            kept = keep;
+                            if T::ENABLED {
+                                telemetry.on_chaos_corrupt(
+                                    round,
+                                    info.incident_edges[p],
+                                    info.id,
+                                    v,
+                                    (len - keep) as u64,
+                                );
+                            }
                         }
                     }
-                    messages += 1;
-                    bits += msg.bit_len() as u64;
-                    if T::ENABLED {
-                        telemetry.on_delivery(
-                            round,
-                            info.incident_edges[p],
-                            info.id,
-                            v,
-                            msg.bit_len(),
-                        );
-                    }
-                    if let Some(tr) = round_trace.as_deref_mut() {
-                        tr.push(TracedMessage {
-                            from: info.id,
-                            to: v,
-                            bits: msg.bit_len(),
-                        });
-                    }
-                    inboxes[v.index()].msgs[backs[p]] = Some(msg);
+                }
+                slot_start[base + p] = start;
+                slot_bits[base + p] = kept;
+                active.push(base + p);
+                messages += 1;
+                bits += kept as u64;
+                if T::ENABLED {
+                    telemetry.on_delivery(round, info.incident_edges[p], info.id, v, kept);
+                }
+                if let Some(tr) = round_trace.as_deref_mut() {
+                    tr.push(TracedMessage {
+                        from: info.id,
+                        to: v,
+                        bits: kept,
+                    });
                 }
             }
         }
+        // Scatter: batch delivery as slab copies, by merging this
+        // round's and last round's sorted active lists. A slot active
+        // in both rounds carves its payload into the shell already
+        // sitting in its inbox cell (steady traffic never touches the
+        // pool or the allocator); a slot that went idle retires its
+        // shell to the scratch pool; a slot that woke up draws a pooled
+        // shell. Sparse rounds therefore cost O(delivered), not
+        // O(2·|E|).
+        let retire = |inboxes: &mut [Inbox], scratch: &mut Vec<Message>, s: usize| {
+            let (v, q) = self.slot_dst[s];
+            if let Some(stale) = inboxes[v].msgs[q].take() {
+                scratch.push(stale);
+            }
+        };
+        let mut i = 0;
+        for &s in active.iter() {
+            while i < prev_active.len() && prev_active[i] < s {
+                retire(inboxes, scratch, prev_active[i]);
+                i += 1;
+            }
+            if i < prev_active.len() && prev_active[i] == s {
+                i += 1;
+            }
+            let (v, q) = self.slot_dst[s];
+            let dst = &mut inboxes[v].msgs[q];
+            let mut msg = dst.take().or_else(|| scratch.pop()).unwrap_or_default();
+            msg.load_range(slab, slot_start[s], slot_bits[s]);
+            *dst = Some(msg);
+        }
+        while i < prev_active.len() {
+            retire(inboxes, scratch, prev_active[i]);
+            i += 1;
+        }
+        std::mem::swap(active, prev_active);
         engine.report.messages_sent += messages;
         engine.report.bits_sent += bits;
         engine.report.max_bits_per_round = engine.report.max_bits_per_round.max(bits);
@@ -924,27 +1073,89 @@ impl<'g> Simulator<'g> {
 
         // Compute: every live node takes a step, writing into its
         // (emptied) outgoing slot vector. Crashed nodes are frozen: their
-        // `on_round` is never called again and they queue nothing.
+        // `on_round` is never called again and they queue nothing. With
+        // `RunOptions { threads > 1 }` the nodes shard across scoped
+        // workers by fixed index chunks; the per-chunk folds join in
+        // chunk order, so the pending sum (commutative) and the first
+        // defect (chunk order = index order) match the sequential pass
+        // exactly, and a strict-mode panic resurfaces with its original
+        // payload.
         engine.pending = 0;
-        for (i, node) in engine.nodes.iter_mut().enumerate() {
-            if engine
-                .plan
-                .as_ref()
-                .is_some_and(|p| p.is_crashed(self.infos[i].id))
-            {
-                continue;
+        let threads = self.options.threads.max(1).min(engine.nodes.len().max(1));
+        if threads == 1 {
+            for (i, node) in engine.nodes.iter_mut().enumerate() {
+                if engine
+                    .plan
+                    .as_ref()
+                    .is_some_and(|p| p.is_crashed(self.infos[i].id))
+                {
+                    continue;
+                }
+                let slots = std::mem::take(&mut engine.outgoing[i]);
+                let mut out = Outbox::reuse(slots, self.config.bandwidth_bits, engine.strict);
+                node.on_round(&self.infos[i], &engine.inboxes[i], &mut out);
+                engine.pending += out.queued;
+                if engine.defect.is_none() {
+                    engine.defect = out.defect;
+                }
+                engine.outgoing[i] = out.take();
             }
-            let slots = std::mem::take(&mut engine.outgoing[i]);
-            let mut out = Outbox::reuse(slots, self.config.bandwidth_bits, engine.strict);
-            node.on_round(&self.infos[i], &engine.inboxes[i], &mut out);
-            engine.pending += out.queued;
+        } else {
+            let chunk = engine.nodes.len().div_ceil(threads);
+            let bandwidth = self.config.bandwidth_bits;
+            let strict = engine.strict;
+            let plan = engine.plan.as_ref();
+            let inboxes = &engine.inboxes;
+            let infos = &self.infos;
+            let mut pending = 0usize;
+            let mut defect = None;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = engine
+                    .nodes
+                    .chunks_mut(chunk)
+                    .zip(engine.outgoing.chunks_mut(chunk))
+                    .enumerate()
+                    .map(|(c, (nodes, outs))| {
+                        let base = c * chunk;
+                        scope.spawn(move || {
+                            let mut queued = 0usize;
+                            let mut defect = None;
+                            for (k, (node, slot_vec)) in
+                                nodes.iter_mut().zip(outs.iter_mut()).enumerate()
+                            {
+                                let i = base + k;
+                                if plan.is_some_and(|p| p.is_crashed(infos[i].id)) {
+                                    continue;
+                                }
+                                let slots = std::mem::take(slot_vec);
+                                let mut out = Outbox::reuse(slots, bandwidth, strict);
+                                node.on_round(&infos[i], &inboxes[i], &mut out);
+                                queued += out.queued;
+                                if defect.is_none() {
+                                    defect = out.defect;
+                                }
+                                *slot_vec = out.take();
+                            }
+                            (queued, defect)
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    let (queued, chunk_defect) =
+                        h.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
+                    pending += queued;
+                    if defect.is_none() {
+                        defect = chunk_defect;
+                    }
+                }
+            });
+            engine.pending = pending;
             if engine.defect.is_none() {
-                engine.defect = out.defect;
+                engine.defect = defect;
             }
-            engine.outgoing[i] = out.take();
         }
         if T::ENABLED {
-            telemetry.on_round_end(round, engine.is_quiescent());
+            telemetry.on_round_end(round, engine.is_quiescent(), engine.live_slots);
         }
         StepSummary {
             round: engine.report.rounds,
@@ -957,12 +1168,45 @@ impl<'g> Simulator<'g> {
 
 /// The reusable execution state of one run: node states, double-buffered
 /// outgoing/inbox slot vectors (allocated once, cleared in place each
-/// round), the count of in-flight messages, and the accumulating
-/// [`RunReport`].
+/// round), the columnar message plane (payload slab, offset tables and
+/// the recycled-shell pool), the count of in-flight messages, and the
+/// accumulating [`RunReport`].
 struct Engine<A> {
     nodes: Vec<A>,
     outgoing: Vec<Vec<Option<Message>>>,
     inboxes: Vec<Inbox>,
+    /// The per-round bit-packed payload slab: every in-flight payload,
+    /// concatenated in delivery order. Cleared (not freed) each round.
+    slab: BitString,
+    /// Slab offset per directed slot (`slot_base[u] + p`). Entries are
+    /// meaningful only for slots on the `active` list this round;
+    /// everything else is stale from an earlier round and never read.
+    slot_start: Vec<usize>,
+    /// Payload length per directed slot, post-corruption (a truncation
+    /// shortens this; the severed slab tail is masked off at scatter).
+    /// Same staleness contract as `slot_start`.
+    slot_bits: Vec<usize>,
+    /// The directed slots delivered this round, in pack order (which is
+    /// ascending slot order). Scatter and inbox retirement walk this
+    /// list instead of the full `2·|E|` slot plane, so a sparse round
+    /// costs O(delivered), not O(slots).
+    active: Vec<usize>,
+    /// Last round's `active` list (swapped each round). Scatter merges
+    /// the two sorted lists: a slot active in both rounds reuses its
+    /// inbox shell in place, a slot that went idle retires its shell to
+    /// `scratch`, a slot that woke up draws from `scratch`.
+    prev_active: Vec<usize>,
+    /// Retired message shells, so slots that flip from idle to active
+    /// refill from a pooled allocation instead of the allocator.
+    scratch: Vec<Message>,
+    /// Engine-side crash mirror, updated crash by crash in activation
+    /// order (unlike the plan's view, which flips a whole round's
+    /// crashes at once) so shared edges are decremented exactly once.
+    dead: Vec<bool>,
+    /// Directed slots whose both endpoints are still alive — `2·|E|`
+    /// until the first crash; the utilisation denominator reported to
+    /// [`Telemetry::on_round_end`].
+    live_slots: u64,
     /// Messages queued for the next delivery phase, maintained by the
     /// round loop so quiescence checks are O(n) instead of O(Σ deg).
     pending: usize,
@@ -1084,6 +1328,31 @@ impl<'g, A: NodeAlgorithm> Stepper<'g, A> {
         let sim = Simulator::new(graph, config);
         let plan = FaultPlan::new(chaos, graph.node_count());
         let engine = sim.engine_start(init, Some(plan), true);
+        Stepper { sim, engine }
+    }
+
+    /// A stepper with explicit [`RunOptions`] and optional fault
+    /// injection — the fully general constructor behind
+    /// [`new`](Stepper::new) and [`with_chaos`](Stepper::with_chaos).
+    /// Options never change outcomes: a stepped run at any thread count
+    /// matches the single-threaded one round for round, byte for byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chaos` is `Some` and fails [`ChaosConfig::validate`].
+    pub fn with_options<F: FnMut(&NodeInfo) -> A>(
+        graph: &'g Graph,
+        config: CongestConfig,
+        options: RunOptions,
+        chaos: Option<&ChaosConfig>,
+        init: F,
+    ) -> Self {
+        let sim = Simulator::with_options(graph, config, options);
+        let plan = chaos.map(|chaos| {
+            chaos.validate().unwrap_or_else(|e| panic!("{e}"));
+            FaultPlan::new(chaos, graph.node_count())
+        });
+        let engine = sim.engine_start(init, plan, true);
         Stepper { sim, engine }
     }
 

@@ -57,7 +57,7 @@ pub const TELEMETRY_SCHEMA: &str = "qdc-telemetry/v1";
 /// [`on_chaos_drop`](Telemetry::on_chaos_drop) (with
 /// [`on_chaos_corrupt`](Telemetry::on_chaos_corrupt) preceding a
 /// delivery that was corrupted in flight) →
-/// [`on_round_end`](Telemetry::on_round_end)`(r, quiescent)`.
+/// [`on_round_end`](Telemetry::on_round_end)`(r, quiescent, live_slots)`.
 pub trait Telemetry {
     /// Compile-time switch for the engine's telemetry call sites. Leave
     /// at the default `true` for real sinks; only a null sink should
@@ -108,9 +108,12 @@ pub trait Telemetry {
 
     /// The round span closes; `quiescent` is the outcome of the
     /// quiescence check after the compute phase (the run ends after the
-    /// first `true`).
-    fn on_round_end(&mut self, round: usize, quiescent: bool) {
-        let _ = (round, quiescent);
+    /// first `true`). `live_slots` is the number of directed edge slots
+    /// whose **both** endpoints were still alive this round — `2·|E|`
+    /// until the first crash-stop, shrinking as crashes remove incident
+    /// slots — the denominator for utilisation accounting.
+    fn on_round_end(&mut self, round: usize, quiescent: bool, live_slots: u64) {
+        let _ = (round, quiescent, live_slots);
     }
 }
 
@@ -157,8 +160,9 @@ pub struct RoundProfile {
     /// Whether the quiescence check after this round's compute phase
     /// came back positive (the run ends after the first `true`).
     pub quiescent: bool,
-    /// Edge-utilisation histogram over the `2·|E|` directed edge slots:
-    /// `util[0]` counts slots that delivered nothing, `util[q]` for
+    /// Edge-utilisation histogram over the round's *live* directed edge
+    /// slots (`2·|E|` minus slots incident to a crashed endpoint):
+    /// `util[0]` counts live slots that delivered nothing, `util[q]` for
     /// `q = 1..=4` counts delivered messages whose size fell in the
     /// `q`-th quarter of the `B`-bit budget (a 0-bit message lands in
     /// `util[1]`, a full-budget message in `util[4]`).
@@ -750,15 +754,17 @@ impl Telemetry for RoundProfiler {
         self.current(round).crashes += 1;
     }
 
-    fn on_round_end(&mut self, round: usize, quiescent: bool) {
-        let idle = (2 * self.report.edges) as u64;
+    fn on_round_end(&mut self, round: usize, quiescent: bool, live_slots: u64) {
         let wall_ns = self
             .span_open
             .take()
             .map_or(0, |t| t.elapsed().as_nanos() as u64);
         let p = self.current(round);
         p.quiescent = quiescent;
-        p.util[0] = idle.saturating_sub(p.messages);
+        // Idle capacity = live directed slots minus the delivered ones;
+        // slots incident to a crashed endpoint are dead, not idle, so
+        // the histogram mass always sums to the live capacity.
+        p.util[0] = live_slots.saturating_sub(p.messages);
         p.wall_ns = wall_ns;
     }
 }
@@ -927,7 +933,7 @@ mod tests {
         let mut sink = NullTelemetry;
         sink.on_round_start(1);
         sink.on_delivery(1, EdgeId(0), NodeId(0), NodeId(1), 4);
-        sink.on_round_end(1, true);
+        sink.on_round_end(1, true, 4);
     }
 
     #[test]
@@ -942,16 +948,23 @@ mod tests {
         prof.on_chaos_corrupt(1, EdgeId(1), NodeId(1), NodeId(2), 3);
         prof.on_delivery(1, EdgeId(1), NodeId(1), NodeId(2), 2);
         prof.on_chaos_drop(1, EdgeId(0), NodeId(1), NodeId(0));
-        prof.on_round_end(1, false);
+        prof.on_round_end(1, false, 4);
         prof.on_round_start(2);
+        // Node 2's crash kills both directions of edge 1, so only the
+        // two slots of edge 0 count as live capacity from round 2 on.
         prof.on_crash(2, NodeId(2));
-        prof.on_round_end(2, true);
+        prof.on_round_end(2, true, 2);
         let report = prof.finish();
         assert_eq!(report.total_messages(), 2);
         assert_eq!(report.total_bits(), 10);
         assert_eq!(report.total_dropped(), 1);
         assert_eq!(report.total_corrupted_bits(), 3);
         assert_eq!(report.rounds[0].util, [2, 1, 0, 0, 1]);
+        assert_eq!(
+            report.rounds[1].util,
+            [2, 0, 0, 0, 0],
+            "crashed capacity is dead, not idle"
+        );
         assert_eq!(report.rounds[0].path_bits, 8);
         assert_eq!(report.rounds[0].cross_bits, 2);
         assert_eq!(report.rounds[1].crashes, 1);

@@ -217,6 +217,11 @@ impl<'a> Parser<'a> {
         while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
             self.pos += 1;
         }
+        // Only `0` itself may start with a zero — the canonical form the
+        // byte-exact validators rely on (`07` must not round-trip).
+        if self.pos - start > 1 && self.bytes[start] == b'0' {
+            return Err(format!("leading zero in number at byte {start}"));
+        }
         std::str::from_utf8(&self.bytes[start..self.pos])
             .expect("digits are ASCII")
             .parse()
@@ -395,6 +400,7 @@ mod tests {
             "{\"a\":1} extra",
             "\"unterminated",
             "01x",
+            "07",
             "-5",
         ] {
             assert!(parse(bad).is_err(), "should reject: {bad}");

@@ -16,10 +16,11 @@
 
 use crate::json::Json;
 use crate::spec::{PointSpec, POINT_SCHEMA};
-use qdc_algos::flood::{chaos_round_budget, robust_broadcast, robust_broadcast_observed};
+use qdc_algos::flood::{chaos_round_budget, robust_broadcast_with};
 use qdc_algos::verify::verify_hamiltonian_cycle;
 use qdc_congest::{
-    ChaosConfig, CongestConfig, RoundProfiler, RunMetrics, TelemetryReport, TrafficTrace,
+    ChaosConfig, CongestConfig, NullTelemetry, RoundProfiler, RunMetrics, RunOptions,
+    TelemetryReport, TrafficTrace,
 };
 use qdc_graph::{generate, Graph, GraphBuilder, NodeId, Subgraph};
 
@@ -77,8 +78,21 @@ fn embed_in_connected_host(instance: &Graph) -> (Graph, Subgraph) {
 /// Wall time is measured here but stored separately so callers can
 /// compare the deterministic parts of two runs byte for byte.
 pub fn execute_point(index: usize, spec: &PointSpec) -> (PointRecord, Option<TrafficTrace>) {
-    let (record, trace, _) = execute_point_impl(index, spec, false);
+    let (record, trace, _) = execute_point_impl(index, spec, false, RunOptions::default());
     (record, trace)
+}
+
+/// [`execute_point`] with explicit simulator [`RunOptions`] and a
+/// telemetry toggle — the runner's entry point when the campaign asks
+/// for sharded round execution (`--sim-threads`). The record, trace and
+/// telemetry are byte-identical at every thread count.
+pub fn execute_point_sharded(
+    index: usize,
+    spec: &PointSpec,
+    with_telemetry: bool,
+    options: RunOptions,
+) -> (PointRecord, Option<TrafficTrace>, Option<TelemetryReport>) {
+    execute_point_impl(index, spec, with_telemetry, options)
 }
 
 /// [`execute_point`] with a [`RoundProfiler`] observing the run.
@@ -96,22 +110,23 @@ pub fn execute_point_with_telemetry(
     index: usize,
     spec: &PointSpec,
 ) -> (PointRecord, Option<TrafficTrace>, Option<TelemetryReport>) {
-    execute_point_impl(index, spec, true)
+    execute_point_impl(index, spec, true, RunOptions::default())
 }
 
 fn execute_point_impl(
     index: usize,
     spec: &PointSpec,
     with_telemetry: bool,
+    options: RunOptions,
 ) -> (PointRecord, Option<TrafficTrace>, Option<TelemetryReport>) {
     let start = std::time::Instant::now();
     let (kind, params, metrics, accept, extra, error, trace, telemetry) = match spec {
         PointSpec::SimThm(p) => {
             let (out, telemetry) = if with_telemetry {
-                let (out, t) = qdc_simthm::campaign::run_point_observed(p);
+                let (out, t) = qdc_simthm::campaign::run_point_observed_with(p, options);
                 (out, Some(t))
             } else {
-                (qdc_simthm::campaign::run_point(p), None)
+                (qdc_simthm::campaign::run_point_with(p, options), None)
             };
             (
                 "simthm",
@@ -163,9 +178,10 @@ fn execute_point_impl(
             let (result, telemetry) = if with_telemetry {
                 let mut profiler =
                     RoundProfiler::new(graph.node_count(), graph.edge_count(), *bandwidth);
-                let result = robust_broadcast_observed(
+                let result = robust_broadcast_with(
                     &graph,
                     cfg,
+                    options,
                     NodeId(0),
                     &chaos,
                     give_up,
@@ -174,7 +190,15 @@ fn execute_point_impl(
                 (result, Some(profiler.finish()))
             } else {
                 (
-                    robust_broadcast(&graph, cfg, NodeId(0), &chaos, give_up),
+                    robust_broadcast_with(
+                        &graph,
+                        cfg,
+                        options,
+                        NodeId(0),
+                        &chaos,
+                        give_up,
+                        &mut NullTelemetry,
+                    ),
                     None,
                 )
             };

@@ -24,7 +24,7 @@
 //! campaign) that the deterministic serializations omit.
 
 use crate::json::Json;
-use crate::point::{execute_point, execute_point_with_telemetry, PointRecord};
+use crate::point::{execute_point_sharded, PointRecord};
 use crate::spec::{CampaignError, CampaignSpec, PointSpec, CAMPAIGN_SCHEMA};
 use qdc_congest::{TelemetryReport, TrafficTrace};
 
@@ -37,9 +37,14 @@ pub struct RunOptions {
     /// can be large; the CLI only asks for them when archiving).
     pub keep_traces: bool,
     /// Whether to profile each point with a telemetry sink
-    /// ([`execute_point_with_telemetry`]). Off by default: the null-sink
-    /// path is the zero-overhead one.
+    /// ([`execute_point_with_telemetry`](crate::point::execute_point_with_telemetry)).
+    /// Off by default: the null-sink path is the zero-overhead one.
     pub keep_telemetry: bool,
+    /// Worker thread count for each point's *round engine* (the
+    /// simulator's compute phase), as distinct from `threads`, which
+    /// shards whole points. Both levels carry the same byte-identical
+    /// determinism contract, so any combination is safe. Must be ≥ 1.
+    pub sim_threads: usize,
 }
 
 impl Default for RunOptions {
@@ -48,6 +53,7 @@ impl Default for RunOptions {
             threads: 1,
             keep_traces: false,
             keep_telemetry: false,
+            sim_threads: 1,
         }
     }
 }
@@ -244,7 +250,7 @@ pub fn run_campaign(
     spec: &CampaignSpec,
     options: &RunOptions,
 ) -> Result<CampaignOutcome, CampaignError> {
-    if options.threads == 0 {
+    if options.threads == 0 || options.sim_threads == 0 {
         return Err(CampaignError::ZeroThreads);
     }
     spec.validate()?;
@@ -258,13 +264,11 @@ pub fn run_campaign(
 
     // Which worker runs a point cannot change its result, and neither
     // can observation: the profiled path is bit-for-bit the plain one.
+    let sim_options = qdc_congest::RunOptions {
+        threads: options.sim_threads,
+    };
     let run_one = |i: usize, point: &PointSpec| -> Slot {
-        if options.keep_telemetry {
-            execute_point_with_telemetry(i, point)
-        } else {
-            let (rec, trace) = execute_point(i, point);
-            (rec, trace, None)
-        }
+        execute_point_sharded(i, point, options.keep_telemetry, sim_options)
     };
 
     if threads == 1 {
@@ -333,6 +337,7 @@ mod tests {
                 threads: 0,
                 keep_traces: false,
                 keep_telemetry: false,
+                sim_threads: 1,
             },
         )
         .expect_err("zero threads is invalid");
@@ -348,6 +353,7 @@ mod tests {
                 threads: 1,
                 keep_traces: false,
                 keep_telemetry: false,
+                sim_threads: 1,
             },
         )
         .expect("runs");
@@ -357,6 +363,7 @@ mod tests {
                 threads: 4,
                 keep_traces: false,
                 keep_telemetry: false,
+                sim_threads: 1,
             },
         )
         .expect("runs");
@@ -377,6 +384,7 @@ mod tests {
                 threads: 3,
                 keep_traces: true,
                 keep_telemetry: false,
+                sim_threads: 1,
             },
         )
         .expect("runs");
@@ -403,6 +411,7 @@ mod tests {
                 threads: 2,
                 keep_traces: false,
                 keep_telemetry: false,
+                sim_threads: 1,
             },
         )
         .expect("runs");
@@ -438,6 +447,7 @@ mod tests {
                 threads: 2,
                 keep_traces: false,
                 keep_telemetry: true,
+                sim_threads: 1,
             },
         )
         .expect("runs");
@@ -506,6 +516,7 @@ mod tests {
                 threads: 2,
                 keep_traces: false,
                 keep_telemetry: false,
+                sim_threads: 1,
             },
         )
         .expect("runs");

@@ -18,7 +18,7 @@ use crate::network::SimulationNetwork;
 use crate::simulate::audit_trace;
 use qdc_congest::{
     CongestConfig, Inbox, Message, NodeAlgorithm, NodeClass, NodeInfo, NullTelemetry, Outbox,
-    RoundProfiler, RunMetrics, Simulator, Telemetry, TelemetryReport, TrafficTrace,
+    RoundProfiler, RunMetrics, RunOptions, Simulator, Telemetry, TelemetryReport, TrafficTrace,
 };
 use qdc_graph::generate;
 
@@ -118,8 +118,15 @@ impl NodeAlgorithm for ComponentFlood {
 /// preconditions). Campaign specs are validated before any point runs,
 /// so the harness never reaches this.
 pub fn run_point(point: &SimThmPoint) -> SimThmOutcome {
+    run_point_with(point, RunOptions::default())
+}
+
+/// [`run_point`] with explicit simulator [`RunOptions`] (worker threads
+/// for the engine's compute phase). Options never change outcomes — the
+/// result is byte-identical at every thread count.
+pub fn run_point_with(point: &SimThmPoint, options: RunOptions) -> SimThmOutcome {
     let net = build_network(point);
-    run_on(&net, point, &mut NullTelemetry)
+    run_on(&net, point, options, &mut NullTelemetry)
 }
 
 /// [`run_point`] with a [`RoundProfiler`] observing the run, classified
@@ -127,6 +134,15 @@ pub fn run_point(point: &SimThmPoint) -> SimThmOutcome {
 /// the highway-vs-path traffic split of Figs. 8–10. Telemetry observes,
 /// never perturbs: the outcome is bit-for-bit that of [`run_point`].
 pub fn run_point_observed(point: &SimThmPoint) -> (SimThmOutcome, TelemetryReport) {
+    run_point_observed_with(point, RunOptions::default())
+}
+
+/// [`run_point_observed`] with explicit simulator [`RunOptions`]. The
+/// profile and outcome are byte-identical at every thread count.
+pub fn run_point_observed_with(
+    point: &SimThmPoint,
+    options: RunOptions,
+) -> (SimThmOutcome, TelemetryReport) {
     let net = build_network(point);
     let mut profiler = RoundProfiler::new(
         net.graph().node_count(),
@@ -134,7 +150,7 @@ pub fn run_point_observed(point: &SimThmPoint) -> (SimThmOutcome, TelemetryRepor
         point.bandwidth,
     )
     .with_classes(highway_classes(&net));
-    let outcome = run_on(&net, point, &mut profiler);
+    let outcome = run_on(&net, point, options, &mut profiler);
     (outcome, profiler.finish())
 }
 
@@ -170,13 +186,18 @@ fn build_network(point: &SimThmPoint) -> SimulationNetwork {
 fn run_on<T: Telemetry>(
     net: &SimulationNetwork,
     point: &SimThmPoint,
+    options: RunOptions,
     telemetry: &mut T,
 ) -> SimThmOutcome {
     let tracks = net.track_count();
     let (carol, david) = generate::hamiltonian_matching_pair(tracks);
     let m = net.embed_matchings(&carol, &david);
     let width = qdc_algos::widths::id_width(net.graph().node_count());
-    let sim = Simulator::new(net.graph(), CongestConfig::quantum(point.bandwidth));
+    let sim = Simulator::with_options(
+        net.graph(),
+        CongestConfig::quantum(point.bandwidth),
+        options,
+    );
     let (_, report, trace) = sim.run_traced_observed(
         |info| ComponentFlood {
             label: info.id.0 as u64,

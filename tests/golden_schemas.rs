@@ -12,8 +12,8 @@
 //! 2. **Round-trip**: the strict parser accepts the fixture and
 //!    re-serializes it byte-identically;
 //! 3. **Rejection corpus**: truncation, an unknown field, a wrong
-//!    version tag and a non-integer value are each rejected with an
-//!    error.
+//!    version tag, a non-integer value and a leading-zero integer are
+//!    each rejected with an error.
 //!
 //! Regenerate fixtures after a deliberate schema change with:
 //!
@@ -170,6 +170,10 @@ fn golden_trace_v1_rejection_corpus() {
             text.replacen("\"from\":0", "\"from\":0.5", 1),
             "non-integer value",
         ),
+        (
+            text.replacen("\"from\":0", "\"from\":00", 1),
+            "leading-zero integer",
+        ),
     ];
     for (bad, why) in cases {
         let err = TrafficTrace::from_jsonl(&bad).expect_err(why);
@@ -191,6 +195,32 @@ fn golden_telemetry_v1_byte_exact_round_trip() {
     assert_eq!(back.total_bits(), profile.total_bits());
 }
 
+/// The wall-clock form of the telemetry fixture: the same profile with
+/// its volatile per-round spans pinned to a deterministic ramp (real
+/// spans legitimately differ run to run; the fixture pins the schema,
+/// not the timings).
+fn golden_telemetry_wall() -> TelemetryReport {
+    let mut profile = golden_telemetry();
+    for (i, r) in profile.rounds.iter_mut().enumerate() {
+        r.wall_ns = 1_000 * (i as u64 + 1);
+    }
+    profile
+}
+
+#[test]
+fn golden_telemetry_v1_wall_byte_exact_round_trip() {
+    let profile = golden_telemetry_wall();
+    let text = profile.to_jsonl(true);
+    assert_matches_golden("telemetry_v1_wall.jsonl", &text);
+    let back = TelemetryReport::from_jsonl(&text).expect("fixture parses");
+    assert_eq!(back.to_jsonl(true), text, "wall round-trip is byte-exact");
+    for (a, b) in back.rounds.iter().zip(&profile.rounds) {
+        assert_eq!(a.wall_ns, b.wall_ns, "spans survive the round-trip");
+    }
+    // Dropping the spans recovers the deterministic fixture exactly.
+    assert_eq!(profile.to_jsonl(false), golden_telemetry().to_jsonl(false));
+}
+
 #[test]
 fn golden_telemetry_v1_rejection_corpus() {
     let text = golden_telemetry().to_jsonl(false);
@@ -207,6 +237,10 @@ fn golden_telemetry_v1_rejection_corpus() {
         (
             text.replacen("\"round\":1", "\"round\":1.5", 1),
             "non-integer value",
+        ),
+        (
+            text.replacen("\"round\":1", "\"round\":01", 1),
+            "leading-zero integer",
         ),
     ];
     for (bad, why) in cases {
@@ -239,6 +273,10 @@ fn golden_campaign_point_v1_rejection_corpus() {
         (
             line.replace("\"point\":3", "\"point\":3.5"),
             "non-integer value",
+        ),
+        (
+            line.replace("\"point\":3", "\"point\":03"),
+            "leading-zero integer",
         ),
     ];
     for (bad, why) in cases {
@@ -273,6 +311,10 @@ fn golden_campaign_v1_rejection_corpus() {
         (
             summary.replace("\"wall_ms\":7", "\"wall_ms\":7.5"),
             "non-integer value",
+        ),
+        (
+            summary.replace("\"wall_ms\":7", "\"wall_ms\":07"),
+            "leading-zero integer",
         ),
     ];
     for (bad, why) in cases {

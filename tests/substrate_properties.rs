@@ -86,12 +86,13 @@ proptest! {
             }
             fn is_terminated(&self) -> bool { true }
         }
+        use qdc::congest::RunOptions;
         let g = generate::random_connected(n, n + extra, seed);
         let cfg = CongestConfig::classical(16);
         let make = |info: &NodeInfo| MinFlood { label: 1000 + info.id.0 as u64 };
         let sim = Simulator::new(&g, cfg);
         let (plain, plain_report) = sim.run(make, 100);
-        let (traced, traced_report, _) = sim.run_traced(make, 100);
+        let (traced, traced_report, trace) = sim.run_traced(make, 100);
         let mut stepper = Stepper::new(&g, cfg, make);
         while !stepper.is_quiescent() {
             stepper.step();
@@ -102,6 +103,17 @@ proptest! {
             prop_assert_eq!(plain[v].label, traced[v].label);
             prop_assert_eq!(plain[v].label, stepper.nodes()[v].label);
             prop_assert_eq!(plain[v].label, 1000); // flood converged to the min
+        }
+
+        // A fourth mode: the sharded engine (3 compute threads) is the
+        // same engine, so it joins the agreement — states, report, and
+        // the traffic trace byte for byte.
+        let sharded = Simulator::with_options(&g, cfg, RunOptions { threads: 3 });
+        let (par, par_report, par_trace) = sharded.run_traced(make, 100);
+        prop_assert_eq!(plain_report, par_report);
+        prop_assert_eq!(trace.rounds, par_trace.rounds);
+        for v in 0..g.node_count() {
+            prop_assert_eq!(plain[v].label, par[v].label);
         }
 
         // The same agreement must hold under fault injection: batch,
@@ -129,6 +141,23 @@ proptest! {
         for v in 0..g.node_count() {
             prop_assert_eq!(batch[v].label, ctraced[v].label);
             prop_assert_eq!(batch[v].label, cstepper.nodes()[v].label);
+        }
+
+        // Under faults too: a sharded batch run and a sharded stepper
+        // (built via `Stepper::with_options`) replay the same drops,
+        // corruptions and crashes as the sequential modes.
+        let (cpar, cpar_report) = sharded.try_run(make, &chaos).expect("quiesces under faults");
+        let mut pstepper = Stepper::with_options(
+            &g, cfg, RunOptions { threads: 2 }, Some(&chaos), make,
+        );
+        while !pstepper.is_quiescent() {
+            pstepper.step();
+        }
+        prop_assert_eq!(batch_report, cpar_report);
+        prop_assert_eq!(batch_report, pstepper.report());
+        for v in 0..g.node_count() {
+            prop_assert_eq!(batch[v].label, cpar[v].label);
+            prop_assert_eq!(batch[v].label, pstepper.nodes()[v].label);
         }
     }
 
@@ -177,6 +206,78 @@ proptest! {
             prop_assert!(eigs.iter().all(|&l| (-1e-6..=1.0 + 1e-6).contains(&l)));
         }
     }
+}
+
+/// The watchdog boundary: a round cap *exactly equal* to the quiescence
+/// round completes normally in every execution mode — the engine checks
+/// quiescence before the cap, so "just enough rounds" is enough. One
+/// round fewer must cut the run short, in each mode's own idiom.
+#[test]
+fn max_rounds_equal_to_quiescence_round_completes() {
+    use qdc::congest::{ChaosConfig, Inbox, NodeAlgorithm, NodeInfo, Outbox, Stepper};
+    #[derive(Debug)]
+    struct MinFlood {
+        label: u64,
+    }
+    impl NodeAlgorithm for MinFlood {
+        fn on_start(&mut self, _: &NodeInfo, out: &mut Outbox) {
+            out.broadcast(Message::from_uint(self.label, 16));
+        }
+        fn on_round(&mut self, _: &NodeInfo, inbox: &Inbox, out: &mut Outbox) {
+            let best = inbox.iter().filter_map(|(_, m)| m.as_uint(16)).min();
+            if let Some(b) = best {
+                if b < self.label {
+                    self.label = b;
+                    out.broadcast(Message::from_uint(b, 16));
+                }
+            }
+        }
+        fn is_terminated(&self) -> bool {
+            true
+        }
+    }
+    let g = qdc::graph::Graph::path(12);
+    let cfg = CongestConfig::classical(16);
+    let make = |info: &qdc::congest::NodeInfo| MinFlood {
+        label: 1000 + info.id.0 as u64,
+    };
+    let sim = Simulator::new(&g, cfg);
+    let (_, free) = sim.run(make, 1000);
+    assert!(
+        free.completed,
+        "the flood quiesces well under the probe cap"
+    );
+    let q = free.rounds;
+    assert!(q > 2, "the boundary is only interesting past the start");
+
+    // Strict batch: the cap equal to Q completes; Q−1 does not.
+    let (_, at) = sim.run(make, q);
+    assert!(at.completed, "max_rounds == quiescence round must complete");
+    assert_eq!(at.rounds, q);
+    let (_, under) = sim.run(make, q - 1);
+    assert!(!under.completed, "one round short must be cut off");
+
+    // Lenient batch: a watchdog at exactly Q is not a trip.
+    let ok = sim
+        .try_run(make, &ChaosConfig::fault_free(q))
+        .expect("watchdog == quiescence round must not trip");
+    assert_eq!(ok.1, at, "fault-free lenient run matches the strict one");
+    let err = sim
+        .try_run(make, &ChaosConfig::fault_free(q - 1))
+        .expect_err("one round short must trip the watchdog");
+    assert_eq!(
+        err,
+        qdc::congest::SimError::WatchdogTripped { rounds: q - 1 }
+    );
+
+    // Stepper: run_to_quiescence(Q) lands exactly on quiescence.
+    let mut stepper = Stepper::new(&g, cfg, make);
+    let wd = stepper.run_to_quiescence(q);
+    assert!(!wd.tripped, "a budget of exactly Q rounds suffices");
+    assert_eq!(wd.rounds, q);
+    assert!(stepper.is_quiescent());
+    let mut short = Stepper::new(&g, cfg, make);
+    assert!(short.run_to_quiescence(q - 1).tripped);
 }
 
 #[test]
