@@ -1,13 +1,19 @@
 //! Campaign runner CLI: execute a named experiment campaign on a worker
-//! pool and write machine-readable results.
+//! pool with crash-safe journaling, and write machine-readable results.
 //!
 //! ```text
-//! campaign <spec> [--threads N] [--sim-threads N] [--deterministic]
-//!                 [--out FILE.jsonl] [--summary FILE.json]
-//!                 [--trace-dir DIR] [--telemetry-dir DIR] [--list]
+//! campaign [resume] <spec> [--threads N] [--sim-threads N] [--deterministic]
+//!                          [--max-attempts N] [--deadline-ms MS]
+//!                          [--backoff-seed N] [--throttle-ms MS] [--resume]
+//!                          [--out FILE.jsonl] [--summary FILE.json]
+//!                          [--trace-dir DIR] [--telemetry-dir DIR] [--list]
 //! ```
 //!
 //! * `<spec>` — a built-in campaign name (`campaign --list` prints them);
+//! * `resume` / `--resume` — recover the journal at `--out`, truncate any
+//!   torn final line on its record boundary, fold the surviving records
+//!   into the aggregate, and execute only the missing tail. A resumed
+//!   deterministic run is byte-identical to an uninterrupted one;
 //! * `--threads N` — worker pool size (default 1). The deterministic
 //!   output is byte-identical for every `N`;
 //! * `--sim-threads N` — worker threads for each point's round engine
@@ -15,10 +21,24 @@
 //!   the byte-identical contract;
 //! * `--deterministic` — omit the volatile wall-clock fields from the
 //!   record and telemetry files, so two runs of the same spec can be
-//!   diffed byte-for-byte (CI's parallel-differential job does exactly
-//!   this). The summary keeps its `threads`/`wall_ms` fields — its
-//!   schema pins them — so only records and archives are diffable;
-//! * `--out` — per-point JSONL records (default `campaign_<spec>.jsonl`);
+//!   diffed byte-for-byte (CI's parallel-differential and
+//!   interrupt-resume jobs do exactly this). The summary keeps its
+//!   `threads`/`wall_ms` fields — its schema pins them — so only records
+//!   and archives are diffable;
+//! * `--max-attempts N` — attempt budget per point (default 1; the first
+//!   try counts). Transient failures (watchdog trips, panics, deadline
+//!   overruns) are retried with deterministic seeded backoff; permanent
+//!   protocol violations are journaled after the first attempt;
+//! * `--deadline-ms MS` — wall-clock deadline per attempt; an overrun
+//!   becomes a `"deadline"` failure record (off by default);
+//! * `--backoff-seed N` — seed of the deterministic retry backoff
+//!   schedule (default 0; never the wall clock);
+//! * `--throttle-ms MS` — testing aid: sleep before each point so
+//!   interruption tests can land a signal mid-grid (default 0);
+//! * `--out` — per-point JSONL journal (default `campaign_<spec>.jsonl`).
+//!   Every committed point is durably appended (one write + fsync per
+//!   line), so the file is a valid record-boundary prefix at every
+//!   instant — SIGKILL included;
 //! * `--summary` — aggregate summary (default `BENCH_<spec>.json`);
 //! * `--trace-dir` — also archive each traced point's per-round traffic
 //!   as `<dir>/point_<i>.trace.jsonl`;
@@ -27,22 +47,76 @@
 //!   `<dir>/point_<i>.telemetry.jsonl` (the `profile` binary renders
 //!   these).
 //!
-//! After writing, the binary re-reads the JSONL file and runs the strict
-//! conformance validator over every record line (and the summary), so a
-//! zero exit status certifies the output is schema-conformant (CI's
-//! smoke jobs rely on this).
+//! On SIGINT/SIGTERM the runner drains in-flight points, flushes the
+//! journal, writes a partial summary marked `"interrupted": true`, and
+//! exits 130; `campaign resume <spec>` finishes the grid later.
+//!
+//! After running, the binary re-reads the JSONL journal and runs the
+//! strict conformance validator over every line — point records and
+//! failure records alike — plus the summary, so a zero exit status
+//! certifies the output is schema-conformant (CI's smoke jobs rely on
+//! this).
+//!
+//! Exit codes: `0` success, `2` usage, `3` invalid spec or options,
+//! `4` I/O failure, `5` corrupt journal or failed self-check, `130`
+//! interrupted by signal.
 
 use qdc_bench::{print_header, print_row};
 use qdc_harness::{
-    builtin, builtin_names, run_campaign, summary_json, validate_output_paths, CampaignError,
-    CampaignOutcome, RunOptions,
+    builtin, builtin_names, journal_summary_json, run_campaign_journaled, validate_output_paths,
+    CampaignRunError, CancelToken, JournalConfig, JournalOutcome, RunOptions,
 };
+
+/// Signal plumbing: SIGINT/SIGTERM flip the shared [`CancelToken`] and
+/// nothing else — the handler is a single atomic store, which is
+/// async-signal-safe. The runner notices the token, drains, and shuts
+/// down gracefully on the normal control path.
+#[cfg(unix)]
+mod signals {
+    use qdc_harness::CancelToken;
+    use std::sync::OnceLock;
+
+    static TOKEN: OnceLock<CancelToken> = OnceLock::new();
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        if let Some(token) = TOKEN.get() {
+            token.cancel();
+        }
+    }
+
+    pub fn install(token: CancelToken) {
+        let _ = TOKEN.set(token);
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        let handler = on_signal as *const () as usize;
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod signals {
+    use qdc_harness::CancelToken;
+
+    pub fn install(_token: CancelToken) {}
+}
 
 struct Args {
     spec: String,
     threads: usize,
     sim_threads: usize,
     deterministic: bool,
+    resume: bool,
+    max_attempts: u32,
+    deadline_ms: Option<u64>,
+    backoff_seed: u64,
+    throttle_ms: u64,
     out: Option<String>,
     summary: Option<String>,
     trace_dir: Option<String>,
@@ -51,8 +125,9 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: campaign <spec> [--threads N] [--sim-threads N] [--deterministic] \
-         [--out FILE.jsonl] [--summary FILE.json] [--trace-dir DIR] \
+        "usage: campaign [resume] <spec> [--threads N] [--sim-threads N] [--deterministic] \
+         [--max-attempts N] [--deadline-ms MS] [--backoff-seed N] [--throttle-ms MS] \
+         [--resume] [--out FILE.jsonl] [--summary FILE.json] [--trace-dir DIR] \
          [--telemetry-dir DIR] [--list]"
     );
     eprintln!("built-in specs: {}", builtin_names().join(", "));
@@ -65,11 +140,17 @@ fn parse_args() -> Args {
         threads: 1,
         sim_threads: 1,
         deterministic: false,
+        resume: false,
+        max_attempts: 1,
+        deadline_ms: None,
+        backoff_seed: 0,
+        throttle_ms: 0,
         out: None,
         summary: None,
         trace_dir: None,
         telemetry_dir: None,
     };
+    let mut saw_resume_word = false;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -89,6 +170,23 @@ fn parse_args() -> Args {
                 None => usage(),
             },
             "--deterministic" => args.deterministic = true,
+            "--resume" => args.resume = true,
+            "--max-attempts" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => args.max_attempts = n,
+                None => usage(),
+            },
+            "--deadline-ms" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(ms) => args.deadline_ms = Some(ms),
+                None => usage(),
+            },
+            "--backoff-seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => args.backoff_seed = n,
+                None => usage(),
+            },
+            "--throttle-ms" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(ms) => args.throttle_ms = ms,
+                None => usage(),
+            },
             "--out" => match it.next() {
                 Some(v) => args.out = Some(v),
                 None => usage(),
@@ -110,6 +208,10 @@ fn parse_args() -> Args {
                 eprintln!("unknown flag `{s}`");
                 usage();
             }
+            "resume" if args.spec.is_empty() && !saw_resume_word => {
+                saw_resume_word = true;
+                args.resume = true;
+            }
             s if args.spec.is_empty() => args.spec = s.to_string(),
             _ => usage(),
         }
@@ -120,65 +222,41 @@ fn parse_args() -> Args {
     args
 }
 
-fn fail(err: &CampaignError) -> ! {
-    eprintln!("campaign: {err}");
-    std::process::exit(2);
+/// Validates one journal line against the strict schema for its kind:
+/// failure records carry the `qdc-campaign-failure/v1` tag (always as
+/// the leading `schema` field), everything else must be a point record.
+fn validate_journal_line(line: &str) -> Result<(), String> {
+    if line.starts_with("{\"schema\":\"qdc-campaign-failure/v1\"") {
+        qdc_harness::validate_failure_line(line)
+    } else {
+        qdc_harness::validate_record_line(line)
+    }
 }
 
-fn write_outputs(
-    args: &Args,
-    outcome: &CampaignOutcome,
+/// Re-reads the journal and summary from disk and runs the strict
+/// conformance validators over every byte the campaign claims to have
+/// written. Returns the number of validated journal lines.
+fn self_check(
     out_path: &str,
     summary_path: &str,
-) -> std::io::Result<usize> {
-    let mut jsonl = String::new();
-    for rec in &outcome.records {
-        jsonl.push_str(&qdc_harness::record_json(
-            &outcome.spec_name,
-            rec,
-            !args.deterministic,
-        ));
-        jsonl.push('\n');
-    }
-    std::fs::write(out_path, &jsonl)?;
-    std::fs::write(summary_path, summary_json(outcome) + "\n")?;
-
-    if let Some(dir) = &args.trace_dir {
-        std::fs::create_dir_all(dir)?;
-        for (i, trace) in outcome.traces.iter().enumerate() {
-            if let Some(trace) = trace {
-                std::fs::write(format!("{dir}/point_{i}.trace.jsonl"), trace.to_jsonl())?;
-            }
-        }
-    }
-
-    if let Some(dir) = &args.telemetry_dir {
-        std::fs::create_dir_all(dir)?;
-        for (i, profile) in outcome.telemetry.iter().enumerate() {
-            if let Some(profile) = profile {
-                std::fs::write(
-                    format!("{dir}/point_{i}.telemetry.jsonl"),
-                    profile.to_jsonl(!args.deterministic),
-                )?;
-            }
-        }
-    }
-
-    // Self-check: every line we wrote must pass the strict conformance
-    // validator, not merely parse as JSON.
-    let written = std::fs::read_to_string(out_path)?;
+    outcome: &JournalOutcome,
+) -> Result<usize, String> {
+    let written =
+        std::fs::read_to_string(out_path).map_err(|e| format!("cannot re-read journal: {e}"))?;
     let mut n = 0;
     for (lineno, line) in written.lines().enumerate() {
-        if let Err(e) = qdc_harness::validate_record_line(line) {
-            eprintln!("campaign: self-check failed at line {}: {e}", lineno + 1);
-            std::process::exit(1);
-        }
+        validate_journal_line(line).map_err(|e| format!("journal line {}: {e}", lineno + 1))?;
         n += 1;
     }
-    if let Err(e) = qdc_harness::validate_summary(&std::fs::read_to_string(summary_path)?) {
-        eprintln!("campaign: summary self-check failed: {e}");
-        std::process::exit(1);
+    let expected = outcome.recovered + outcome.executed;
+    if n != expected {
+        return Err(format!(
+            "journal holds {n} lines but the run committed {expected} points"
+        ));
     }
+    let summary = std::fs::read_to_string(summary_path)
+        .map_err(|e| format!("cannot re-read summary: {e}"))?;
+    qdc_harness::validate_summary(&summary).map_err(|e| format!("summary: {e}"))?;
     Ok(n)
 }
 
@@ -201,7 +279,8 @@ fn main() {
         .clone()
         .unwrap_or_else(|| format!("BENCH_{}.json", spec.name));
     if let Err(e) = validate_output_paths(&out_path, &summary_path) {
-        fail(&e);
+        eprintln!("campaign: {e}");
+        std::process::exit(3);
     }
 
     let options = RunOptions {
@@ -209,35 +288,76 @@ fn main() {
         keep_traces: args.trace_dir.is_some(),
         keep_telemetry: args.telemetry_dir.is_some(),
         sim_threads: args.sim_threads,
+        max_attempts: args.max_attempts,
+        backoff_seed: args.backoff_seed,
+        point_deadline_ms: args.deadline_ms,
+        throttle_ms: args.throttle_ms,
     };
-    let outcome = match run_campaign(&spec, &options) {
+    let config = JournalConfig {
+        out_path: out_path.clone(),
+        trace_dir: args.trace_dir.clone(),
+        telemetry_dir: args.telemetry_dir.clone(),
+        resume: args.resume,
+        with_wall: !args.deterministic,
+    };
+    let cancel = CancelToken::new();
+    signals::install(cancel.clone());
+
+    let outcome = match run_campaign_journaled(&spec, &options, &config, &cancel) {
         Ok(o) => o,
-        Err(e) => fail(&e),
+        Err(CampaignRunError::Spec(e)) => {
+            eprintln!("campaign: {e}");
+            std::process::exit(3);
+        }
+        Err(CampaignRunError::Io(e)) => {
+            eprintln!("campaign: journal I/O failed: {e}");
+            std::process::exit(4);
+        }
+        Err(CampaignRunError::Corrupt(msg)) => {
+            eprintln!("campaign: corrupt journal `{out_path}`: {msg}");
+            std::process::exit(5);
+        }
     };
 
-    let validated = match write_outputs(&args, &outcome, &out_path, &summary_path) {
+    // The summary is written even for an interrupted run — marked, so
+    // downstream tooling can tell the partial fold from a complete one.
+    if let Err(e) = std::fs::write(&summary_path, journal_summary_json(&outcome) + "\n") {
+        eprintln!("campaign: writing summary failed: {e}");
+        std::process::exit(4);
+    }
+
+    let validated = match self_check(&out_path, &summary_path, &outcome) {
         Ok(n) => n,
         Err(e) => {
-            eprintln!("campaign: writing outputs failed: {e}");
-            std::process::exit(1);
+            eprintln!("campaign: self-check failed: {e}");
+            std::process::exit(5);
         }
     };
 
     let agg = &outcome.aggregate;
+    if outcome.recovered > 0 {
+        println!(
+            "campaign `{}`: recovered {} point(s) from `{out_path}`, resumed at point {}",
+            outcome.spec_name, outcome.recovered, outcome.recovered
+        );
+    }
     println!(
-        "campaign `{}`: {} points on {} thread(s) in {} ms",
-        outcome.spec_name, agg.points, outcome.threads, outcome.wall_ms
+        "campaign `{}`: {} of {} points on {} thread(s) in {} ms",
+        outcome.spec_name, agg.points, outcome.total_points, outcome.threads, outcome.wall_ms
     );
-    let widths = [10, 10, 10, 12, 14, 12];
+    let widths = [10, 10, 10, 10, 12, 14, 12];
     print_header(
-        &["ok", "errors", "accepted", "rounds", "bits", "dropped"],
+        &[
+            "ok", "errors", "failed", "retried", "rounds", "bits", "dropped",
+        ],
         &widths,
     );
     print_row(
         &[
             &agg.ok.to_string(),
             &agg.errors.to_string(),
-            &agg.accepted.to_string(),
+            &agg.points_failed.to_string(),
+            &agg.points_retried.to_string(),
             &agg.rounds.to_string(),
             &agg.bits.to_string(),
             &agg.dropped.to_string(),
@@ -246,4 +366,12 @@ fn main() {
     );
     println!("records: {out_path} (validated {validated} lines)");
     println!("summary: {summary_path}");
+
+    if outcome.interrupted {
+        eprintln!(
+            "campaign: interrupted after {} of {} points — run `campaign resume {}` to finish",
+            agg.points, outcome.total_points, outcome.spec_name
+        );
+        std::process::exit(130);
+    }
 }

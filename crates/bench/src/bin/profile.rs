@@ -15,6 +15,10 @@
 //! nothing, and `<=B/4 … <=B` count messages by how much of the budget
 //! they used. For classified profiles (simulation-theorem networks) the
 //! path/highway/cross split of each round's bits is shown as well.
+//!
+//! Exit codes: `0` success, `2` usage, `4` the archive cannot be read,
+//! `5` the archive is empty, truncated, or otherwise malformed (the
+//! parser reports a structured error — it never panics on bad input).
 
 use qdc_bench::{print_header, print_row};
 use qdc_congest::TelemetryReport;
@@ -55,14 +59,14 @@ fn main() {
         Ok(t) => t,
         Err(e) => {
             eprintln!("profile: cannot read `{path}`: {e}");
-            std::process::exit(1);
+            std::process::exit(4);
         }
     };
     let report = match TelemetryReport::from_jsonl(&text) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("profile: `{path}` is not a valid telemetry archive: {e}");
-            std::process::exit(1);
+            std::process::exit(5);
         }
     };
 

@@ -73,6 +73,69 @@ impl std::fmt::Display for SimError {
     }
 }
 
+impl SimError {
+    /// A stable machine-readable name for the variant, as stamped into
+    /// `qdc-campaign-failure/v1` records (`kind` field). Names are part
+    /// of that schema's contract; changing one is a schema change.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SimError::BudgetExceeded { .. } => "budget_exceeded",
+            SimError::DoublePortSend { .. } => "double_port_send",
+            SimError::PortOutOfRange { .. } => "port_out_of_range",
+            SimError::WatchdogTripped { .. } => "watchdog_tripped",
+            SimError::InvalidChaosConfig { .. } => "invalid_chaos_config",
+        }
+    }
+
+    /// The retry taxonomy for supervised runners: whether re-executing
+    /// the same workload could plausibly succeed.
+    ///
+    /// [`WatchdogTripped`](SimError::WatchdogTripped) is a resource cap,
+    /// the moral equivalent of a deadline: a supervisor may retry it
+    /// (perhaps under a different budget) without risking masking a
+    /// protocol bug. Every other variant is a deterministic protocol or
+    /// configuration violation — the same inputs will fail the same way
+    /// every time, so retrying only wastes attempts and a supervisor
+    /// should record it as permanent.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, SimError::WatchdogTripped { .. })
+    }
+
+    /// Classifies a panic message produced by one of the panicking
+    /// simulator APIs (which emit exactly the [`Display`] text of the
+    /// corresponding variant) back into the `(kind, retryable)` pair of
+    /// that variant. Returns `None` for messages no simulator API emits,
+    /// so supervisors can distinguish a structural simulator error from
+    /// an arbitrary panic.
+    ///
+    /// [`Display`]: std::fmt::Display
+    pub fn classify_message(msg: &str) -> Option<(&'static str, bool)> {
+        let probes: [(&str, SimError); 5] = [
+            (
+                "exceeds the B = ",
+                SimError::BudgetExceeded { bits: 0, budget: 0 },
+            ),
+            (
+                "already has a message this round",
+                SimError::DoublePortSend { port: 0 },
+            ),
+            (
+                "out of range (node has",
+                SimError::PortOutOfRange { port: 0, ports: 0 },
+            ),
+            ("watchdog tripped", SimError::WatchdogTripped { rounds: 0 }),
+            (
+                "chaos probability",
+                SimError::InvalidChaosConfig { prob: 0.0 },
+            ),
+        ];
+        probes
+            .iter()
+            .find(|(fragment, _)| msg.contains(fragment))
+            .map(|(_, e)| (e.kind(), e.is_retryable()))
+    }
+}
+
 impl std::error::Error for SimError {}
 
 /// Whether a link carries classical bits or qubits.
@@ -1449,6 +1512,52 @@ mod tests {
         fn is_terminated(&self) -> bool {
             self.heard >= self.need
         }
+    }
+
+    #[test]
+    fn sim_error_taxonomy_is_closed_under_display() {
+        // Every variant's Display text (which the panicking APIs emit
+        // verbatim) classifies back to exactly that variant's kind and
+        // retryability — the contract supervised runners rely on to turn
+        // a caught panic into a structured failure record.
+        let variants = [
+            SimError::BudgetExceeded { bits: 9, budget: 8 },
+            SimError::DoublePortSend { port: 2 },
+            SimError::PortOutOfRange { port: 7, ports: 3 },
+            SimError::WatchdogTripped { rounds: 41 },
+            SimError::InvalidChaosConfig { prob: 1.5 },
+        ];
+        for e in &variants {
+            assert_eq!(
+                SimError::classify_message(&e.to_string()),
+                Some((e.kind(), e.is_retryable())),
+                "Display of {e:?} must classify to its own kind"
+            );
+        }
+        // Kinds are distinct (they name failure records).
+        let mut kinds: Vec<_> = variants.iter().map(|e| e.kind()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), variants.len());
+    }
+
+    #[test]
+    fn sim_error_only_watchdog_is_retryable() {
+        assert!(SimError::WatchdogTripped { rounds: 1 }.is_retryable());
+        assert!(!SimError::BudgetExceeded { bits: 2, budget: 1 }.is_retryable());
+        assert!(!SimError::DoublePortSend { port: 0 }.is_retryable());
+        assert!(!SimError::PortOutOfRange { port: 1, ports: 1 }.is_retryable());
+        assert!(!SimError::InvalidChaosConfig { prob: 2.0 }.is_retryable());
+    }
+
+    #[test]
+    fn sim_error_classify_rejects_arbitrary_panic_messages() {
+        assert_eq!(SimError::classify_message("index out of bounds"), None);
+        assert_eq!(SimError::classify_message(""), None);
+        assert_eq!(
+            SimError::classify_message("attempt to subtract with overflow"),
+            None
+        );
     }
 
     #[test]

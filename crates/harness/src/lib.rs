@@ -20,26 +20,42 @@
 //!   spec produces byte-identical deterministic output on 1 or N
 //!   threads**.
 //!
+//! Campaigns are **crash-safe**: [`run_campaign_journaled`] streams
+//! every committed point through a durable fsync-per-line journal
+//! ([`journal`]), recovers interrupted journals (torn tails truncated
+//! on a record boundary), and resumes at the first missing index;
+//! point panics, structured simulator errors, and wall-clock deadline
+//! overruns are isolated into `qdc-campaign-failure/v1` records
+//! ([`PointFailure`]) with supervised, deterministically-backed-off
+//! retries instead of aborting the grid.
+//!
 //! The `campaign` binary in `qdc-bench` is the CLI front end; the
 //! root-level `tests/harness_properties.rs` property-tests the
-//! determinism contract with random small specs.
+//! determinism contract with random small specs, and
+//! `tests/crash_resume_properties.rs` kill-and-resumes journals at
+//! every prefix.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod journal;
 pub mod json;
 pub mod point;
 pub mod runner;
 pub mod spec;
 
+pub use journal::{recover, Journal, RecoveredEntry, Recovery};
 pub use json::Json;
 pub use point::{
-    execute_point, execute_point_with_telemetry, record_json, validate_record_line, PointRecord,
+    execute_point, execute_point_with_telemetry, failure_json, record_json, validate_failure_line,
+    validate_record_line, PointFailure, PointRecord,
 };
 pub use runner::{
-    run_campaign, summary_json, validate_summary, Aggregate, CampaignOutcome, RunOptions,
+    journal_summary_json, run_campaign, run_campaign_journaled, summary_json, validate_summary,
+    Aggregate, CampaignOutcome, CampaignRunError, CancelToken, JournalConfig, JournalOutcome,
+    RunOptions,
 };
 pub use spec::{
     builtin, builtin_names, validate_output_paths, CampaignError, CampaignGrid, CampaignSpec,
-    PointSpec, CAMPAIGN_SCHEMA, POINT_SCHEMA,
+    PointSpec, CAMPAIGN_SCHEMA, FAILURE_SCHEMA, POINT_SCHEMA,
 };

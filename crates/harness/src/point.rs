@@ -15,11 +15,11 @@
 //! contract.
 
 use crate::json::Json;
-use crate::spec::{PointSpec, POINT_SCHEMA};
+use crate::spec::{PointSpec, FAILURE_SCHEMA, POINT_SCHEMA};
 use qdc_algos::flood::{chaos_round_budget, robust_broadcast_with};
 use qdc_algos::verify::verify_hamiltonian_cycle;
 use qdc_congest::{
-    ChaosConfig, CongestConfig, NullTelemetry, RoundProfiler, RunMetrics, RunOptions,
+    ChaosConfig, CongestConfig, NullTelemetry, RoundProfiler, RunMetrics, RunOptions, SimError,
     TelemetryReport, TrafficTrace,
 };
 use qdc_graph::{generate, Graph, GraphBuilder, NodeId, Subgraph};
@@ -42,12 +42,84 @@ pub struct PointRecord {
     pub accept: Option<bool>,
     /// Kind-specific extra observations (paid bits, informed counts, …).
     pub extra: Vec<(&'static str, Json)>,
-    /// Structured error from the fallible entry points (watchdog trips
-    /// and friends); `None` on success.
+    /// Retained for schema stability: the `qdc-campaign-point/v1` field
+    /// order pins an `error` slot, but the supervised runner now turns
+    /// every structured error into a [`PointFailure`] record instead, so
+    /// freshly written records always carry `null` here. Historical
+    /// archives (pre-failure-schema) may still carry strings.
     pub error: Option<String>,
     /// Wall-clock time of this point in microseconds. Excluded from the
     /// determinism contract.
     pub wall_us: u64,
+}
+
+/// Why one point produced no [`PointRecord`]: its (final) attempt
+/// panicked, returned a structured [`SimError`], or exceeded the
+/// supervised runner's wall-clock deadline. Serialized as one
+/// `qdc-campaign-failure/v1` line in the campaign journal, occupying the
+/// failed point's index slot so recovery stays index-contiguous.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PointFailure {
+    /// Index of the point in the expanded grid.
+    pub index: usize,
+    /// Stable failure kind: one of [`SimError::kind`]'s names, or
+    /// `"panic"` (unclassifiable panic payload), or `"deadline"`.
+    pub kind: &'static str,
+    /// Whether the supervised runner may retry this kind of failure
+    /// (see [`SimError::is_retryable`]; panics and deadlines are treated
+    /// as transient, protocol violations as permanent).
+    pub retryable: bool,
+    /// How many attempts were made before giving up (≥ 1; the first try
+    /// counts).
+    pub attempts: u32,
+    /// Human-readable failure message (panic payload or error Display).
+    pub error: String,
+}
+
+impl PointFailure {
+    /// Wraps a structured simulator error from a fallible entry point.
+    pub fn from_sim_error(index: usize, e: &SimError) -> PointFailure {
+        PointFailure {
+            index,
+            kind: e.kind(),
+            retryable: e.is_retryable(),
+            attempts: 1,
+            error: e.to_string(),
+        }
+    }
+
+    /// Classifies a caught panic payload. Panicking simulator APIs emit
+    /// exactly the [`SimError`] Display text, so those map back to the
+    /// structured kind; anything else is a generic `"panic"`, treated as
+    /// transient (a supervisor cannot prove a foreign panic is
+    /// deterministic, and retrying a deterministic one only costs the
+    /// bounded attempt budget).
+    pub fn from_panic(index: usize, payload: &(dyn std::any::Any + Send)) -> PointFailure {
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "panic with non-string payload".to_string());
+        let (kind, retryable) = SimError::classify_message(&message).unwrap_or(("panic", true));
+        PointFailure {
+            index,
+            kind,
+            retryable,
+            attempts: 1,
+            error: message,
+        }
+    }
+
+    /// A point that exceeded the supervised runner's wall-clock deadline.
+    pub fn deadline(index: usize, deadline_ms: u64) -> PointFailure {
+        PointFailure {
+            index,
+            kind: "deadline",
+            retryable: true,
+            attempts: 1,
+            error: format!("point exceeded the {deadline_ms} ms wall-clock deadline"),
+        }
+    }
 }
 
 /// Re-embeds a gadget instance as a subnetwork `M` of a connected host
@@ -73,13 +145,18 @@ fn embed_in_connected_host(instance: &Graph) -> (Graph, Subgraph) {
 }
 
 /// Runs one point. Returns the record plus, for traced kinds, the
-/// per-round traffic trace (archivable via [`TrafficTrace::to_jsonl`]).
+/// per-round traffic trace (archivable via [`TrafficTrace::to_jsonl`]),
+/// or a structured [`PointFailure`] when a fallible entry point errored
+/// (the supervised runner decides whether to retry or journal it).
 ///
 /// Wall time is measured here but stored separately so callers can
 /// compare the deterministic parts of two runs byte for byte.
-pub fn execute_point(index: usize, spec: &PointSpec) -> (PointRecord, Option<TrafficTrace>) {
-    let (record, trace, _) = execute_point_impl(index, spec, false, RunOptions::default());
-    (record, trace)
+pub fn execute_point(
+    index: usize,
+    spec: &PointSpec,
+) -> Result<(PointRecord, Option<TrafficTrace>), PointFailure> {
+    let (record, trace, _) = execute_point_impl(index, spec, false, RunOptions::default())?;
+    Ok((record, trace))
 }
 
 /// [`execute_point`] with explicit simulator [`RunOptions`] and a
@@ -91,7 +168,7 @@ pub fn execute_point_sharded(
     spec: &PointSpec,
     with_telemetry: bool,
     options: RunOptions,
-) -> (PointRecord, Option<TrafficTrace>, Option<TelemetryReport>) {
+) -> Result<(PointRecord, Option<TrafficTrace>, Option<TelemetryReport>), PointFailure> {
     execute_point_impl(index, spec, with_telemetry, options)
 }
 
@@ -99,17 +176,17 @@ pub fn execute_point_sharded(
 ///
 /// Simulation-theorem points are profiled with the highway/path node
 /// classification ([`qdc_simthm::campaign::run_point_observed`]); chaos
-/// points are profiled unclassified, and the profile is produced even
-/// when the broadcast errors (a watchdog trip's partial profile is
-/// exactly what one wants to inspect). Gadget points compose several
+/// points are profiled unclassified. Gadget points compose several
 /// simulator stages with no single run to profile, so they yield `None`.
+/// A broadcast that errors yields a [`PointFailure`] (its partial
+/// profile is discarded with the failed attempt).
 ///
 /// Telemetry observes, never perturbs: the record is bit-for-bit the
 /// one [`execute_point`] produces (modulo `wall_us`).
 pub fn execute_point_with_telemetry(
     index: usize,
     spec: &PointSpec,
-) -> (PointRecord, Option<TrafficTrace>, Option<TelemetryReport>) {
+) -> Result<(PointRecord, Option<TrafficTrace>, Option<TelemetryReport>), PointFailure> {
     execute_point_impl(index, spec, true, RunOptions::default())
 }
 
@@ -118,7 +195,7 @@ fn execute_point_impl(
     spec: &PointSpec,
     with_telemetry: bool,
     options: RunOptions,
-) -> (PointRecord, Option<TrafficTrace>, Option<TelemetryReport>) {
+) -> Result<(PointRecord, Option<TrafficTrace>, Option<TelemetryReport>), PointFailure> {
     let start = std::time::Instant::now();
     let (kind, params, metrics, accept, extra, error, trace, telemetry) = match spec {
         PointSpec::SimThm(p) => {
@@ -219,16 +296,12 @@ fn execute_point_impl(
                         telemetry,
                     )
                 }
-                Err(e) => (
-                    "chaos",
-                    params,
-                    RunMetrics::default(),
-                    None,
-                    vec![("give_up", Json::Num(give_up as u64))],
-                    Some(e.to_string()),
-                    None,
-                    telemetry,
-                ),
+                // A structured simulator error (a watchdog trip under
+                // pathological loss, say) is a *failure*, not a result:
+                // the supervised runner journals it as a
+                // `qdc-campaign-failure/v1` record and the rest of the
+                // grid keeps running.
+                Err(e) => return Err(PointFailure::from_sim_error(index, &e)),
             }
         }
         PointSpec::Gadget { point, bandwidth } => {
@@ -277,7 +350,69 @@ fn execute_point_impl(
         error,
         wall_us: start.elapsed().as_micros() as u64,
     };
-    (record, trace, telemetry)
+    Ok((record, trace, telemetry))
+}
+
+/// Renders one failure as a single `qdc-campaign-failure/v1` JSON
+/// document with a stable field order. Failure records carry no
+/// wall-clock field at all — every field is deterministic under the
+/// determinism contract (`attempts` only varies when deadlines, which
+/// are wall-clock by nature, are in play).
+pub fn failure_json(campaign: &str, failure: &PointFailure) -> String {
+    Json::obj([
+        ("schema", Json::Str(FAILURE_SCHEMA.to_string())),
+        ("campaign", Json::Str(campaign.to_string())),
+        ("point", Json::Num(failure.index as u64)),
+        ("kind", Json::Str(failure.kind.to_string())),
+        ("retryable", Json::Bool(failure.retryable)),
+        ("attempts", Json::Num(u64::from(failure.attempts))),
+        ("error", Json::Str(failure.error.clone())),
+    ])
+    .to_json()
+}
+
+/// Strict conformance check for one `qdc-campaign-failure/v1` line: the
+/// exact field list in the exact order, the schema tag, a non-empty
+/// kind, a boolean retryability and an attempt count of at least one.
+pub fn validate_failure_line(line: &str) -> Result<(), String> {
+    let doc = crate::json::parse(line)?;
+    crate::json::require_keys(
+        &doc,
+        &[
+            "schema",
+            "campaign",
+            "point",
+            "kind",
+            "retryable",
+            "attempts",
+            "error",
+        ],
+        &[],
+    )?;
+    match doc.get("schema") {
+        Some(Json::Str(s)) if s == FAILURE_SCHEMA => {}
+        _ => return Err(format!("schema tag must be `{FAILURE_SCHEMA}`")),
+    }
+    for key in ["campaign", "error"] {
+        if !matches!(doc.get(key), Some(Json::Str(_))) {
+            return Err(format!("`{key}` must be a string"));
+        }
+    }
+    match doc.get("kind") {
+        Some(Json::Str(k)) if !k.is_empty() => {}
+        _ => return Err("`kind` must be a non-empty string".into()),
+    }
+    if doc.get("point").and_then(Json::as_u64).is_none() {
+        return Err("`point` must be an unsigned integer".into());
+    }
+    if !matches!(doc.get("retryable"), Some(Json::Bool(_))) {
+        return Err("`retryable` must be a boolean".into());
+    }
+    match doc.get("attempts").and_then(Json::as_u64) {
+        Some(n) if n >= 1 => {}
+        _ => return Err("`attempts` must be an integer of at least 1".into()),
+    }
+    Ok(())
 }
 
 fn metrics_json(m: &RunMetrics) -> Json {
@@ -421,7 +556,7 @@ mod tests {
     fn point_simthm_record_matches_direct_run() {
         let spec = builtin("simthm_smoke").expect("builtin");
         let points = spec.points();
-        let (rec, trace) = execute_point(0, &points[0]);
+        let (rec, trace) = execute_point(0, &points[0]).expect("point runs");
         let PointSpec::SimThm(p) = &points[0] else {
             panic!("smoke grid is simthm");
         };
@@ -441,7 +576,7 @@ mod tests {
             seed: 3,
             bandwidth: 8,
         };
-        let (rec, trace) = execute_point(7, &spec);
+        let (rec, trace) = execute_point(7, &spec).expect("point runs");
         assert_eq!(rec.kind, "chaos");
         assert_eq!(rec.index, 7);
         assert!(trace.is_none());
@@ -462,7 +597,7 @@ mod tests {
             },
             bandwidth: 32,
         };
-        let (rec, _) = execute_point(0, &spec);
+        let (rec, _) = execute_point(0, &spec).expect("point runs");
         assert_eq!(rec.accept, Some(true));
         assert!(rec.metrics.rounds > 0);
         assert!(rec.metrics.bits_sent > 0);
@@ -472,8 +607,8 @@ mod tests {
     fn point_telemetry_observes_without_perturbing() {
         let spec = builtin("simthm_smoke").expect("builtin");
         let point = &spec.points()[0];
-        let (plain, _) = execute_point(0, point);
-        let (observed, _, telemetry) = execute_point_with_telemetry(0, point);
+        let (plain, _) = execute_point(0, point).expect("point runs");
+        let (observed, _, telemetry) = execute_point_with_telemetry(0, point).expect("point runs");
         let telemetry = telemetry.expect("simthm points are profiled");
         assert_eq!(
             record_json("t", &plain, false),
@@ -497,8 +632,8 @@ mod tests {
             seed: 3,
             bandwidth: 8,
         };
-        let (plain, _) = execute_point(7, &spec);
-        let (rec, _, telemetry) = execute_point_with_telemetry(7, &spec);
+        let (plain, _) = execute_point(7, &spec).expect("point runs");
+        let (rec, _, telemetry) = execute_point_with_telemetry(7, &spec).expect("point runs");
         let telemetry = telemetry.expect("chaos points are profiled");
         assert_eq!(
             record_json("t", &plain, false),
@@ -519,7 +654,7 @@ mod tests {
             },
             bandwidth: 32,
         };
-        let (_, _, telemetry) = execute_point_with_telemetry(0, &spec);
+        let (_, _, telemetry) = execute_point_with_telemetry(0, &spec).expect("point runs");
         assert!(telemetry.is_none());
     }
 
@@ -532,7 +667,7 @@ mod tests {
             seed: 1,
             bandwidth: 4,
         };
-        let (rec, _) = execute_point(2, &spec);
+        let (rec, _) = execute_point(2, &spec).expect("point runs");
         validate_record_line(&record_json("t", &rec, false)).expect("deterministic form conforms");
         validate_record_line(&record_json("t", &rec, true)).expect("wall form conforms");
 
@@ -568,6 +703,75 @@ mod tests {
     }
 
     #[test]
+    fn point_watchdog_trip_maps_to_a_retryable_failure() {
+        // Satellite regression: a WatchdogTripped inside a point must
+        // become a structured, retryable failure record — never an
+        // abort. The chaos Err arm routes through from_sim_error, which
+        // this pins for the watchdog variant.
+        let e = qdc_congest::SimError::WatchdogTripped { rounds: 40 };
+        let f = PointFailure::from_sim_error(9, &e);
+        assert_eq!(f.index, 9);
+        assert_eq!(f.kind, "watchdog_tripped");
+        assert!(f.retryable, "watchdog trips are transient by taxonomy");
+        assert_eq!(f.attempts, 1);
+        assert!(f.error.contains("watchdog tripped"));
+        validate_failure_line(&failure_json("t", &f)).expect("failure line conforms");
+    }
+
+    #[test]
+    fn point_panic_payloads_classify_back_to_sim_error_kinds() {
+        // The panicking simulator APIs emit exactly the SimError Display
+        // text, so a caught panic recovers the structured kind…
+        let budget = qdc_congest::SimError::BudgetExceeded { bits: 9, budget: 1 };
+        let payload: Box<dyn std::any::Any + Send> = Box::new(budget.to_string());
+        let f = PointFailure::from_panic(4, payload.as_ref());
+        assert_eq!(f.kind, "budget_exceeded");
+        assert!(!f.retryable, "protocol violations are permanent");
+        // …while a foreign panic stays generic and transient.
+        let payload: Box<dyn std::any::Any + Send> = Box::new("index out of bounds");
+        let f = PointFailure::from_panic(4, payload.as_ref());
+        assert_eq!(f.kind, "panic");
+        assert!(f.retryable);
+        // Non-string payloads still produce a message.
+        let payload: Box<dyn std::any::Any + Send> = Box::new(17u32);
+        let f = PointFailure::from_panic(4, payload.as_ref());
+        assert_eq!(f.error, "panic with non-string payload");
+    }
+
+    #[test]
+    fn point_failure_validator_accepts_real_lines_and_rejects_mutants() {
+        let f = PointFailure::deadline(5, 250);
+        assert_eq!(f.kind, "deadline");
+        assert!(f.retryable);
+        let line = failure_json("t", &f);
+        validate_failure_line(&line).expect("real failure line conforms");
+        for (broken, why) in [
+            (
+                line.replace("qdc-campaign-failure/v1", "qdc-campaign-failure/v0"),
+                "wrong schema tag",
+            ),
+            (
+                line.replace("\"retryable\":true", "\"retryable\":1"),
+                "non-boolean retryable",
+            ),
+            (
+                line.replace("\"attempts\":1", "\"attempts\":0"),
+                "zero attempts",
+            ),
+            (
+                line.replace("\"kind\":\"deadline\"", "\"kind\":\"\""),
+                "empty kind",
+            ),
+            (line[..line.len() - 2].to_string(), "truncated document"),
+        ] {
+            assert!(
+                validate_failure_line(&broken).is_err(),
+                "should reject {why}: {broken}"
+            );
+        }
+    }
+
+    #[test]
     fn point_record_json_is_stable_and_parses() {
         let spec = PointSpec::Chaos {
             nodes: 8,
@@ -576,7 +780,7 @@ mod tests {
             seed: 1,
             bandwidth: 4,
         };
-        let (rec, _) = execute_point(2, &spec);
+        let (rec, _) = execute_point(2, &spec).expect("point runs");
         let deterministic = record_json("t", &rec, false);
         assert_eq!(deterministic, record_json("t", &rec, false));
         assert!(!deterministic.contains("wall_us"));

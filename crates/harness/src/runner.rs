@@ -1,5 +1,5 @@
-//! The campaign runner: deterministic sharding, scoped worker threads,
-//! order-independent aggregation.
+//! The campaign runner: deterministic sharding, supervised worker
+//! threads, order-independent aggregation, crash-safe journaling.
 //!
 //! # Determinism contract
 //!
@@ -9,12 +9,12 @@
 //! 1. [`CampaignSpec::points`](crate::CampaignSpec::points) expands the
 //!    grid in a fixed order; a point's index is assigned *before*
 //!    sharding.
-//! 2. Worker `w` of `t` takes points `w, w + t, w + 2t, …` (round-robin
-//!    by index). Which worker runs a point cannot change its result:
-//!    every experiment is a pure function of its `PointSpec`.
-//! 3. Results are scattered back into an index-ordered table, so the
-//!    record list — and the JSONL file written from it — is in point
-//!    order no matter which worker finished first.
+//! 2. Workers pull indices from a shared dispenser. Which worker runs a
+//!    point cannot change its result: every experiment is a pure
+//!    function of its `PointSpec`.
+//! 3. Results are committed through a reorder buffer in strict index
+//!    order, so the record list — and the JSONL journal written from
+//!    it — is in point order no matter which worker finished first.
 //! 4. The aggregate folds only `u64` counters with commutative,
 //!    associative operations (`+` and `max`), walking the table in index
 //!    order. Even if the fold order changed, the result could not.
@@ -22,11 +22,44 @@
 //! The one thing that *does* vary between runs — wall-clock time — is
 //! kept in dedicated fields (`wall_us` per record, `wall_ms` per
 //! campaign) that the deterministic serializations omit.
+//!
+//! # Fault isolation and supervision
+//!
+//! Every point executes under [`std::panic::catch_unwind`], optionally
+//! bounded by a wall-clock deadline
+//! ([`RunOptions::point_deadline_ms`]). A panic, a structured
+//! [`SimError`](qdc_congest::SimError), or a deadline overrun becomes a
+//! [`PointFailure`]; transient kinds (watchdog trips, generic panics,
+//! deadlines — see [`SimError::is_retryable`](qdc_congest::SimError::is_retryable))
+//! are retried up to [`RunOptions::max_attempts`] with deterministic
+//! seeded backoff before the failure is committed as a
+//! `qdc-campaign-failure/v1` record in the failed point's index slot.
+//! The rest of the grid always keeps running: one poisoned cell cannot
+//! discard a campaign. A worker thread that dies anyway is survived by
+//! an orphan sweep that re-executes whatever the lost worker never
+//! reported.
+//!
+//! # Crash-safe journaling and resume
+//!
+//! [`run_campaign_journaled`] streams each committed point through
+//! [`Journal::append_line`](crate::journal::Journal::append_line)
+//! (single-write + fsync per line) instead of holding the campaign in
+//! memory, and on resume replays the surviving journal prefix via
+//! [`journal::recover`](crate::journal::recover) before executing only
+//! the missing tail. Cancellation ([`CancelToken`]) drains in-flight
+//! points, commits the contiguous prefix, and reports
+//! `interrupted: true` — the journal is always resumable.
 
+use crate::journal::{self, Journal, RecoveredEntry};
 use crate::json::Json;
-use crate::point::{execute_point_sharded, PointRecord};
+use crate::point::{execute_point_sharded, failure_json, record_json, PointFailure, PointRecord};
 use crate::spec::{CampaignError, CampaignSpec, PointSpec, CAMPAIGN_SCHEMA};
-use qdc_congest::{TelemetryReport, TrafficTrace};
+use qdc_congest::{RunMetrics, TelemetryReport, TrafficTrace};
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
 
 /// How to run a campaign.
 #[derive(Clone, Debug)]
@@ -45,6 +78,26 @@ pub struct RunOptions {
     /// shards whole points. Both levels carry the same byte-identical
     /// determinism contract, so any combination is safe. Must be ≥ 1.
     pub sim_threads: usize,
+    /// Attempt budget per point (must be ≥ 1; the first try counts).
+    /// Only *retryable* failures consume extra attempts — permanent
+    /// protocol violations are committed after the first.
+    pub max_attempts: u32,
+    /// Seed of the deterministic retry backoff schedule. The delay
+    /// before attempt `a` of point `i` is a pure function of
+    /// `(backoff_seed, i, a)` — never of the wall clock — so two runs
+    /// of the same spec retry on the same schedule.
+    pub backoff_seed: u64,
+    /// Wall-clock deadline per attempt, in milliseconds. `None` (the
+    /// default) runs attempts inline with no timer; `Some(ms)` runs
+    /// each attempt on a watchdog thread and records a `"deadline"`
+    /// failure if it does not finish in time. Deadlines are inherently
+    /// wall-clock: enabling them steps outside the byte-identical
+    /// determinism contract.
+    pub point_deadline_ms: Option<u64>,
+    /// Testing aid: sleep this many milliseconds before each point so
+    /// interruption tests (and the CI kill-and-resume job) can reliably
+    /// land a signal mid-grid. `0` (the default) adds nothing.
+    pub throttle_ms: u64,
 }
 
 impl Default for RunOptions {
@@ -54,20 +107,55 @@ impl Default for RunOptions {
             keep_traces: false,
             keep_telemetry: false,
             sim_threads: 1,
+            max_attempts: 1,
+            backoff_seed: 0,
+            point_deadline_ms: None,
+            throttle_ms: 0,
         }
     }
 }
 
-/// Order-independent fold of every record's counters. All fields are
-/// `u64` and folded with `+`/`max` only, so the result cannot depend on
-/// evaluation order — see the module docs.
+/// Cooperative cancellation handle for graceful shutdown: signal
+/// handlers (or tests) call [`cancel`](CancelToken::cancel); workers
+/// stop pulling new points, finish the ones in flight, and the
+/// committer flushes the contiguous prefix to the journal before the
+/// runner returns with `interrupted: true`.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests shutdown. Safe to call from a signal handler (a single
+    /// atomic store) and idempotent.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// Order-independent fold of every committed point's counters. All
+/// fields are `u64` and folded with `+`/`max` only, so the result
+/// cannot depend on evaluation order — see the module docs.
+///
+/// `points` counts every committed outcome (records *and* failures), so
+/// `ok + errors + points_failed == points` always holds.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Aggregate {
-    /// Total points executed.
+    /// Total points committed (successful records plus failures).
     pub points: u64,
     /// Points that finished without a structured error.
     pub ok: u64,
-    /// Points that returned a structured error.
+    /// Points whose record carries a (legacy) error string. Freshly
+    /// written records never do — structured errors become failure
+    /// records — but recovered pre-failure-schema journals may.
     pub errors: u64,
     /// Points whose verdict was accept.
     pub accepted: u64,
@@ -87,31 +175,72 @@ pub struct Aggregate {
     pub crashed: u64,
     /// Sum of corrupted payloads (fault injection).
     pub corrupted: u64,
+    /// Points whose every attempt failed (each has a
+    /// `qdc-campaign-failure/v1` record in the journal).
+    pub points_failed: u64,
+    /// Total extra attempts spent on failed points (`Σ attempts − 1`
+    /// over failure records). A point that failed transiently and then
+    /// succeeded is *not* counted: under the determinism contract a
+    /// success always takes one attempt, and counting only journaled
+    /// attempts keeps a resumed aggregate identical to a live one.
+    pub points_retried: u64,
 }
 
 impl Aggregate {
+    /// Folds one successful point into the counters.
+    pub fn add_point(&mut self, metrics: &RunMetrics, accept: Option<bool>, errored: bool) {
+        self.points += 1;
+        if errored {
+            self.errors += 1;
+        } else {
+            self.ok += 1;
+        }
+        match accept {
+            Some(true) => self.accepted += 1,
+            Some(false) => self.rejected += 1,
+            None => {}
+        }
+        self.rounds += metrics.rounds;
+        self.messages += metrics.messages_sent;
+        self.bits += metrics.bits_sent;
+        self.max_bits_per_round = self.max_bits_per_round.max(metrics.max_bits_per_round);
+        self.dropped += metrics.messages_dropped;
+        self.crashed += metrics.nodes_crashed;
+        self.corrupted += metrics.bits_corrupted;
+    }
+
+    /// Folds one journaled failure into the counters.
+    pub fn add_failure(&mut self, attempts: u64) {
+        self.points += 1;
+        self.points_failed += 1;
+        self.points_retried += attempts.saturating_sub(1);
+    }
+
+    /// Folds one recovered journal entry into the counters.
+    pub fn add_entry(&mut self, entry: &RecoveredEntry) {
+        match entry {
+            RecoveredEntry::Point {
+                metrics,
+                accept,
+                errored,
+            } => self.add_point(metrics, *accept, *errored),
+            RecoveredEntry::Failure { attempts } => self.add_failure(*attempts),
+        }
+    }
+
     /// Folds a record list (in any order — the result is the same).
     pub fn fold(records: &[PointRecord]) -> Aggregate {
+        Aggregate::fold_full(records, &[])
+    }
+
+    /// Folds records and failures together (in any order).
+    pub fn fold_full(records: &[PointRecord], failures: &[PointFailure]) -> Aggregate {
         let mut agg = Aggregate::default();
         for rec in records {
-            agg.points += 1;
-            if rec.error.is_some() {
-                agg.errors += 1;
-            } else {
-                agg.ok += 1;
-            }
-            match rec.accept {
-                Some(true) => agg.accepted += 1,
-                Some(false) => agg.rejected += 1,
-                None => {}
-            }
-            agg.rounds += rec.metrics.rounds;
-            agg.messages += rec.metrics.messages_sent;
-            agg.bits += rec.metrics.bits_sent;
-            agg.max_bits_per_round = agg.max_bits_per_round.max(rec.metrics.max_bits_per_round);
-            agg.dropped += rec.metrics.messages_dropped;
-            agg.crashed += rec.metrics.nodes_crashed;
-            agg.corrupted += rec.metrics.bits_corrupted;
+            agg.add_point(&rec.metrics, rec.accept, rec.error.is_some());
+        }
+        for f in failures {
+            agg.add_failure(u64::from(f.attempts));
         }
         agg
     }
@@ -131,24 +260,32 @@ impl Aggregate {
             ("dropped", Json::Num(self.dropped)),
             ("crashed", Json::Num(self.crashed)),
             ("corrupted", Json::Num(self.corrupted)),
+            ("points_failed", Json::Num(self.points_failed)),
+            ("points_retried", Json::Num(self.points_retried)),
         ])
     }
 }
 
-/// Everything one campaign run produced.
+/// Everything one in-memory campaign run produced.
 #[derive(Clone, Debug)]
 pub struct CampaignOutcome {
     /// The campaign's name (copied from the spec).
     pub spec_name: String,
-    /// Per-point records, in point-index order.
+    /// Per-point records of the successful points, in point-index order
+    /// (each carries its own `index`; failed indices are absent here and
+    /// present in `failures` instead).
     pub records: Vec<PointRecord>,
-    /// Per-point traffic traces (index-aligned with `records`;
-    /// `None` for untraced kinds or when `keep_traces` was off).
+    /// Failures of the points whose every attempt failed, in
+    /// point-index order.
+    pub failures: Vec<PointFailure>,
+    /// Per-point traffic traces, indexed by grid point (`None` for
+    /// untraced kinds, failed points, or when `keep_traces` was off).
     pub traces: Vec<Option<TrafficTrace>>,
-    /// Per-point telemetry profiles (index-aligned with `records`;
-    /// `None` for unprofiled kinds or when `keep_telemetry` was off).
+    /// Per-point telemetry profiles, indexed by grid point (`None` for
+    /// unprofiled kinds, failed points, or when `keep_telemetry` was
+    /// off).
     pub telemetry: Vec<Option<TelemetryReport>>,
-    /// The order-independent fold of `records`.
+    /// The order-independent fold of `records` and `failures`.
     pub aggregate: Aggregate,
     /// Wall-clock time of the whole campaign in milliseconds.
     /// Excluded from the determinism contract.
@@ -158,14 +295,30 @@ pub struct CampaignOutcome {
 }
 
 impl CampaignOutcome {
-    /// The deterministic portion of the run as JSONL: one record per
-    /// point, in index order, without wall-clock fields. Two runs of
-    /// the same spec agree on this string byte for byte regardless of
-    /// thread count.
+    /// The deterministic portion of the run as JSONL: one line per grid
+    /// point in index order — a `qdc-campaign-point/v1` record for each
+    /// success, a `qdc-campaign-failure/v1` record for each failure —
+    /// without wall-clock fields. Two runs of the same spec agree on
+    /// this string byte for byte regardless of thread count, and a
+    /// journaled `--deterministic` run's file holds exactly these bytes.
     pub fn deterministic_jsonl(&self) -> String {
         let mut out = String::new();
-        for rec in &self.records {
-            out.push_str(&crate::point::record_json(&self.spec_name, rec, false));
+        let mut records = self.records.iter().peekable();
+        let mut failures = self.failures.iter().peekable();
+        loop {
+            let take_record = match (records.peek(), failures.peek()) {
+                (Some(r), Some(f)) => r.index < f.index,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            if take_record {
+                let rec = records.next().expect("peeked");
+                out.push_str(&record_json(&self.spec_name, rec, false));
+            } else {
+                let f = failures.next().expect("peeked");
+                out.push_str(&failure_json(&self.spec_name, f));
+            }
             out.push('\n');
         }
         out
@@ -176,26 +329,60 @@ impl CampaignOutcome {
 /// The `aggregate` object inside it is the byte-identical part; the
 /// `threads` and `wall_ms` fields describe this particular run.
 pub fn summary_json(outcome: &CampaignOutcome) -> String {
-    Json::obj([
-        ("schema", Json::Str(CAMPAIGN_SCHEMA.to_string())),
-        ("campaign", Json::Str(outcome.spec_name.clone())),
-        ("threads", Json::Num(outcome.threads as u64)),
-        ("wall_ms", Json::Num(outcome.wall_ms)),
-        ("aggregate", outcome.aggregate.to_json()),
-    ])
-    .to_json()
+    summary_doc(
+        &outcome.spec_name,
+        outcome.threads,
+        outcome.wall_ms,
+        &outcome.aggregate,
+        false,
+    )
+}
+
+/// Renders the summary of a journaled run. An interrupted run's summary
+/// carries a trailing `"interrupted": true` marker so downstream
+/// tooling can tell a resumable partial summary from a complete one.
+pub fn journal_summary_json(outcome: &JournalOutcome) -> String {
+    summary_doc(
+        &outcome.spec_name,
+        outcome.threads,
+        outcome.wall_ms,
+        &outcome.aggregate,
+        outcome.interrupted,
+    )
+}
+
+fn summary_doc(
+    campaign: &str,
+    threads: usize,
+    wall_ms: u64,
+    aggregate: &Aggregate,
+    interrupted: bool,
+) -> String {
+    let mut fields = vec![
+        ("schema".to_string(), Json::Str(CAMPAIGN_SCHEMA.to_string())),
+        ("campaign".to_string(), Json::Str(campaign.to_string())),
+        ("threads".to_string(), Json::Num(threads as u64)),
+        ("wall_ms".to_string(), Json::Num(wall_ms)),
+        ("aggregate".to_string(), aggregate.to_json()),
+    ];
+    if interrupted {
+        fields.push(("interrupted".to_string(), Json::Bool(true)));
+    }
+    Json::Obj(fields).to_json()
 }
 
 /// Strict conformance check for one `qdc-campaign/v1` summary document:
 /// the exact field list in the exact order, the schema tag, and an
-/// integer-only aggregate with the exact counter list. A trailing
+/// integer-only aggregate with the exact counter list. The one optional
+/// field is a trailing boolean `interrupted` marker (present only on
+/// the partial summary of an interrupted journaled run). A trailing
 /// newline (as written by the campaign binary) is accepted.
 pub fn validate_summary(text: &str) -> Result<(), String> {
     let doc = crate::json::parse(text.strip_suffix('\n').unwrap_or(text))?;
     crate::json::require_keys(
         &doc,
         &["schema", "campaign", "threads", "wall_ms", "aggregate"],
-        &[],
+        &["interrupted"],
     )?;
     match doc.get("schema") {
         Some(Json::Str(s)) if s == CAMPAIGN_SCHEMA => {}
@@ -207,6 +394,11 @@ pub fn validate_summary(text: &str) -> Result<(), String> {
     for key in ["threads", "wall_ms"] {
         if doc.get(key).and_then(Json::as_u64).is_none() {
             return Err(format!("`{key}` must be an unsigned integer"));
+        }
+    }
+    if let Some(marker) = doc.get("interrupted") {
+        if !matches!(marker, Json::Bool(_)) {
+            return Err("`interrupted` must be a boolean".into());
         }
     }
     let agg = doc.get("aggregate").expect("checked above");
@@ -225,6 +417,8 @@ pub fn validate_summary(text: &str) -> Result<(), String> {
             "dropped",
             "crashed",
             "corrupted",
+            "points_failed",
+            "points_retried",
         ],
         &[],
     )
@@ -241,82 +435,451 @@ pub fn validate_summary(text: &str) -> Result<(), String> {
     Ok(())
 }
 
-/// Validates, expands, shards and runs a campaign.
+/// One point's fully executed slot: the record plus its optional
+/// archives.
+type Slot = (PointRecord, Option<TrafficTrace>, Option<TelemetryReport>);
+
+/// What the supervisor ultimately committed for one point.
+enum PointOutcome {
+    /// All good (possibly after retries).
+    Done(Box<Slot>),
+    /// Every allowed attempt failed.
+    Failed(PointFailure),
+}
+
+/// SplitMix64 — the tiny seeded mixer behind the deterministic backoff
+/// jitter (no wall-clock, no global RNG state).
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic backoff before retry attempt `attempt + 1` of point
+/// `index`: exponential base (25 ms doubling per attempt) plus seeded
+/// jitter, capped at 250 ms. A pure function of its arguments.
+fn backoff_ms(seed: u64, index: usize, attempt: u32) -> u64 {
+    let base = 25u64 << (attempt.min(4) - 1);
+    let jitter =
+        splitmix64(seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ u64::from(attempt))
+            % 25;
+    (base + jitter).min(250)
+}
+
+/// One attempt under `catch_unwind`: a panic anywhere inside the point
+/// (simulator budget assertions included) becomes a classified
+/// [`PointFailure`] instead of unwinding into the worker loop.
+fn guarded_attempt(
+    index: usize,
+    point: &PointSpec,
+    with_telemetry: bool,
+    sim: qdc_congest::RunOptions,
+) -> Result<Slot, PointFailure> {
+    match catch_unwind(AssertUnwindSafe(|| {
+        execute_point_sharded(index, point, with_telemetry, sim)
+    })) {
+        Ok(result) => result,
+        Err(payload) => Err(PointFailure::from_panic(index, payload.as_ref())),
+    }
+}
+
+/// One attempt, with the optional wall-clock deadline layered on top:
+/// the attempt runs on a dedicated thread and is abandoned (left to
+/// finish into a dropped channel) if it misses the deadline.
+fn run_attempt(
+    index: usize,
+    point: &PointSpec,
+    options: &RunOptions,
+) -> Result<Slot, PointFailure> {
+    let sim = qdc_congest::RunOptions {
+        threads: options.sim_threads,
+    };
+    match options.point_deadline_ms {
+        None => guarded_attempt(index, point, options.keep_telemetry, sim),
+        Some(deadline_ms) => {
+            let (tx, rx) = mpsc::channel();
+            let point = point.clone();
+            let with_telemetry = options.keep_telemetry;
+            std::thread::spawn(move || {
+                let _ = tx.send(guarded_attempt(index, &point, with_telemetry, sim));
+            });
+            match rx.recv_timeout(Duration::from_millis(deadline_ms)) {
+                Ok(result) => result,
+                Err(_) => Err(PointFailure::deadline(index, deadline_ms)),
+            }
+        }
+    }
+}
+
+/// The per-point supervisor: attempt, classify, maybe back off and
+/// retry, and stamp the final attempt count into the failure.
+fn supervised_execute(index: usize, point: &PointSpec, options: &RunOptions) -> PointOutcome {
+    let mut attempt = 1u32;
+    loop {
+        match run_attempt(index, point, options) {
+            Ok(slot) => return PointOutcome::Done(Box::new(slot)),
+            Err(mut failure) => {
+                failure.attempts = attempt;
+                if failure.retryable && attempt < options.max_attempts {
+                    std::thread::sleep(Duration::from_millis(backoff_ms(
+                        options.backoff_seed,
+                        index,
+                        attempt,
+                    )));
+                    attempt += 1;
+                } else {
+                    return PointOutcome::Failed(failure);
+                }
+            }
+        }
+    }
+}
+
+/// How an [`execute_grid`] run ended.
+struct ExecStatus {
+    /// Whether cancellation stopped the run short of the full grid.
+    interrupted: bool,
+    /// Points committed by this run (excludes recovered ones).
+    executed: usize,
+}
+
+/// The shared execution engine: dispense indices to supervised workers,
+/// reorder completions, and hand each outcome to `commit` in strict
+/// index order starting at `start_at`. `commit` failing (an I/O error
+/// from the journal) cancels the run and surfaces the error.
+fn execute_grid<F>(
+    points: &[PointSpec],
+    start_at: usize,
+    options: &RunOptions,
+    cancel: &CancelToken,
+    mut commit: F,
+) -> std::io::Result<ExecStatus>
+where
+    F: FnMut(usize, PointOutcome) -> std::io::Result<()>,
+{
+    let total = points.len();
+    let mut committed = start_at.min(total);
+    if committed < total {
+        let threads = options.threads.min(total - committed).max(1);
+        let next = AtomicUsize::new(committed);
+        let mut buffer: BTreeMap<usize, PointOutcome> = BTreeMap::new();
+        let mut commit_err: Option<std::io::Error> = None;
+        std::thread::scope(|scope| {
+            let (tx, rx) = mpsc::channel::<(usize, PointOutcome)>();
+            let mut handles = Vec::with_capacity(threads);
+            for _ in 0..threads {
+                let tx = tx.clone();
+                let next = &next;
+                handles.push(scope.spawn(move || {
+                    // Graceful drain on cancellation: the cancel check
+                    // sits *before* the dispenser, so a point already
+                    // taken is always finished and reported.
+                    loop {
+                        if cancel.is_cancelled() {
+                            break;
+                        }
+                        let i = next.fetch_add(1, Ordering::SeqCst);
+                        if i >= total {
+                            break;
+                        }
+                        if options.throttle_ms > 0 {
+                            std::thread::sleep(Duration::from_millis(options.throttle_ms));
+                        }
+                        let out = supervised_execute(i, &points[i], options);
+                        if tx.send((i, out)).is_err() {
+                            break;
+                        }
+                    }
+                }));
+            }
+            drop(tx);
+            // Committer: workers finish out of order; the journal
+            // contract wants strict index order, so buffer and commit
+            // the contiguous prefix only.
+            while let Ok((i, out)) = rx.recv() {
+                buffer.insert(i, out);
+                while let Some(out) = buffer.remove(&committed) {
+                    if let Err(e) = commit(committed, out) {
+                        commit_err = Some(e);
+                        cancel.cancel();
+                        break;
+                    }
+                    committed += 1;
+                }
+                if commit_err.is_some() {
+                    break;
+                }
+            }
+            for h in handles {
+                // catch_unwind contains point panics, so workers do not
+                // normally die; if one does anyway, its lost work is
+                // re-executed by the orphan sweep below — joining here
+                // only reaps the thread.
+                let _ = h.join();
+            }
+        });
+        if let Some(e) = commit_err {
+            return Err(e);
+        }
+        // Orphan sweep: commit whatever the reorder buffer still holds
+        // and re-execute (inline, in index order) any index a dead
+        // worker took but never reported.
+        while !cancel.is_cancelled() && committed < total {
+            let out = match buffer.remove(&committed) {
+                Some(out) => out,
+                None => supervised_execute(committed, &points[committed], options),
+            };
+            commit(committed, out)?;
+            committed += 1;
+        }
+    }
+    Ok(ExecStatus {
+        interrupted: committed < total,
+        executed: committed - start_at.min(total),
+    })
+}
+
+fn validate_options(options: &RunOptions) -> Result<(), CampaignError> {
+    if options.threads == 0 || options.sim_threads == 0 {
+        return Err(CampaignError::ZeroThreads);
+    }
+    if options.max_attempts == 0 {
+        return Err(CampaignError::ZeroAttempts);
+    }
+    Ok(())
+}
+
+/// Validates, expands, shards and runs a campaign, collecting
+/// everything in memory.
 ///
-/// Sharding is round-robin by point index over a
-/// [`std::thread::scope`] pool of `options.threads` workers; see the
-/// module docs for why the output cannot depend on the thread count.
+/// Point failures do not abort the run: they are isolated, retried
+/// within the attempt budget, and collected into
+/// [`CampaignOutcome::failures`]. For crash-safe streaming execution
+/// use [`run_campaign_journaled`].
 pub fn run_campaign(
     spec: &CampaignSpec,
     options: &RunOptions,
 ) -> Result<CampaignOutcome, CampaignError> {
-    if options.threads == 0 || options.sim_threads == 0 {
-        return Err(CampaignError::ZeroThreads);
-    }
+    validate_options(options)?;
     spec.validate()?;
     let points = spec.points();
     let start = std::time::Instant::now();
 
-    let threads = options.threads.min(points.len()).max(1);
-    type Slot = (PointRecord, Option<TrafficTrace>, Option<TelemetryReport>);
-    let mut slots: Vec<Option<Slot>> = Vec::new();
-    slots.resize_with(points.len(), || None);
+    let mut records = Vec::with_capacity(points.len());
+    let mut failures = Vec::new();
+    let mut traces: Vec<Option<TrafficTrace>> = Vec::new();
+    traces.resize_with(points.len(), || None);
+    let mut telemetry: Vec<Option<TelemetryReport>> = Vec::new();
+    telemetry.resize_with(points.len(), || None);
 
-    // Which worker runs a point cannot change its result, and neither
-    // can observation: the profiled path is bit-for-bit the plain one.
-    let sim_options = qdc_congest::RunOptions {
-        threads: options.sim_threads,
-    };
-    let run_one = |i: usize, point: &PointSpec| -> Slot {
-        execute_point_sharded(i, point, options.keep_telemetry, sim_options)
-    };
-
-    if threads == 1 {
-        for (i, point) in points.iter().enumerate() {
-            slots[i] = Some(run_one(i, point));
-        }
-    } else {
-        let results = std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(threads);
-            for w in 0..threads {
-                let points = &points;
-                let run_one = &run_one;
-                handles.push(scope.spawn(move || {
-                    (w..points.len())
-                        .step_by(threads)
-                        .map(|i| (i, run_one(i, &points[i])))
-                        .collect::<Vec<_>>()
-                }));
+    let cancel = CancelToken::new();
+    execute_grid(&points, 0, options, &cancel, |i, out| {
+        match out {
+            PointOutcome::Done(slot) => {
+                let (rec, trace, profile) = *slot;
+                if options.keep_traces {
+                    traces[i] = trace;
+                }
+                telemetry[i] = profile;
+                records.push(rec);
             }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("campaign worker panicked"))
-                .collect::<Vec<_>>()
-        });
-        for shard in results {
-            for (i, result) in shard {
-                slots[i] = Some(result);
-            }
+            PointOutcome::Failed(f) => failures.push(f),
         }
-    }
+        Ok(())
+    })
+    .expect("in-memory commit is infallible");
 
-    let mut records = Vec::with_capacity(slots.len());
-    let mut traces = Vec::with_capacity(slots.len());
-    let mut telemetry = Vec::with_capacity(slots.len());
-    for slot in slots {
-        let (rec, trace, profile) =
-            slot.expect("every point index was sharded to exactly one worker");
-        records.push(rec);
-        traces.push(if options.keep_traces { trace } else { None });
-        telemetry.push(profile);
-    }
-    let aggregate = Aggregate::fold(&records);
+    let aggregate = Aggregate::fold_full(&records, &failures);
     Ok(CampaignOutcome {
         spec_name: spec.name.clone(),
         records,
+        failures,
         traces,
         telemetry,
         aggregate,
+        wall_ms: start.elapsed().as_millis() as u64,
+        threads: options.threads,
+    })
+}
+
+/// Where and how a journaled run persists its output.
+#[derive(Clone, Debug, Default)]
+pub struct JournalConfig {
+    /// The journal path — the campaign's JSONL output file.
+    pub out_path: String,
+    /// Archive each traced point as `<dir>/point_<i>.trace.jsonl`.
+    pub trace_dir: Option<String>,
+    /// Archive each profiled point as `<dir>/point_<i>.telemetry.jsonl`.
+    pub telemetry_dir: Option<String>,
+    /// Recover an existing journal at `out_path` and resume at the
+    /// first missing index instead of starting over. A missing file
+    /// resumes from zero (resuming a campaign that never started is
+    /// just starting it).
+    pub resume: bool,
+    /// Include the volatile wall-clock fields in records and telemetry
+    /// archives. `false` is the byte-identical deterministic form.
+    pub with_wall: bool,
+}
+
+/// Why a journaled campaign run failed (beyond ordinary point failures,
+/// which are journaled, not raised).
+#[derive(Debug)]
+pub enum CampaignRunError {
+    /// The spec or the run options were rejected up front.
+    Spec(CampaignError),
+    /// The journal or an archive could not be read or written.
+    Io(std::io::Error),
+    /// The existing journal is not a recoverable prefix of this
+    /// campaign (wrong campaign, or more records than the grid has
+    /// points).
+    Corrupt(String),
+}
+
+impl std::fmt::Display for CampaignRunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignRunError::Spec(e) => write!(f, "{e}"),
+            CampaignRunError::Io(e) => write!(f, "journal I/O failed: {e}"),
+            CampaignRunError::Corrupt(msg) => write!(f, "corrupt journal: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignRunError {}
+
+impl From<CampaignError> for CampaignRunError {
+    fn from(e: CampaignError) -> Self {
+        CampaignRunError::Spec(e)
+    }
+}
+
+impl From<std::io::Error> for CampaignRunError {
+    fn from(e: std::io::Error) -> Self {
+        CampaignRunError::Io(e)
+    }
+}
+
+/// What a journaled run reports back (the records themselves live in
+/// the journal file, not in memory — journaled campaigns stream).
+#[derive(Clone, Debug)]
+pub struct JournalOutcome {
+    /// The campaign's name (copied from the spec).
+    pub spec_name: String,
+    /// Size of the expanded grid.
+    pub total_points: usize,
+    /// Points recovered from an existing journal (0 for fresh runs).
+    pub recovered: usize,
+    /// Points executed and committed by *this* run.
+    pub executed: usize,
+    /// The fold of every committed point — recovered and fresh alike.
+    pub aggregate: Aggregate,
+    /// Whether cancellation stopped the run before the grid finished.
+    /// The journal is resumable either way; an interrupted summary is
+    /// marked (see [`journal_summary_json`]).
+    pub interrupted: bool,
+    /// Wall-clock time of this run in milliseconds (excluded from the
+    /// determinism contract).
+    pub wall_ms: u64,
+    /// Thread count the run used.
+    pub threads: usize,
+}
+
+/// Runs a campaign with crash-safe journaling: every committed point is
+/// durably appended to `config.out_path` (fsync per line) the moment
+/// its index is reached, archives land *before* their journal line, and
+/// `config.resume` recovers an interrupted journal and executes only
+/// the missing tail — byte-identical (in the deterministic form) to an
+/// uninterrupted run at any thread count.
+pub fn run_campaign_journaled(
+    spec: &CampaignSpec,
+    options: &RunOptions,
+    config: &JournalConfig,
+    cancel: &CancelToken,
+) -> Result<JournalOutcome, CampaignRunError> {
+    validate_options(options)?;
+    spec.validate().map_err(CampaignRunError::Spec)?;
+    let points = spec.points();
+    let start = std::time::Instant::now();
+
+    let mut aggregate = Aggregate::default();
+    let mut recovered = 0usize;
+    if config.resume {
+        let text = match std::fs::read_to_string(&config.out_path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(CampaignRunError::Io(e)),
+        };
+        let recovery = journal::recover(&text, &spec.name).map_err(CampaignRunError::Corrupt)?;
+        if recovery.entries.len() > points.len() {
+            return Err(CampaignRunError::Corrupt(format!(
+                "journal holds {} records but the grid has only {} points",
+                recovery.entries.len(),
+                points.len()
+            )));
+        }
+        if recovery.truncated_bytes > 0 {
+            // Drop the torn tail on its record-boundary fence before
+            // appending; the truncated point re-runs below.
+            let file = std::fs::OpenOptions::new()
+                .write(true)
+                .open(&config.out_path)?;
+            file.set_len(recovery.kept_bytes as u64)?;
+            file.sync_all()?;
+        }
+        for entry in &recovery.entries {
+            aggregate.add_entry(entry);
+        }
+        recovered = recovery.entries.len();
+    }
+
+    let mut journal = if config.resume {
+        Journal::append(&config.out_path)
+    } else {
+        Journal::create(&config.out_path)
+    }?;
+    if let Some(dir) = &config.trace_dir {
+        std::fs::create_dir_all(dir)?;
+    }
+    if let Some(dir) = &config.telemetry_dir {
+        std::fs::create_dir_all(dir)?;
+    }
+
+    let status = execute_grid(&points, recovered, options, cancel, |i, out| {
+        match out {
+            PointOutcome::Done(slot) => {
+                let (rec, trace, profile) = &*slot;
+                // Archives land before the journal line: a journaled
+                // record implies its archives exist, and a crash in the
+                // gap simply re-runs the point into identical bytes.
+                if let (Some(dir), Some(trace)) = (&config.trace_dir, trace) {
+                    std::fs::write(format!("{dir}/point_{i}.trace.jsonl"), trace.to_jsonl())?;
+                }
+                if let (Some(dir), Some(profile)) = (&config.telemetry_dir, profile) {
+                    std::fs::write(
+                        format!("{dir}/point_{i}.telemetry.jsonl"),
+                        profile.to_jsonl(config.with_wall),
+                    )?;
+                }
+                journal.append_line(&record_json(&spec.name, rec, config.with_wall))?;
+                aggregate.add_point(&rec.metrics, rec.accept, rec.error.is_some());
+            }
+            PointOutcome::Failed(f) => {
+                journal.append_line(&failure_json(&spec.name, &f))?;
+                aggregate.add_failure(u64::from(f.attempts));
+            }
+        }
+        Ok(())
+    })?;
+    journal.sync_all()?;
+
+    Ok(JournalOutcome {
+        spec_name: spec.name.clone(),
+        total_points: points.len(),
+        recovered,
+        executed: status.executed,
+        aggregate,
+        interrupted: status.interrupted,
         wall_ms: start.elapsed().as_millis() as u64,
         threads: options.threads,
     })
@@ -326,47 +889,36 @@ pub fn run_campaign(
 mod tests {
     use super::*;
     use crate::json;
-    use crate::spec::builtin;
+    use crate::spec::{builtin, CampaignGrid};
+
+    fn opts(threads: usize) -> RunOptions {
+        RunOptions {
+            threads,
+            ..RunOptions::default()
+        }
+    }
 
     #[test]
-    fn runner_rejects_zero_threads() {
+    fn runner_rejects_zero_threads_and_zero_attempts() {
         let spec = builtin("simthm_smoke").expect("builtin");
+        let err = run_campaign(&spec, &opts(0)).expect_err("zero threads is invalid");
+        assert_eq!(err, CampaignError::ZeroThreads);
         let err = run_campaign(
             &spec,
             &RunOptions {
-                threads: 0,
-                keep_traces: false,
-                keep_telemetry: false,
-                sim_threads: 1,
+                max_attempts: 0,
+                ..RunOptions::default()
             },
         )
-        .expect_err("zero threads is invalid");
-        assert_eq!(err, CampaignError::ZeroThreads);
+        .expect_err("zero attempts is invalid");
+        assert_eq!(err, CampaignError::ZeroAttempts);
     }
 
     #[test]
     fn runner_one_and_four_threads_agree_byte_for_byte() {
         let spec = builtin("simthm_smoke").expect("builtin");
-        let one = run_campaign(
-            &spec,
-            &RunOptions {
-                threads: 1,
-                keep_traces: false,
-                keep_telemetry: false,
-                sim_threads: 1,
-            },
-        )
-        .expect("runs");
-        let four = run_campaign(
-            &spec,
-            &RunOptions {
-                threads: 4,
-                keep_traces: false,
-                keep_telemetry: false,
-                sim_threads: 1,
-            },
-        )
-        .expect("runs");
+        let one = run_campaign(&spec, &opts(1)).expect("runs");
+        let four = run_campaign(&spec, &opts(4)).expect("runs");
         assert_eq!(one.deterministic_jsonl(), four.deterministic_jsonl());
         assert_eq!(one.aggregate, four.aggregate);
         assert_eq!(
@@ -383,8 +935,7 @@ mod tests {
             &RunOptions {
                 threads: 3,
                 keep_traces: true,
-                keep_telemetry: false,
-                sim_threads: 1,
+                ..RunOptions::default()
             },
         )
         .expect("runs");
@@ -392,6 +943,7 @@ mod tests {
         for (i, rec) in out.records.iter().enumerate() {
             assert_eq!(rec.index, i);
         }
+        assert!(out.failures.is_empty());
         assert_eq!(out.traces.len(), out.records.len());
         assert!(
             out.traces.iter().all(Option::is_some),
@@ -400,21 +952,13 @@ mod tests {
         assert_eq!(out.aggregate.points, out.records.len() as u64);
         assert_eq!(out.aggregate.accepted, out.records.len() as u64);
         assert_eq!(out.aggregate.errors, 0);
+        assert_eq!(out.aggregate.points_failed, 0);
     }
 
     #[test]
     fn runner_aggregate_fold_is_order_independent() {
         let spec = builtin("gadget_sweep").expect("builtin");
-        let out = run_campaign(
-            &spec,
-            &RunOptions {
-                threads: 2,
-                keep_traces: false,
-                keep_telemetry: false,
-                sim_threads: 1,
-            },
-        )
-        .expect("runs");
+        let out = run_campaign(&spec, &opts(2)).expect("runs");
         let mut reversed = out.records.clone();
         reversed.reverse();
         assert_eq!(Aggregate::fold(&reversed), out.aggregate);
@@ -435,6 +979,7 @@ mod tests {
             Some(out.aggregate.points)
         );
         assert_eq!(agg.get("errors").and_then(Json::as_u64), Some(0));
+        assert_eq!(agg.get("points_failed").and_then(Json::as_u64), Some(0));
     }
 
     #[test]
@@ -445,9 +990,8 @@ mod tests {
             &spec,
             &RunOptions {
                 threads: 2,
-                keep_traces: false,
                 keep_telemetry: true,
-                sim_threads: 1,
+                ..RunOptions::default()
             },
         )
         .expect("runs");
@@ -497,12 +1041,36 @@ mod tests {
     }
 
     #[test]
+    fn runner_summary_validator_accepts_the_interrupted_marker() {
+        let spec = builtin("simthm_smoke").expect("builtin");
+        let out = run_campaign(&spec, &RunOptions::default()).expect("runs");
+        let partial = JournalOutcome {
+            spec_name: out.spec_name.clone(),
+            total_points: 4,
+            recovered: 0,
+            executed: 2,
+            aggregate: out.aggregate,
+            interrupted: true,
+            wall_ms: 3,
+            threads: 1,
+        };
+        let summary = journal_summary_json(&partial);
+        assert!(summary.ends_with("\"interrupted\":true}"));
+        validate_summary(&summary).expect("interrupted summary conforms");
+        assert!(
+            validate_summary(&summary.replace("\"interrupted\":true", "\"interrupted\":1"))
+                .is_err(),
+            "non-boolean marker is rejected"
+        );
+    }
+
+    #[test]
     fn runner_chaos_ensemble_runs_under_faults() {
         // A trimmed chaos grid (the builtin's shape, fewer seeds) to keep
         // unit-test wall time down while still exercising the fallible path.
         let spec = CampaignSpec {
             name: "chaos_mini".into(),
-            grid: crate::spec::CampaignGrid::Chaos {
+            grid: CampaignGrid::Chaos {
                 nodes: 12,
                 extra_edges: 3,
                 drop_pm: vec![0, 250],
@@ -510,18 +1078,10 @@ mod tests {
                 bandwidth: 8,
             },
         };
-        let out = run_campaign(
-            &spec,
-            &RunOptions {
-                threads: 2,
-                keep_traces: false,
-                keep_telemetry: false,
-                sim_threads: 1,
-            },
-        )
-        .expect("runs");
+        let out = run_campaign(&spec, &opts(2)).expect("runs");
         assert_eq!(out.aggregate.points, 4);
         assert_eq!(out.aggregate.errors, 0);
+        assert_eq!(out.aggregate.points_failed, 0);
         assert_eq!(
             out.aggregate.accepted, 4,
             "robust broadcast should inform everyone"
@@ -530,5 +1090,144 @@ mod tests {
             out.aggregate.dropped > 0,
             "the lossy half must drop messages"
         );
+    }
+
+    #[test]
+    fn runner_panicking_points_become_failure_records_and_grid_continues() {
+        // B = 1 passes gadget validation but the verifier's id-width
+        // messages cannot fit, so every point panics inside the
+        // algorithm layer. The grid must commit a failure record per
+        // index and keep going — never abort.
+        let spec = CampaignSpec {
+            name: "panic_grid".into(),
+            grid: CampaignGrid::Gadgets {
+                bit_sizes: vec![4],
+                seeds: vec![1],
+                bandwidth: 1,
+            },
+        };
+        let total = spec.points().len() as u64;
+        assert!(total >= 2, "both gadget families expand");
+        let out = run_campaign(&spec, &opts(2)).expect("run survives panicking points");
+        assert_eq!(out.aggregate.points, total);
+        assert_eq!(out.aggregate.points_failed, total);
+        assert_eq!(out.aggregate.ok, 0);
+        assert!(out.records.is_empty());
+        for (i, f) in out.failures.iter().enumerate() {
+            assert_eq!(f.index, i);
+            // The width assertions panic with plain text (not a SimError
+            // Display string), so this lands in the generic panic bucket.
+            assert_eq!(f.kind, "panic", "unexpected classification: {}", f.error);
+            assert!(f.error.contains("exceeds B"), "payload kept: {}", f.error);
+            assert_eq!(f.attempts, 1, "the default budget is one attempt");
+        }
+        // Every journal line of this outcome is a valid failure record.
+        for line in out.deterministic_jsonl().lines() {
+            crate::point::validate_failure_line(line).expect("failure line conforms");
+        }
+        // And the mixed-line fold matches the order-independent fold.
+        assert_eq!(
+            Aggregate::fold_full(&out.records, &out.failures),
+            out.aggregate
+        );
+    }
+
+    #[test]
+    fn runner_deadline_failures_are_retried_to_the_attempt_budget() {
+        // A zero deadline cannot be met; each attempt times out, the
+        // supervisor retries once (deadlines are transient), then
+        // commits a failure with the full attempt count. The point is
+        // deliberately heavy (~75 ms in debug builds) so the attempt
+        // thread cannot finish before the deadline check even under
+        // scheduler contention.
+        let spec = CampaignSpec {
+            name: "deadline_grid".into(),
+            grid: CampaignGrid::SimThm {
+                gammas: vec![10],
+                lengths: vec![129],
+                bandwidth: 16,
+            },
+        };
+        let out = run_campaign(
+            &spec,
+            &RunOptions {
+                point_deadline_ms: Some(0),
+                max_attempts: 2,
+                ..RunOptions::default()
+            },
+        )
+        .expect("run survives deadline overruns");
+        assert_eq!(out.failures.len(), 1);
+        let f = &out.failures[0];
+        assert_eq!(f.kind, "deadline");
+        assert!(f.retryable);
+        assert_eq!(f.attempts, 2, "the budget allows exactly one retry");
+        assert_eq!(out.aggregate.points_failed, 1);
+        assert_eq!(out.aggregate.points_retried, 1);
+    }
+
+    #[test]
+    fn runner_backoff_schedule_is_deterministic_and_bounded() {
+        for (seed, index, attempt) in [(0u64, 0usize, 1u32), (7, 3, 2), (42, 11, 4), (1, 2, 9)] {
+            let a = backoff_ms(seed, index, attempt);
+            let b = backoff_ms(seed, index, attempt);
+            assert_eq!(a, b, "pure function of its arguments");
+            assert!(a <= 250, "capped at 250 ms, got {a}");
+            assert!(a >= 25, "at least the base delay, got {a}");
+        }
+        assert_ne!(
+            backoff_ms(1, 0, 1),
+            backoff_ms(2, 0, 1),
+            "seed moves the jitter"
+        );
+    }
+
+    #[test]
+    fn runner_cancelled_token_interrupts_before_any_point() {
+        let spec = builtin("simthm_smoke").expect("builtin");
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let dir = std::env::temp_dir().join("qdc_runner_cancel_test");
+        std::fs::create_dir_all(&dir).expect("tmpdir");
+        let out_path = dir.join("cancelled.jsonl").to_string_lossy().into_owned();
+        let outcome = run_campaign_journaled(
+            &spec,
+            &RunOptions::default(),
+            &JournalConfig {
+                out_path: out_path.clone(),
+                resume: false,
+                ..JournalConfig::default()
+            },
+            &cancel,
+        )
+        .expect("cancelled run still returns cleanly");
+        assert!(outcome.interrupted);
+        assert_eq!(outcome.executed, 0);
+        assert_eq!(
+            std::fs::read_to_string(&out_path).expect("journal exists"),
+            "",
+            "nothing was committed"
+        );
+        // Resume with a live token completes the grid.
+        let resumed = run_campaign_journaled(
+            &spec,
+            &RunOptions::default(),
+            &JournalConfig {
+                out_path: out_path.clone(),
+                resume: true,
+                ..JournalConfig::default()
+            },
+            &CancelToken::new(),
+        )
+        .expect("resume runs");
+        assert!(!resumed.interrupted);
+        assert_eq!(resumed.executed, resumed.total_points);
+        let reference = run_campaign(&spec, &RunOptions::default()).expect("reference");
+        assert_eq!(
+            std::fs::read_to_string(&out_path).expect("journal exists"),
+            reference.deterministic_jsonl(),
+            "resumed journal matches the in-memory deterministic form"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

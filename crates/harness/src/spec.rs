@@ -20,6 +20,9 @@ use qdc_simthm::SimThmPoint;
 pub const CAMPAIGN_SCHEMA: &str = "qdc-campaign/v1";
 /// Schema tag stamped on every per-point JSONL record.
 pub const POINT_SCHEMA: &str = "qdc-campaign-point/v1";
+/// Schema tag stamped on every per-point failure record (a point whose
+/// every attempt panicked, errored or exceeded its deadline).
+pub const FAILURE_SCHEMA: &str = "qdc-campaign-failure/v1";
 
 /// Why a campaign specification (or its CLI invocation) was rejected.
 ///
@@ -31,6 +34,9 @@ pub enum CampaignError {
     EmptyName,
     /// A worker pool of zero threads can run nothing.
     ZeroThreads,
+    /// A retry budget of zero attempts can run nothing (`max_attempts`
+    /// counts the first try too, so it must be at least 1).
+    ZeroAttempts,
     /// A grid axis is empty, so the campaign has no points. The payload
     /// names the empty axis (e.g. `"gammas"`).
     EmptyGrid(&'static str),
@@ -61,6 +67,9 @@ impl std::fmt::Display for CampaignError {
         match self {
             CampaignError::EmptyName => write!(f, "campaign name must not be empty"),
             CampaignError::ZeroThreads => write!(f, "thread count must be at least 1"),
+            CampaignError::ZeroAttempts => {
+                write!(f, "retry budget must allow at least 1 attempt")
+            }
             CampaignError::EmptyGrid(axis) => {
                 write!(f, "grid axis `{axis}` is empty: the campaign has no points")
             }
@@ -524,6 +533,7 @@ mod tests {
         let errors = [
             CampaignError::EmptyName,
             CampaignError::ZeroThreads,
+            CampaignError::ZeroAttempts,
             CampaignError::EmptyGrid("gammas"),
             CampaignError::ZeroGamma,
             CampaignError::BadLength(2),

@@ -1,0 +1,212 @@
+//! Kill-and-resume properties for the crash-safe campaign journal.
+//!
+//! The tentpole guarantee (see `crates/harness/src/journal.rs` and the
+//! runner's journaled mode): a campaign interrupted at **any** point —
+//! even mid-write, leaving a torn final line — and then resumed
+//! produces a journal and aggregate **byte-identical** to an
+//! uninterrupted run, at any thread count. These tests simulate every
+//! such interruption deterministically:
+//!
+//! 1. **Every-prefix resume**: for each prefix of k committed points
+//!    (and for each prefix further mangled with a torn tail), resuming
+//!    completes the grid into the uninterrupted bytes — on 1 worker and
+//!    on 4.
+//! 2. **Random specs**: the same property over proptest-generated
+//!    grids, interrupting at a random prefix.
+//! 3. **Fault isolation**: a grid whose points panic inside the
+//!    algorithm layer still commits one failure record per index,
+//!    resumes cleanly, and never aborts the run.
+
+use proptest::prelude::*;
+use qdc::harness::{
+    run_campaign, run_campaign_journaled, CampaignGrid, CampaignSpec, CancelToken, JournalConfig,
+    RunOptions,
+};
+
+fn opts(threads: usize) -> RunOptions {
+    RunOptions {
+        threads,
+        ..RunOptions::default()
+    }
+}
+
+/// A scratch directory unique to this test (the suite runs tests in
+/// parallel; path collisions would corrupt each other's journals).
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("qdc_crash_resume_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn config(out_path: &std::path::Path, resume: bool) -> JournalConfig {
+    JournalConfig {
+        out_path: out_path.to_string_lossy().into_owned(),
+        resume,
+        ..JournalConfig::default()
+    }
+}
+
+/// Writes `prefix` (the first k lines of `full`, optionally with a torn
+/// tail appended) as an interrupted journal, resumes, and asserts the
+/// result is byte-identical to `full`.
+fn resume_from_prefix(
+    spec: &CampaignSpec,
+    full: &str,
+    out_path: &std::path::Path,
+    prefix: &str,
+    threads: usize,
+) {
+    std::fs::write(out_path, prefix).expect("seed interrupted journal");
+    let outcome = run_campaign_journaled(
+        spec,
+        &opts(threads),
+        &config(out_path, true),
+        &CancelToken::new(),
+    )
+    .expect("resume succeeds");
+    assert!(!outcome.interrupted);
+    let resumed = std::fs::read_to_string(out_path).expect("journal readable");
+    assert_eq!(
+        resumed, full,
+        "resume must reproduce the uninterrupted journal byte for byte"
+    );
+    assert_eq!(
+        outcome.recovered + outcome.executed,
+        outcome.total_points,
+        "every point is accounted for exactly once"
+    );
+}
+
+#[test]
+fn resume_at_every_prefix_is_byte_identical() {
+    let spec = qdc::harness::builtin("simthm_smoke").expect("builtin");
+    let reference = run_campaign(&spec, &opts(1)).expect("reference run");
+    let full = reference.deterministic_jsonl();
+    let lines: Vec<&str> = full.lines().collect();
+    let dir = scratch("every_prefix");
+    let out_path = dir.join("journal.jsonl");
+
+    for threads in [1usize, 4] {
+        for k in 0..=lines.len() {
+            let mut prefix: String = lines[..k].iter().map(|l| format!("{l}\n")).collect();
+            resume_from_prefix(&spec, &full, &out_path, &prefix, threads);
+
+            // The same prefix with a torn tail — a half-written line the
+            // crash left behind. Recovery must truncate it on the record
+            // boundary and re-run exactly that point.
+            if k < lines.len() {
+                prefix.push_str(&lines[k][..lines[k].len() / 2]);
+                resume_from_prefix(&spec, &full, &out_path, &prefix, threads);
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn interrupting_mid_write_leaves_a_recoverable_journal() {
+    // Simulate the worst crash: the journal ends mid-byte at *every*
+    // possible offset of the full file. Recovery must keep exactly the
+    // complete lines and resume into the uninterrupted bytes.
+    let spec = qdc::harness::builtin("telemetry_smoke").expect("builtin");
+    let reference = run_campaign(&spec, &opts(1)).expect("reference run");
+    let full = reference.deterministic_jsonl();
+    let dir = scratch("mid_write");
+    let out_path = dir.join("journal.jsonl");
+
+    for cut in 0..=full.len() {
+        resume_from_prefix(&spec, &full, &out_path, &full[..cut], 1);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn panicking_grid_journals_failures_and_resumes() {
+    // B = 1 passes gadget validation but the algorithm layer's width
+    // assertions blow up on every point; the journal must hold one
+    // failure record per index, and a resume of the half-written
+    // journal must complete to the same bytes.
+    let spec = CampaignSpec {
+        name: "panic_grid".into(),
+        grid: CampaignGrid::Gadgets {
+            bit_sizes: vec![4],
+            seeds: vec![1],
+            bandwidth: 1,
+        },
+    };
+    let reference = run_campaign(&spec, &opts(2)).expect("panics are isolated");
+    let total = spec.points().len();
+    assert_eq!(reference.failures.len(), total, "every point fails");
+    assert_eq!(reference.aggregate.points_failed, total as u64);
+    let full = reference.deterministic_jsonl();
+    for line in full.lines() {
+        qdc::harness::validate_failure_line(line).expect("failure lines conform");
+    }
+
+    let dir = scratch("panic_grid");
+    let out_path = dir.join("journal.jsonl");
+    let first_line = full.lines().next().expect("at least one line");
+    resume_from_prefix(&spec, &full, &out_path, &format!("{first_line}\n"), 2);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random small grids, interrupted at a random committed prefix
+    /// (with and without a torn tail), resumed on 1 and 4 workers.
+    #[test]
+    fn random_specs_survive_kill_and_resume(
+        ((kind, axis_a, axis_b, seeds, drop_pm, bandwidth), cut_seed) in (
+            (
+                0usize..3,
+                proptest::collection::vec(1usize..8, 1..3),
+                proptest::collection::vec(1usize..10, 1..3),
+                proptest::collection::vec(0u64..64, 1..3),
+                proptest::collection::vec(0u32..300, 1..3),
+                1usize..32,
+            ),
+            0usize..1000,
+        )
+    ) {
+        let grid = match kind % 3 {
+            0 => CampaignGrid::SimThm {
+                gammas: axis_a,
+                lengths: axis_b.into_iter().map(|l| l + 2).collect(),
+                bandwidth: 16 + bandwidth,
+            },
+            1 => CampaignGrid::Chaos {
+                nodes: 4 + axis_a[0] % 10,
+                extra_edges: axis_b[0] % 5,
+                drop_pm,
+                seeds,
+                bandwidth: bandwidth.max(2),
+            },
+            _ => CampaignGrid::Gadgets {
+                bit_sizes: axis_a.into_iter().map(|b| b.min(6)).collect(),
+                seeds,
+                bandwidth: 32 + bandwidth,
+            },
+        };
+        let spec = CampaignSpec { name: format!("prop_resume_{cut_seed}"), grid };
+        prop_assert!(spec.validate().is_ok(), "generated specs are valid");
+        let reference = run_campaign(&spec, &opts(1)).expect("reference run");
+        let full = reference.deterministic_jsonl();
+        let lines: Vec<&str> = full.lines().collect();
+        let k = cut_seed % (lines.len() + 1);
+
+        let dir = scratch(&format!("prop_{cut_seed}_{kind}"));
+        let out_path = dir.join("journal.jsonl");
+        for threads in [1usize, 4] {
+            let mut prefix: String = lines[..k].iter().map(|l| format!("{l}\n")).collect();
+            resume_from_prefix(&spec, &full, &out_path, &prefix, threads);
+            if k < lines.len() {
+                // Torn tail: cut the next line at a pseudo-random byte.
+                let cut = 1 + cut_seed % lines[k].len().max(1);
+                prefix.push_str(&lines[k][..cut.min(lines[k].len())]);
+                resume_from_prefix(&spec, &full, &out_path, &prefix, threads);
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,6 +1,7 @@
-//! Golden-file conformance tests for the four JSONL/JSON schemas the
+//! Golden-file conformance tests for the five JSONL/JSON schemas the
 //! workspace emits: `qdc-trace/v1`, `qdc-telemetry/v1`,
-//! `qdc-campaign-point/v1` and `qdc-campaign/v1`.
+//! `qdc-campaign-point/v1`, `qdc-campaign-failure/v1` and
+//! `qdc-campaign/v1`.
 //!
 //! Each schema has a committed fixture under `tests/golden/`, generated
 //! from a fixed, fully deterministic workload. The tests pin three
@@ -23,8 +24,9 @@
 
 use qdc::congest::{ChaosConfig, CongestConfig, TelemetryReport, TrafficTrace};
 use qdc::harness::{
-    builtin, execute_point, record_json, run_campaign, summary_json, validate_record_line,
-    validate_summary, PointSpec, RunOptions,
+    builtin, execute_point, failure_json, record_json, run_campaign, summary_json,
+    validate_failure_line, validate_record_line, validate_summary, PointFailure, PointSpec,
+    RunOptions,
 };
 use qdc::simthm::SimThmPoint;
 
@@ -130,8 +132,17 @@ fn golden_record() -> String {
         seed: 4,
         bandwidth: 8,
     };
-    let (rec, _) = execute_point(3, &spec);
+    let (rec, _) = execute_point(3, &spec).expect("golden point runs");
     record_json("golden", &rec, false) + "\n"
+}
+
+/// The fixed failure record: a deadline overrun committed after three
+/// attempts (every field of the failure schema is a pure function of
+/// the constructor arguments — nothing volatile to pin).
+fn golden_failure() -> String {
+    let mut failure = PointFailure::deadline(11, 250);
+    failure.attempts = 3;
+    failure_json("golden", &failure) + "\n"
 }
 
 /// The fixed campaign summary: the telemetry_smoke builtin with the
@@ -281,6 +292,43 @@ fn golden_campaign_point_v1_rejection_corpus() {
     ];
     for (bad, why) in cases {
         let err = validate_record_line(&bad).expect_err(why);
+        assert!(!err.is_empty(), "{why} must explain itself");
+    }
+}
+
+#[test]
+fn golden_campaign_failure_v1_byte_exact_and_validated() {
+    let line = golden_failure();
+    assert_matches_golden("campaign_failure_v1.jsonl", &line);
+    validate_failure_line(line.trim_end()).expect("fixture conforms");
+}
+
+#[test]
+fn golden_campaign_failure_v1_rejection_corpus() {
+    let line = golden_failure();
+    let line = line.trim_end();
+    let cases = [
+        (line[..line.len() - 2].to_string(), "truncated document"),
+        (line.replace("\"kind\"", "\"kynd\""), "unknown field"),
+        (
+            line.replace("qdc-campaign-failure/v1", "qdc-campaign-failure/v0"),
+            "wrong version tag",
+        ),
+        (
+            line.replace("\"attempts\":3", "\"attempts\":3.5"),
+            "non-integer value",
+        ),
+        (
+            line.replace("\"retryable\":true", "\"retryable\":1"),
+            "non-boolean retryable flag",
+        ),
+        (
+            line.replace("\"attempts\":3", "\"attempts\":0"),
+            "zero attempts (the first try counts)",
+        ),
+    ];
+    for (bad, why) in cases {
+        let err = validate_failure_line(&bad).expect_err(why);
         assert!(!err.is_empty(), "{why} must explain itself");
     }
 }

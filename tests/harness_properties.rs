@@ -26,9 +26,8 @@ fn env_seed() -> u64 {
 fn opts(threads: usize, sim_threads: usize) -> RunOptions {
     RunOptions {
         threads,
-        keep_traces: false,
-        keep_telemetry: false,
         sim_threads,
+        ..RunOptions::default()
     }
 }
 
@@ -140,7 +139,8 @@ proptest! {
         // Spot-check first and last points (a full re-run of every point
         // would double the test's cost for no extra coverage).
         for &i in &[0, points.len() - 1] {
-            let (direct, _) = qdc::harness::execute_point(i, &points[i]);
+            let (direct, _) = qdc::harness::execute_point(i, &points[i])
+                .expect("generated points execute cleanly");
             let got = &out.records[i];
             prop_assert_eq!(got.index, direct.index);
             prop_assert_eq!(got.kind, direct.kind);
