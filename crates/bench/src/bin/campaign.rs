@@ -7,6 +7,10 @@
 //!                          [--backoff-seed N] [--throttle-ms MS] [--resume]
 //!                          [--out FILE.jsonl] [--summary FILE.json]
 //!                          [--trace-dir DIR] [--telemetry-dir DIR] [--list]
+//! campaign serve  [--addr HOST:PORT] [--data-dir DIR] [--workers N]
+//!                 [--job-threads N] [--max-queue N] [--max-client-jobs N]
+//!                 [--max-client-points N] [--throttle-ms MS]
+//! campaign verify <records.jsonl> [--campaign NAME]
 //! ```
 //!
 //! * `<spec>` — a built-in campaign name (`campaign --list` prints them);
@@ -46,6 +50,22 @@
 //!   (observation never changes results) and archive each profile as
 //!   `<dir>/point_<i>.telemetry.jsonl` (the `profile` binary renders
 //!   these).
+//!
+//! `campaign serve` keeps the process resident as the campaign service
+//! (`qdc-service`): clients POST specs to `/jobs`, a worker pool runs
+//! them through the same journaled runner, and `/jobs/<id>/records`
+//! streams each journal live as chunked JSONL. The first stdout line is
+//! `listening on <addr>` (with the resolved port — `--addr 127.0.0.1:0`
+//! binds an ephemeral one), and SIGINT/SIGTERM drains gracefully to
+//! exit 130: in-flight jobs stop on a journal flush, queued jobs stay
+//! on disk, and a restart with the same `--data-dir` re-enqueues and
+//! resumes them byte-identically.
+//!
+//! `campaign verify` is the dry-run journal classifier the service's
+//! startup scan uses: `clean` (every byte committed), `recoverable`
+//! (valid prefix plus a torn tail that resume would truncate), or
+//! `foreign` (not this campaign's journal at all). Exit 0 for the first
+//! two, 5 for foreign, 4 if the file cannot be read.
 //!
 //! On SIGINT/SIGTERM the runner drains in-flight points, flushes the
 //! journal, writes a partial summary marked `"interrupted": true`, and
@@ -260,7 +280,156 @@ fn self_check(
     Ok(n)
 }
 
+/// `campaign serve` — bind, recover the data dir, run until a signal.
+fn serve_main(args: &[String]) -> ! {
+    fn usage() -> ! {
+        eprintln!(
+            "usage: campaign serve [--addr HOST:PORT] [--data-dir DIR] [--workers N] \
+             [--job-threads N] [--max-queue N] [--max-client-jobs N] \
+             [--max-client-points N] [--throttle-ms MS]"
+        );
+        std::process::exit(2);
+    }
+    let mut addr = "127.0.0.1:7411".to_string();
+    let mut config = qdc_service::ServiceConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => match it.next() {
+                Some(v) => addr = v.clone(),
+                None => usage(),
+            },
+            "--data-dir" => match it.next() {
+                Some(v) => config.data_dir = v.into(),
+                None => usage(),
+            },
+            "--workers" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.workers = n,
+                None => usage(),
+            },
+            "--job-threads" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.job_threads = n,
+                None => usage(),
+            },
+            "--max-queue" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.quotas.max_queue = n,
+                None => usage(),
+            },
+            "--max-client-jobs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.quotas.max_queued_per_client = n,
+                None => usage(),
+            },
+            "--max-client-points" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.quotas.max_points_per_client = n,
+                None => usage(),
+            },
+            "--throttle-ms" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(ms) => config.throttle_ms = ms,
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+
+    let cancel = CancelToken::new();
+    signals::install(cancel.clone());
+    let data_dir = config.data_dir.clone();
+    let server = match qdc_service::Server::bind(&addr, config, cancel.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("campaign serve: cannot start on `{addr}`: {e}");
+            std::process::exit(4);
+        }
+    };
+    for warning in server.scan_warnings() {
+        eprintln!("campaign serve: {warning}");
+    }
+    let local = server.local_addr().expect("bound listener has an address");
+    // The `listening` line is the machine-readable handshake: tests and
+    // scripts bind port 0 and read the resolved address from here. The
+    // explicit flush matters — piped stdout is block-buffered.
+    {
+        use std::io::Write as _;
+        let mut out = std::io::stdout();
+        let _ = writeln!(out, "listening on {local}");
+        let _ = writeln!(out, "data dir: {}", data_dir.display());
+        let _ = out.flush();
+    }
+    if let Err(e) = server.run() {
+        eprintln!("campaign serve: {e}");
+        std::process::exit(4);
+    }
+    if cancel.is_cancelled() {
+        eprintln!("campaign serve: interrupted — journals flushed, queue preserved on disk");
+        std::process::exit(130);
+    }
+    std::process::exit(0);
+}
+
+/// `campaign verify` — dry-run journal triage, no writes.
+fn verify_main(args: &[String]) -> ! {
+    fn usage() -> ! {
+        eprintln!("usage: campaign verify <records.jsonl> [--campaign NAME]");
+        std::process::exit(2);
+    }
+    let mut path = String::new();
+    let mut campaign: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--campaign" => match it.next() {
+                Some(v) => campaign = Some(v.clone()),
+                None => usage(),
+            },
+            "--help" | "-h" => usage(),
+            s if s.starts_with('-') => {
+                eprintln!("unknown flag `{s}`");
+                usage();
+            }
+            s if path.is_empty() => path = s.to_string(),
+            _ => usage(),
+        }
+    }
+    if path.is_empty() {
+        usage();
+    }
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("campaign verify: cannot read `{path}`: {e}");
+            std::process::exit(4);
+        }
+    };
+    match qdc_service::classify_journal(&text, campaign.as_deref()) {
+        qdc_service::JournalClass::Clean { entries } => {
+            println!("{path}: clean — {entries} committed record(s), every byte accounted for");
+            std::process::exit(0);
+        }
+        qdc_service::JournalClass::Recoverable {
+            entries,
+            kept_bytes,
+            truncated_bytes,
+        } => {
+            println!(
+                "{path}: recoverable — {entries} committed record(s) in {kept_bytes} bytes, \
+                 torn tail of {truncated_bytes} byte(s) would be truncated on resume"
+            );
+            std::process::exit(0);
+        }
+        qdc_service::JournalClass::Foreign { reason } => {
+            eprintln!("campaign verify: `{path}` is not this campaign's journal: {reason}");
+            std::process::exit(5);
+        }
+    }
+}
+
 fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("serve") => serve_main(&argv[1..]),
+        Some("verify") => verify_main(&argv[1..]),
+        _ => {}
+    }
     let args = parse_args();
     let spec = match builtin(&args.spec) {
         Some(s) => s,

@@ -3,11 +3,14 @@
 //!
 //! ```text
 //! profile <telemetry.jsonl> [--top K]
+//! profile - [--top K]            # read the archive from stdin
 //! ```
 //!
 //! * `<telemetry.jsonl>` — a profile archived by
 //!   `campaign --telemetry-dir` (or any [`TelemetryReport::to_jsonl`]
-//!   output);
+//!   output); `-` reads the same bytes from stdin, so service
+//!   endpoints pipe straight in:
+//!   `curl -sN host/jobs/1/telemetry/0 | profile -`;
 //! * `--top K` — how many hottest edges to list (default 5).
 //!
 //! The utilisation columns bucket each delivered message against the
@@ -39,6 +42,8 @@ fn parse_args() -> (String, usize) {
                 None => usage(),
             },
             "--help" | "-h" => usage(),
+            // A bare `-` is the stdin pseudo-path, not a flag.
+            "-" if path.is_empty() => path = "-".to_string(),
             s if s.starts_with('-') => {
                 eprintln!("unknown flag `{s}`");
                 usage();
@@ -55,11 +60,23 @@ fn parse_args() -> (String, usize) {
 
 fn main() {
     let (path, top) = parse_args();
-    let text = match std::fs::read_to_string(&path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("profile: cannot read `{path}`: {e}");
-            std::process::exit(4);
+    let text = if path == "-" {
+        use std::io::Read as _;
+        let mut buf = String::new();
+        match std::io::stdin().read_to_string(&mut buf) {
+            Ok(_) => buf,
+            Err(e) => {
+                eprintln!("profile: cannot read stdin: {e}");
+                std::process::exit(4);
+            }
+        }
+    } else {
+        match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("profile: cannot read `{path}`: {e}");
+                std::process::exit(4);
+            }
         }
     };
     let report = match TelemetryReport::from_jsonl(&text) {

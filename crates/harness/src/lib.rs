@@ -43,6 +43,7 @@ pub mod json;
 pub mod point;
 pub mod runner;
 pub mod spec;
+pub mod spec_io;
 
 pub use journal::{recover, Journal, RecoveredEntry, Recovery};
 pub use json::Json;
@@ -59,3 +60,4 @@ pub use spec::{
     builtin, builtin_names, validate_output_paths, CampaignError, CampaignGrid, CampaignSpec,
     PointSpec, CAMPAIGN_SCHEMA, FAILURE_SCHEMA, POINT_SCHEMA,
 };
+pub use spec_io::{parse_spec, spec_from_json, spec_to_json};

@@ -1,0 +1,563 @@
+//! The socket adapter: a resident HTTP server wrapping the
+//! deterministic [`ServiceCore`].
+//!
+//! # Endpoints
+//!
+//! | route | method | reply |
+//! |---|---|---|
+//! | `/jobs` | POST | `qdc-job/v1` receipt (201), or a structured rejection |
+//! | `/jobs/<id>` | GET | `qdc-job/v1` with live progress |
+//! | `/jobs/<id>/records` | GET | chunked JSONL long-poll tail of the journal |
+//! | `/jobs/<id>/telemetry` | GET | all telemetry archives, concatenated |
+//! | `/jobs/<id>/telemetry/<i>` | GET | one point's archive, byte-exact |
+//! | `/status` | GET | `qdc-service-status/v1` snapshot |
+//!
+//! # Back-pressure and isolation
+//!
+//! Admission control happens *before* any work: the queue and quota
+//! checks in [`ServiceCore::submit`] run under one mutex and reject
+//! with a structured `qdc-service-error/v1` body. A slow reader can
+//! never block a worker, because the streaming endpoint reads only the
+//! committed journal *file* — workers append through the fsync
+//! discipline of [`qdc_harness::Journal`] and never hand bytes to a
+//! socket. Each connection gets its own thread and a read timeout, so
+//! a stalled client costs one thread, not the accept loop.
+//!
+//! # Durability
+//!
+//! Every admitted job is persisted as `job_<id>.json` before its 201
+//! receipt is sent, and every result line is fsync'd by the journaled
+//! runner. A SIGKILL at any instant therefore loses at most work that
+//! was never acknowledged; on restart [`Server::bind`] rescans the data
+//! dir, truncates torn journal tails on record boundaries, re-enqueues
+//! incomplete jobs, and the resumed output is byte-identical to an
+//! uninterrupted run (the workers always run the deterministic form).
+
+use crate::core::{JobState, QuotaConfig, ServiceCore, SubmitError};
+use crate::http::{
+    read_request, write_json_response, write_raw_response, ChunkedWriter, HttpError, Request,
+};
+use crate::scan::{job_doc_json, job_paths, scan_data_dir};
+use crate::wire::{error_json, job_json, status_json, submit_error_json};
+use qdc_harness::json::{self, Json};
+use qdc_harness::{
+    builtin, journal, run_campaign_journaled, spec_from_json, CampaignSpec, CancelToken,
+    JournalConfig, RunOptions,
+};
+use std::io::{self, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// How the service runs: storage location, worker sizing, quotas.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Directory for job documents, journals, and telemetry archives.
+    pub data_dir: PathBuf,
+    /// Campaign worker threads (jobs running concurrently).
+    pub workers: usize,
+    /// Point-level threads inside each campaign run (the determinism
+    /// contract makes any value safe).
+    pub job_threads: usize,
+    /// Admission limits.
+    pub quotas: QuotaConfig,
+    /// Per-point throttle passed to every run (testing aid: lets CI
+    /// keep a job running long enough to observe it mid-flight).
+    pub throttle_ms: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            data_dir: PathBuf::from("qdc_service_data"),
+            workers: 2,
+            job_threads: 1,
+            quotas: QuotaConfig::default(),
+            throttle_ms: 0,
+        }
+    }
+}
+
+struct ServiceState {
+    core: Mutex<ServiceCore>,
+    wake: Condvar,
+    config: ServiceConfig,
+    cancel: CancelToken,
+}
+
+/// A bound, recovered, not-yet-serving campaign service.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServiceState>,
+    scan_warnings: Vec<String>,
+}
+
+impl Server {
+    /// Binds the listener, creates the data dir, and replays it: torn
+    /// journals are truncated on record boundaries, completed jobs are
+    /// restored as completed, and every incomplete job goes back on the
+    /// queue. Port `0` binds an ephemeral port (see
+    /// [`local_addr`](Server::local_addr)).
+    pub fn bind(addr: &str, config: ServiceConfig, cancel: CancelToken) -> io::Result<Server> {
+        std::fs::create_dir_all(&config.data_dir)?;
+        let report = scan_data_dir(&config.data_dir)?;
+        let mut core = ServiceCore::new(config.quotas);
+        for job in report.jobs {
+            core.restore(job);
+        }
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            listener,
+            state: Arc::new(ServiceState {
+                core: Mutex::new(core),
+                wake: Condvar::new(),
+                config,
+                cancel,
+            }),
+            scan_warnings: report.warnings,
+        })
+    }
+
+    /// The address actually bound (resolves an ephemeral port).
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Damaged data-dir entries the startup scan skipped.
+    pub fn scan_warnings(&self) -> &[String] {
+        &self.scan_warnings
+    }
+
+    /// Serves until the cancel token fires: accepts connections (one
+    /// thread each), runs the worker pool, then drains. Shutdown order
+    /// matters — stop accepting, let in-flight jobs reach their next
+    /// journal flush (the cancel token interrupts them between points),
+    /// join the workers, return. Queued jobs stay queued on disk; a
+    /// restart re-enqueues them.
+    pub fn run(self) -> io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let workers: Vec<_> = (0..self.state.config.workers.max(1))
+            .map(|_| {
+                let state = Arc::clone(&self.state);
+                std::thread::spawn(move || worker_loop(&state))
+            })
+            .collect();
+
+        while !self.state.cancel.is_cancelled() {
+            match self.listener.accept() {
+                Ok((stream, peer)) => {
+                    let state = Arc::clone(&self.state);
+                    std::thread::spawn(move || {
+                        // A failed connection only costs that client.
+                        let _ = handle_connection(&state, stream, peer);
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(15));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(15)),
+            }
+        }
+
+        self.state.wake.notify_all();
+        for worker in workers {
+            let _ = worker.join();
+        }
+        Ok(())
+    }
+}
+
+/// Pulls jobs FIFO until shutdown. Every run is the deterministic
+/// resumable form: `with_wall: false`, `resume: true`, journal under
+/// the data dir — which is precisely what makes the service's streamed
+/// bytes equal to a direct `campaign run --deterministic`.
+fn worker_loop(state: &ServiceState) {
+    loop {
+        let job = {
+            let mut core = state.core.lock().expect("core lock");
+            loop {
+                if state.cancel.is_cancelled() {
+                    return;
+                }
+                if let Some(job) = core.take_next() {
+                    break job;
+                }
+                let (guard, _) = state
+                    .wake
+                    .wait_timeout(core, Duration::from_millis(100))
+                    .expect("core lock");
+                core = guard;
+            }
+        };
+
+        let (_, records_path, telemetry_dir) = job_paths(&state.config.data_dir, job.id);
+        let journal_config = JournalConfig {
+            out_path: records_path.to_string_lossy().into_owned(),
+            trace_dir: None,
+            telemetry_dir: job
+                .telemetry
+                .then(|| telemetry_dir.to_string_lossy().into_owned()),
+            resume: true,
+            with_wall: false,
+        };
+        let options = RunOptions {
+            threads: state.config.job_threads.max(1),
+            keep_telemetry: job.telemetry,
+            throttle_ms: state.config.throttle_ms,
+            ..RunOptions::default()
+        };
+        let result = run_campaign_journaled(&job.spec, &options, &journal_config, &state.cancel);
+
+        let mut core = state.core.lock().expect("core lock");
+        match result {
+            Ok(outcome) => core.finish(
+                job.id,
+                (outcome.recovered + outcome.executed) as u64,
+                outcome.aggregate,
+                outcome.interrupted,
+            ),
+            Err(e) => {
+                // Journal I/O or corruption: leave the job resumable and
+                // let the operator see why.
+                eprintln!("job {}: {e}", job.id);
+                core.finish(job.id, job.committed, job.aggregate, true);
+            }
+        }
+    }
+}
+
+/// One request per connection: parse, route, answer, close.
+fn handle_connection(
+    state: &ServiceState,
+    stream: TcpStream,
+    peer: std::net::SocketAddr,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    match read_request(&mut reader) {
+        Ok(None) => Ok(()),
+        Ok(Some(req)) => route(state, &req, peer, &mut writer),
+        Err(HttpError::PayloadTooLarge { declared }) => write_json_response(
+            &mut writer,
+            413,
+            &error_json(
+                413,
+                "payload_too_large",
+                &format!("{declared} bytes declared"),
+            ),
+        ),
+        Err(HttpError::BadRequest(msg)) => {
+            write_json_response(&mut writer, 400, &error_json(400, "bad_request", &msg))
+        }
+        Err(HttpError::Io(e)) => Err(e),
+    }
+}
+
+/// The service's URL space, parsed.
+enum Route {
+    Jobs,
+    Job(u64),
+    Records(u64),
+    TelemetryAll(u64),
+    TelemetryPoint(u64, u64),
+    Status,
+    Unknown,
+}
+
+fn parse_route(path: &str) -> Route {
+    if path == "/status" {
+        return Route::Status;
+    }
+    if path == "/jobs" {
+        return Route::Jobs;
+    }
+    let Some(rest) = path.strip_prefix("/jobs/") else {
+        return Route::Unknown;
+    };
+    let mut parts = rest.split('/');
+    let Some(id) = parts.next().and_then(|s| s.parse::<u64>().ok()) else {
+        return Route::Unknown;
+    };
+    match (parts.next(), parts.next(), parts.next()) {
+        (None, _, _) => Route::Job(id),
+        (Some("records"), None, _) => Route::Records(id),
+        (Some("telemetry"), None, _) => Route::TelemetryAll(id),
+        (Some("telemetry"), Some(i), None) => match i.parse::<u64>() {
+            Ok(i) => Route::TelemetryPoint(id, i),
+            Err(_) => Route::Unknown,
+        },
+        _ => Route::Unknown,
+    }
+}
+
+fn route(
+    state: &ServiceState,
+    req: &Request,
+    peer: std::net::SocketAddr,
+    w: &mut TcpStream,
+) -> io::Result<()> {
+    match (parse_route(&req.path), req.method.as_str()) {
+        (Route::Jobs, "POST") => submit(state, req, peer, w),
+        (Route::Job(id), "GET") => job_status(state, id, w),
+        (Route::Records(id), "GET") => stream_records(state, id, w),
+        (Route::TelemetryAll(id), "GET") => telemetry_all(state, id, w),
+        (Route::TelemetryPoint(id, i), "GET") => telemetry_point(state, id, i, w),
+        (Route::Status, "GET") => {
+            let body = {
+                let core = state.core.lock().expect("core lock");
+                status_json(&core)
+            };
+            write_json_response(w, 200, &body)
+        }
+        (Route::Unknown, _) => not_found(w, &format!("no such path `{}`", req.path)),
+        (_, method) => write_json_response(
+            w,
+            405,
+            &error_json(
+                405,
+                "method_not_allowed",
+                &format!("`{method}` is not valid here"),
+            ),
+        ),
+    }
+}
+
+fn not_found(w: &mut TcpStream, message: &str) -> io::Result<()> {
+    write_json_response(w, 404, &error_json(404, "not_found", message))
+}
+
+/// The submission body: a raw spec document, or a wrapper selecting a
+/// builtin / attaching a telemetry request.
+fn parse_submission(doc: &Json) -> Result<(CampaignSpec, bool), String> {
+    let first_key = match doc {
+        Json::Obj(fields) => fields.first().map(|(k, _)| k.as_str()),
+        _ => return Err("submission must be an object".into()),
+    };
+    let telemetry = match doc.get("telemetry") {
+        None => false,
+        Some(Json::Bool(b)) => *b,
+        Some(_) => return Err("`telemetry` must be a boolean".into()),
+    };
+    match first_key {
+        Some("builtin") => {
+            json::require_keys(doc, &["builtin"], &["telemetry"])?;
+            let Some(Json::Str(name)) = doc.get("builtin") else {
+                return Err("`builtin` must be a string".into());
+            };
+            let spec = builtin(name).ok_or_else(|| format!("unknown builtin `{name}`"))?;
+            Ok((spec, telemetry))
+        }
+        Some("spec") => {
+            json::require_keys(doc, &["spec"], &["telemetry"])?;
+            let spec = spec_from_json(doc.get("spec").expect("checked above"))?;
+            Ok((spec, telemetry))
+        }
+        _ => Ok((spec_from_json(doc)?, false)),
+    }
+}
+
+fn submit(
+    state: &ServiceState,
+    req: &Request,
+    peer: std::net::SocketAddr,
+    w: &mut TcpStream,
+) -> io::Result<()> {
+    let client = match req.header("x-qdc-client") {
+        Some(token) if !token.is_empty() => token.to_string(),
+        _ => peer.ip().to_string(),
+    };
+    let parsed = std::str::from_utf8(&req.body)
+        .map_err(|_| "body is not UTF-8".to_string())
+        .and_then(|text| json::parse(text.trim()))
+        .and_then(|doc| parse_submission(&doc));
+    let (spec, telemetry) = match parsed {
+        Ok(p) => p,
+        Err(msg) => {
+            return write_json_response(w, 400, &error_json(400, "bad_request", &msg));
+        }
+    };
+
+    let outcome: Result<String, Rejection> = {
+        let mut core = state.core.lock().expect("core lock");
+        match core.submit(&client, spec, telemetry) {
+            Err(e) => Err(Rejection::Submit(e)),
+            Ok(id) => {
+                // Persist the submission before acknowledging it: once
+                // the 201 is on the wire, a restart must find the job.
+                let job = core.job(id).expect("just admitted").clone();
+                let (doc_path, _, _) = job_paths(&state.config.data_dir, id);
+                match persist_job_doc(&doc_path, &job) {
+                    Ok(()) => Ok(job_json(&job)),
+                    Err(e) => {
+                        // Roll the admission back: an unpersisted job
+                        // would vanish on restart despite its receipt.
+                        core.abort_queued(id);
+                        Err(Rejection::Storage(e))
+                    }
+                }
+            }
+        }
+    };
+    match outcome {
+        Ok(body) => {
+            state.wake.notify_one();
+            write_json_response(w, 201, &body)
+        }
+        Err(Rejection::Storage(e)) => write_json_response(
+            w,
+            500,
+            &error_json(
+                500,
+                "storage_failure",
+                &format!("could not persist job: {e}"),
+            ),
+        ),
+        Err(Rejection::Submit(e)) => {
+            let (status, body) = submit_error_json(&e);
+            write_json_response(w, status, &body)
+        }
+    }
+}
+
+/// Either admission failed, or admission succeeded but persistence did.
+enum Rejection {
+    Submit(SubmitError),
+    Storage(io::Error),
+}
+
+fn persist_job_doc(path: &std::path::Path, job: &crate::core::Job) -> io::Result<()> {
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(job_doc_json(job.id, &job.client, job.telemetry, &job.spec).as_bytes())?;
+    file.write_all(b"\n")?;
+    file.sync_data()
+}
+
+/// `GET /jobs/<id>` — the stored job, with live progress folded in from
+/// the journal while it runs.
+fn job_status(state: &ServiceState, id: u64, w: &mut TcpStream) -> io::Result<()> {
+    let job = {
+        let core = state.core.lock().expect("core lock");
+        core.job(id).cloned()
+    };
+    let Some(mut job) = job else {
+        return not_found(w, &format!("no job {id}"));
+    };
+    if job.state == JobState::Running {
+        let (_, records_path, _) = job_paths(&state.config.data_dir, id);
+        if let Ok(text) = std::fs::read_to_string(&records_path) {
+            if let Ok(recovery) = journal::recover(&text, &job.spec.name) {
+                let mut agg = qdc_harness::Aggregate::default();
+                for entry in &recovery.entries {
+                    agg.add_entry(entry);
+                }
+                job.committed = recovery.entries.len() as u64;
+                job.aggregate = agg;
+            }
+        }
+    }
+    write_json_response(w, 200, &job_json(&job))
+}
+
+/// `GET /jobs/<id>/records` — long-poll tail of the journal as chunked
+/// JSONL. Emits only whole committed lines (everything up to the last
+/// newline on disk), polls while the job is live, and terminates once
+/// the job reaches a terminal state and the tail is drained. Reads the
+/// file, never the worker: back-pressure from a slow client stops
+/// *this* thread at the socket, nothing else.
+fn stream_records(state: &ServiceState, id: u64, w: &mut TcpStream) -> io::Result<()> {
+    let exists = {
+        let core = state.core.lock().expect("core lock");
+        core.job(id).is_some()
+    };
+    if !exists {
+        return not_found(w, &format!("no job {id}"));
+    }
+    let (_, records_path, _) = job_paths(&state.config.data_dir, id);
+    let mut chunks = ChunkedWriter::begin(w, 200, "application/jsonl")?;
+    let mut offset = 0usize;
+    loop {
+        // Read the state *before* the file: bytes committed after this
+        // check are caught on the next loop, and once terminal the file
+        // can only be complete.
+        let terminal = {
+            let core = state.core.lock().expect("core lock");
+            matches!(
+                core.job(id).map(|j| j.state),
+                Some(JobState::Completed | JobState::Interrupted) | None
+            )
+        };
+        let data = std::fs::read(&records_path).unwrap_or_default();
+        let committed = data
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .map(|p| p + 1)
+            .unwrap_or(0);
+        if committed > offset {
+            chunks.chunk(&data[offset..committed])?;
+            offset = committed;
+        }
+        if terminal || state.cancel.is_cancelled() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    chunks.finish()
+}
+
+fn telemetry_dir_for(state: &ServiceState, id: u64) -> Result<PathBuf, String> {
+    let core = state.core.lock().expect("core lock");
+    match core.job(id) {
+        None => Err(format!("no job {id}")),
+        Some(job) if !job.telemetry => Err(format!("job {id} was submitted without telemetry")),
+        Some(_) => Ok(job_paths(&state.config.data_dir, id).2),
+    }
+}
+
+/// `GET /jobs/<id>/telemetry` — every archived point profile so far,
+/// concatenated in point order (each archive is itself JSONL, so the
+/// concatenation is too).
+fn telemetry_all(state: &ServiceState, id: u64, w: &mut TcpStream) -> io::Result<()> {
+    let dir = match telemetry_dir_for(state, id) {
+        Ok(dir) => dir,
+        Err(msg) => return not_found(w, &msg),
+    };
+    let mut indexed = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(&dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(i) = name
+                .strip_prefix("point_")
+                .and_then(|s| s.strip_suffix(".telemetry.jsonl"))
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                indexed.push((i, entry.path()));
+            }
+        }
+    }
+    indexed.sort();
+    let mut body = Vec::new();
+    for (_, path) in indexed {
+        body.extend_from_slice(&std::fs::read(&path)?);
+    }
+    write_raw_response(w, 200, "application/jsonl", &body)
+}
+
+/// `GET /jobs/<id>/telemetry/<i>` — one point's archive, byte-exact
+/// (pipe it straight into `profile -`).
+fn telemetry_point(state: &ServiceState, id: u64, index: u64, w: &mut TcpStream) -> io::Result<()> {
+    let dir = match telemetry_dir_for(state, id) {
+        Ok(dir) => dir,
+        Err(msg) => return not_found(w, &msg),
+    };
+    let path = dir.join(format!("point_{index}.telemetry.jsonl"));
+    match std::fs::read(&path) {
+        Ok(bytes) => write_raw_response(w, 200, "application/jsonl", &bytes),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            not_found(w, &format!("job {id} has no archive for point {index}"))
+        }
+        Err(e) => Err(e),
+    }
+}

@@ -1,0 +1,382 @@
+//! The service's three wire schemas, with writers and strict
+//! validators in the workspace's conformance-locked style.
+//!
+//! * `qdc-job/v1` — one job's receipt/status document (returned by
+//!   `POST /jobs` and `GET /jobs/<id>`);
+//! * `qdc-service-status/v1` — the whole-service snapshot
+//!   (`GET /status`);
+//! * `qdc-service-error/v1` — every structured rejection, from a full
+//!   queue to an unknown path.
+//!
+//! Like the campaign schemas, each document has a fixed field order,
+//! integer-only counters, and a validator that rejects unknown or
+//! reordered fields; `tests/golden_schemas.rs` at the workspace root
+//! pins example bytes for all three.
+
+use crate::core::{Job, JobState, ServiceCore, SubmitError};
+use qdc_harness::json::{self, Json};
+
+/// Schema tag of a job receipt/status document.
+pub const JOB_SCHEMA: &str = "qdc-job/v1";
+/// Schema tag of the service status snapshot.
+pub const STATUS_SCHEMA: &str = "qdc-service-status/v1";
+/// Schema tag of a structured rejection.
+pub const ERROR_SCHEMA: &str = "qdc-service-error/v1";
+
+/// Renders one job as a `qdc-job/v1` document. The `aggregate` field is
+/// the one optional tail: present exactly when the job has committed
+/// results to fold (terminal states, and running jobs once the journal
+/// has lines).
+pub fn job_json(job: &Job) -> String {
+    let mut fields = vec![
+        ("schema".to_string(), Json::Str(JOB_SCHEMA.to_string())),
+        ("id".to_string(), Json::Num(job.id)),
+        ("campaign".to_string(), Json::Str(job.spec.name.clone())),
+        ("client".to_string(), Json::Str(job.client.clone())),
+        ("telemetry".to_string(), Json::Bool(job.telemetry)),
+        ("points".to_string(), Json::Num(job.total_points)),
+        (
+            "state".to_string(),
+            Json::Str(job.state.as_str().to_string()),
+        ),
+        ("committed".to_string(), Json::Num(job.committed)),
+    ];
+    if job.committed > 0 {
+        fields.push(("aggregate".to_string(), job.aggregate.to_json()));
+    }
+    Json::Obj(fields).to_json()
+}
+
+/// Renders the service snapshot as a `qdc-service-status/v1` document:
+/// global job counts by state, then per-client lifetime counters in
+/// client-key order.
+pub fn status_json(core: &ServiceCore) -> String {
+    let clients = core
+        .clients()
+        .map(|(key, stats)| {
+            (
+                key.to_string(),
+                Json::obj([
+                    ("submitted", Json::Num(stats.submitted)),
+                    ("rejected", Json::Num(stats.rejected)),
+                    ("completed", Json::Num(stats.completed)),
+                ]),
+            )
+        })
+        .collect();
+    Json::obj([
+        ("schema", Json::Str(STATUS_SCHEMA.to_string())),
+        ("jobs", Json::Num(core.jobs().count() as u64)),
+        (
+            "queued",
+            Json::Num(core.count_in_state(JobState::Queued) as u64),
+        ),
+        (
+            "running",
+            Json::Num(core.count_in_state(JobState::Running) as u64),
+        ),
+        (
+            "completed",
+            Json::Num(core.count_in_state(JobState::Completed) as u64),
+        ),
+        (
+            "interrupted",
+            Json::Num(core.count_in_state(JobState::Interrupted) as u64),
+        ),
+        ("clients", Json::Obj(clients)),
+    ])
+    .to_json()
+}
+
+/// Renders a structured rejection as a `qdc-service-error/v1` document.
+/// `status` is the HTTP status the document travels with, `error` a
+/// stable machine-readable slug, `message` the human-readable detail.
+pub fn error_json(status: u16, error: &str, message: &str) -> String {
+    Json::obj([
+        ("schema", Json::Str(ERROR_SCHEMA.to_string())),
+        ("status", Json::Num(u64::from(status))),
+        ("error", Json::Str(error.to_string())),
+        ("message", Json::Str(message.to_string())),
+    ])
+    .to_json()
+}
+
+/// Maps a queue/quota rejection to its HTTP status, slug, and rendered
+/// `qdc-service-error/v1` body. Spec errors are the client's fault
+/// (400); every resource rejection is 429, distinguishable by slug.
+pub fn submit_error_json(err: &SubmitError) -> (u16, String) {
+    let (status, slug) = match err {
+        SubmitError::InvalidSpec(_) => (400, "invalid_spec"),
+        SubmitError::QueueFull { .. } => (429, "queue_full"),
+        SubmitError::ClientQueueFull { .. } => (429, "client_queue_full"),
+        SubmitError::QuotaExceeded { .. } => (429, "quota_exceeded"),
+    };
+    (status, error_json(status, slug, &err.to_string()))
+}
+
+const AGGREGATE_KEYS: [&str; 14] = [
+    "points",
+    "ok",
+    "errors",
+    "accepted",
+    "rejected",
+    "rounds",
+    "messages",
+    "bits",
+    "max_bits_per_round",
+    "dropped",
+    "crashed",
+    "corrupted",
+    "points_failed",
+    "points_retried",
+];
+
+fn check_aggregate(agg: &Json) -> Result<(), String> {
+    json::require_keys(agg, &AGGREGATE_KEYS, &[]).map_err(|e| format!("aggregate: {e}"))?;
+    if let Json::Obj(fields) = agg {
+        for (k, v) in fields {
+            if v.as_u64().is_none() {
+                return Err(format!(
+                    "aggregate counter `{k}` must be an unsigned integer"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_schema_tag(doc: &Json, want: &str) -> Result<(), String> {
+    match doc.get("schema") {
+        Some(Json::Str(s)) if s == want => Ok(()),
+        _ => Err(format!("schema tag must be `{want}`")),
+    }
+}
+
+/// Strict conformance check for one `qdc-job/v1` document: exact field
+/// list and order, a known `state` word, integer counters, and — when
+/// present — a full integer aggregate. A trailing newline is accepted.
+pub fn validate_job(text: &str) -> Result<(), String> {
+    let doc = json::parse(text.strip_suffix('\n').unwrap_or(text))?;
+    json::require_keys(
+        &doc,
+        &[
+            "schema",
+            "id",
+            "campaign",
+            "client",
+            "telemetry",
+            "points",
+            "state",
+            "committed",
+        ],
+        &["aggregate"],
+    )?;
+    check_schema_tag(&doc, JOB_SCHEMA)?;
+    for key in ["id", "points", "committed"] {
+        if doc.get(key).and_then(Json::as_u64).is_none() {
+            return Err(format!("`{key}` must be an unsigned integer"));
+        }
+    }
+    for key in ["campaign", "client"] {
+        if !matches!(doc.get(key), Some(Json::Str(_))) {
+            return Err(format!("`{key}` must be a string"));
+        }
+    }
+    if !matches!(doc.get("telemetry"), Some(Json::Bool(_))) {
+        return Err("`telemetry` must be a boolean".into());
+    }
+    match doc.get("state") {
+        Some(Json::Str(s))
+            if ["queued", "running", "completed", "interrupted"].contains(&s.as_str()) => {}
+        _ => return Err("`state` must be one of queued/running/completed/interrupted".into()),
+    }
+    if let Some(agg) = doc.get("aggregate") {
+        check_aggregate(agg)?;
+    }
+    Ok(())
+}
+
+/// Strict conformance check for one `qdc-service-status/v1` document.
+/// A trailing newline is accepted.
+pub fn validate_status(text: &str) -> Result<(), String> {
+    let doc = json::parse(text.strip_suffix('\n').unwrap_or(text))?;
+    json::require_keys(
+        &doc,
+        &[
+            "schema",
+            "jobs",
+            "queued",
+            "running",
+            "completed",
+            "interrupted",
+            "clients",
+        ],
+        &[],
+    )?;
+    check_schema_tag(&doc, STATUS_SCHEMA)?;
+    for key in ["jobs", "queued", "running", "completed", "interrupted"] {
+        if doc.get(key).and_then(Json::as_u64).is_none() {
+            return Err(format!("`{key}` must be an unsigned integer"));
+        }
+    }
+    let Some(Json::Obj(clients)) = doc.get("clients") else {
+        return Err("`clients` must be an object".into());
+    };
+    for (key, stats) in clients {
+        json::require_keys(stats, &["submitted", "rejected", "completed"], &[])
+            .map_err(|e| format!("client `{key}`: {e}"))?;
+        if let Json::Obj(fields) = stats {
+            for (k, v) in fields {
+                if v.as_u64().is_none() {
+                    return Err(format!(
+                        "client `{key}` counter `{k}` must be an unsigned integer"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Strict conformance check for one `qdc-service-error/v1` document.
+/// A trailing newline is accepted.
+pub fn validate_error(text: &str) -> Result<(), String> {
+    let doc = json::parse(text.strip_suffix('\n').unwrap_or(text))?;
+    json::require_keys(&doc, &["schema", "status", "error", "message"], &[])?;
+    check_schema_tag(&doc, ERROR_SCHEMA)?;
+    let status = doc
+        .get("status")
+        .and_then(Json::as_u64)
+        .ok_or("`status` must be an unsigned integer")?;
+    if !(100..=599).contains(&status) {
+        return Err("`status` must be an HTTP status code".into());
+    }
+    for key in ["error", "message"] {
+        if !matches!(doc.get(key), Some(Json::Str(_))) {
+            return Err(format!("`{key}` must be a string"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core::{QuotaConfig, ServiceCore};
+    use qdc_harness::{builtin, Aggregate, CampaignError};
+
+    fn filled_core() -> ServiceCore {
+        let mut core = ServiceCore::new(QuotaConfig::default());
+        let a = core
+            .submit("alice", builtin("simthm_smoke").expect("builtin"), false)
+            .expect("admits");
+        core.submit("bob", builtin("telemetry_smoke").expect("builtin"), true)
+            .expect("admits");
+        let job = core.take_next().expect("dispatch");
+        assert_eq!(job.id, a);
+        core.finish(a, 4, Aggregate::default(), false);
+        core
+    }
+
+    #[test]
+    fn wire_job_document_validates_in_every_state() {
+        let core = filled_core();
+        for job in core.jobs() {
+            let text = job_json(job);
+            validate_job(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
+        }
+        // A running job with committed lines carries the aggregate tail.
+        let mut core = ServiceCore::new(QuotaConfig::default());
+        let id = core
+            .submit("alice", builtin("simthm_smoke").expect("builtin"), false)
+            .expect("admits");
+        let mut job = core.take_next().expect("dispatch");
+        assert_eq!(job.id, id);
+        job.committed = 2;
+        job.aggregate.points = 2;
+        job.aggregate.ok = 2;
+        let text = job_json(&job);
+        assert!(text.contains("\"aggregate\":{"), "{text}");
+        validate_job(&text).expect("validates with aggregate");
+    }
+
+    #[test]
+    fn wire_status_document_round_trips_counters() {
+        let core = filled_core();
+        let text = status_json(&core);
+        validate_status(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
+        assert!(text.contains("\"jobs\":2"), "{text}");
+        assert!(text.contains("\"completed\":1"), "{text}");
+        assert!(
+            text.contains("\"alice\":{\"submitted\":1,\"rejected\":0,\"completed\":1}"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn wire_submit_errors_map_to_stable_statuses_and_slugs() {
+        for (err, want_status, want_slug) in [
+            (
+                SubmitError::InvalidSpec(CampaignError::EmptyName),
+                400,
+                "invalid_spec",
+            ),
+            (
+                SubmitError::QueueFull { depth: 3, max: 3 },
+                429,
+                "queue_full",
+            ),
+            (
+                SubmitError::ClientQueueFull { queued: 2, max: 2 },
+                429,
+                "client_queue_full",
+            ),
+            (
+                SubmitError::QuotaExceeded {
+                    requested: 9,
+                    active: 1,
+                    max: 8,
+                },
+                429,
+                "quota_exceeded",
+            ),
+        ] {
+            let (status, body) = submit_error_json(&err);
+            assert_eq!(status, want_status);
+            assert!(
+                body.contains(&format!("\"error\":\"{want_slug}\"")),
+                "{body}"
+            );
+            validate_error(&body).unwrap_or_else(|e| panic!("{body}: {e}"));
+        }
+    }
+
+    #[test]
+    fn wire_validators_reject_malformed_documents() {
+        for bad in [
+            // Wrong schema tags.
+            "{\"schema\":\"qdc-job/v2\",\"id\":1,\"campaign\":\"x\",\"client\":\"c\",\
+             \"telemetry\":false,\"points\":4,\"state\":\"queued\",\"committed\":0}",
+            // Unknown state word.
+            "{\"schema\":\"qdc-job/v1\",\"id\":1,\"campaign\":\"x\",\"client\":\"c\",\
+             \"telemetry\":false,\"points\":4,\"state\":\"paused\",\"committed\":0}",
+            // Reordered fields.
+            "{\"id\":1,\"schema\":\"qdc-job/v1\",\"campaign\":\"x\",\"client\":\"c\",\
+             \"telemetry\":false,\"points\":4,\"state\":\"queued\",\"committed\":0}",
+        ] {
+            assert!(validate_job(bad).is_err(), "should reject: {bad}");
+        }
+        assert!(
+            validate_status("{\"schema\":\"qdc-service-status/v1\",\"jobs\":0}").is_err(),
+            "missing counters"
+        );
+        assert!(
+            validate_error(
+                "{\"schema\":\"qdc-service-error/v1\",\"status\":999,\
+                 \"error\":\"x\",\"message\":\"y\"}"
+            )
+            .is_err(),
+            "out-of-range status"
+        );
+    }
+}

@@ -1,0 +1,362 @@
+//! Loopback integration tests: a real [`Server`] on an ephemeral port,
+//! driven by a raw [`TcpStream`] client. The headline assertion is the
+//! service's determinism contract — the bytes streamed from
+//! `/jobs/<id>/records` are identical to what an in-process
+//! deterministic run of the same spec produces — plus the structured
+//! rejection and recovery behaviours that need an actual socket.
+
+use qdc_harness::{builtin, run_campaign, CancelToken, RunOptions};
+use qdc_service::{
+    validate_error, validate_job, validate_status, QuotaConfig, Server, ServiceConfig,
+};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "qdc_loopback_{tag}_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+/// A running server plus the handle needed to stop it cleanly.
+struct TestServer {
+    addr: String,
+    cancel: CancelToken,
+    handle: Option<std::thread::JoinHandle<std::io::Result<()>>>,
+}
+
+impl TestServer {
+    fn start(config: ServiceConfig) -> TestServer {
+        let cancel = CancelToken::new();
+        let server = Server::bind("127.0.0.1:0", config, cancel.clone()).expect("binds");
+        assert!(server.scan_warnings().is_empty(), "clean data dir");
+        let addr = server.local_addr().expect("bound").to_string();
+        let handle = std::thread::spawn(move || server.run());
+        TestServer {
+            addr,
+            cancel,
+            handle: Some(handle),
+        }
+    }
+
+    fn stop(mut self) {
+        self.cancel.cancel();
+        self.handle
+            .take()
+            .expect("started")
+            .join()
+            .expect("no panic")
+            .expect("clean shutdown");
+    }
+}
+
+/// Sends one raw request and returns `(status, body)` with chunked
+/// bodies reassembled.
+fn http(addr: &str, raw: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(raw.as_bytes()).expect("send");
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("read");
+    let text = String::from_utf8(response).expect("utf8 response");
+    let (head, body) = text.split_once("\r\n\r\n").expect("head/body split");
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let body = if head.contains("Transfer-Encoding: chunked") {
+        dechunk(body)
+    } else {
+        body.to_string()
+    };
+    (status, body)
+}
+
+fn dechunk(mut body: &str) -> String {
+    let mut out = String::new();
+    loop {
+        let (size_line, rest) = body.split_once("\r\n").expect("chunk size line");
+        let size = usize::from_str_radix(size_line.trim(), 16).expect("hex chunk size");
+        if size == 0 {
+            return out;
+        }
+        out.push_str(&rest[..size]);
+        body = rest[size..].strip_prefix("\r\n").expect("chunk terminator");
+    }
+}
+
+fn get(addr: &str, path: &str) -> (u16, String) {
+    http(addr, &format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n"))
+}
+
+fn post(addr: &str, path: &str, client: &str, body: &str) -> (u16, String) {
+    http(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nHost: t\r\nx-qdc-client: {client}\r\n\
+             Content-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+/// Polls `/jobs/<id>` until the job reaches a terminal state.
+fn wait_terminal(addr: &str, id: u64) -> String {
+    for _ in 0..400 {
+        let (status, body) = get(addr, &format!("/jobs/{id}"));
+        assert_eq!(status, 200, "{body}");
+        validate_job(body.trim_end()).expect("job document conforms");
+        if body.contains("\"state\":\"completed\"") || body.contains("\"state\":\"interrupted\"") {
+            return body;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    panic!("job {id} never reached a terminal state");
+}
+
+#[test]
+fn loopback_streamed_records_match_a_direct_deterministic_run() {
+    let dir = temp_dir("stream");
+    let server = TestServer::start(ServiceConfig {
+        data_dir: dir.clone(),
+        ..ServiceConfig::default()
+    });
+
+    let (status, receipt) = post(
+        &server.addr,
+        "/jobs",
+        "alice",
+        "{\"builtin\":\"simthm_smoke\"}",
+    );
+    assert_eq!(status, 201, "{receipt}");
+    validate_job(receipt.trim_end()).expect("receipt conforms");
+    assert!(receipt.contains("\"id\":1"), "{receipt}");
+    assert!(receipt.contains("\"points\":4"), "{receipt}");
+
+    let done = wait_terminal(&server.addr, 1);
+    assert!(done.contains("\"state\":\"completed\""), "{done}");
+    assert!(done.contains("\"committed\":4"), "{done}");
+
+    // The service's streamed bytes ARE the deterministic JSONL.
+    let (status, streamed) = get(&server.addr, "/jobs/1/records");
+    assert_eq!(status, 200);
+    let spec = builtin("simthm_smoke").expect("builtin");
+    let direct = run_campaign(&spec, &RunOptions::default())
+        .expect("runs")
+        .deterministic_jsonl();
+    assert_eq!(streamed, direct, "streamed records are byte-identical");
+
+    // And so is the journal on disk.
+    let on_disk = std::fs::read_to_string(dir.join("job_1.records.jsonl")).expect("journal exists");
+    assert_eq!(on_disk, direct);
+
+    let (status, body) = get(&server.addr, "/status");
+    assert_eq!(status, 200);
+    validate_status(body.trim_end()).expect("status conforms");
+    assert!(
+        body.contains("\"alice\":{\"submitted\":1,\"rejected\":0,\"completed\":1}"),
+        "{body}"
+    );
+
+    server.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn loopback_rejections_are_structured_and_counted() {
+    let dir = temp_dir("reject");
+    let server = TestServer::start(ServiceConfig {
+        data_dir: dir.clone(),
+        quotas: QuotaConfig {
+            max_queue: 64,
+            max_queued_per_client: 8,
+            max_points_per_client: 5,
+        },
+        // Keep the first job in the queue long enough for its points to
+        // count as active while the second submission arrives.
+        throttle_ms: 40,
+        ..ServiceConfig::default()
+    });
+
+    let (status, first) = post(
+        &server.addr,
+        "/jobs",
+        "alice",
+        "{\"builtin\":\"simthm_smoke\"}",
+    );
+    assert_eq!(status, 201, "{first}");
+
+    // 4 of 5 points in use — a second smoke grid must be rejected.
+    let (status, rejected) = post(
+        &server.addr,
+        "/jobs",
+        "alice",
+        "{\"builtin\":\"simthm_smoke\"}",
+    );
+    assert_eq!(status, 429, "{rejected}");
+    validate_error(rejected.trim_end()).expect("error conforms");
+    assert!(
+        rejected.contains("\"error\":\"quota_exceeded\""),
+        "{rejected}"
+    );
+
+    // A different client still has its full budget.
+    let (status, other) = post(
+        &server.addr,
+        "/jobs",
+        "bob",
+        "{\"builtin\":\"simthm_smoke\"}",
+    );
+    assert_eq!(status, 201, "{other}");
+
+    // Semantic spec errors are 400 invalid_spec…
+    let (status, invalid) = post(
+        &server.addr,
+        "/jobs",
+        "alice",
+        "{\"name\":\"x\",\"grid\":{\"kind\":\"simthm\",\"gammas\":[],\"lengths\":[9],\"bandwidth\":16}}",
+    );
+    assert_eq!(status, 400, "{invalid}");
+    assert!(invalid.contains("\"error\":\"invalid_spec\""), "{invalid}");
+
+    // …shape errors and unknown builtins are 400 bad_request…
+    let (status, shapeless) = post(&server.addr, "/jobs", "alice", "{\"builtin\":\"nope\"}");
+    assert_eq!(status, 400, "{shapeless}");
+    assert!(
+        shapeless.contains("\"error\":\"bad_request\""),
+        "{shapeless}"
+    );
+
+    // …and transport-level junk is also structured.
+    let (status, not_found) = get(&server.addr, "/jobs/99");
+    assert_eq!(status, 404);
+    assert!(not_found.contains("\"error\":\"not_found\""), "{not_found}");
+    let (status, wrong_method) = get(&server.addr, "/jobs");
+    assert_eq!(status, 405, "{wrong_method}");
+    assert!(
+        wrong_method.contains("\"error\":\"method_not_allowed\""),
+        "{wrong_method}"
+    );
+    let (status, oversized) = http(
+        &server.addr,
+        &format!("POST /jobs HTTP/1.1\r\nContent-Length: {}\r\n\r\n", 1 << 20),
+    );
+    assert_eq!(status, 413, "{oversized}");
+    assert!(
+        oversized.contains("\"error\":\"payload_too_large\""),
+        "{oversized}"
+    );
+
+    // The admission rejections (quota, invalid spec) landed in alice's
+    // counters; the malformed body never reached admission, so it is
+    // deliberately not counted.
+    let (_, body) = get(&server.addr, "/status");
+    assert!(
+        body.contains("\"alice\":{\"submitted\":1,\"rejected\":2,"),
+        "{body}"
+    );
+
+    server.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn loopback_interrupted_service_resumes_byte_identically() {
+    let dir = temp_dir("resume");
+    let config = ServiceConfig {
+        data_dir: dir.clone(),
+        workers: 1,
+        // Slow the grid down so cancellation reliably lands mid-job.
+        throttle_ms: 30,
+        ..ServiceConfig::default()
+    };
+    let server = TestServer::start(config.clone());
+    let (status, receipt) = post(
+        &server.addr,
+        "/jobs",
+        "alice",
+        "{\"builtin\":\"simthm_smoke\",\"telemetry\":false}",
+    );
+    assert_eq!(status, 201, "{receipt}");
+    // Give the worker time to start and commit at least one point,
+    // then shut the service down mid-grid.
+    std::thread::sleep(std::time::Duration::from_millis(80));
+    server.stop();
+
+    let partial = std::fs::read_to_string(dir.join("job_1.records.jsonl")).unwrap_or_default();
+    let partial_lines = partial.lines().count();
+    assert!(
+        partial_lines < 4,
+        "shutdown landed mid-grid ({partial_lines} lines)"
+    );
+
+    // Restart on the same data dir: the job is re-enqueued and finishes.
+    let server = TestServer::start(config);
+    let done = wait_terminal(&server.addr, 1);
+    assert!(done.contains("\"state\":\"completed\""), "{done}");
+    let (_, streamed) = get(&server.addr, "/jobs/1/records");
+    let direct = run_campaign(
+        &builtin("simthm_smoke").expect("builtin"),
+        &RunOptions::default(),
+    )
+    .expect("runs")
+    .deterministic_jsonl();
+    assert_eq!(
+        streamed, direct,
+        "resumed-and-streamed records are byte-identical to a direct run"
+    );
+    server.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn loopback_telemetry_archives_are_served_byte_exactly() {
+    let dir = temp_dir("telemetry");
+    let server = TestServer::start(ServiceConfig {
+        data_dir: dir.clone(),
+        ..ServiceConfig::default()
+    });
+    let (status, receipt) = post(
+        &server.addr,
+        "/jobs",
+        "alice",
+        "{\"builtin\":\"telemetry_smoke\",\"telemetry\":true}",
+    );
+    assert_eq!(status, 201, "{receipt}");
+    wait_terminal(&server.addr, 1);
+
+    let (status, single) = get(&server.addr, "/jobs/1/telemetry/0");
+    assert_eq!(status, 200);
+    let on_disk =
+        std::fs::read_to_string(dir.join("job_1.telemetry").join("point_0.telemetry.jsonl"))
+            .expect("archive exists");
+    assert_eq!(single, on_disk, "single archive is byte-exact");
+
+    let (status, all) = get(&server.addr, "/jobs/1/telemetry");
+    assert_eq!(status, 200);
+    let second =
+        std::fs::read_to_string(dir.join("job_1.telemetry").join("point_1.telemetry.jsonl"))
+            .expect("archive exists");
+    assert_eq!(all, format!("{on_disk}{second}"), "concatenated in order");
+
+    // Telemetry of a job submitted without it is a structured 404.
+    let (status, receipt) = post(
+        &server.addr,
+        "/jobs",
+        "alice",
+        "{\"builtin\":\"simthm_smoke\"}",
+    );
+    assert_eq!(status, 201, "{receipt}");
+    wait_terminal(&server.addr, 2);
+    let (status, no_telemetry) = get(&server.addr, "/jobs/2/telemetry");
+    assert_eq!(status, 404, "{no_telemetry}");
+
+    server.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -27,7 +27,11 @@
 //!   pipeline;
 //! * [`harness`] — the experiment-campaign runner: declarative grids,
 //!   deterministic parallel sharding, JSONL records and
-//!   order-independent aggregates.
+//!   order-independent aggregates;
+//! * [`service`] — the resident campaign service: a bounded job queue
+//!   with per-client quotas, crash-safe journaled execution, and
+//!   streaming JSONL endpoints over a hand-rolled HTTP/1.1 layer
+//!   (`campaign serve` is the CLI front end).
 //!
 //! # Quickstart
 //!
@@ -52,4 +56,5 @@ pub use qdc_gadgets as gadgets;
 pub use qdc_graph as graph;
 pub use qdc_harness as harness;
 pub use qdc_quantum as quantum;
+pub use qdc_service as service;
 pub use qdc_simthm as simthm;

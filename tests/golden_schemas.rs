@@ -1,7 +1,8 @@
-//! Golden-file conformance tests for the five JSONL/JSON schemas the
+//! Golden-file conformance tests for the eight JSONL/JSON schemas the
 //! workspace emits: `qdc-trace/v1`, `qdc-telemetry/v1`,
-//! `qdc-campaign-point/v1`, `qdc-campaign-failure/v1` and
-//! `qdc-campaign/v1`.
+//! `qdc-campaign-point/v1`, `qdc-campaign-failure/v1`,
+//! `qdc-campaign/v1`, and the campaign service's `qdc-job/v1`,
+//! `qdc-service-status/v1` and `qdc-service-error/v1`.
 //!
 //! Each schema has a committed fixture under `tests/golden/`, generated
 //! from a fixed, fully deterministic workload. The tests pin three
@@ -27,6 +28,10 @@ use qdc::harness::{
     builtin, execute_point, failure_json, record_json, run_campaign, summary_json,
     validate_failure_line, validate_record_line, validate_summary, PointFailure, PointSpec,
     RunOptions,
+};
+use qdc::service::{
+    job_json, status_json, submit_error_json, validate_error, validate_job, validate_status,
+    QuotaConfig, ServiceCore, SubmitError,
 };
 use qdc::simthm::SimThmPoint;
 
@@ -338,6 +343,183 @@ fn golden_campaign_v1_byte_exact_and_validated() {
     let summary = golden_summary();
     assert_matches_golden("campaign_v1.json", &summary);
     validate_summary(&summary).expect("fixture conforms");
+}
+
+/// The fixed service workload behind all three service fixtures: two
+/// clients, one completed job (with its real deterministic aggregate),
+/// one queued telemetry job — every field a pure function of the specs.
+fn golden_service_core() -> ServiceCore {
+    let mut core = ServiceCore::new(QuotaConfig::default());
+    let spec = builtin("telemetry_smoke").expect("builtin");
+    let aggregate = run_campaign(&spec, &RunOptions::default())
+        .expect("runs")
+        .aggregate;
+    let done = core.submit("alice", spec, false).expect("admits");
+    core.submit("bob", builtin("simthm_smoke").expect("builtin"), true)
+        .expect("admits");
+    let job = core.take_next().expect("dispatch");
+    assert_eq!(job.id, done);
+    core.finish(done, 2, aggregate, false);
+    core
+}
+
+/// The fixed `qdc-job/v1` fixture: both jobs of the golden core, one
+/// line each — a completed job with its aggregate tail, then a queued
+/// one without.
+fn golden_jobs() -> String {
+    let core = golden_service_core();
+    core.jobs()
+        .map(|job| job_json(job) + "\n")
+        .collect::<String>()
+}
+
+fn golden_service_status() -> String {
+    status_json(&golden_service_core()) + "\n"
+}
+
+/// The fixed `qdc-service-error/v1` fixture: one line per rejection
+/// class the submit path can produce, in status order.
+fn golden_service_errors() -> String {
+    [
+        SubmitError::InvalidSpec(qdc::harness::CampaignError::EmptyName),
+        SubmitError::QueueFull { depth: 64, max: 64 },
+        SubmitError::ClientQueueFull { queued: 8, max: 8 },
+        SubmitError::QuotaExceeded {
+            requested: 32,
+            active: 4090,
+            max: 4096,
+        },
+    ]
+    .iter()
+    .map(|e| submit_error_json(e).1 + "\n")
+    .collect()
+}
+
+#[test]
+fn golden_job_v1_byte_exact_and_validated() {
+    let lines = golden_jobs();
+    assert_matches_golden("job_v1.jsonl", &lines);
+    for line in lines.lines() {
+        validate_job(line).expect("fixture conforms");
+    }
+    assert!(
+        lines
+            .lines()
+            .next()
+            .expect("two lines")
+            .contains("\"aggregate\":{"),
+        "the completed job carries its aggregate"
+    );
+    assert!(
+        !lines
+            .lines()
+            .nth(1)
+            .expect("two lines")
+            .contains("aggregate"),
+        "the queued job does not"
+    );
+}
+
+#[test]
+fn golden_job_v1_rejection_corpus() {
+    let lines = golden_jobs();
+    let line = lines.lines().next().expect("fixture line");
+    let cases = [
+        (line[..line.len() - 2].to_string(), "truncated document"),
+        (line.replace("\"state\"", "\"stat\""), "unknown field"),
+        (
+            line.replace("qdc-job/v1", "qdc-job/v2"),
+            "wrong version tag",
+        ),
+        (line.replace("\"id\":1", "\"id\":1.5"), "non-integer value"),
+        (
+            line.replace("\"id\":1", "\"id\":01"),
+            "leading-zero integer",
+        ),
+        (
+            line.replace("\"state\":\"completed\"", "\"state\":\"paused\""),
+            "unknown state word",
+        ),
+    ];
+    for (bad, why) in cases {
+        let err = validate_job(&bad).expect_err(why);
+        assert!(!err.is_empty(), "{why} must explain itself");
+    }
+}
+
+#[test]
+fn golden_service_status_v1_byte_exact_and_validated() {
+    let status = golden_service_status();
+    assert_matches_golden("service_status_v1.json", &status);
+    validate_status(&status).expect("fixture conforms");
+}
+
+#[test]
+fn golden_service_status_v1_rejection_corpus() {
+    let status = golden_service_status();
+    let cases = [
+        (status[..status.len() - 3].to_string(), "truncated document"),
+        (status.replace("\"queued\"", "\"qeued\""), "unknown field"),
+        (
+            status.replace("qdc-service-status/v1", "qdc-service-status/v0"),
+            "wrong version tag",
+        ),
+        (
+            status.replace("\"jobs\":2", "\"jobs\":2.5"),
+            "non-integer value",
+        ),
+        (
+            status.replace("\"jobs\":2", "\"jobs\":02"),
+            "leading-zero integer",
+        ),
+        (
+            status.replace("\"submitted\":1,", ""),
+            "missing client counter",
+        ),
+    ];
+    for (bad, why) in cases {
+        let err = validate_status(&bad).expect_err(why);
+        assert!(!err.is_empty(), "{why} must explain itself");
+    }
+}
+
+#[test]
+fn golden_service_error_v1_byte_exact_and_validated() {
+    let lines = golden_service_errors();
+    assert_matches_golden("service_error_v1.jsonl", &lines);
+    for line in lines.lines() {
+        validate_error(line).expect("fixture conforms");
+    }
+}
+
+#[test]
+fn golden_service_error_v1_rejection_corpus() {
+    let lines = golden_service_errors();
+    let line = lines.lines().next().expect("fixture line");
+    let cases = [
+        (line[..line.len() - 2].to_string(), "truncated document"),
+        (line.replace("\"error\"", "\"erorr\""), "unknown field"),
+        (
+            line.replace("qdc-service-error/v1", "qdc-service-error/v2"),
+            "wrong version tag",
+        ),
+        (
+            line.replace("\"status\":400", "\"status\":400.5"),
+            "non-integer value",
+        ),
+        (
+            line.replace("\"status\":400", "\"status\":0400"),
+            "leading-zero integer",
+        ),
+        (
+            line.replace("\"status\":400", "\"status\":900"),
+            "out-of-range status",
+        ),
+    ];
+    for (bad, why) in cases {
+        let err = validate_error(&bad).expect_err(why);
+        assert!(!err.is_empty(), "{why} must explain itself");
+    }
 }
 
 #[test]
