@@ -152,11 +152,20 @@ pub fn require_keys(doc: &Json, required: &[&str], optional_tail: &[&str]) -> Re
     Ok(())
 }
 
-/// Parses one JSON document, rejecting trailing garbage.
+/// Deepest accepted array/object nesting. Campaign documents are at
+/// most a handful of levels deep; the bound exists because the parser
+/// recurses per level, so without it an untrusted document of a few
+/// kilobytes of `[` could overflow the stack of whatever thread parses
+/// it (the service parses request bodies on 2 MiB connection threads).
+pub const MAX_DEPTH: usize = 64;
+
+/// Parses one JSON document, rejecting trailing garbage and nesting
+/// deeper than [`MAX_DEPTH`].
 pub fn parse(text: &str) -> Result<Json, String> {
     let mut p = Parser {
         bytes: text.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     let v = p.value()?;
     p.skip_ws();
@@ -169,9 +178,20 @@ pub fn parse(text: &str) -> Result<Json, String> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
+    fn descend(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_DEPTH} levels at byte {}",
+                self.pos
+            ));
+        }
+        Ok(())
+    }
     fn skip_ws(&mut self) {
         while self
             .bytes
@@ -282,10 +302,12 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Json, String> {
+        self.descend()?;
         self.eat("[")?;
         let mut items = Vec::new();
         if self.peek() == Some(b']') {
             self.eat("]")?;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -294,16 +316,19 @@ impl<'a> Parser<'a> {
                 self.eat(",")?;
             } else {
                 self.eat("]")?;
+                self.depth -= 1;
                 return Ok(Json::Arr(items));
             }
         }
     }
 
     fn object(&mut self) -> Result<Json, String> {
+        self.descend()?;
         self.eat("{")?;
         let mut fields = Vec::new();
         if self.peek() == Some(b'}') {
             self.eat("}")?;
+            self.depth -= 1;
             return Ok(Json::Obj(fields));
         }
         loop {
@@ -315,6 +340,7 @@ impl<'a> Parser<'a> {
                 self.eat(",")?;
             } else {
                 self.eat("}")?;
+                self.depth -= 1;
                 return Ok(Json::Obj(fields));
             }
         }
@@ -388,6 +414,36 @@ mod tests {
             "wrong optional key"
         );
         assert!(require_keys(&Json::Num(1), &[], &[]).is_err(), "non-object");
+    }
+
+    #[test]
+    fn json_bounds_nesting_depth() {
+        // Exactly at the bound: fine, both pure arrays and mixed shapes.
+        let at_limit = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        parse(&at_limit).expect("MAX_DEPTH levels parse");
+        let mixed = format!(
+            "{}{{\"k\":1}}{}",
+            "[".repeat(MAX_DEPTH - 1),
+            "]".repeat(MAX_DEPTH - 1)
+        );
+        parse(&mixed).expect("objects count toward the same bound");
+        // Depth is the *current* nesting, not a lifetime total: closing
+        // a bracket returns its level to the budget.
+        let siblings = format!("[{}1]", "[1],".repeat(MAX_DEPTH * 4));
+        parse(&siblings).expect("siblings do not accumulate depth");
+        // One past the bound: rejected with a depth error, and — the
+        // point of the bound — a pathological body must not overflow
+        // the stack. 32k unclosed brackets would have recursed 32k
+        // frames deep before this fix.
+        let over = format!("{}1{}", "[".repeat(MAX_DEPTH + 1), "]".repeat(MAX_DEPTH + 1));
+        let err = parse(&over).expect_err("MAX_DEPTH + 1 rejected");
+        assert!(err.contains("nesting deeper"), "{err}");
+        let bomb = "[".repeat(32 * 1024);
+        let err = parse(&bomb).expect_err("deep bomb rejected, no overflow");
+        assert!(err.contains("nesting deeper"), "{err}");
+        let obj_bomb = "{\"k\":".repeat(32 * 1024);
+        let err = parse(&obj_bomb).expect_err("object bomb rejected");
+        assert!(err.contains("nesting deeper"), "{err}");
     }
 
     #[test]

@@ -257,6 +257,29 @@ impl CampaignSpec {
         Ok(())
     }
 
+    /// The size of the expanded grid, computed arithmetically from the
+    /// axis lengths — never by materializing the cross product. This is
+    /// what admission control must call: a hostile spec with two
+    /// multi-thousand-entry axes describes a multi-million-point grid,
+    /// and sizing it via [`points`](Self::points) would allocate all of
+    /// it before the quota check ever rejects. Saturates at `u64::MAX`
+    /// (any saturated value is far beyond every quota anyway).
+    pub fn point_count(&self) -> u64 {
+        fn product(a: usize, b: usize) -> u64 {
+            (a as u64).saturating_mul(b as u64)
+        }
+        match &self.grid {
+            CampaignGrid::SimThm {
+                gammas, lengths, ..
+            } => product(gammas.len(), lengths.len()),
+            CampaignGrid::Chaos { drop_pm, seeds, .. } => product(drop_pm.len(), seeds.len()),
+            // Two gadget families per (bits, seed) cell.
+            CampaignGrid::Gadgets {
+                bit_sizes, seeds, ..
+            } => product(bit_sizes.len(), seeds.len()).saturating_mul(2),
+        }
+    }
+
     /// Expands the grid into a flat, deterministically ordered point
     /// list. Point `i` of this list is record `"point": i` in the
     /// campaign output, on any thread count.
@@ -413,6 +436,28 @@ mod tests {
             }
         }
         assert!(builtin("no_such_campaign").is_none());
+    }
+
+    #[test]
+    fn spec_point_count_matches_expansion_without_expanding() {
+        // The arithmetic count must agree with the materialized grid on
+        // every builtin (all three grid shapes are covered).
+        for name in builtin_names() {
+            let spec = builtin(name).expect("known builtin");
+            assert_eq!(
+                spec.point_count(),
+                spec.points().len() as u64,
+                "{name}: point_count disagrees with points()"
+            );
+        }
+        // A hostile grid with two huge axes: the count is exact and
+        // instant — calling points() here would allocate 64M PointSpecs.
+        let mut spec = builtin("chaos_ensemble").expect("builtin");
+        if let CampaignGrid::Chaos { drop_pm, seeds, .. } = &mut spec.grid {
+            *drop_pm = vec![0; 8000];
+            *seeds = (0..8000).collect();
+        }
+        assert_eq!(spec.point_count(), 64_000_000);
     }
 
     #[test]

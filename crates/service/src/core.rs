@@ -91,7 +91,7 @@ pub struct Job {
     pub spec: CampaignSpec,
     /// Whether the job asked for per-point telemetry archives.
     pub telemetry: bool,
-    /// Size of the expanded grid (cached from `spec.points().len()`).
+    /// Size of the expanded grid (cached from `spec.point_count()`).
     pub total_points: u64,
     /// Lifecycle state.
     pub state: JobState,
@@ -280,7 +280,11 @@ impl ServiceCore {
     /// The admission checks alone (no mutation). Returns the grid size.
     fn admit(&self, client: &str, spec: &CampaignSpec) -> Result<u64, SubmitError> {
         spec.validate().map_err(SubmitError::InvalidSpec)?;
-        let requested = spec.points().len() as u64;
+        // Size the grid arithmetically: expanding it (`spec.points()`)
+        // before the quota check would let an untrusted 64 KiB spec with
+        // two multi-thousand-entry axes allocate a multi-GB cross
+        // product under the core mutex just to be told 429.
+        let requested = spec.point_count();
         if self.queue.len() >= self.quotas.max_queue {
             return Err(SubmitError::QueueFull {
                 depth: self.queue.len(),
@@ -309,17 +313,18 @@ impl ServiceCore {
     /// Incomplete jobs (`Queued`/`Running`/`Interrupted` on disk) are
     /// re-enqueued as [`JobState::Queued`]; completed ones keep their
     /// terminal state. The id counter advances past every restored id.
+    /// Every restored job counts as submitted (and completed ones as
+    /// completed), so the lifetime invariant `completed ≤ submitted`
+    /// holds across restarts.
     pub fn restore(&mut self, mut job: Job) {
         self.next_id = self.next_id.max(job.id + 1);
-        self.clients.entry(job.client.clone()).or_default();
+        let stats = self.clients.entry(job.client.clone()).or_default();
+        stats.submitted += 1;
         if job.state != JobState::Completed {
             job.state = JobState::Queued;
             self.queue.push_back(job.id);
         } else {
-            self.clients
-                .get_mut(&job.client)
-                .expect("inserted above")
-                .completed += 1;
+            stats.completed += 1;
         }
         self.jobs.insert(job.id, job);
     }
@@ -486,6 +491,31 @@ mod tests {
     }
 
     #[test]
+    fn core_rejects_a_hostile_grid_without_expanding_it() {
+        use qdc_harness::CampaignGrid;
+        // Two ~4k-entry axes describe a 16M-point grid from a few KiB of
+        // spec. Admission must size it arithmetically — expanding the
+        // cross product here (as admit() once did via spec.points())
+        // would allocate millions of PointSpecs under the core mutex
+        // before the rejection.
+        let mut core = ServiceCore::new(QuotaConfig::default());
+        let mut spec = qdc_harness::builtin("chaos_ensemble").expect("builtin");
+        if let CampaignGrid::Chaos { drop_pm, seeds, .. } = &mut spec.grid {
+            *drop_pm = vec![0; 4000];
+            *seeds = (0..4000).collect();
+        }
+        let err = core.submit("alice", spec, false).expect_err("rejected");
+        assert_eq!(
+            err,
+            SubmitError::QuotaExceeded {
+                requested: 16_000_000,
+                active: 0,
+                max: QuotaConfig::default().max_points_per_client,
+            }
+        );
+    }
+
+    #[test]
     fn core_restore_re_enqueues_incomplete_jobs_and_advances_ids() {
         let mut core = ServiceCore::new(QuotaConfig::default());
         core.restore(Job {
@@ -514,6 +544,13 @@ mod tests {
         let next = core.take_next().expect("recovered job re-enqueued");
         assert_eq!(next.id, 9, "the interrupted job is back in the queue");
         assert_eq!(next.committed, 2, "its progress marker survives");
+        // Restored jobs keep the lifetime counters consistent: every
+        // restored job counts as submitted, so `completed ≤ submitted`
+        // holds in /status even right after a restart.
+        let alice = core.clients().find(|(k, _)| *k == "alice").expect("kept").1;
+        assert_eq!((alice.submitted, alice.completed), (1, 1));
+        let bob = core.clients().find(|(k, _)| *k == "bob").expect("kept").1;
+        assert_eq!((bob.submitted, bob.completed), (1, 0));
         // A fresh submission continues past every restored id.
         let fresh = core.submit("carol", smoke(), false).expect("admits");
         assert_eq!(fresh, 10);

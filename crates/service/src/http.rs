@@ -86,15 +86,36 @@ impl From<io::Error> for HttpError {
     }
 }
 
+/// Reads one head line (request line or header), charging it against
+/// the shared `MAX_HEAD_BYTES` budget **as the bytes arrive**: the read
+/// itself is capped at the remaining budget, so a peer that streams an
+/// endless line with no `\n` is cut off after at most `MAX_HEAD_BYTES`
+/// buffered bytes instead of growing server memory without bound
+/// (`read_line` alone buffers until a newline shows up). Returns an
+/// empty string on clean EOF.
+fn read_head_line(stream: &mut impl BufRead, head: &mut usize) -> Result<String, HttpError> {
+    let budget = (MAX_HEAD_BYTES - *head) as u64;
+    let mut line = String::new();
+    // One byte past the budget distinguishes "exactly fits" from
+    // "still going when the budget ran out".
+    let n = io::Read::take(&mut *stream, budget + 1).read_line(&mut line)?;
+    *head += n;
+    if *head > MAX_HEAD_BYTES {
+        return Err(HttpError::BadRequest(format!(
+            "header block exceeds {MAX_HEAD_BYTES} bytes"
+        )));
+    }
+    Ok(line)
+}
+
 /// Reads and parses one request. `Ok(None)` means the peer closed the
 /// connection cleanly before sending anything.
 pub fn read_request(stream: &mut impl BufRead) -> Result<Option<Request>, HttpError> {
     let mut head = 0usize;
-    let mut line = String::new();
-    if stream.read_line(&mut line)? == 0 {
+    let line = read_head_line(stream, &mut head)?;
+    if line.is_empty() {
         return Ok(None);
     }
-    head += line.len();
     let line = line.trim_end_matches(['\r', '\n']);
     let mut parts = line.split(' ');
     let (Some(method), Some(path), Some(version), None) =
@@ -118,15 +139,9 @@ pub fn read_request(stream: &mut impl BufRead) -> Result<Option<Request>, HttpEr
 
     let mut headers = Vec::new();
     loop {
-        let mut raw = String::new();
-        if stream.read_line(&mut raw)? == 0 {
+        let raw = read_head_line(stream, &mut head)?;
+        if raw.is_empty() {
             return Err(HttpError::BadRequest("truncated header block".into()));
-        }
-        head += raw.len();
-        if head > MAX_HEAD_BYTES {
-            return Err(HttpError::BadRequest(format!(
-                "header block exceeds {MAX_HEAD_BYTES} bytes"
-            )));
         }
         let raw = raw.trim_end_matches(['\r', '\n']);
         if raw.is_empty() {
@@ -319,6 +334,36 @@ mod tests {
             "a".repeat(MAX_HEAD_BYTES)
         );
         assert!(matches!(parse(&huge_head), Err(HttpError::BadRequest(_))));
+    }
+
+    #[test]
+    fn http_cuts_off_a_newline_free_line_at_the_head_budget() {
+        // A peer that streams bytes forever without ever sending `\n`.
+        // Before the bounded read, `read_line` would buffer this without
+        // limit (and this test would never return); now the connection
+        // is rejected after at most MAX_HEAD_BYTES buffered bytes.
+        struct EndlessAs;
+        impl io::Read for EndlessAs {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                buf.fill(b'a');
+                Ok(buf.len())
+            }
+        }
+        // …as the request line,
+        let mut endless = io::BufReader::new(EndlessAs);
+        assert!(matches!(
+            read_request(&mut endless),
+            Err(HttpError::BadRequest(_))
+        ));
+        // …and as a header line after a valid request line.
+        let mut endless_header = io::BufReader::new(io::Read::chain(
+            Cursor::new(b"GET /x HTTP/1.1\r\nX-Pad: ".to_vec()),
+            EndlessAs,
+        ));
+        assert!(matches!(
+            read_request(&mut endless_header),
+            Err(HttpError::BadRequest(_))
+        ));
     }
 
     #[test]

@@ -175,7 +175,7 @@ pub fn scan_data_dir(data_dir: &Path) -> io::Result<ScanReport> {
                 continue;
             }
         };
-        let total_points = spec.points().len() as u64;
+        let total_points = spec.point_count();
         let (_, records_path, _) = job_paths(data_dir, id);
         let journal_text = match std::fs::read_to_string(&records_path) {
             Ok(t) => t,

@@ -44,7 +44,7 @@ use qdc_harness::{
     builtin, journal, run_campaign_journaled, spec_from_json, CampaignSpec, CancelToken,
     JournalConfig, RunOptions,
 };
-use std::io::{self, BufReader, Write};
+use std::io::{self, BufReader, Read as _, Seek as _, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::{Arc, Condvar, Mutex};
@@ -476,7 +476,7 @@ fn stream_records(state: &ServiceState, id: u64, w: &mut TcpStream) -> io::Resul
     }
     let (_, records_path, _) = job_paths(&state.config.data_dir, id);
     let mut chunks = ChunkedWriter::begin(w, 200, "application/jsonl")?;
-    let mut offset = 0usize;
+    let mut offset = 0u64;
     loop {
         // Read the state *before* the file: bytes committed after this
         // check are caught on the next loop, and once terminal the file
@@ -488,15 +488,28 @@ fn stream_records(state: &ServiceState, id: u64, w: &mut TcpStream) -> io::Resul
                 Some(JobState::Completed | JobState::Interrupted) | None
             )
         };
-        let data = std::fs::read(&records_path).unwrap_or_default();
-        let committed = data
+        // Re-open each poll (the journal does not exist until the worker
+        // starts the job) but read only from the last streamed boundary:
+        // total I/O over the life of a streaming client is linear in the
+        // journal, not quadratic. Bytes streamed so far never change —
+        // recovery only ever truncates a torn *partial* trailing line,
+        // and `offset` always sits on a committed newline boundary.
+        let mut tail = Vec::new();
+        if let Ok(mut file) = std::fs::File::open(&records_path) {
+            if file.seek(io::SeekFrom::Start(offset)).is_ok() {
+                let _ = file.read_to_end(&mut tail);
+            }
+        }
+        // Emit only whole lines; a partial trailing line stays unsent
+        // (and is re-read next poll — at most one record of rework).
+        let committed = tail
             .iter()
             .rposition(|&b| b == b'\n')
             .map(|p| p + 1)
             .unwrap_or(0);
-        if committed > offset {
-            chunks.chunk(&data[offset..committed])?;
-            offset = committed;
+        if committed > 0 {
+            chunks.chunk(&tail[..committed])?;
+            offset += committed as u64;
         }
         if terminal || state.cancel.is_cancelled() {
             break;
