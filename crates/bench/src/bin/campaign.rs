@@ -6,7 +6,8 @@
 //!                          [--max-attempts N] [--deadline-ms MS]
 //!                          [--backoff-seed N] [--throttle-ms MS] [--resume]
 //!                          [--out FILE.jsonl] [--summary FILE.json]
-//!                          [--trace-dir DIR] [--telemetry-dir DIR] [--list]
+//!                          [--trace-dir DIR] [--telemetry-dir DIR]
+//!                          [--telemetry-stream] [--telemetry-top-k K] [--list]
 //! campaign serve  [--addr HOST:PORT] [--data-dir DIR] [--workers N]
 //!                 [--job-threads N] [--max-queue N] [--max-client-jobs N]
 //!                 [--max-client-points N] [--throttle-ms MS]
@@ -49,7 +50,19 @@
 //! * `--telemetry-dir` — profile each point with a telemetry sink
 //!   (observation never changes results) and archive each profile as
 //!   `<dir>/point_<i>.telemetry.jsonl` (the `profile` binary renders
-//!   these).
+//!   these). By default the sink is the exact in-memory profiler
+//!   (`qdc-telemetry/v1` archives, O(rounds) memory);
+//! * `--telemetry-stream` — swap the sink for the O(1)-memory streaming
+//!   aggregator: each point's archive is written incrementally as
+//!   `qdc-telemetry-stream/v1` JSONL the moment each round commits
+//!   (windowed flush, never a full-run buffer), with mergeable totals,
+//!   a utilisation histogram, and deterministic top-K hottest-edge /
+//!   hottest-node sketches in the footer. Requires `--telemetry-dir`.
+//!   Streamed archives obey the same byte-identical contract at any
+//!   `--threads` / `--sim-threads` count (`profile query` reads them);
+//! * `--telemetry-top-k K` — capacity of the streaming top-K sketches
+//!   (default 16; exact whenever K ≥ the number of distinct edges or
+//!   nodes). Requires `--telemetry-stream`.
 //!
 //! `campaign serve` keeps the process resident as the campaign service
 //! (`qdc-service`): clients POST specs to `/jobs`, a worker pool runs
@@ -84,7 +97,8 @@
 use qdc_bench::{print_header, print_row};
 use qdc_harness::{
     builtin, builtin_names, journal_summary_json, run_campaign_journaled, validate_output_paths,
-    CampaignRunError, CancelToken, JournalConfig, JournalOutcome, RunOptions,
+    CampaignRunError, CancelToken, JournalConfig, JournalOutcome, RunOptions, StreamTelemetry,
+    TelemetryMode,
 };
 
 /// Signal plumbing: SIGINT/SIGTERM flip the shared [`CancelToken`] and
@@ -141,6 +155,8 @@ struct Args {
     summary: Option<String>,
     trace_dir: Option<String>,
     telemetry_dir: Option<String>,
+    telemetry_stream: bool,
+    telemetry_top_k: usize,
 }
 
 fn usage() -> ! {
@@ -148,7 +164,7 @@ fn usage() -> ! {
         "usage: campaign [resume] <spec> [--threads N] [--sim-threads N] [--deterministic] \
          [--max-attempts N] [--deadline-ms MS] [--backoff-seed N] [--throttle-ms MS] \
          [--resume] [--out FILE.jsonl] [--summary FILE.json] [--trace-dir DIR] \
-         [--telemetry-dir DIR] [--list]"
+         [--telemetry-dir DIR] [--telemetry-stream] [--telemetry-top-k K] [--list]"
     );
     eprintln!("built-in specs: {}", builtin_names().join(", "));
     std::process::exit(2);
@@ -169,6 +185,8 @@ fn parse_args() -> Args {
         summary: None,
         trace_dir: None,
         telemetry_dir: None,
+        telemetry_stream: false,
+        telemetry_top_k: 16,
     };
     let mut saw_resume_word = false;
     let mut it = std::env::args().skip(1);
@@ -222,6 +240,11 @@ fn parse_args() -> Args {
             "--telemetry-dir" => match it.next() {
                 Some(v) => args.telemetry_dir = Some(v),
                 None => usage(),
+            },
+            "--telemetry-stream" => args.telemetry_stream = true,
+            "--telemetry-top-k" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(k) if k > 0 => args.telemetry_top_k = k,
+                _ => usage(),
             },
             "--help" | "-h" => usage(),
             s if s.starts_with('-') => {
@@ -451,11 +474,29 @@ fn main() {
         eprintln!("campaign: {e}");
         std::process::exit(3);
     }
+    if args.telemetry_stream && args.telemetry_dir.is_none() {
+        eprintln!("campaign: --telemetry-stream requires --telemetry-dir");
+        std::process::exit(3);
+    }
 
+    // Stream mode: the workers write `qdc-telemetry-stream/v1` archives
+    // incrementally themselves, so the journal committer has nothing to
+    // archive. Exact mode keeps the committer-written `qdc-telemetry/v1`
+    // path.
+    let telemetry = match &args.telemetry_dir {
+        Some(dir) if args.telemetry_stream => {
+            let mut cfg = StreamTelemetry::new(dir.clone());
+            cfg.top_k = args.telemetry_top_k;
+            cfg.with_wall = !args.deterministic;
+            TelemetryMode::Stream(cfg)
+        }
+        Some(_) => TelemetryMode::Exact,
+        None => TelemetryMode::Off,
+    };
     let options = RunOptions {
         threads: args.threads,
         keep_traces: args.trace_dir.is_some(),
-        keep_telemetry: args.telemetry_dir.is_some(),
+        telemetry,
         sim_threads: args.sim_threads,
         max_attempts: args.max_attempts,
         backoff_seed: args.backoff_seed,

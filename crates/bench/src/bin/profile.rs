@@ -1,17 +1,40 @@
-//! Telemetry profile viewer: render a `qdc-telemetry/v1` archive as a
-//! per-round utilisation table plus the top-k hottest edges.
+//! Telemetry archive viewer and query engine.
 //!
 //! ```text
 //! profile <telemetry.jsonl> [--top K]
 //! profile - [--top K]            # read the archive from stdin
+//! profile query <path|dir|->... [--merge] [--metric NAME]
+//!                               [--rounds A..B] [--top-k K]
 //! ```
 //!
-//! * `<telemetry.jsonl>` — a profile archived by
-//!   `campaign --telemetry-dir` (or any [`TelemetryReport::to_jsonl`]
-//!   output); `-` reads the same bytes from stdin, so service
-//!   endpoints pipe straight in:
-//!   `curl -sN host/jobs/1/telemetry/0 | profile -`;
-//! * `--top K` — how many hottest edges to list (default 5).
+//! The bare form renders one **exact-mode** `qdc-telemetry/v1` archive
+//! (from `campaign --telemetry-dir`, or any
+//! [`TelemetryReport::to_jsonl`] output) as a per-round utilisation
+//! table plus the top-k hottest edges; `-` reads the same bytes from
+//! stdin, so service endpoints pipe straight in:
+//! `curl -sN host/jobs/1/telemetry/0 | profile -`.
+//!
+//! `profile query` is the archive engine for **streaming**
+//! `qdc-telemetry-stream/v1` archives (`campaign --telemetry-dir D
+//! --telemetry-stream`). It runs entirely on the streaming parser —
+//! record in, record out — so memory stays flat no matter how many
+//! rounds an archive holds:
+//!
+//! * each input is a file, a directory (every
+//!   `point_<i>.telemetry.jsonl` inside, in point order), or `-` for
+//!   stdin;
+//! * default output is one summary block per archive: merged totals,
+//!   the utilisation histogram, the classified split, and the top-K
+//!   hottest-edge / hottest-node sketches with their `±err` bounds;
+//! * `--merge` folds every archive's footer through the associative
+//!   merge and prints a single combined summary (bandwidth renders as
+//!   `mixed` when archives disagree);
+//! * `--metric NAME` switches to series mode: one `r<round> <value>`
+//!   line per round (names: `messages`, `bits`, `dropped`,
+//!   `corrupted`, `crashes`, `path`, `highway`, `cross`);
+//! * `--rounds A..B` restricts series mode to an inclusive window
+//!   (`A..`, `..B`, and a single `A` also work);
+//! * `--top-k K` caps the sketch rows a summary lists (default 5).
 //!
 //! The utilisation columns bucket each delivered message against the
 //! per-edge budget `B`: `idle` counts directed edge slots that carried
@@ -19,16 +42,188 @@
 //! they used. For classified profiles (simulation-theorem networks) the
 //! path/highway/cross split of each round's bits is shown as well.
 //!
-//! Exit codes: `0` success, `2` usage, `4` the archive cannot be read,
-//! `5` the archive is empty, truncated, or otherwise malformed (the
-//! parser reports a structured error — it never panics on bad input).
+//! Exit codes: `0` success, `2` usage, `4` an input cannot be read,
+//! `5` an archive is empty, truncated, or otherwise malformed (the
+//! parsers report structured errors — they never panic on bad input).
 
+use qdc_bench::query::{expand_input, metric_value, render_summary, RoundWindow, METRICS};
 use qdc_bench::{print_header, print_row};
-use qdc_congest::TelemetryReport;
+use qdc_congest::{StreamAggregate, StreamReader, StreamRecord, TelemetryReport};
+use std::io::BufRead;
 
 fn usage() -> ! {
-    eprintln!("usage: profile <telemetry.jsonl> [--top K]");
+    eprintln!(
+        "usage: profile <telemetry.jsonl> [--top K]\n       \
+         profile query <path|dir|->... [--merge] [--metric NAME] [--rounds A..B] [--top-k K]"
+    );
     std::process::exit(2);
+}
+
+/// One resolved `profile query` input.
+enum Source {
+    Stdin,
+    File(std::path::PathBuf),
+}
+
+impl Source {
+    fn label(&self) -> String {
+        match self {
+            Source::Stdin => "-".to_string(),
+            Source::File(p) => p.display().to_string(),
+        }
+    }
+}
+
+struct QueryArgs {
+    sources: Vec<Source>,
+    merge: bool,
+    top_k: usize,
+    rounds: RoundWindow,
+    metric: Option<String>,
+}
+
+fn parse_query_args(args: &[String]) -> QueryArgs {
+    let mut inputs: Vec<String> = Vec::new();
+    let mut merge = false;
+    let mut top_k = 5usize;
+    let mut rounds = RoundWindow::all();
+    let mut metric = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--merge" => merge = true,
+            "--top-k" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(k) => top_k = k,
+                None => usage(),
+            },
+            "--rounds" => match it.next().map(|v| RoundWindow::parse(v)) {
+                Some(Ok(w)) => rounds = w,
+                Some(Err(e)) => {
+                    eprintln!("profile query: bad --rounds: {e}");
+                    usage();
+                }
+                None => usage(),
+            },
+            "--metric" => match it.next() {
+                Some(name) if METRICS.contains(&name.as_str()) => metric = Some(name.clone()),
+                Some(name) => {
+                    eprintln!(
+                        "profile query: unknown metric `{name}` (one of: {})",
+                        METRICS.join(", ")
+                    );
+                    usage();
+                }
+                None => usage(),
+            },
+            "--help" | "-h" => usage(),
+            "-" => inputs.push("-".to_string()),
+            s if s.starts_with('-') => {
+                eprintln!("unknown flag `{s}`");
+                usage();
+            }
+            s => inputs.push(s.to_string()),
+        }
+    }
+    if inputs.is_empty() {
+        usage();
+    }
+    if merge && metric.is_some() {
+        eprintln!("profile query: --merge combines footers; --metric streams rounds — pick one");
+        usage();
+    }
+    let mut sources = Vec::new();
+    for input in &inputs {
+        if input == "-" {
+            sources.push(Source::Stdin);
+            continue;
+        }
+        match expand_input(std::path::Path::new(input)) {
+            Ok(paths) => sources.extend(paths.into_iter().map(Source::File)),
+            Err(e) => {
+                eprintln!("profile query: {e}");
+                std::process::exit(4);
+            }
+        }
+    }
+    QueryArgs {
+        sources,
+        merge,
+        top_k,
+        rounds,
+        metric,
+    }
+}
+
+/// Streams one archive record-by-record: prints the metric series when
+/// in series mode, and returns the validated footer aggregate. Memory
+/// is one record at a time.
+fn drain_archive<R: BufRead>(
+    input: R,
+    metric: Option<&str>,
+    window: RoundWindow,
+) -> Result<StreamAggregate, String> {
+    let mut reader = StreamReader::new(input);
+    loop {
+        match reader.next_record().map_err(|e| e.to_string())? {
+            Some(StreamRecord::Header(_)) => {}
+            Some(StreamRecord::Round(r)) => {
+                if let Some(name) = metric {
+                    if window.contains(r.round) {
+                        let value = metric_value(&r, name).expect("metric name validated");
+                        println!("r{} {}", r.round, value);
+                    }
+                }
+            }
+            Some(StreamRecord::Footer(agg)) => return Ok(*agg),
+            None => return Err("archive ended without a footer".to_string()),
+        }
+    }
+}
+
+/// `profile query` — stream, filter, merge, render.
+fn query_main(args: &[String]) -> ! {
+    let q = parse_query_args(args);
+    let multi = q.sources.len() > 1;
+    let mut merged: Option<StreamAggregate> = None;
+    let mut folded = 0usize;
+    for source in &q.sources {
+        let label = source.label();
+        if multi && !q.merge {
+            println!("== {label}");
+        }
+        let result = match source {
+            Source::Stdin => drain_archive(std::io::stdin().lock(), q.metric.as_deref(), q.rounds),
+            Source::File(path) => match std::fs::File::open(path) {
+                Ok(file) => {
+                    drain_archive(std::io::BufReader::new(file), q.metric.as_deref(), q.rounds)
+                }
+                Err(e) => {
+                    eprintln!("profile query: cannot read `{label}`: {e}");
+                    std::process::exit(4);
+                }
+            },
+        };
+        let agg = match result {
+            Ok(agg) => agg,
+            Err(e) => {
+                eprintln!("profile query: `{label}` is not a valid stream archive: {e}");
+                std::process::exit(5);
+            }
+        };
+        folded += 1;
+        if q.merge {
+            match merged.as_mut() {
+                Some(m) => m.merge(&agg),
+                None => merged = Some(agg),
+            }
+        } else if q.metric.is_none() {
+            print!("{}", render_summary(&agg, 1, q.top_k));
+        }
+    }
+    if let Some(m) = &merged {
+        print!("{}", render_summary(m, folded, q.top_k));
+    }
+    std::process::exit(0);
 }
 
 fn parse_args() -> (String, usize) {
@@ -59,6 +254,10 @@ fn parse_args() -> (String, usize) {
 }
 
 fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("query") {
+        query_main(&argv[1..]);
+    }
     let (path, top) = parse_args();
     let text = if path == "-" {
         use std::io::Read as _;

@@ -9,21 +9,34 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-/// Prints a header row followed by a rule, with columns padded to
-/// `widths`.
-pub fn print_header(cols: &[&str], widths: &[usize]) {
-    print_row(cols, widths);
-    let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
-    println!("{}", "-".repeat(total));
-}
+pub mod query;
 
-/// Prints one table row with columns padded to `widths`.
-pub fn print_row(cols: &[&str], widths: &[usize]) {
+/// Formats one table row with columns padded to `widths` (no trailing
+/// newline).
+pub fn fmt_row(cols: &[&str], widths: &[usize]) -> String {
     let mut line = String::new();
     for (c, w) in cols.iter().zip(widths) {
         line.push_str(&format!("{c:>w$}  ", w = *w));
     }
-    println!("{}", line.trim_end());
+    line.trim_end().to_string()
+}
+
+/// Formats a header row followed by a rule, with columns padded to
+/// `widths`.
+pub fn fmt_header(cols: &[&str], widths: &[usize]) -> String {
+    let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+    format!("{}\n{}", fmt_row(cols, widths), "-".repeat(total))
+}
+
+/// Prints a header row followed by a rule, with columns padded to
+/// `widths`.
+pub fn print_header(cols: &[&str], widths: &[usize]) {
+    println!("{}", fmt_header(cols, widths));
+}
+
+/// Prints one table row with columns padded to `widths`.
+pub fn print_row(cols: &[&str], widths: &[usize]) {
+    println!("{}", fmt_row(cols, widths));
 }
 
 /// Formats a float compactly (3 significant-ish digits).

@@ -1,13 +1,13 @@
 //! Shared strict line-cursor for the crate's hand-rolled JSONL readers.
 //!
-//! Both archive formats this crate speaks — `qdc-trace/v1`
-//! ([`crate::trace_io`]) and `qdc-telemetry/v1` ([`crate::telemetry`]) —
-//! are parsed line by line against a fully specified grammar: no serde,
-//! no generic JSON tree, just a cursor that consumes exactly the tokens
-//! the writer emits (tolerating insignificant whitespace) and rejects
-//! everything else with a line-numbered error. Keeping the cursor in one
-//! place means the two parsers cannot drift apart in their notion of
-//! "strict".
+//! The archive formats this crate speaks — `qdc-trace/v1`
+//! ([`crate::trace_io`]), `qdc-telemetry/v1` ([`crate::telemetry`]) and
+//! `qdc-telemetry-stream/v1` ([`crate::stream`]) — are parsed line by
+//! line against a fully specified grammar: no serde, no generic JSON
+//! tree, just a cursor that consumes exactly the tokens the writer
+//! emits (tolerating insignificant whitespace) and rejects everything
+//! else with a line-numbered error. Keeping the cursor in one place
+//! means the parsers cannot drift apart in their notion of "strict".
 
 /// A position-annotated parse failure: which line, and what was expected
 /// or found. The schema-specific error types (`TraceParseError`,
@@ -57,6 +57,14 @@ impl<'a> Cursor<'a> {
     pub(crate) fn peek(&mut self) -> Option<u8> {
         self.skip_ws();
         self.bytes.get(self.pos).copied()
+    }
+
+    /// Whether `lit` comes next (after whitespace), without consuming it
+    /// — the one-token lookahead the stream reader uses to tell a round
+    /// line from the footer.
+    pub(crate) fn peeks(&mut self, lit: &str) -> bool {
+        self.skip_ws();
+        self.bytes[self.pos..].starts_with(lit.as_bytes())
     }
 
     /// Consumes `lit` (after whitespace) or errors.

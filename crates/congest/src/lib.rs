@@ -27,7 +27,11 @@
 //! ([`Simulator::try_run_observed`] and friends) without perturbing it,
 //! and [`RoundProfiler`] folds the event stream into a serializable
 //! [`TelemetryReport`]. The default [`NullTelemetry`] sink compiles the
-//! instrumentation away entirely.
+//! instrumentation away entirely. For runs whose length dwarfs memory,
+//! the [`stream`] module offers [`StreamSink`]: an O(1)-state sink that
+//! emits each round as `qdc-telemetry-stream/v1` JSONL the moment it
+//! commits, keeping only mergeable aggregates (running totals, a fixed
+//! utilisation histogram, and deterministic top-K sketches) in memory.
 //!
 //! # Example
 //!
@@ -75,6 +79,7 @@ mod message;
 mod sim;
 mod trace_io;
 
+pub mod stream;
 pub mod telemetry;
 pub mod topology;
 
@@ -85,6 +90,10 @@ pub use sim::{
     ChannelKind, CongestConfig, Inbox, NodeAlgorithm, NodeInfo, Outbox, RunMetrics, RunOptions,
     RunReport, SimError, Simulator, StepSummary, Stepper, TracedMessage, TrafficTrace,
     WatchdogReport,
+};
+pub use stream::{
+    read_aggregate, StreamAggregate, StreamHeader, StreamReader, StreamRecord, StreamSink,
+    StreamTotals, TopEntry, TopK, STREAM_FLUSH_BYTES, STREAM_SCHEMA,
 };
 pub use telemetry::{
     EdgeTotals, NodeClass, NodeTotals, NullTelemetry, RoundProfile, RoundProfiler, Telemetry,

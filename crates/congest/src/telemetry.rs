@@ -309,29 +309,7 @@ impl TelemetryReport {
             self.rounds.len()
         );
         for r in &self.rounds {
-            let _ = write!(
-                out,
-                "{{\"round\":{},\"messages\":{},\"bits\":{},\"dropped\":{},\"corrupted\":{},\"crashes\":{},\"quiescent\":{},\"util\":[{},{},{},{},{}],\"split\":[{},{},{}]",
-                r.round,
-                r.messages,
-                r.bits,
-                r.dropped,
-                r.corrupted_bits,
-                r.crashes,
-                u8::from(r.quiescent),
-                r.util[0],
-                r.util[1],
-                r.util[2],
-                r.util[3],
-                r.util[4],
-                r.path_bits,
-                r.highway_bits,
-                r.cross_bits,
-            );
-            if with_wall {
-                let _ = write!(out, ",\"wall_ns\":{}", r.wall_ns);
-            }
-            out.push_str("}\n");
+            write_round_line(&mut out, r, with_wall);
         }
         out.push_str("{\"node_totals\":[");
         for (i, n) in self.node_totals.iter().enumerate() {
@@ -435,75 +413,7 @@ impl TelemetryReport {
                 ),
             })?;
             let mut c = Cursor::new(line_no, line);
-            c.expect("{")?;
-            c.expect("\"round\"")?;
-            c.expect(":")?;
-            let round = c.parse_u64()? as usize;
-            if round != report.rounds.len() + 1 {
-                return Err(c
-                    .err(format!(
-                        "round {round} out of order (expected {})",
-                        report.rounds.len() + 1
-                    ))
-                    .into());
-            }
-            let mut p = RoundProfile {
-                round,
-                ..RoundProfile::default()
-            };
-            c.expect(",")?;
-            c.expect("\"messages\"")?;
-            c.expect(":")?;
-            p.messages = c.parse_u64()?;
-            c.expect(",")?;
-            c.expect("\"bits\"")?;
-            c.expect(":")?;
-            p.bits = c.parse_u64()?;
-            c.expect(",")?;
-            c.expect("\"dropped\"")?;
-            c.expect(":")?;
-            p.dropped = c.parse_u64()?;
-            c.expect(",")?;
-            c.expect("\"corrupted\"")?;
-            c.expect(":")?;
-            p.corrupted_bits = c.parse_u64()?;
-            c.expect(",")?;
-            c.expect("\"crashes\"")?;
-            c.expect(":")?;
-            p.crashes = c.parse_u64()?;
-            c.expect(",")?;
-            c.expect("\"quiescent\"")?;
-            c.expect(":")?;
-            p.quiescent = parse_flag(&mut c, "quiescent")?;
-            c.expect(",")?;
-            c.expect("\"util\"")?;
-            c.expect(":")?;
-            c.expect("[")?;
-            for (i, slot) in p.util.iter_mut().enumerate() {
-                if i > 0 {
-                    c.expect(",")?;
-                }
-                *slot = c.parse_u64()?;
-            }
-            c.expect("]")?;
-            c.expect(",")?;
-            c.expect("\"split\"")?;
-            c.expect(":")?;
-            c.expect("[")?;
-            p.path_bits = c.parse_u64()?;
-            c.expect(",")?;
-            p.highway_bits = c.parse_u64()?;
-            c.expect(",")?;
-            p.cross_bits = c.parse_u64()?;
-            c.expect("]")?;
-            if c.peek() == Some(b',') {
-                c.expect(",")?;
-                c.expect("\"wall_ns\"")?;
-                c.expect(":")?;
-                p.wall_ns = c.parse_u64()?;
-            }
-            c.expect("}")?;
-            c.end()?;
+            let p = parse_round_line(&mut c, report.rounds.len() + 1)?;
             report.rounds.push(p);
         }
 
@@ -609,12 +519,117 @@ impl TelemetryReport {
 }
 
 /// Parses a 0/1 flag field, rejecting any other integer.
-fn parse_flag(c: &mut Cursor<'_>, what: &str) -> Result<bool, TelemetryParseError> {
+pub(crate) fn parse_flag(c: &mut Cursor<'_>, what: &str) -> Result<bool, TelemetryParseError> {
     match c.parse_u64()? {
         0 => Ok(false),
         1 => Ok(true),
         other => Err(c.err(format!("{what} must be 0 or 1, got {other}")).into()),
     }
+}
+
+/// Serializes one [`RoundProfile`] as the round-line grammar shared by
+/// `qdc-telemetry/v1` and `qdc-telemetry-stream/v1` (one line, trailing
+/// newline included; `wall_ns` only with `with_wall`).
+pub(crate) fn write_round_line(out: &mut String, r: &RoundProfile, with_wall: bool) {
+    let _ = write!(
+        out,
+        "{{\"round\":{},\"messages\":{},\"bits\":{},\"dropped\":{},\"corrupted\":{},\"crashes\":{},\"quiescent\":{},\"util\":[{},{},{},{},{}],\"split\":[{},{},{}]",
+        r.round,
+        r.messages,
+        r.bits,
+        r.dropped,
+        r.corrupted_bits,
+        r.crashes,
+        u8::from(r.quiescent),
+        r.util[0],
+        r.util[1],
+        r.util[2],
+        r.util[3],
+        r.util[4],
+        r.path_bits,
+        r.highway_bits,
+        r.cross_bits,
+    );
+    if with_wall {
+        let _ = write!(out, ",\"wall_ns\":{}", r.wall_ns);
+    }
+    out.push_str("}\n");
+}
+
+/// Parses one round line (the grammar [`write_round_line`] emits, with
+/// or without `wall_ns`), enforcing that its round number is exactly
+/// `expected` — both archive formats demand contiguous 1-based rounds.
+pub(crate) fn parse_round_line(
+    c: &mut Cursor<'_>,
+    expected: usize,
+) -> Result<RoundProfile, TelemetryParseError> {
+    c.expect("{")?;
+    c.expect("\"round\"")?;
+    c.expect(":")?;
+    let round = c.parse_u64()? as usize;
+    if round != expected {
+        return Err(c
+            .err(format!("round {round} out of order (expected {expected})"))
+            .into());
+    }
+    let mut p = RoundProfile {
+        round,
+        ..RoundProfile::default()
+    };
+    c.expect(",")?;
+    c.expect("\"messages\"")?;
+    c.expect(":")?;
+    p.messages = c.parse_u64()?;
+    c.expect(",")?;
+    c.expect("\"bits\"")?;
+    c.expect(":")?;
+    p.bits = c.parse_u64()?;
+    c.expect(",")?;
+    c.expect("\"dropped\"")?;
+    c.expect(":")?;
+    p.dropped = c.parse_u64()?;
+    c.expect(",")?;
+    c.expect("\"corrupted\"")?;
+    c.expect(":")?;
+    p.corrupted_bits = c.parse_u64()?;
+    c.expect(",")?;
+    c.expect("\"crashes\"")?;
+    c.expect(":")?;
+    p.crashes = c.parse_u64()?;
+    c.expect(",")?;
+    c.expect("\"quiescent\"")?;
+    c.expect(":")?;
+    p.quiescent = parse_flag(c, "quiescent")?;
+    c.expect(",")?;
+    c.expect("\"util\"")?;
+    c.expect(":")?;
+    c.expect("[")?;
+    for (i, slot) in p.util.iter_mut().enumerate() {
+        if i > 0 {
+            c.expect(",")?;
+        }
+        *slot = c.parse_u64()?;
+    }
+    c.expect("]")?;
+    c.expect(",")?;
+    c.expect("\"split\"")?;
+    c.expect(":")?;
+    c.expect("[")?;
+    p.path_bits = c.parse_u64()?;
+    c.expect(",")?;
+    p.highway_bits = c.parse_u64()?;
+    c.expect(",")?;
+    p.cross_bits = c.parse_u64()?;
+    c.expect("]")?;
+    if c.peek() == Some(b',') {
+        c.expect(",")?;
+        c.expect("\"wall_ns\"")?;
+        c.expect(":")?;
+        p.wall_ns = c.parse_u64()?;
+    }
+    c.expect("}")?;
+    c.end()?;
+    Ok(p)
 }
 
 /// The standard folding sink: accumulates the engine's event stream into
@@ -686,7 +701,7 @@ impl RoundProfiler {
 
 /// The quarter-of-budget bucket a delivered message falls in (1..=4;
 /// bucket 0 is reserved for idle slots).
-fn util_bucket(bits: usize, budget: usize) -> usize {
+pub(crate) fn util_bucket(bits: usize, budget: usize) -> usize {
     if budget == 0 {
         return 4;
     }
@@ -925,6 +940,37 @@ mod tests {
         let mut tied = report.clone();
         tied.edge_totals[1].bits = tied.edge_totals[0].bits;
         assert_eq!(tied.hottest_edges(2)[0].0, 0);
+    }
+
+    #[test]
+    fn telemetry_hottest_edges_breaks_every_tie_by_ascending_index() {
+        // Regression pin for the tied-totals contract: equal bit totals
+        // rank by ascending edge id, whatever order the edges appear in
+        // — and with k cutting through a tie group, the *lowest* ids of
+        // the group survive. The streaming top-K tracker
+        // (`stream::TopK`) is held to this exact ordering.
+        let totals = |bits| EdgeTotals {
+            messages: 1,
+            bits,
+            dropped: 0,
+            corrupted_bits: 0,
+        };
+        let report = TelemetryReport {
+            edges: 6,
+            edge_totals: vec![
+                totals(5),
+                totals(9),
+                totals(5),
+                totals(9),
+                totals(0),
+                totals(5),
+            ],
+            ..TelemetryReport::default()
+        };
+        let order: Vec<usize> = report.hottest_edges(6).iter().map(|e| e.0).collect();
+        assert_eq!(order, vec![1, 3, 0, 2, 5, 4]);
+        let cut: Vec<usize> = report.hottest_edges(3).iter().map(|e| e.0).collect();
+        assert_eq!(cut, vec![1, 3, 0], "a tie cut by k keeps the lowest ids");
     }
 
     #[test]

@@ -435,7 +435,11 @@ mod tests {
         // point of the bound — a pathological body must not overflow
         // the stack. 32k unclosed brackets would have recursed 32k
         // frames deep before this fix.
-        let over = format!("{}1{}", "[".repeat(MAX_DEPTH + 1), "]".repeat(MAX_DEPTH + 1));
+        let over = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
         let err = parse(&over).expect_err("MAX_DEPTH + 1 rejected");
         assert!(err.contains("nesting deeper"), "{err}");
         let bomb = "[".repeat(32 * 1024);

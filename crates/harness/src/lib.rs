@@ -48,8 +48,9 @@ pub mod spec_io;
 pub use journal::{recover, Journal, RecoveredEntry, Recovery};
 pub use json::Json;
 pub use point::{
-    execute_point, execute_point_with_telemetry, failure_json, record_json, validate_failure_line,
-    validate_record_line, PointFailure, PointRecord,
+    execute_point, execute_point_with_telemetry, failure_json, record_json, stream_telemetry_path,
+    validate_failure_line, validate_record_line, PointFailure, PointRecord, StreamTelemetry,
+    TelemetryMode,
 };
 pub use runner::{
     journal_summary_json, run_campaign, run_campaign_journaled, summary_json, validate_summary,

@@ -20,9 +20,110 @@ use qdc_algos::flood::{chaos_round_budget, robust_broadcast_with};
 use qdc_algos::verify::verify_hamiltonian_cycle;
 use qdc_congest::{
     ChaosConfig, CongestConfig, NullTelemetry, RoundProfiler, RunMetrics, RunOptions, SimError,
-    TelemetryReport, TrafficTrace,
+    StreamSink, TelemetryReport, TrafficTrace,
 };
 use qdc_graph::{generate, Graph, GraphBuilder, NodeId, Subgraph};
+
+/// How the runner observes each point of a campaign.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum TelemetryMode {
+    /// No sink — the zero-overhead [`NullTelemetry`] hot path.
+    #[default]
+    Off,
+    /// Exact buffered profiling: a [`RoundProfiler`] rides along and the
+    /// full [`TelemetryReport`] comes back in the outcome (memory grows
+    /// with run length; the committer archives it after the fact).
+    Exact,
+    /// O(1)-memory streaming: a [`StreamSink`] writes
+    /// `<dir>/point_<i>.telemetry.jsonl` incrementally *during* the run
+    /// — round lines land the moment each round commits, and memory
+    /// stays flat however long the horizon. Gadget points compose
+    /// several simulator stages with no single run to observe, so they
+    /// produce no archive in this mode (exactly as they yield no report
+    /// in [`Exact`](TelemetryMode::Exact) mode).
+    Stream(StreamTelemetry),
+}
+
+/// Where and how [`TelemetryMode::Stream`] archives land.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StreamTelemetry {
+    /// Directory receiving one `point_<i>.telemetry.jsonl` per point
+    /// (created on demand).
+    pub dir: String,
+    /// Capacity of the hottest-edge / hottest-node sketches.
+    pub top_k: usize,
+    /// Include the volatile `wall_ns` fields (off is the byte-identical
+    /// deterministic form).
+    pub with_wall: bool,
+}
+
+impl StreamTelemetry {
+    /// A deterministic stream config over `dir` with the default sketch
+    /// capacity (16).
+    pub fn new(dir: impl Into<String>) -> StreamTelemetry {
+        StreamTelemetry {
+            dir: dir.into(),
+            top_k: 16,
+            with_wall: false,
+        }
+    }
+}
+
+/// The archive path of a streamed point — the same naming scheme the
+/// exact-mode committer uses, so downstream consumers (the service's
+/// telemetry endpoints, `profile query`) need not care which sink wrote
+/// the file.
+pub fn stream_telemetry_path(dir: &str, index: usize) -> String {
+    format!("{dir}/point_{index}.telemetry.jsonl")
+}
+
+/// Staged write of one streamed archive: bytes go to a `.part` sibling
+/// and are renamed into place only after the footer lands, so a file at
+/// the final path is always a complete archive — a retried or failed
+/// attempt can never leave a torn one behind.
+struct StreamStage {
+    part: String,
+    final_path: String,
+}
+
+impl StreamStage {
+    /// Creates the staging file (and the directory, on demand).
+    fn begin(
+        index: usize,
+        cfg: &StreamTelemetry,
+    ) -> Result<(StreamStage, std::fs::File), PointFailure> {
+        let final_path = stream_telemetry_path(&cfg.dir, index);
+        let part = format!("{final_path}.part");
+        std::fs::create_dir_all(&cfg.dir)
+            .and_then(|()| {
+                // Remove before create so an attempt abandoned by the
+                // deadline watchdog keeps writing its own orphaned
+                // inode instead of interleaving with ours.
+                match std::fs::remove_file(&part) {
+                    Err(e) if e.kind() != std::io::ErrorKind::NotFound => Err(e),
+                    _ => std::fs::File::create(&part),
+                }
+            })
+            .map(|file| (StreamStage { part, final_path }, file))
+            .map_err(|e| PointFailure::from_io(index, &e))
+    }
+
+    /// Finishes the sink (footer + flush) and renames the archive into
+    /// place.
+    fn commit(self, index: usize, sink: StreamSink<std::fs::File>) -> Result<(), PointFailure> {
+        sink.finish()
+            .and_then(|_| std::fs::rename(&self.part, &self.final_path))
+            .map_err(|e| {
+                let _ = std::fs::remove_file(&self.part);
+                PointFailure::from_io(index, &e)
+            })
+    }
+
+    /// Drops the staging file after a failed attempt.
+    fn abandon(self) {
+        let _ = std::fs::remove_file(&self.part);
+    }
+}
 
 /// The outcome of one executed point, in kind-independent shape.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -120,6 +221,20 @@ impl PointFailure {
             error: format!("point exceeded the {deadline_ms} ms wall-clock deadline"),
         }
     }
+
+    /// An archive write failed mid-point (streaming telemetry). Treated
+    /// as transient: a full disk stays full, but the bounded attempt
+    /// budget caps the cost, and the other classic causes (fd pressure,
+    /// a racing cleanup) do clear.
+    pub fn from_io(index: usize, e: &std::io::Error) -> PointFailure {
+        PointFailure {
+            index,
+            kind: "io",
+            retryable: true,
+            attempts: 1,
+            error: format!("telemetry archive write failed: {e}"),
+        }
+    }
 }
 
 /// Re-embeds a gadget instance as a subnetwork `M` of a connected host
@@ -155,21 +270,23 @@ pub fn execute_point(
     index: usize,
     spec: &PointSpec,
 ) -> Result<(PointRecord, Option<TrafficTrace>), PointFailure> {
-    let (record, trace, _) = execute_point_impl(index, spec, false, RunOptions::default())?;
+    let (record, trace, _) =
+        execute_point_impl(index, spec, &TelemetryMode::Off, RunOptions::default())?;
     Ok((record, trace))
 }
 
 /// [`execute_point`] with explicit simulator [`RunOptions`] and a
-/// telemetry toggle — the runner's entry point when the campaign asks
+/// [`TelemetryMode`] — the runner's entry point when the campaign asks
 /// for sharded round execution (`--sim-threads`). The record, trace and
-/// telemetry are byte-identical at every thread count.
+/// telemetry (buffered or streamed) are byte-identical at every thread
+/// count.
 pub fn execute_point_sharded(
     index: usize,
     spec: &PointSpec,
-    with_telemetry: bool,
+    telemetry: &TelemetryMode,
     options: RunOptions,
 ) -> Result<(PointRecord, Option<TrafficTrace>, Option<TelemetryReport>), PointFailure> {
-    execute_point_impl(index, spec, with_telemetry, options)
+    execute_point_impl(index, spec, telemetry, options)
 }
 
 /// [`execute_point`] with a [`RoundProfiler`] observing the run.
@@ -187,23 +304,38 @@ pub fn execute_point_with_telemetry(
     index: usize,
     spec: &PointSpec,
 ) -> Result<(PointRecord, Option<TrafficTrace>, Option<TelemetryReport>), PointFailure> {
-    execute_point_impl(index, spec, true, RunOptions::default())
+    execute_point_impl(index, spec, &TelemetryMode::Exact, RunOptions::default())
 }
 
 fn execute_point_impl(
     index: usize,
     spec: &PointSpec,
-    with_telemetry: bool,
+    telemetry_mode: &TelemetryMode,
     options: RunOptions,
 ) -> Result<(PointRecord, Option<TrafficTrace>, Option<TelemetryReport>), PointFailure> {
     let start = std::time::Instant::now();
     let (kind, params, metrics, accept, extra, error, trace, telemetry) = match spec {
         PointSpec::SimThm(p) => {
-            let (out, telemetry) = if with_telemetry {
-                let (out, t) = qdc_simthm::campaign::run_point_observed_with(p, options);
-                (out, Some(t))
-            } else {
-                (qdc_simthm::campaign::run_point_with(p, options), None)
+            let (out, telemetry) = match telemetry_mode {
+                TelemetryMode::Off => (qdc_simthm::campaign::run_point_with(p, options), None),
+                TelemetryMode::Exact => {
+                    let (out, t) = qdc_simthm::campaign::run_point_observed_with(p, options);
+                    (out, Some(t))
+                }
+                TelemetryMode::Stream(scfg) => {
+                    let (stage, file) = StreamStage::begin(index, scfg)?;
+                    let (out, sink) = qdc_simthm::campaign::run_point_sink_with(
+                        p,
+                        options,
+                        |nodes, edges, classes| {
+                            StreamSink::new(file, nodes, edges, p.bandwidth, scfg.top_k)
+                                .with_classes(classes)
+                                .with_wall(scfg.with_wall)
+                        },
+                    );
+                    stage.commit(index, sink)?;
+                    (out, None)
+                }
             };
             (
                 "simthm",
@@ -252,21 +384,8 @@ fn execute_point_impl(
                 ("bandwidth", Json::Num(*bandwidth as u64)),
             ];
             let cfg = CongestConfig::classical(*bandwidth);
-            let (result, telemetry) = if with_telemetry {
-                let mut profiler =
-                    RoundProfiler::new(graph.node_count(), graph.edge_count(), *bandwidth);
-                let result = robust_broadcast_with(
-                    &graph,
-                    cfg,
-                    options,
-                    NodeId(0),
-                    &chaos,
-                    give_up,
-                    &mut profiler,
-                );
-                (result, Some(profiler.finish()))
-            } else {
-                (
+            let (result, telemetry) = match telemetry_mode {
+                TelemetryMode::Off => (
                     robust_broadcast_with(
                         &graph,
                         cfg,
@@ -277,7 +396,48 @@ fn execute_point_impl(
                         &mut NullTelemetry,
                     ),
                     None,
-                )
+                ),
+                TelemetryMode::Exact => {
+                    let mut profiler =
+                        RoundProfiler::new(graph.node_count(), graph.edge_count(), *bandwidth);
+                    let result = robust_broadcast_with(
+                        &graph,
+                        cfg,
+                        options,
+                        NodeId(0),
+                        &chaos,
+                        give_up,
+                        &mut profiler,
+                    );
+                    (result, Some(profiler.finish()))
+                }
+                TelemetryMode::Stream(scfg) => {
+                    let (stage, file) = StreamStage::begin(index, scfg)?;
+                    let mut sink = StreamSink::new(
+                        file,
+                        graph.node_count(),
+                        graph.edge_count(),
+                        *bandwidth,
+                        scfg.top_k,
+                    )
+                    .with_wall(scfg.with_wall);
+                    let result = robust_broadcast_with(
+                        &graph,
+                        cfg,
+                        options,
+                        NodeId(0),
+                        &chaos,
+                        give_up,
+                        &mut sink,
+                    );
+                    // A failed attempt commits no archive — the `.part`
+                    // staging file is dropped with it.
+                    match &result {
+                        Ok(_) => stage.commit(index, sink)?,
+                        Err(_) => stage.abandon(),
+                    }
+                    (result, None)
+                }
             };
             match result {
                 Ok(out) => {

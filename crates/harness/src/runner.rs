@@ -52,7 +52,9 @@
 
 use crate::journal::{self, Journal, RecoveredEntry};
 use crate::json::Json;
-use crate::point::{execute_point_sharded, failure_json, record_json, PointFailure, PointRecord};
+use crate::point::{
+    execute_point_sharded, failure_json, record_json, PointFailure, PointRecord, TelemetryMode,
+};
 use crate::spec::{CampaignError, CampaignSpec, PointSpec, CAMPAIGN_SCHEMA};
 use qdc_congest::{RunMetrics, TelemetryReport, TrafficTrace};
 use std::collections::BTreeMap;
@@ -69,10 +71,15 @@ pub struct RunOptions {
     /// Whether to keep per-point traffic traces in the outcome (they
     /// can be large; the CLI only asks for them when archiving).
     pub keep_traces: bool,
-    /// Whether to profile each point with a telemetry sink
-    /// ([`execute_point_with_telemetry`](crate::point::execute_point_with_telemetry)).
-    /// Off by default: the null-sink path is the zero-overhead one.
-    pub keep_telemetry: bool,
+    /// How each point is observed: [`TelemetryMode::Off`] (the default
+    /// — the null-sink path is the zero-overhead one),
+    /// [`TelemetryMode::Exact`] (buffered [`TelemetryReport`] per
+    /// point), or [`TelemetryMode::Stream`] (O(1)-memory sink writing
+    /// each point's `qdc-telemetry-stream/v1` archive incrementally
+    /// during the run — the workers write the files themselves, so the
+    /// committer has nothing to archive and the outcome's `telemetry`
+    /// slots stay `None`).
+    pub telemetry: TelemetryMode,
     /// Worker thread count for each point's *round engine* (the
     /// simulator's compute phase), as distinct from `threads`, which
     /// shards whole points. Both levels carry the same byte-identical
@@ -105,7 +112,7 @@ impl Default for RunOptions {
         RunOptions {
             threads: 1,
             keep_traces: false,
-            keep_telemetry: false,
+            telemetry: TelemetryMode::Off,
             sim_threads: 1,
             max_attempts: 1,
             backoff_seed: 0,
@@ -282,7 +289,8 @@ pub struct CampaignOutcome {
     /// untraced kinds, failed points, or when `keep_traces` was off).
     pub traces: Vec<Option<TrafficTrace>>,
     /// Per-point telemetry profiles, indexed by grid point (`None` for
-    /// unprofiled kinds, failed points, or when `keep_telemetry` was
+    /// unprofiled kinds, failed points, streamed runs — whose archives
+    /// live on disk, not in memory — or when [`TelemetryMode::Off`] was
     /// off).
     pub telemetry: Vec<Option<TelemetryReport>>,
     /// The order-independent fold of `records` and `failures`.
@@ -473,11 +481,11 @@ fn backoff_ms(seed: u64, index: usize, attempt: u32) -> u64 {
 fn guarded_attempt(
     index: usize,
     point: &PointSpec,
-    with_telemetry: bool,
+    telemetry: &TelemetryMode,
     sim: qdc_congest::RunOptions,
 ) -> Result<Slot, PointFailure> {
     match catch_unwind(AssertUnwindSafe(|| {
-        execute_point_sharded(index, point, with_telemetry, sim)
+        execute_point_sharded(index, point, telemetry, sim)
     })) {
         Ok(result) => result,
         Err(payload) => Err(PointFailure::from_panic(index, payload.as_ref())),
@@ -496,13 +504,13 @@ fn run_attempt(
         threads: options.sim_threads,
     };
     match options.point_deadline_ms {
-        None => guarded_attempt(index, point, options.keep_telemetry, sim),
+        None => guarded_attempt(index, point, &options.telemetry, sim),
         Some(deadline_ms) => {
             let (tx, rx) = mpsc::channel();
             let point = point.clone();
-            let with_telemetry = options.keep_telemetry;
+            let telemetry = options.telemetry.clone();
             std::thread::spawn(move || {
-                let _ = tx.send(guarded_attempt(index, &point, with_telemetry, sim));
+                let _ = tx.send(guarded_attempt(index, &point, &telemetry, sim));
             });
             match rx.recv_timeout(Duration::from_millis(deadline_ms)) {
                 Ok(result) => result,
@@ -983,14 +991,14 @@ mod tests {
     }
 
     #[test]
-    fn runner_keep_telemetry_profiles_points_without_perturbing_records() {
+    fn runner_exact_telemetry_profiles_points_without_perturbing_records() {
         let spec = builtin("telemetry_smoke").expect("builtin");
         let plain = run_campaign(&spec, &RunOptions::default()).expect("runs");
         let observed = run_campaign(
             &spec,
             &RunOptions {
                 threads: 2,
-                keep_telemetry: true,
+                telemetry: TelemetryMode::Exact,
                 ..RunOptions::default()
             },
         )

@@ -34,15 +34,13 @@
 //! uninterrupted run (the workers always run the deterministic form).
 
 use crate::core::{JobState, QuotaConfig, ServiceCore, SubmitError};
-use crate::http::{
-    read_request, write_json_response, write_raw_response, ChunkedWriter, HttpError, Request,
-};
+use crate::http::{read_request, write_json_response, ChunkedWriter, HttpError, Request};
 use crate::scan::{job_doc_json, job_paths, scan_data_dir};
 use crate::wire::{error_json, job_json, status_json, submit_error_json};
 use qdc_harness::json::{self, Json};
 use qdc_harness::{
     builtin, journal, run_campaign_journaled, spec_from_json, CampaignSpec, CancelToken,
-    JournalConfig, RunOptions,
+    JournalConfig, RunOptions, TelemetryMode,
 };
 use std::io::{self, BufReader, Read as _, Seek as _, Write};
 use std::net::{TcpListener, TcpStream};
@@ -203,7 +201,11 @@ fn worker_loop(state: &ServiceState) {
         };
         let options = RunOptions {
             threads: state.config.job_threads.max(1),
-            keep_telemetry: job.telemetry,
+            telemetry: if job.telemetry {
+                TelemetryMode::Exact
+            } else {
+                TelemetryMode::Off
+            },
             throttle_ms: state.config.throttle_ms,
             ..RunOptions::default()
         };
@@ -528,9 +530,35 @@ fn telemetry_dir_for(state: &ServiceState, id: u64) -> Result<PathBuf, String> {
     }
 }
 
+/// Read window for archive streaming: the serving thread never holds
+/// more than this much archive in memory, however large the file is.
+const TELEMETRY_CHUNK_BYTES: usize = 64 * 1024;
+
+/// Copies one committed archive through the chunked writer with a
+/// bounded buffer. Archives land atomically (the committer's single
+/// write, or the stream sink's `.part` rename), so a file visible at
+/// its final path is complete and can be streamed without coordination.
+fn stream_archive_file(
+    chunks: &mut ChunkedWriter<&mut TcpStream>,
+    path: &std::path::Path,
+) -> io::Result<()> {
+    let mut file = std::fs::File::open(path)?;
+    let mut buf = vec![0u8; TELEMETRY_CHUNK_BYTES];
+    loop {
+        let n = file.read(&mut buf)?;
+        if n == 0 {
+            return Ok(());
+        }
+        chunks.chunk(&buf[..n])?;
+    }
+}
+
 /// `GET /jobs/<id>/telemetry` — every archived point profile so far,
 /// concatenated in point order (each archive is itself JSONL, so the
-/// concatenation is too).
+/// concatenation is too). Streamed chunk-by-chunk from the committed
+/// bytes on disk: memory stays O(chunk) no matter how many points the
+/// campaign has or how long each archive is, and back-pressure from a
+/// slow client parks this thread at the socket, nothing else.
 fn telemetry_all(state: &ServiceState, id: u64, w: &mut TcpStream) -> io::Result<()> {
     let dir = match telemetry_dir_for(state, id) {
         Ok(dir) => dir,
@@ -551,26 +579,26 @@ fn telemetry_all(state: &ServiceState, id: u64, w: &mut TcpStream) -> io::Result
         }
     }
     indexed.sort();
-    let mut body = Vec::new();
+    let mut chunks = ChunkedWriter::begin(w, 200, "application/jsonl")?;
     for (_, path) in indexed {
-        body.extend_from_slice(&std::fs::read(&path)?);
+        stream_archive_file(&mut chunks, &path)?;
     }
-    write_raw_response(w, 200, "application/jsonl", &body)
+    chunks.finish()
 }
 
 /// `GET /jobs/<id>/telemetry/<i>` — one point's archive, byte-exact
-/// (pipe it straight into `profile -`).
+/// (pipe it straight into `profile -` or `profile query -`). Streamed
+/// with the same bounded window as the concatenated endpoint.
 fn telemetry_point(state: &ServiceState, id: u64, index: u64, w: &mut TcpStream) -> io::Result<()> {
     let dir = match telemetry_dir_for(state, id) {
         Ok(dir) => dir,
         Err(msg) => return not_found(w, &msg),
     };
     let path = dir.join(format!("point_{index}.telemetry.jsonl"));
-    match std::fs::read(&path) {
-        Ok(bytes) => write_raw_response(w, 200, "application/jsonl", &bytes),
-        Err(e) if e.kind() == io::ErrorKind::NotFound => {
-            not_found(w, &format!("job {id} has no archive for point {index}"))
-        }
-        Err(e) => Err(e),
+    if !path.is_file() {
+        return not_found(w, &format!("job {id} has no archive for point {index}"));
     }
+    let mut chunks = ChunkedWriter::begin(w, 200, "application/jsonl")?;
+    stream_archive_file(&mut chunks, &path)?;
+    chunks.finish()
 }

@@ -95,6 +95,42 @@ fn get(addr: &str, path: &str) -> (u16, String) {
     http(addr, &format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n"))
 }
 
+/// Like [`get`], but keeps the chunked framing visible: returns the
+/// size of every chunk alongside the reassembled body. The framing is
+/// the evidence that the server streamed from disk in bounded windows
+/// instead of buffering the whole file into one response.
+fn get_chunk_profile(addr: &str, path: &str) -> (u16, Vec<usize>, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+        .expect("send");
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("read");
+    let text = String::from_utf8(response).expect("utf8 response");
+    let (head, mut body) = text.split_once("\r\n\r\n").expect("head/body split");
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    assert!(
+        head.contains("Transfer-Encoding: chunked"),
+        "expected a chunked response, got:\n{head}"
+    );
+    let mut sizes = Vec::new();
+    let mut out = String::new();
+    loop {
+        let (size_line, rest) = body.split_once("\r\n").expect("chunk size line");
+        let size = usize::from_str_radix(size_line.trim(), 16).expect("hex chunk size");
+        if size == 0 {
+            return (status, sizes, out);
+        }
+        sizes.push(size);
+        out.push_str(&rest[..size]);
+        body = rest[size..].strip_prefix("\r\n").expect("chunk terminator");
+    }
+}
+
 fn post(addr: &str, path: &str, client: &str, body: &str) -> (u16, String) {
     http(
         addr,
@@ -344,6 +380,33 @@ fn loopback_telemetry_archives_are_served_byte_exactly() {
         std::fs::read_to_string(dir.join("job_1.telemetry").join("point_1.telemetry.jsonl"))
             .expect("archive exists");
     assert_eq!(all, format!("{on_disk}{second}"), "concatenated in order");
+
+    // A large archive must arrive as many bounded chunks, never one
+    // file-sized buffer. Plant an oversized archive next to the real
+    // ones (the endpoints serve committed bytes verbatim), then check
+    // the chunk framing: every chunk is at most the 64 KiB read window,
+    // and the file is big enough that several windows are required.
+    let line = "{\"round\":1,\"messages\":4,\"bits\":64,\"dropped\":0,\"corrupted\":0,\
+                \"crashes\":0,\"quiescent\":0,\"util\":[0,4,0,0,0],\"split\":[64,0,0]}\n";
+    let big: String = line.repeat(2500); // ~330 KiB, > 5 read windows
+    std::fs::write(
+        dir.join("job_1.telemetry").join("point_7.telemetry.jsonl"),
+        &big,
+    )
+    .expect("plant archive");
+    let (status, sizes, body) = get_chunk_profile(&server.addr, "/jobs/1/telemetry/7");
+    assert_eq!(status, 200);
+    assert_eq!(body, big, "streamed bytes equal the file");
+    assert!(
+        sizes.len() >= 5,
+        "a {}-byte archive must take several chunks, got {:?}",
+        big.len(),
+        sizes
+    );
+    assert!(
+        sizes.iter().all(|&s| s <= 64 * 1024),
+        "every chunk fits the bounded read window, got {sizes:?}"
+    );
 
     // Telemetry of a job submitted without it is a structured 404.
     let (status, receipt) = post(

@@ -143,15 +143,38 @@ pub fn run_point_observed_with(
     point: &SimThmPoint,
     options: RunOptions,
 ) -> (SimThmOutcome, TelemetryReport) {
+    let (outcome, profiler) = run_point_sink_with(point, options, |nodes, edges, classes| {
+        RoundProfiler::new(nodes, edges, point.bandwidth).with_classes(classes)
+    });
+    (outcome, profiler.finish())
+}
+
+/// The generic observed entry point behind [`run_point_observed_with`]:
+/// realizes the point's network, asks `install` to build the sink from
+/// the realized shape (node count, edge count, [`highway_classes`]
+/// classification), runs observed, and hands the driven sink back.
+///
+/// This is how bounded-memory sinks attach — the campaign harness
+/// installs a `qdc_congest::StreamSink` here for `--telemetry-stream`
+/// runs, and exact mode keeps installing [`RoundProfiler`]. Whatever
+/// the sink, observation never perturbs the outcome.
+pub fn run_point_sink_with<T, F>(
+    point: &SimThmPoint,
+    options: RunOptions,
+    install: F,
+) -> (SimThmOutcome, T)
+where
+    T: Telemetry,
+    F: FnOnce(usize, usize, Vec<NodeClass>) -> T,
+{
     let net = build_network(point);
-    let mut profiler = RoundProfiler::new(
+    let mut sink = install(
         net.graph().node_count(),
         net.graph().edge_count(),
-        point.bandwidth,
-    )
-    .with_classes(highway_classes(&net));
-    let outcome = run_on(&net, point, options, &mut profiler);
-    (outcome, profiler.finish())
+        highway_classes(&net),
+    );
+    let outcome = run_on(&net, point, options, &mut sink);
+    (outcome, sink)
 }
 
 /// The node classification of `N(Γ, L)` for telemetry's traffic split:

@@ -1,8 +1,9 @@
-//! Golden-file conformance tests for the eight JSONL/JSON schemas the
+//! Golden-file conformance tests for the nine JSONL/JSON schemas the
 //! workspace emits: `qdc-trace/v1`, `qdc-telemetry/v1`,
-//! `qdc-campaign-point/v1`, `qdc-campaign-failure/v1`,
-//! `qdc-campaign/v1`, and the campaign service's `qdc-job/v1`,
-//! `qdc-service-status/v1` and `qdc-service-error/v1`.
+//! `qdc-telemetry-stream/v1`, `qdc-campaign-point/v1`,
+//! `qdc-campaign-failure/v1`, `qdc-campaign/v1`, and the campaign
+//! service's `qdc-job/v1`, `qdc-service-status/v1` and
+//! `qdc-service-error/v1`.
 //!
 //! Each schema has a committed fixture under `tests/golden/`, generated
 //! from a fixed, fully deterministic workload. The tests pin three
@@ -23,7 +24,10 @@
 //! QDC_UPDATE_GOLDEN=1 cargo test --test golden_schemas
 //! ```
 
-use qdc::congest::{ChaosConfig, CongestConfig, TelemetryReport, TrafficTrace};
+use qdc::congest::{
+    read_aggregate, ChaosConfig, CongestConfig, StreamAggregate, StreamSink, TelemetryReport,
+    TrafficTrace,
+};
 use qdc::harness::{
     builtin, execute_point, failure_json, record_json, run_campaign, summary_json,
     validate_failure_line, validate_record_line, validate_summary, PointFailure, PointSpec,
@@ -126,6 +130,80 @@ fn golden_telemetry() -> TelemetryReport {
         bandwidth: 16,
     });
     profile
+}
+
+/// The fixed stream-telemetry workload: the same Γ=4, L=9,
+/// B=16 simulation-theorem point as the exact fixture, streamed through
+/// a classified [`StreamSink`] with top-k capacity 8 (small enough that
+/// the sketches run in the approximation regime and the fixture pins
+/// nonzero `err` bounds).
+fn golden_stream_archive() -> (String, StreamAggregate) {
+    let mut buf = Vec::new();
+    let (_, sink) = qdc::simthm::campaign::run_point_sink_with(
+        &SimThmPoint {
+            gamma: 4,
+            l: 9,
+            bandwidth: 16,
+        },
+        qdc::congest::RunOptions::default(),
+        |nodes, edges, classes| {
+            StreamSink::new(&mut buf, nodes, edges, 16, 8).with_classes(classes)
+        },
+    );
+    let agg = sink.finish().expect("in-memory write");
+    (String::from_utf8(buf).expect("utf8 archive"), agg)
+}
+
+#[test]
+fn golden_telemetry_stream_v1_byte_exact_round_trip() {
+    let (text, agg) = golden_stream_archive();
+    assert_matches_golden("telemetry_stream_v1.jsonl", &text);
+    let back = read_aggregate(text.as_bytes()).expect("fixture parses");
+    assert_eq!(
+        back, agg,
+        "the parsed footer equals the sink's own final aggregate"
+    );
+}
+
+#[test]
+fn golden_telemetry_stream_v1_rejection_corpus() {
+    let (text, _) = golden_stream_archive();
+    let without_footer: String = {
+        let body = text.trim_end_matches('\n');
+        let cut = body.rfind('\n').expect("multi-line archive");
+        body[..=cut].to_string()
+    };
+    let cases = [
+        (
+            text.trim_end_matches('\n').to_string(),
+            "truncated (missing final newline)",
+        ),
+        (without_footer, "archive ends before the footer"),
+        (text.replacen("\"bits\"", "\"bitz\"", 1), "unknown field"),
+        (
+            text.replace("qdc-telemetry-stream/v1", "qdc-telemetry-stream/v9"),
+            "wrong version tag",
+        ),
+        (
+            text.replacen("\"round\":1,", "\"round\":1.5,", 1),
+            "non-integer value",
+        ),
+        (
+            text.replacen("\"round\":1,", "\"round\":01,", 1),
+            "leading-zero integer",
+        ),
+        (
+            // `"totals":{"rounds":` is unique to the footer (round lines
+            // spell `"round"`), so this tampers the footer count without
+            // touching the rounds it must summarize.
+            text.replace("\"totals\":{\"rounds\":", "\"totals\":{\"rounds\":9"),
+            "footer contradicting the streamed rounds",
+        ),
+    ];
+    for (bad, why) in cases {
+        let err = read_aggregate(bad.as_bytes()).expect_err(why);
+        assert!(!err.to_string().is_empty(), "{why} must explain itself");
+    }
 }
 
 /// The fixed point record: a deterministic lossy chaos point.
