@@ -17,10 +17,12 @@ use crate::flood::stage_cap;
 use crate::ledger::Ledger;
 use crate::widths::bits_for;
 use qdc_congest::{
-    BitString, CongestConfig, Inbox, Message, NodeAlgorithm, NodeInfo, Outbox, Simulator,
+    BitString, CongestConfig, Inbox, Message, NodeAlgorithm, NodeInfo, NullTelemetry, Outbox,
+    RunOptions, RunReport, Simulator, Telemetry,
 };
 use qdc_graph::Graph;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 
 /// Result of a distributed Disjointness run.
 #[derive(Clone, Debug)]
@@ -128,6 +130,27 @@ pub fn classical_disjointness(
     d: usize,
     cfg: CongestConfig,
 ) -> DisjointnessRun {
+    let (run, _) =
+        classical_disjointness_observed(x, y, d, cfg, RunOptions::default(), &mut NullTelemetry);
+    run
+}
+
+/// [`classical_disjointness`] with execution [`RunOptions`] and a
+/// [`Telemetry`] sink observing every round — the campaign-facing entry
+/// point. The outcome and the [`RunReport`] are bit-for-bit those of
+/// the plain run at any thread count.
+///
+/// # Panics
+///
+/// Panics if `x` and `y` differ in length, are empty, or `d == 0`.
+pub fn classical_disjointness_observed<T: Telemetry>(
+    x: &[bool],
+    y: &[bool],
+    d: usize,
+    cfg: CongestConfig,
+    options: RunOptions,
+    telemetry: &mut T,
+) -> (DisjointnessRun, RunReport) {
     assert_eq!(x.len(), y.len(), "inputs must have equal length");
     assert!(!x.is_empty() && d >= 1, "need non-empty inputs and d ≥ 1");
     let b = x.len();
@@ -138,8 +161,8 @@ pub fn classical_disjointness(
     chunks.reverse();
 
     let mut ledger = Ledger::new();
-    let sim = Simulator::new(&graph, cfg);
-    let (nodes, report) = sim.run(
+    let sim = Simulator::with_options(&graph, cfg, options);
+    let (nodes, report, _) = sim.run_traced_observed(
         |info| {
             let id = info.id.0 as usize;
             let toward_receiver = if id == 0 {
@@ -167,13 +190,14 @@ pub fn classical_disjointness(
             }
         },
         stage_cap(d + 1) + b,
+        telemetry,
     );
     ledger.absorb(&report);
     let disjoint = match &nodes[0].role {
         StreamRole::Receiver { decided, .. } => decided.expect("receiver decided"),
         _ => unreachable!("node 0 is the receiver"),
     };
-    DisjointnessRun { disjoint, ledger }
+    (DisjointnessRun { disjoint, ledger }, report)
 }
 
 // ---------------------------------------------------------------------------
@@ -247,12 +271,52 @@ pub fn quantum_disjointness<R: Rng + ?Sized>(
     cfg: CongestConfig,
     rng: &mut R,
 ) -> DisjointnessRun {
+    let (run, _) =
+        quantum_disjointness_observed(x, y, d, cfg, rng, RunOptions::default(), &mut NullTelemetry);
+    run
+}
+
+/// [`quantum_disjointness`] with a `u64` seed instead of a caller-held
+/// RNG: the Grover measurement stream comes from a [`ChaCha8Rng`]
+/// seeded with `seed`, so two invocations with equal arguments are
+/// byte-identical — the form campaign points use.
+pub fn quantum_disjointness_seeded<T: Telemetry>(
+    x: &[bool],
+    y: &[bool],
+    d: usize,
+    cfg: CongestConfig,
+    seed: u64,
+    options: RunOptions,
+    telemetry: &mut T,
+) -> (DisjointnessRun, RunReport) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    quantum_disjointness_observed(x, y, d, cfg, &mut rng, options, telemetry)
+}
+
+/// [`quantum_disjointness`] with execution [`RunOptions`] and a
+/// [`Telemetry`] sink observing every query round trip. The outcome and
+/// the [`RunReport`] are bit-for-bit those of the plain run at any
+/// thread count.
+///
+/// # Panics
+///
+/// Panics if the inputs mismatch, `d == 0`, or the query register does
+/// not fit the qubit budget.
+pub fn quantum_disjointness_observed<R: Rng + ?Sized, T: Telemetry>(
+    x: &[bool],
+    y: &[bool],
+    d: usize,
+    cfg: CongestConfig,
+    rng: &mut R,
+    options: RunOptions,
+    telemetry: &mut T,
+) -> (DisjointnessRun, RunReport) {
     assert_eq!(x.len(), y.len(), "inputs must have equal length");
     assert!(!x.is_empty() && d >= 1, "need non-empty inputs and d ≥ 1");
     let b = x.len();
     let width = bits_for(b.saturating_sub(1) as u64);
     assert!(
-        width <= cfg.bandwidth_bits,
+        width * cfg.charge_factor() <= cfg.bandwidth_bits,
         "query register exceeds B qubits"
     );
     let trips = qdc_quantum::grover::disjointness_queries(b);
@@ -269,8 +333,8 @@ pub fn quantum_disjointness<R: Rng + ?Sized>(
 
     let graph = Graph::path(d + 1);
     let mut ledger = Ledger::new();
-    let sim = Simulator::new(&graph, cfg);
-    let (_, report) = sim.run(
+    let sim = Simulator::with_options(&graph, cfg, options);
+    let (_, report, _) = sim.run_traced_observed(
         |info| {
             let id = info.id.0 as usize;
             let kind = if id == 0 {
@@ -286,9 +350,10 @@ pub fn quantum_disjointness<R: Rng + ?Sized>(
             BounceNode { kind, width }
         },
         2 * d * trips + 10,
+        telemetry,
     );
     ledger.absorb(&report);
-    DisjointnessRun { disjoint, ledger }
+    (DisjointnessRun { disjoint, ledger }, report)
 }
 
 #[cfg(test)]

@@ -203,6 +203,13 @@ pub fn render_summary(agg: &StreamAggregate, archives: usize, top_k: usize) -> S
             t.path_bits, t.highway_bits, t.cross_bits
         );
     }
+    if let Some(q) = &t.qsplit {
+        let _ = writeln!(
+            out,
+            "qsplit: classical {}, qubit {}",
+            q.classical_bits, q.qubit_bits
+        );
+    }
     top_table(&mut out, "edges", &agg.top_edges, top_k);
     top_table(&mut out, "nodes", &agg.top_nodes, top_k);
     out
@@ -254,6 +261,7 @@ mod tests {
             path_bits: 10,
             highway_bits: 15,
             cross_bits: 5,
+            qsplit: None,
             wall_ns: 0,
         };
         for m in METRICS {
@@ -290,5 +298,21 @@ mod tests {
         let text = render_summary(&a, 2, 10);
         assert!(text.contains("B = mixed"), "{text}");
         assert!(!text.contains("classified,"), "{text}");
+    }
+
+    #[test]
+    fn summary_renders_the_qubit_split_only_when_present() {
+        let mut a = StreamAggregate::new(3, 2, 8, 2);
+        a.totals.rounds = 2;
+        assert!(
+            !render_summary(&a, 1, 10).contains("qsplit"),
+            "classical archives carry no qsplit line"
+        );
+        a.totals.qsplit = Some(qdc_congest::QubitSplit {
+            classical_bits: 14,
+            qubit_bits: 7,
+        });
+        let text = render_summary(&a, 1, 10);
+        assert!(text.contains("qsplit: classical 14, qubit 7"), "{text}");
     }
 }

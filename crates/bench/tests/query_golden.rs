@@ -9,6 +9,7 @@
 //! QDC_UPDATE_GOLDEN=1 cargo test -p qdc-bench --test query_golden
 //! ```
 
+use qdc_congest::{CongestConfig, StreamSink};
 use qdc_harness::{builtin, run_campaign, RunOptions, StreamTelemetry, TelemetryMode};
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -54,6 +55,29 @@ fn write_archives(dir: &Path) {
     run_campaign(&spec, &options).expect("campaign runs");
 }
 
+/// Writes a quantum-channel archive: seeded distributed-Grover
+/// Disjointness (b = 64, D = 3) under EPR/teleportation accounting, so
+/// the footer totals carry the classical/qubit `qsplit`.
+fn write_quantum_archive(path: &Path) {
+    let mut x = qdc_graph::generate::random_bits(64, 164);
+    let mut y: Vec<bool> = x.iter().map(|&v| !v).collect();
+    x[32] = true;
+    y[32] = true;
+    let mut buf = Vec::new();
+    let mut sink = StreamSink::new(&mut buf, 4, 3, 16, 8).with_quantum(true);
+    let _ = qdc_algos::disjointness::quantum_disjointness_seeded(
+        &x,
+        &y,
+        3,
+        CongestConfig::quantum_teleport(16),
+        11,
+        qdc_congest::RunOptions::default(),
+        &mut sink,
+    );
+    sink.finish().expect("in-memory write");
+    std::fs::write(path, buf).expect("write quantum archive");
+}
+
 fn profile_query(args: &[&str]) -> String {
     let out = Command::new(env!("CARGO_BIN_EXE_profile"))
         .arg("query")
@@ -96,6 +120,17 @@ fn profile_query_summary_series_and_merge_match_goldens() {
     assert!(
         doubled.starts_with("2 archive(s):"),
         "merge counts its inputs: {doubled}"
+    );
+
+    // A quantum-channel archive surfaces the classical/qubit split.
+    let quantum = dir.join("quantum_ex11.telemetry.jsonl");
+    write_quantum_archive(&quantum);
+    let quantum_arg = quantum.to_string_lossy().into_owned();
+    let qsummary = profile_query(&[&quantum_arg, "--top-k", "4"]);
+    assert_matches_golden("query_quantum.txt", &qsummary);
+    assert!(
+        qsummary.contains("qsplit: classical "),
+        "the summary must render the teleportation accounting: {qsummary}"
     );
 
     let _ = std::fs::remove_dir_all(&dir);

@@ -96,7 +96,7 @@ pub use stream::{
     StreamTotals, TopEntry, TopK, STREAM_FLUSH_BYTES, STREAM_SCHEMA,
 };
 pub use telemetry::{
-    EdgeTotals, NodeClass, NodeTotals, NullTelemetry, RoundProfile, RoundProfiler, Telemetry,
-    TelemetryParseError, TelemetryReport, TELEMETRY_SCHEMA,
+    EdgeTotals, NodeClass, NodeTotals, NullTelemetry, QubitSplit, RoundProfile, RoundProfiler,
+    Telemetry, TelemetryParseError, TelemetryReport, TELEMETRY_SCHEMA,
 };
 pub use trace_io::{TraceParseError, TRACE_SCHEMA};

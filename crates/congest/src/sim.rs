@@ -161,6 +161,13 @@ pub struct CongestConfig {
     pub bandwidth_bits: usize,
     /// Channel kind (accounting label).
     pub channel: ChannelKind,
+    /// EPR/teleportation accounting (Appendix B): when set on a
+    /// [`Quantum`](ChannelKind::Quantum) channel, every qubit sent is
+    /// charged as the **2 classical bits** its teleportation consumes,
+    /// so a `q`-qubit message needs `2q ≤ B` of the budget. Off by
+    /// default — the plain quantum model budgets qubits directly, and
+    /// is mechanically identical to the classical engine.
+    pub teleport: bool,
 }
 
 impl CongestConfig {
@@ -169,14 +176,39 @@ impl CongestConfig {
         CongestConfig {
             bandwidth_bits,
             channel: ChannelKind::Classical,
+            teleport: false,
         }
     }
 
-    /// Quantum CONGEST(B) with prior entanglement.
+    /// Quantum CONGEST(B) with prior entanglement: `B` qubits per edge
+    /// per round, budgeted one-for-one.
     pub fn quantum(bandwidth_bits: usize) -> Self {
         CongestConfig {
             bandwidth_bits,
             channel: ChannelKind::Quantum,
+            teleport: false,
+        }
+    }
+
+    /// Quantum CONGEST(B) under teleportation accounting: the channel
+    /// carries qubits, but each one is charged as the 2 classical bits
+    /// of its teleportation (Appendix B), against the same `B`-bit
+    /// budget.
+    pub fn quantum_teleport(bandwidth_bits: usize) -> Self {
+        CongestConfig {
+            bandwidth_bits,
+            channel: ChannelKind::Quantum,
+            teleport: true,
+        }
+    }
+
+    /// Budget units charged per payload bit/qubit: 2 under quantum
+    /// teleportation accounting, 1 everywhere else.
+    pub fn charge_factor(&self) -> usize {
+        if self.channel == ChannelKind::Quantum && self.teleport {
+            2
+        } else {
+            1
         }
     }
 }
@@ -339,6 +371,10 @@ impl Inbox {
 #[derive(Debug)]
 pub struct Outbox {
     budget_bits: usize,
+    /// Budget units charged per payload bit —
+    /// [`CongestConfig::charge_factor`]: 2 under quantum teleportation
+    /// accounting, 1 otherwise.
+    charge: usize,
     msgs: Vec<Option<Message>>,
     queued: usize,
     /// In strict mode (the default), a discipline violation via
@@ -351,9 +387,10 @@ pub struct Outbox {
 }
 
 impl Outbox {
-    fn new(ports: usize, budget_bits: usize, strict: bool) -> Self {
+    fn new(ports: usize, budget_bits: usize, charge: usize, strict: bool) -> Self {
         Outbox {
             budget_bits,
+            charge,
             msgs: vec![None; ports],
             queued: 0,
             strict,
@@ -363,13 +400,14 @@ impl Outbox {
 
     /// Wraps an already-emptied slot vector, so the round loop reuses one
     /// allocation per node instead of building a fresh `Vec` every round.
-    fn reuse(msgs: Vec<Option<Message>>, budget_bits: usize, strict: bool) -> Self {
+    fn reuse(msgs: Vec<Option<Message>>, budget_bits: usize, charge: usize, strict: bool) -> Self {
         debug_assert!(
             msgs.iter().all(Option::is_none),
             "reused outbox must start empty"
         );
         Outbox {
             budget_bits,
+            charge,
             msgs,
             queued: 0,
             strict,
@@ -384,9 +422,12 @@ impl Outbox {
     /// `Err` nothing is queued.
     #[must_use = "an ignored Err means the message was silently never queued"]
     pub fn try_send(&mut self, port: usize, msg: Message) -> Result<(), SimError> {
-        if msg.bit_len() > self.budget_bits {
+        // Charged size: payload bits times the accounting factor (2 per
+        // qubit under teleportation, else 1). The reported `bits` is the
+        // charged amount, so the error names what actually overflowed.
+        if msg.bit_len() * self.charge > self.budget_bits {
             return Err(SimError::BudgetExceeded {
-                bits: msg.bit_len(),
+                bits: msg.bit_len() * self.charge,
                 budget: self.budget_bits,
             });
         }
@@ -448,7 +489,7 @@ impl Outbox {
     /// (violations via [`send`](Outbox::send) panic; use
     /// [`try_send`](Outbox::try_send) to handle them).
     pub fn detached(ports: usize, budget_bits: usize) -> Self {
-        Outbox::new(ports, budget_bits, true)
+        Outbox::new(ports, budget_bits, 1, true)
     }
 
     /// A detached outbox reusing an already-emptied slot vector (as
@@ -459,7 +500,7 @@ impl Outbox {
     ///
     /// Debug-panics if any slot is still occupied.
     pub fn detached_reusing(slots: Vec<Option<Message>>, budget_bits: usize) -> Self {
-        Outbox::reuse(slots, budget_bits, true)
+        Outbox::reuse(slots, budget_bits, 1, true)
     }
 
     /// Extracts the queued messages from a detached outbox.
@@ -913,7 +954,12 @@ impl<'g> Simulator<'g> {
         let mut pending = 0usize;
         let mut defect = None;
         for (i, node) in nodes.iter_mut().enumerate() {
-            let mut out = Outbox::new(self.infos[i].degree(), self.config.bandwidth_bits, strict);
+            let mut out = Outbox::new(
+                self.infos[i].degree(),
+                self.config.bandwidth_bits,
+                self.config.charge_factor(),
+                strict,
+            );
             node.on_start(&self.infos[i], &mut out);
             pending += out.queued;
             if defect.is_none() {
@@ -1155,7 +1201,12 @@ impl<'g> Simulator<'g> {
                     continue;
                 }
                 let slots = std::mem::take(&mut engine.outgoing[i]);
-                let mut out = Outbox::reuse(slots, self.config.bandwidth_bits, engine.strict);
+                let mut out = Outbox::reuse(
+                    slots,
+                    self.config.bandwidth_bits,
+                    self.config.charge_factor(),
+                    engine.strict,
+                );
                 node.on_round(&self.infos[i], &engine.inboxes[i], &mut out);
                 engine.pending += out.queued;
                 if engine.defect.is_none() {
@@ -1166,6 +1217,7 @@ impl<'g> Simulator<'g> {
         } else {
             let chunk = engine.nodes.len().div_ceil(threads);
             let bandwidth = self.config.bandwidth_bits;
+            let charge = self.config.charge_factor();
             let strict = engine.strict;
             let plan = engine.plan.as_ref();
             let inboxes = &engine.inboxes;
@@ -1191,7 +1243,7 @@ impl<'g> Simulator<'g> {
                                     continue;
                                 }
                                 let slots = std::mem::take(slot_vec);
-                                let mut out = Outbox::reuse(slots, bandwidth, strict);
+                                let mut out = Outbox::reuse(slots, bandwidth, charge, strict);
                                 node.on_round(&infos[i], &inboxes[i], &mut out);
                                 queued += out.queued;
                                 if defect.is_none() {

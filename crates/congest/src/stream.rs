@@ -46,7 +46,7 @@
 
 use crate::jsonl::Cursor;
 use crate::telemetry::{
-    parse_flag, parse_round_line, write_round_line, NodeClass, RoundProfile, Telemetry,
+    parse_flag, parse_round_line, write_round_line, NodeClass, QubitSplit, RoundProfile, Telemetry,
     TelemetryParseError,
 };
 use qdc_graph::{EdgeId, NodeId};
@@ -113,6 +113,11 @@ pub struct StreamTotals {
     pub highway_bits: u64,
     /// Bits delivered on edges joining the two classes.
     pub cross_bits: u64,
+    /// Cumulative classical/qubit split — `Some` only when the sink ran
+    /// in quantum mode ([`StreamSink::with_quantum`]), omitted from the
+    /// footer otherwise. Merges as a componentwise `+` with `None` as
+    /// the identity.
+    pub qsplit: Option<QubitSplit>,
 }
 
 impl StreamTotals {
@@ -131,10 +136,15 @@ impl StreamTotals {
         self.path_bits += r.path_bits;
         self.highway_bits += r.highway_bits;
         self.cross_bits += r.cross_bits;
+        if let Some(q) = r.qsplit {
+            let t = self.qsplit.get_or_insert_with(QubitSplit::default);
+            t.classical_bits += q.classical_bits;
+            t.qubit_bits += q.qubit_bits;
+        }
     }
 
     /// Sums `other` into `self` — associative and commutative (every
-    /// field is a `+`-fold).
+    /// field is a `+`-fold, with `None` as the `qsplit` identity).
     pub fn merge(&mut self, other: &StreamTotals) {
         self.rounds += other.rounds;
         self.messages += other.messages;
@@ -149,6 +159,11 @@ impl StreamTotals {
         self.path_bits += other.path_bits;
         self.highway_bits += other.highway_bits;
         self.cross_bits += other.cross_bits;
+        if let Some(q) = other.qsplit {
+            let t = self.qsplit.get_or_insert_with(QubitSplit::default);
+            t.classical_bits += q.classical_bits;
+            t.qubit_bits += q.qubit_bits;
+        }
     }
 }
 
@@ -374,7 +389,7 @@ fn write_footer_line(out: &mut String, agg: &StreamAggregate) {
     let t = &agg.totals;
     let _ = write!(
         out,
-        "{{\"totals\":{{\"rounds\":{},\"messages\":{},\"bits\":{},\"dropped\":{},\"corrupted\":{},\"crashes\":{},\"quiescent\":{},\"util\":[{},{},{},{},{}],\"split\":[{},{},{}]}},\"top_edges\":",
+        "{{\"totals\":{{\"rounds\":{},\"messages\":{},\"bits\":{},\"dropped\":{},\"corrupted\":{},\"crashes\":{},\"quiescent\":{},\"util\":[{},{},{},{},{}],\"split\":[{},{},{}]",
         t.rounds,
         t.messages,
         t.bits,
@@ -391,6 +406,10 @@ fn write_footer_line(out: &mut String, agg: &StreamAggregate) {
         t.highway_bits,
         t.cross_bits,
     );
+    if let Some(q) = t.qsplit {
+        let _ = write!(out, ",\"qsplit\":[{},{}]", q.classical_bits, q.qubit_bits);
+    }
+    out.push_str("},\"top_edges\":");
     write_top_array(out, &agg.top_edges);
     out.push_str(",\"top_nodes\":");
     write_top_array(out, &agg.top_nodes);
@@ -421,6 +440,10 @@ pub struct StreamSink<W: Write> {
     with_wall: bool,
     header_written: bool,
     classes: Option<Vec<NodeClass>>,
+    /// Quantum accounting mode, mirroring
+    /// [`RoundProfiler::with_quantum`](crate::RoundProfiler::with_quantum):
+    /// `Some(teleport)` makes every round line carry a `qsplit`.
+    quantum: Option<bool>,
     scratch: RoundProfile,
     agg: StreamAggregate,
     span_open: Option<Instant>,
@@ -439,6 +462,7 @@ impl<W: Write> StreamSink<W> {
             with_wall: false,
             header_written: false,
             classes: None,
+            quantum: None,
             scratch: RoundProfile::default(),
             agg: StreamAggregate::new(nodes, edges, bandwidth_bits, top_k),
             span_open: None,
@@ -462,6 +486,18 @@ impl<W: Write> StreamSink<W> {
         );
         self.agg.header.classified = true;
         self.classes = Some(classes);
+        self
+    }
+
+    /// Switches the sink into quantum accounting, mirroring
+    /// [`RoundProfiler::with_quantum`](crate::RoundProfiler::with_quantum):
+    /// every round line (and the footer totals) carries a `qsplit`
+    /// where delivered payload counts as qubits, and with `teleport`
+    /// each qubit additionally charges the 2 classical bits of its
+    /// teleportation (Appendix B). Leave off for classical channels so
+    /// the archive stays byte-identical to the pre-quantum grammar.
+    pub fn with_quantum(mut self, teleport: bool) -> Self {
+        self.quantum = Some(teleport);
         self
     }
 
@@ -521,6 +557,7 @@ impl<W: Write> Telemetry for StreamSink<W> {
         self.ensure_header();
         self.scratch = RoundProfile {
             round,
+            qsplit: self.quantum.map(|_| QubitSplit::default()),
             ..RoundProfile::default()
         };
         if self.with_wall {
@@ -534,6 +571,13 @@ impl<W: Write> Telemetry for StreamSink<W> {
         p.messages += 1;
         p.bits += bits64;
         p.util[crate::telemetry::util_bucket(bits, self.agg.header.bandwidth)] += 1;
+        if let Some(teleport) = self.quantum {
+            let q = p.qsplit.get_or_insert_with(QubitSplit::default);
+            q.qubit_bits += bits64;
+            if teleport {
+                q.classical_bits += 2 * bits64;
+            }
+        }
         if let Some(classes) = &self.classes {
             match (classes[from.index()], classes[to.index()]) {
                 (NodeClass::Path, NodeClass::Path) => p.path_bits += bits64,
@@ -783,6 +827,23 @@ impl<R: BufRead> StreamReader<R> {
         c.expect(",")?;
         t.cross_bits = c.parse_u64()?;
         c.expect("]")?;
+        // Optional trailing `qsplit` (quantum-mode archives only): a
+        // comma here can only introduce it — `}` closes the totals
+        // otherwise.
+        if c.peek() == Some(b',') {
+            c.expect(",")?;
+            c.expect("\"qsplit\"")?;
+            c.expect(":")?;
+            c.expect("[")?;
+            let classical_bits = c.parse_u64()?;
+            c.expect(",")?;
+            let qubit_bits = c.parse_u64()?;
+            c.expect("]")?;
+            t.qsplit = Some(QubitSplit {
+                classical_bits,
+                qubit_bits,
+            });
+        }
         c.expect("}")?;
         c.expect(",")?;
         c.expect("\"top_edges\"")?;
@@ -1004,6 +1065,94 @@ mod tests {
             "footer totals contradicting the round lines",
         );
         reject(&(good.clone() + "{\"extra\":1}\n"), "content after footer");
+    }
+
+    #[test]
+    fn stream_sink_quantum_mode_round_trips_and_rejects_mutants() {
+        // Teleport accounting: every round line and the footer carry a
+        // qsplit of (2 × qubits, qubits).
+        let mut buf = Vec::new();
+        let mut sink = StreamSink::new(&mut buf, 3, 2, 8, 4).with_quantum(true);
+        drive(&mut sink);
+        let agg = sink.finish().expect("in-memory write");
+        let text = String::from_utf8(buf).expect("utf8");
+        assert_eq!(
+            agg.totals.qsplit,
+            Some(QubitSplit {
+                classical_bits: 20,
+                qubit_bits: 10,
+            })
+        );
+        assert!(text.contains(",\"qsplit\":[20,10]"), "{text}");
+        // Round 2 delivered nothing but still pins the mode explicitly.
+        assert!(text.contains(",\"qsplit\":[0,0]"), "{text}");
+        let back = read_aggregate(text.as_bytes()).expect("parses");
+        assert_eq!(back, agg);
+        assert_eq!(back.footer_jsonl(), agg.footer_jsonl());
+
+        // Mutating the footer's qsplit away from the round-line sum, or
+        // malforming it, must be rejected.
+        let reject = |t: &str, why: &str| {
+            read_aggregate(t.as_bytes()).expect_err(why);
+        };
+        let footer_start = text.rfind("{\"totals\"").expect("footer");
+        let broken = format!(
+            "{}{}",
+            &text[..footer_start],
+            text[footer_start..].replace("\"qsplit\":[20,10]", "\"qsplit\":[20,11]")
+        );
+        reject(&broken, "footer qsplit contradicting the round lines");
+        let dropped = format!(
+            "{}{}",
+            &text[..footer_start],
+            text[footer_start..].replace(",\"qsplit\":[20,10]", "")
+        );
+        reject(&dropped, "footer missing the qsplit the rounds carried");
+        reject(
+            &text.replace("\"qsplit\":[20,10]", "\"qsplit\":[20,10,1]"),
+            "three-element qsplit",
+        );
+        reject(
+            &text.replace("\"qsplit\":[20,10]", "\"qsplit\":[20,1e1]"),
+            "non-integer qsplit entry",
+        );
+
+        // A classical sink over the same events emits no qsplit at all.
+        let mut classical = Vec::new();
+        let mut sink = StreamSink::new(&mut classical, 3, 2, 8, 4);
+        drive(&mut sink);
+        let agg = sink.finish().expect("write");
+        assert_eq!(agg.totals.qsplit, None);
+        assert!(!String::from_utf8(classical)
+            .expect("utf8")
+            .contains("qsplit"));
+    }
+
+    #[test]
+    fn stream_totals_qsplit_merges_with_none_identity() {
+        let quantum = StreamTotals {
+            qsplit: Some(QubitSplit {
+                classical_bits: 6,
+                qubit_bits: 3,
+            }),
+            ..StreamTotals::default()
+        };
+        let classical = StreamTotals::default();
+        let mut a = quantum;
+        a.merge(&classical);
+        assert_eq!(a.qsplit, quantum.qsplit, "None is the right identity");
+        let mut b = classical;
+        b.merge(&quantum);
+        assert_eq!(b.qsplit, quantum.qsplit, "None is the left identity");
+        let mut doubled = quantum;
+        doubled.merge(&quantum);
+        assert_eq!(
+            doubled.qsplit,
+            Some(QubitSplit {
+                classical_bits: 12,
+                qubit_bits: 6,
+            })
+        );
     }
 
     #[test]

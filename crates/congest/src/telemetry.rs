@@ -142,6 +142,25 @@ pub enum NodeClass {
     Highway,
 }
 
+/// The classical-vs-qubit bit split of one round (or a whole run) on a
+/// quantum channel: how many qubits crossed the links, and how many
+/// classical bits their teleportation consumed (2 per qubit under the
+/// Appendix B accounting mode, 0 when qubits fly directly).
+///
+/// Only quantum-mode sinks ([`RoundProfiler::with_quantum`] /
+/// [`StreamSink::with_quantum`](crate::StreamSink::with_quantum))
+/// produce it; for purely classical runs the field is `None` and the
+/// serialized archives carry no `qsplit` field at all, so every
+/// pre-quantum archive stays byte-identical.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QubitSplit {
+    /// Classical bits charged for teleportation (always `2 ×
+    /// qubit_bits` in teleport mode, 0 otherwise).
+    pub classical_bits: u64,
+    /// Qubits delivered over the links.
+    pub qubit_bits: u64,
+}
+
 /// One round's folded observations.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RoundProfile {
@@ -174,6 +193,10 @@ pub struct RoundProfile {
     pub highway_bits: u64,
     /// Bits delivered on edges joining the two classes.
     pub cross_bits: u64,
+    /// The classical/qubit bit split — `Some` only when the sink runs
+    /// in quantum mode, and omitted from the serialized form when
+    /// `None` (classical archives carry no `qsplit` field).
+    pub qsplit: Option<QubitSplit>,
     /// Wall-clock nanoseconds between span open and close, sampled by
     /// the profiler. **Outside the determinism contract**: the
     /// serializer omits it unless asked (`to_jsonl(true)`).
@@ -550,6 +573,9 @@ pub(crate) fn write_round_line(out: &mut String, r: &RoundProfile, with_wall: bo
         r.highway_bits,
         r.cross_bits,
     );
+    if let Some(q) = r.qsplit {
+        let _ = write!(out, ",\"qsplit\":[{},{}]", q.classical_bits, q.qubit_bits);
+    }
     if with_wall {
         let _ = write!(out, ",\"wall_ns\":{}", r.wall_ns);
     }
@@ -621,11 +647,34 @@ pub(crate) fn parse_round_line(
     c.expect(",")?;
     p.cross_bits = c.parse_u64()?;
     c.expect("]")?;
+    // Two optional trailing fields, in fixed order: `qsplit` (emitted
+    // only by quantum-mode sinks) then `wall_ns` (emitted only with
+    // `with_wall`).
     if c.peek() == Some(b',') {
         c.expect(",")?;
-        c.expect("\"wall_ns\"")?;
-        c.expect(":")?;
-        p.wall_ns = c.parse_u64()?;
+        if c.peeks("\"qsplit\"") {
+            c.expect("\"qsplit\"")?;
+            c.expect(":")?;
+            c.expect("[")?;
+            let classical_bits = c.parse_u64()?;
+            c.expect(",")?;
+            let qubit_bits = c.parse_u64()?;
+            c.expect("]")?;
+            p.qsplit = Some(QubitSplit {
+                classical_bits,
+                qubit_bits,
+            });
+            if c.peek() == Some(b',') {
+                c.expect(",")?;
+                c.expect("\"wall_ns\"")?;
+                c.expect(":")?;
+                p.wall_ns = c.parse_u64()?;
+            }
+        } else {
+            c.expect("\"wall_ns\"")?;
+            c.expect(":")?;
+            p.wall_ns = c.parse_u64()?;
+        }
     }
     c.expect("}")?;
     c.end()?;
@@ -644,6 +693,10 @@ pub(crate) fn parse_round_line(
 #[derive(Clone, Debug)]
 pub struct RoundProfiler {
     classes: Option<Vec<NodeClass>>,
+    /// Quantum accounting mode: `Some(teleport)` makes every round
+    /// carry a [`QubitSplit`] — delivered bits count as qubits, and
+    /// with `teleport` each qubit also charges 2 classical bits.
+    quantum: Option<bool>,
     report: TelemetryReport,
     span_open: Option<Instant>,
 }
@@ -654,6 +707,7 @@ impl RoundProfiler {
     pub fn new(nodes: usize, edges: usize, bandwidth_bits: usize) -> Self {
         RoundProfiler {
             classes: None,
+            quantum: None,
             report: TelemetryReport {
                 nodes,
                 edges,
@@ -665,6 +719,19 @@ impl RoundProfiler {
             },
             span_open: None,
         }
+    }
+
+    /// Switches the profiler into quantum accounting: every round
+    /// profile carries a [`QubitSplit`] where delivered payload counts
+    /// as qubits, and with `teleport` each qubit additionally charges
+    /// the 2 classical bits of its teleportation (Appendix B). Matches
+    /// [`CongestConfig::quantum`](crate::CongestConfig::quantum) /
+    /// [`quantum_teleport`](crate::CongestConfig::quantum_teleport)
+    /// runs; leave off for classical channels so the serialized report
+    /// carries no `qsplit` fields.
+    pub fn with_quantum(mut self, teleport: bool) -> Self {
+        self.quantum = Some(teleport);
+        self
     }
 
     /// Installs a node classification (index = node id), enabling the
@@ -713,6 +780,7 @@ impl Telemetry for RoundProfiler {
         debug_assert_eq!(round, self.report.rounds.len() + 1, "rounds are contiguous");
         self.report.rounds.push(RoundProfile {
             round,
+            qsplit: self.quantum.map(|_| QubitSplit::default()),
             ..RoundProfile::default()
         });
         self.span_open = Some(Instant::now());
@@ -727,10 +795,18 @@ impl Telemetry for RoundProfiler {
                 _ => 2,
             }
         });
+        let quantum = self.quantum;
         let p = self.current(round);
         p.messages += 1;
         p.bits += bits as u64;
         p.util[util_bucket(bits, budget)] += 1;
+        if let Some(teleport) = quantum {
+            let q = p.qsplit.get_or_insert_with(QubitSplit::default);
+            q.qubit_bits += bits as u64;
+            if teleport {
+                q.classical_bits += 2 * bits as u64;
+            }
+        }
         match split {
             Some(0) => p.path_bits += bits as u64,
             Some(1) => p.highway_bits += bits as u64,
@@ -807,6 +883,7 @@ mod tests {
                     path_bits: 8,
                     highway_bits: 0,
                     cross_bits: 2,
+                    qsplit: None,
                     wall_ns: 1_234,
                 },
                 RoundProfile {
@@ -821,6 +898,7 @@ mod tests {
                     path_bits: 0,
                     highway_bits: 0,
                     cross_bits: 0,
+                    qsplit: None,
                     wall_ns: 567,
                 },
             ],
@@ -914,6 +992,110 @@ mod tests {
             "flag out of range",
         );
         reject(&(good.clone() + "{\"extra\":1}\n"), "trailing line");
+    }
+
+    /// The sample report with every round carrying a teleport-mode
+    /// qubit split (2 classical bits per qubit).
+    fn quantum_sample_report() -> TelemetryReport {
+        let mut report = sample_report();
+        for r in &mut report.rounds {
+            r.qsplit = Some(QubitSplit {
+                classical_bits: 2 * r.bits,
+                qubit_bits: r.bits,
+            });
+        }
+        report
+    }
+
+    #[test]
+    fn telemetry_jsonl_round_trips_the_qubit_split() {
+        let report = quantum_sample_report();
+        for with_wall in [false, true] {
+            let text = report.to_jsonl(with_wall);
+            assert!(text.contains(",\"qsplit\":[20,10]"), "{text}");
+            let back = TelemetryReport::from_jsonl(&text).expect("parses");
+            assert_eq!(back.rounds[0].qsplit, report.rounds[0].qsplit);
+            assert_eq!(back.to_jsonl(with_wall), text, "byte-exact round trip");
+        }
+        // A classical report never mentions qsplit at all.
+        let classical = sample_report().to_jsonl(true);
+        assert!(!classical.contains("qsplit"));
+    }
+
+    #[test]
+    fn telemetry_jsonl_rejects_malformed_qsplit_fields() {
+        let good = quantum_sample_report().to_jsonl(false);
+        let reject = |text: &str, why: &str| {
+            TelemetryReport::from_jsonl(text).expect_err(why);
+        };
+        reject(
+            &good.replace("\"qsplit\":[20,10]", "\"qsplit\":[20]"),
+            "one-element qsplit",
+        );
+        reject(
+            &good.replace("\"qsplit\":[20,10]", "\"qsplit\":[20,10,3]"),
+            "three-element qsplit",
+        );
+        reject(
+            &good.replace("\"qsplit\":[20,10]", "\"qsplit\":[20,-10]"),
+            "negative qsplit entry",
+        );
+        reject(
+            &good.replace("\"qsplit\":[20,10]", "\"qsplit\":[020,10]"),
+            "leading-zero qsplit entry",
+        );
+        reject(
+            &good.replace("\"qsplit\":[20,10]", "\"qsplot\":[20,10]"),
+            "misspelled qsplit key",
+        );
+        // qsplit must precede wall_ns, never follow it.
+        let wall = quantum_sample_report().to_jsonl(true);
+        reject(
+            &wall.replace(
+                "\"qsplit\":[20,10],\"wall_ns\":1234",
+                "\"wall_ns\":1234,\"qsplit\":[20,10]",
+            ),
+            "qsplit after wall_ns",
+        );
+    }
+
+    #[test]
+    fn telemetry_profiler_quantum_mode_folds_the_split() {
+        // Teleport accounting: 2 classical bits per qubit.
+        let mut prof = RoundProfiler::new(2, 1, 8).with_quantum(true);
+        prof.on_round_start(1);
+        prof.on_delivery(1, EdgeId(0), NodeId(0), NodeId(1), 3);
+        prof.on_delivery(1, EdgeId(0), NodeId(1), NodeId(0), 4);
+        prof.on_round_end(1, true, 2);
+        let report = prof.finish();
+        assert_eq!(
+            report.rounds[0].qsplit,
+            Some(QubitSplit {
+                classical_bits: 14,
+                qubit_bits: 7,
+            })
+        );
+
+        // Plain quantum mode: qubits fly directly, no classical charge.
+        let mut prof = RoundProfiler::new(2, 1, 8).with_quantum(false);
+        prof.on_round_start(1);
+        prof.on_delivery(1, EdgeId(0), NodeId(0), NodeId(1), 5);
+        prof.on_round_end(1, true, 2);
+        let report = prof.finish();
+        assert_eq!(
+            report.rounds[0].qsplit,
+            Some(QubitSplit {
+                classical_bits: 0,
+                qubit_bits: 5,
+            })
+        );
+
+        // No quantum mode: the field stays absent, even for an empty
+        // round (the serialized form is the pre-quantum byte stream).
+        let mut prof = RoundProfiler::new(2, 1, 8);
+        prof.on_round_start(1);
+        prof.on_round_end(1, true, 2);
+        assert_eq!(prof.finish().rounds[0].qsplit, None);
     }
 
     #[test]

@@ -3,10 +3,12 @@
 //! [`execute_point`] is the single dispatch site from a [`PointSpec`]
 //! to the underlying experiment code: the simulation-theorem adapter
 //! ([`qdc_simthm::campaign`]), the robust-broadcast chaos stack
-//! ([`qdc_algos::flood`]), or the gadget adapter plus distributed
-//! verifier ([`qdc_gadgets::campaign`] + [`qdc_algos::verify`]). Every
-//! path folds into the same [`PointRecord`] shape so the runner can
-//! aggregate without caring which kind it ran.
+//! ([`qdc_algos::flood`]), the gadget adapter plus distributed verifier
+//! ([`qdc_gadgets::campaign`] + [`qdc_algos::verify`]), or the Example
+//! 1.1 Disjointness protocols ([`qdc_algos::disjointness`], classical
+//! streaming vs quantum Grover round trips). Every path folds into the
+//! same [`PointRecord`] shape so the runner can aggregate without
+//! caring which kind it ran.
 //!
 //! Record serialization keeps wall-clock time in a **separate, final**
 //! field ([`record_json`] can omit it), because wall time is the one
@@ -16,13 +18,45 @@
 
 use crate::json::Json;
 use crate::spec::{PointSpec, FAILURE_SCHEMA, POINT_SCHEMA};
+use qdc_algos::disjointness::{
+    classical_disjointness_observed, classical_rounds, quantum_disjointness_seeded, quantum_rounds,
+    DisjointnessRun,
+};
 use qdc_algos::flood::{chaos_round_budget, robust_broadcast_with};
 use qdc_algos::verify::verify_hamiltonian_cycle;
 use qdc_congest::{
-    ChaosConfig, CongestConfig, NullTelemetry, RoundProfiler, RunMetrics, RunOptions, SimError,
-    StreamSink, TelemetryReport, TrafficTrace,
+    ChaosConfig, CongestConfig, NullTelemetry, RoundProfiler, RunMetrics, RunOptions, RunReport,
+    SimError, StreamSink, Telemetry, TelemetryReport, TrafficTrace,
 };
 use qdc_graph::{generate, Graph, GraphBuilder, NodeId, Subgraph};
+
+/// The Grover measurement stream of every quantum ex11 point comes from
+/// this fixed protocol seed, so records are reproducible grid-wide.
+const EX11_PROTOCOL_SEED: u64 = 11;
+
+/// Quiescence slack on the classical streaming pipeline: the engine
+/// spends up to two extra rounds draining the final chunk and observing
+/// global termination beyond the closed-form `D + ⌈b/B⌉ − 1`.
+const EX11_CLASSICAL_SLACK: u64 = 2;
+
+/// Runs one Example 1.1 point's protocol: the classical streaming
+/// pipeline or the seeded Grover round-trip bounce, under the given
+/// telemetry sink.
+fn run_ex11<T: Telemetry>(
+    x: &[bool],
+    y: &[bool],
+    d: usize,
+    cfg: CongestConfig,
+    quantum: bool,
+    options: RunOptions,
+    telemetry: &mut T,
+) -> (DisjointnessRun, RunReport) {
+    if quantum {
+        quantum_disjointness_seeded(x, y, d, cfg, EX11_PROTOCOL_SEED, options, telemetry)
+    } else {
+        classical_disjointness_observed(x, y, d, cfg, options, telemetry)
+    }
+}
 
 /// How the runner observes each point of a campaign.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -131,7 +165,7 @@ pub struct PointRecord {
     /// Index of the point in the expanded grid (stable across thread
     /// counts; names the record in the JSONL output).
     pub index: usize,
-    /// Experiment kind: `"simthm"`, `"chaos"` or `"gadget"`.
+    /// Experiment kind: `"simthm"`, `"chaos"`, `"gadget"` or `"ex11"`.
     pub kind: &'static str,
     /// The grid coordinates of the point, as stable key/value pairs.
     pub params: Vec<(&'static str, Json)>,
@@ -497,6 +531,107 @@ fn execute_point_impl(
                 None,
                 None,
                 None,
+            )
+        }
+        PointSpec::Ex11 {
+            bits,
+            bandwidth,
+            distance,
+            quantum,
+        } => {
+            // The same deterministic instance family as the
+            // `ex11_disjointness` bin: a pseudorandom `x`, its
+            // complement as `y` (disjoint by construction), with one
+            // planted intersection for b ≥ 256 so both verdicts occur
+            // across the grid.
+            let x = generate::random_bits(*bits, 100 + *bits as u64);
+            let mut y: Vec<bool> = x.iter().map(|&v| !v).collect();
+            if *bits >= 256 {
+                y[*bits / 2] = x[*bits / 2];
+            }
+            let planted = x.iter().zip(&y).any(|(&a, &c)| a && c);
+            let cfg = if *quantum {
+                CongestConfig::quantum(*bandwidth)
+            } else {
+                CongestConfig::classical(*bandwidth)
+            };
+            // Path topology: D hops, D + 1 nodes, D edges.
+            let (nodes, edges) = (*distance + 1, *distance);
+            let ((run, report), telemetry) = match telemetry_mode {
+                TelemetryMode::Off => (
+                    run_ex11(
+                        &x,
+                        &y,
+                        *distance,
+                        cfg,
+                        *quantum,
+                        options,
+                        &mut NullTelemetry,
+                    ),
+                    None,
+                ),
+                TelemetryMode::Exact => {
+                    let mut profiler = RoundProfiler::new(nodes, edges, *bandwidth);
+                    if *quantum {
+                        profiler = profiler.with_quantum(false);
+                    }
+                    let out = run_ex11(&x, &y, *distance, cfg, *quantum, options, &mut profiler);
+                    (out, Some(profiler.finish()))
+                }
+                TelemetryMode::Stream(scfg) => {
+                    let (stage, file) = StreamStage::begin(index, scfg)?;
+                    let mut sink = StreamSink::new(file, nodes, edges, *bandwidth, scfg.top_k)
+                        .with_wall(scfg.with_wall);
+                    if *quantum {
+                        sink = sink.with_quantum(false);
+                    }
+                    let out = run_ex11(&x, &y, *distance, cfg, *quantum, options, &mut sink);
+                    stage.commit(index, sink)?;
+                    (out, None)
+                }
+            };
+            let metrics = report.metrics();
+            // The measured curve must match the closed form: the quantum
+            // bounce is exact (2·D rounds per query); the classical
+            // pipeline may spend bounded quiescence slack on top.
+            let predicted = if *quantum {
+                quantum_rounds(*bits, *distance)
+            } else {
+                classical_rounds(*bits, *distance, *bandwidth)
+            } as u64;
+            let rounds_ok = if *quantum {
+                metrics.rounds == predicted
+            } else {
+                (predicted..=predicted + EX11_CLASSICAL_SLACK).contains(&metrics.rounds)
+            };
+            let mut extra = vec![
+                ("predicted_rounds", Json::Num(predicted)),
+                ("planted", Json::Bool(planted)),
+            ];
+            if *quantum {
+                extra.push(("queries", Json::Num(predicted / (2 * *distance as u64))));
+                extra.push((
+                    "width",
+                    Json::Num(qdc_algos::widths::bits_for(bits.saturating_sub(1) as u64) as u64),
+                ));
+            }
+            (
+                "ex11",
+                vec![
+                    ("bits", Json::Num(*bits as u64)),
+                    ("bandwidth", Json::Num(*bandwidth as u64)),
+                    ("distance", Json::Num(*distance as u64)),
+                    (
+                        "channel",
+                        Json::Str(if *quantum { "quantum" } else { "classical" }.to_string()),
+                    ),
+                ],
+                metrics,
+                Some(run.disjoint != planted && rounds_ok),
+                extra,
+                None,
+                None,
+                telemetry,
             )
         }
     };

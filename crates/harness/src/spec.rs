@@ -57,6 +57,9 @@ pub enum CampaignError {
     /// A gadget point requested zero input bits (the reductions need at
     /// least one gadget in the chain).
     ZeroBits,
+    /// A disjointness point requested a zero-hop path (the two players
+    /// must be distinct nodes, so `D ≥ 1`).
+    ZeroDistance,
     /// The records path and the summary path collide, so one output
     /// would silently clobber the other.
     OutputCollision(String),
@@ -93,6 +96,9 @@ impl std::fmt::Display for CampaignError {
                 write!(f, "chaos ensemble needs at least 2 nodes, got {n}")
             }
             CampaignError::ZeroBits => write!(f, "gadget input length must be at least 1 bit"),
+            CampaignError::ZeroDistance => {
+                write!(f, "disjointness path distance must be at least 1 hop")
+            }
             CampaignError::OutputCollision(path) => {
                 write!(f, "records and summary would both be written to `{path}`")
             }
@@ -142,6 +148,17 @@ pub enum CampaignGrid {
         /// CONGEST bandwidth for the verifier runs.
         bandwidth: usize,
     },
+    /// Example 1.1 separation sweep: classical streaming vs distributed
+    /// Grover disjointness over b × B × D, on both channel kinds.
+    Ex11 {
+        /// Set sizes `b` of the disjointness instances.
+        bits: Vec<usize>,
+        /// CONGEST bandwidths `B` (bits classically, qubits quantumly;
+        /// every `B` must fit the widest `⌈log₂ b⌉` query register).
+        bandwidths: Vec<usize>,
+        /// Path distances `D` between the two players.
+        distances: Vec<usize>,
+    },
 }
 
 /// One fully expanded experiment point, ready to execute.
@@ -168,6 +185,19 @@ pub enum PointSpec {
         point: GadgetPoint,
         /// CONGEST bandwidth for the verifier.
         bandwidth: usize,
+    },
+    /// One Example 1.1 disjointness cell: one protocol (classical
+    /// streaming or distributed Grover) on one (b, B, D) triple.
+    Ex11 {
+        /// Set size `b`.
+        bits: usize,
+        /// CONGEST bandwidth `B`.
+        bandwidth: usize,
+        /// Path distance `D`.
+        distance: usize,
+        /// `true` runs the quantum (Grover) protocol on a quantum
+        /// channel; `false` the classical streaming protocol.
+        quantum: bool,
     },
 }
 
@@ -253,6 +283,37 @@ impl CampaignSpec {
                     return Err(CampaignError::BadBandwidth(*bandwidth));
                 }
             }
+            CampaignGrid::Ex11 {
+                bits,
+                bandwidths,
+                distances,
+            } => {
+                if bits.is_empty() {
+                    return Err(CampaignError::EmptyGrid("bits"));
+                }
+                if bandwidths.is_empty() {
+                    return Err(CampaignError::EmptyGrid("bandwidths"));
+                }
+                if distances.is_empty() {
+                    return Err(CampaignError::EmptyGrid("distances"));
+                }
+                if bits.contains(&0) {
+                    return Err(CampaignError::ZeroBits);
+                }
+                if distances.contains(&0) {
+                    return Err(CampaignError::ZeroDistance);
+                }
+                // Every bandwidth must carry the widest Grover query
+                // register — one ⌈log₂ b⌉-qubit message per round trip.
+                let width = bits
+                    .iter()
+                    .map(|&b| qdc_algos::widths::bits_for(b.saturating_sub(1) as u64))
+                    .max()
+                    .expect("bits is non-empty");
+                if let Some(&bw) = bandwidths.iter().find(|&&bw| bw < width) {
+                    return Err(CampaignError::BadBandwidth(bw));
+                }
+            }
         }
         Ok(())
     }
@@ -277,6 +338,14 @@ impl CampaignSpec {
             CampaignGrid::Gadgets {
                 bit_sizes, seeds, ..
             } => product(bit_sizes.len(), seeds.len()).saturating_mul(2),
+            // Two channel kinds per (b, B, D) cell.
+            CampaignGrid::Ex11 {
+                bits,
+                bandwidths,
+                distances,
+            } => product(bits.len(), bandwidths.len())
+                .saturating_mul(distances.len() as u64)
+                .saturating_mul(2),
         }
     }
 
@@ -332,6 +401,30 @@ impl CampaignSpec {
                                 point: GadgetPoint { family, bits, seed },
                                 bandwidth: *bandwidth,
                             });
+                        }
+                    }
+                }
+            }
+            CampaignGrid::Ex11 {
+                bits,
+                bandwidths,
+                distances,
+            } => {
+                // Channel kind is the outermost axis: the full classical
+                // curve first, then the full quantum curve, so record
+                // index `i` and `i + count/2` are the matched pair of
+                // one (b, B, D) cell.
+                for quantum in [false, true] {
+                    for &b in bits {
+                        for &bandwidth in bandwidths {
+                            for &distance in distances {
+                                out.push(PointSpec::Ex11 {
+                                    bits: b,
+                                    bandwidth,
+                                    distance,
+                                    quantum,
+                                });
+                            }
                         }
                     }
                 }
@@ -400,19 +493,32 @@ pub fn builtin(name: &str) -> Option<CampaignSpec> {
                 bandwidth: 32,
             },
         },
+        // 2 channels × 4 sizes × 2 bandwidths × 2 distances = 32 points:
+        // the Example 1.1 classical-vs-quantum separation sweep. The
+        // crossover sits at b = 4096, D = 2, where 2·D·queries = 204
+        // quantum rounds undercut the ⌈b/B⌉ + D − 1 classical pipeline.
+        "ex11_separation" => CampaignSpec {
+            name: name.to_string(),
+            grid: CampaignGrid::Ex11 {
+                bits: vec![64, 256, 1024, 4096],
+                bandwidths: vec![12, 16],
+                distances: vec![2, 4],
+            },
+        },
         _ => return None,
     };
     Some(spec)
 }
 
 /// Names of all built-in campaigns, in presentation order.
-pub fn builtin_names() -> [&'static str; 5] {
+pub fn builtin_names() -> [&'static str; 6] {
     [
         "simthm_smoke",
         "simthm_grid",
         "chaos_ensemble",
         "gadget_sweep",
         "telemetry_smoke",
+        "ex11_separation",
     ]
 }
 
@@ -565,6 +671,71 @@ mod tests {
     }
 
     #[test]
+    fn spec_rejects_degenerate_ex11_parameters() {
+        let base = builtin("ex11_separation").expect("builtin");
+
+        let mut spec = base.clone();
+        if let CampaignGrid::Ex11 { bits, .. } = &mut spec.grid {
+            bits.push(0);
+        }
+        assert_eq!(spec.validate(), Err(CampaignError::ZeroBits));
+
+        let mut spec = base.clone();
+        if let CampaignGrid::Ex11 { distances, .. } = &mut spec.grid {
+            distances.push(0);
+        }
+        assert_eq!(spec.validate(), Err(CampaignError::ZeroDistance));
+
+        // b = 4096 needs a 12-bit query register; an 11-bit channel
+        // cannot carry a single Grover round trip.
+        let mut spec = base.clone();
+        if let CampaignGrid::Ex11 { bandwidths, .. } = &mut spec.grid {
+            bandwidths.push(11);
+        }
+        assert_eq!(spec.validate(), Err(CampaignError::BadBandwidth(11)));
+
+        let mut spec = base;
+        if let CampaignGrid::Ex11 { bandwidths, .. } = &mut spec.grid {
+            bandwidths.clear();
+        }
+        assert_eq!(spec.validate(), Err(CampaignError::EmptyGrid("bandwidths")));
+    }
+
+    #[test]
+    fn spec_ex11_channel_axis_is_outermost() {
+        let spec = builtin("ex11_separation").expect("builtin");
+        let points = spec.points();
+        assert_eq!(points.len(), 32);
+        let half = points.len() / 2;
+        for (i, p) in points.iter().enumerate() {
+            match p {
+                PointSpec::Ex11 { quantum, .. } => assert_eq!(*quantum, i >= half),
+                other => panic!("unexpected point {other:?}"),
+            }
+        }
+        // Record i and i + 16 are the matched classical/quantum pair.
+        match (&points[0], &points[half]) {
+            (
+                PointSpec::Ex11 {
+                    bits: a,
+                    bandwidth: ab,
+                    distance: ad,
+                    ..
+                },
+                PointSpec::Ex11 {
+                    bits: b,
+                    bandwidth: bb,
+                    distance: bd,
+                    ..
+                },
+            ) => {
+                assert_eq!((a, ab, ad), (b, bb, bd));
+            }
+            other => panic!("unexpected points {other:?}"),
+        }
+    }
+
+    #[test]
     fn spec_rejects_output_collision() {
         assert_eq!(
             validate_output_paths("out.jsonl", "out.jsonl"),
@@ -586,6 +757,7 @@ mod tests {
             CampaignError::BadDropProb(2000),
             CampaignError::TooFewNodes(1),
             CampaignError::ZeroBits,
+            CampaignError::ZeroDistance,
             CampaignError::OutputCollision("x".into()),
         ];
         for e in errors {

@@ -72,6 +72,16 @@ pub fn spec_to_json(spec: &CampaignSpec) -> Json {
             ("seeds", num_array(seeds)),
             ("bandwidth", Json::Num(*bandwidth as u64)),
         ]),
+        CampaignGrid::Ex11 {
+            bits,
+            bandwidths,
+            distances,
+        } => Json::obj([
+            ("kind", Json::Str("ex11".into())),
+            ("bits", usize_array(bits)),
+            ("bandwidths", usize_array(bandwidths)),
+            ("distances", usize_array(distances)),
+        ]),
     };
     Json::obj([("name", Json::Str(spec.name.clone())), ("grid", grid)])
 }
@@ -161,6 +171,15 @@ pub fn spec_from_json(doc: &Json) -> Result<CampaignSpec, String> {
                 bit_sizes: get_usize_array(grid_doc, "bit_sizes")?,
                 seeds: get_u64_array(grid_doc, "seeds")?,
                 bandwidth: get_usize(grid_doc, "bandwidth")?,
+            }
+        }
+        "ex11" => {
+            json::require_keys(grid_doc, &["kind", "bits", "bandwidths", "distances"], &[])
+                .map_err(|e| format!("grid: {e}"))?;
+            CampaignGrid::Ex11 {
+                bits: get_usize_array(grid_doc, "bits")?,
+                bandwidths: get_usize_array(grid_doc, "bandwidths")?,
+                distances: get_usize_array(grid_doc, "distances")?,
             }
         }
         other => return Err(format!("unknown grid kind `{other}`")),

@@ -18,6 +18,12 @@
 //!    version tag, a non-integer value and a leading-zero integer are
 //!    each rejected with an error.
 //!
+//! The telemetry and campaign-point schemas additionally pin
+//! quantum-channel fixtures (`telemetry_v1_quantum.jsonl`,
+//! `telemetry_stream_v1_quantum.jsonl`, `campaign_point_ex11_v1.jsonl`)
+//! exercising the optional `qsplit` qubit/classical accounting fields,
+//! each with its own rejection corpus for malformed qubit fields.
+//!
 //! Regenerate fixtures after a deliberate schema change with:
 //!
 //! ```text
@@ -25,8 +31,8 @@
 //! ```
 
 use qdc::congest::{
-    read_aggregate, ChaosConfig, CongestConfig, StreamAggregate, StreamSink, TelemetryReport,
-    TrafficTrace,
+    read_aggregate, ChaosConfig, CongestConfig, RoundProfiler, StreamAggregate, StreamSink,
+    TelemetryReport, TrafficTrace,
 };
 use qdc::harness::{
     builtin, execute_point, failure_json, record_json, run_campaign, summary_json,
@@ -203,6 +209,222 @@ fn golden_telemetry_stream_v1_rejection_corpus() {
     for (bad, why) in cases {
         let err = read_aggregate(bad.as_bytes()).expect_err(why);
         assert!(!err.to_string().is_empty(), "{why} must explain itself");
+    }
+}
+
+/// The fixed quantum instance behind the qubit-split fixtures: the
+/// b = 64 Example 1.1 pair with one planted intersection.
+fn golden_quantum_instance() -> (Vec<bool>, Vec<bool>) {
+    let mut x = qdc::graph::generate::random_bits(64, 164);
+    let mut y: Vec<bool> = x.iter().map(|&v| !v).collect();
+    x[32] = true;
+    y[32] = true;
+    (x, y)
+}
+
+/// The fixed quantum telemetry workload: seeded distributed-Grover
+/// Disjointness on a 3-hop path under EPR/teleportation accounting, so
+/// every round line carries a `qsplit` charging 2 classical bits per
+/// delivered qubit.
+fn golden_quantum_telemetry() -> TelemetryReport {
+    let (x, y) = golden_quantum_instance();
+    let mut profiler = RoundProfiler::new(4, 3, 16).with_quantum(true);
+    let _ = qdc::algos::disjointness::quantum_disjointness_seeded(
+        &x,
+        &y,
+        3,
+        CongestConfig::quantum_teleport(16),
+        11,
+        qdc::congest::RunOptions::default(),
+        &mut profiler,
+    );
+    profiler.finish()
+}
+
+/// The same quantum workload streamed through a [`StreamSink`] in
+/// teleport accounting mode: round lines and the footer totals carry
+/// the optional `qsplit` field.
+fn golden_quantum_stream_archive() -> (String, StreamAggregate) {
+    let (x, y) = golden_quantum_instance();
+    let mut buf = Vec::new();
+    let mut sink = StreamSink::new(&mut buf, 4, 3, 16, 8).with_quantum(true);
+    let _ = qdc::algos::disjointness::quantum_disjointness_seeded(
+        &x,
+        &y,
+        3,
+        CongestConfig::quantum_teleport(16),
+        11,
+        qdc::congest::RunOptions::default(),
+        &mut sink,
+    );
+    let agg = sink.finish().expect("in-memory write");
+    (String::from_utf8(buf).expect("utf8 archive"), agg)
+}
+
+#[test]
+fn golden_telemetry_v1_quantum_byte_exact_round_trip() {
+    let profile = golden_quantum_telemetry();
+    let text = profile.to_jsonl(false);
+    assert_matches_golden("telemetry_v1_quantum.jsonl", &text);
+    let back = TelemetryReport::from_jsonl(&text).expect("fixture parses");
+    assert_eq!(back.to_jsonl(false), text, "round-trip is byte-exact");
+    for r in &back.rounds {
+        let q = r.qsplit.expect("quantum rounds carry the split");
+        assert_eq!(
+            q.classical_bits,
+            2 * q.qubit_bits,
+            "teleportation charges exactly 2 classical bits per qubit"
+        );
+    }
+}
+
+#[test]
+fn golden_telemetry_v1_quantum_rejection_corpus() {
+    let text = golden_quantum_telemetry().to_jsonl(false);
+    assert!(
+        text.contains("\"qsplit\":[12,6]"),
+        "the fixture must exercise the qubit split: {text}"
+    );
+    let cases = [
+        (
+            text.replacen("\"qsplit\"", "\"qsplat\"", 1),
+            "unknown field name",
+        ),
+        (
+            text.replacen("\"qsplit\":[12,6]", "\"qsplit\":[12]", 1),
+            "one-element split",
+        ),
+        (
+            text.replacen("\"qsplit\":[12,6]", "\"qsplit\":[12,6,0]", 1),
+            "three-element split",
+        ),
+        (
+            text.replacen("\"qsplit\":[12,6]", "\"qsplit\":[12.5,6]", 1),
+            "non-integer qubit count",
+        ),
+        (
+            text.replacen("\"qsplit\":[12,6]", "\"qsplit\":[012,6]", 1),
+            "leading-zero integer",
+        ),
+        (
+            text.replacen("\"qsplit\":[12,6]", "\"qsplit\":[-12,6]", 1),
+            "negative count",
+        ),
+    ];
+    for (bad, why) in cases {
+        let err = TelemetryReport::from_jsonl(&bad).expect_err(why);
+        assert!(!err.to_string().is_empty(), "{why} must explain itself");
+    }
+}
+
+#[test]
+fn golden_telemetry_stream_v1_quantum_byte_exact_round_trip() {
+    let (text, agg) = golden_quantum_stream_archive();
+    assert_matches_golden("telemetry_stream_v1_quantum.jsonl", &text);
+    let back = read_aggregate(text.as_bytes()).expect("fixture parses");
+    assert_eq!(back.totals, agg.totals, "footer equals the sink's totals");
+    let q = back.totals.qsplit.expect("quantum totals carry the split");
+    assert_eq!(q.classical_bits, 2 * q.qubit_bits);
+    assert_eq!(q.qubit_bits, back.totals.bits);
+}
+
+#[test]
+fn golden_telemetry_stream_v1_quantum_rejection_corpus() {
+    let (text, agg) = golden_quantum_stream_archive();
+    let q = agg.totals.qsplit.expect("quantum totals carry the split");
+    let footer_qsplit = format!(
+        "\"qsplit\":[{},{}]}},\"top_edges\"",
+        q.classical_bits, q.qubit_bits
+    );
+    assert!(
+        text.contains(&footer_qsplit),
+        "fixture footer must carry the split: {text}"
+    );
+    let cases = [
+        (
+            text.replace(
+                &footer_qsplit,
+                &format!(
+                    "\"qsplit\":[{},{}]}},\"top_edges\"",
+                    q.classical_bits + 1,
+                    q.qubit_bits
+                ),
+            ),
+            "footer contradicting the streamed splits",
+        ),
+        (
+            text.replace(&footer_qsplit, "}.\"top_edges\""),
+            "mangled footer",
+        ),
+        (
+            text.replacen("\"qsplit\":[12,6]", "\"qsplit\":[12,6,1]", 1),
+            "three-element round split",
+        ),
+        (
+            text.replacen("\"qsplit\":[12,6]", "\"qsplit\":[1e1,6]", 1),
+            "scientific-notation count",
+        ),
+    ];
+    for (bad, why) in cases {
+        let err = read_aggregate(bad.as_bytes()).expect_err(why);
+        assert!(!err.to_string().is_empty(), "{why} must explain itself");
+    }
+}
+
+/// The fixed Example 1.1 campaign record: the quantum b = 64 cell at
+/// B = 16, D = 2 (every field a pure function of the spec — the Grover
+/// measurement stream is protocol-seeded).
+fn golden_ex11_record() -> String {
+    let spec = PointSpec::Ex11 {
+        bits: 64,
+        bandwidth: 16,
+        distance: 2,
+        quantum: true,
+    };
+    let (rec, _) = execute_point(17, &spec).expect("golden point runs");
+    record_json("golden", &rec, false) + "\n"
+}
+
+#[test]
+fn golden_campaign_point_ex11_byte_exact_and_validated() {
+    let line = golden_ex11_record();
+    assert_matches_golden("campaign_point_ex11_v1.jsonl", &line);
+    validate_record_line(line.trim_end()).expect("fixture conforms");
+    assert!(
+        line.contains("\"channel\":\"quantum\"") && line.contains("\"queries\""),
+        "the ex11 record carries its channel and query count: {line}"
+    );
+}
+
+#[test]
+fn golden_campaign_point_ex11_rejection_corpus() {
+    let line = golden_ex11_record();
+    let line = line.trim_end();
+    let cases = [
+        (line[..line.len() - 2].to_string(), "truncated document"),
+        (
+            line.replace("\"channel\"", "\"chanel\""),
+            "misspelled param key breaks the byte-exact emission contract",
+        ),
+        (
+            line.replace("qdc-campaign-point/v1", "qdc-campaign-point/v2"),
+            "wrong version tag",
+        ),
+        (
+            line.replace("\"point\":17", "\"point\":17.5"),
+            "non-integer point",
+        ),
+    ];
+    for (bad, why) in cases {
+        // The param-key mutation survives the shape validator (params
+        // are an open object) but must fail the byte-exact golden — the
+        // other three fail the strict validator outright.
+        if bad.contains("chanel") {
+            assert_ne!(bad, line, "{why}");
+        } else {
+            let err = validate_record_line(&bad).expect_err(why);
+            assert!(!err.is_empty(), "{why} must explain itself");
+        }
     }
 }
 

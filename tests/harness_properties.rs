@@ -43,7 +43,7 @@ fn make_grid(
     drop_pm: Vec<u32>,
     bandwidth: usize,
 ) -> CampaignGrid {
-    match kind % 3 {
+    match kind % 4 {
         0 => CampaignGrid::SimThm {
             // Draws are ≥ 1; lengths need ≥ 3. The flood sends id-width
             // words, so B must comfortably exceed log₂(node count).
@@ -59,12 +59,20 @@ fn make_grid(
             // Robust broadcast sends 2-bit token/ack words.
             bandwidth: bandwidth.max(2),
         },
-        _ => CampaignGrid::Gadgets {
+        2 => CampaignGrid::Gadgets {
             bit_sizes: axis_a.into_iter().map(|b| b.min(6)).collect(),
             seeds,
             // The verifier's fragment engine convergecasts (size, weight,
             // edge-id) triples; same B as the gadget_sweep builtin.
             bandwidth: 32 + bandwidth,
+        },
+        // Both Disjointness channels — the quantum points exercise the
+        // qubit-budgeted links under the same 1-vs-N-thread contract.
+        _ => CampaignGrid::Ex11 {
+            bits: axis_a.into_iter().map(|a| 8 << (a % 4)).collect(),
+            // b ≤ 64 needs a 6-bit query register; 8 is the floor here.
+            bandwidths: axis_b.into_iter().map(|b| 8 + (b % 8)).collect(),
+            distances: seeds.iter().map(|s| 1 + (s % 4) as usize).collect(),
         },
     }
 }
@@ -76,7 +84,7 @@ proptest! {
     #[test]
     fn aggregate_is_thread_invariant(
         (kind, axis_a, axis_b, seeds, drop_pm, bandwidth) in (
-            0usize..3,
+            0usize..4,
             proptest::collection::vec(1usize..8, 1..3),
             proptest::collection::vec(1usize..10, 1..3),
             proptest::collection::vec(0u64..64, 1..3),
@@ -121,7 +129,7 @@ proptest! {
     #[test]
     fn sharded_records_match_direct_execution(
         (kind, axis_a, axis_b, seeds, drop_pm, bandwidth) in (
-            0usize..3,
+            0usize..4,
             proptest::collection::vec(1usize..8, 1..3),
             proptest::collection::vec(1usize..10, 1..3),
             proptest::collection::vec(0u64..64, 1..3),

@@ -27,7 +27,7 @@ use proptest::prelude::*;
 use qdc::algos::flood::{chaos_round_budget, robust_broadcast_observed};
 use qdc::congest::{
     read_aggregate, ChaosConfig, CongestConfig, Inbox, Message, NodeAlgorithm, NodeInfo, Outbox,
-    RoundProfiler, Simulator, StreamAggregate, StreamSink, TelemetryReport,
+    QubitSplit, RoundProfiler, Simulator, StreamAggregate, StreamSink, TelemetryReport,
 };
 use qdc::graph::{generate, Graph, NodeId};
 
@@ -97,6 +97,21 @@ fn assert_stream_matches_profile(
         )
     });
     prop_assert_eq!((t.path_bits, t.highway_bits, t.cross_bits), split_fold);
+
+    // Qubit/classical split: the footer must fold the per-round splits
+    // exactly, and be absent iff the profiler recorded none.
+    let qsplit_fold =
+        profile
+            .rounds
+            .iter()
+            .filter_map(|r| r.qsplit)
+            .fold(None::<QubitSplit>, |acc, q| {
+                let mut acc = acc.unwrap_or_default();
+                acc.classical_bits += q.classical_bits;
+                acc.qubit_bits += q.qubit_bits;
+                Some(acc)
+            });
+    prop_assert_eq!(t.qsplit, qsplit_fold, "footer qsplit diverged");
 
     // Exact regime: the sketch IS the full ranking, error-free.
     let edges = agg.top_edges.ranked();
@@ -209,6 +224,66 @@ proptest! {
         }
         let agg = sink.finish().expect("Vec<u8> writes cannot fail");
         assert_stream_matches_profile(&agg, &profile)?;
+    }
+
+    /// Quantum accounting under chaos: the streaming sink and the exact
+    /// profiler agree on the qubit/classical split — in plain qubit
+    /// accounting and in EPR/teleportation charging mode alike — and
+    /// the archive (whose strict reader cross-checks footer vs streamed
+    /// round lines) round-trips.
+    #[test]
+    fn stream_sink_matches_exact_profiler_qsplit_under_chaos(
+        n in 4usize..14,
+        extra in 0usize..5,
+        seed in 0u64..80,
+        drop in 0.0f64..=0.2,
+        teleport in any::<bool>(),
+    ) {
+        let g = generate::random_connected(n, n + extra, seed.wrapping_add(env_seed()));
+        let give_up = chaos_round_budget(n, drop);
+        let chaos = ChaosConfig {
+            seed: seed ^ env_seed().rotate_left(17),
+            drop_prob: drop,
+            crash_schedule: vec![(NodeId(n as u32 - 1), 4)],
+            corrupt_prob: 0.05,
+            max_rounds_watchdog: give_up + 5,
+        };
+        // Teleportation charges 2 classical bits per qubit against the
+        // same budget, so the teleport channel gets twice the width.
+        let cfg = if teleport {
+            CongestConfig::quantum_teleport(16)
+        } else {
+            CongestConfig::quantum(8)
+        };
+        let bandwidth = cfg.bandwidth_bits;
+
+        let mut profiler = RoundProfiler::new(g.node_count(), g.edge_count(), bandwidth)
+            .with_quantum(teleport);
+        let exact = robust_broadcast_observed(&g, cfg, NodeId(0), &chaos, give_up, &mut profiler);
+        let profile = profiler.finish();
+
+        let mut sink = StreamSink::new(
+            Vec::new(), g.node_count(), g.edge_count(), bandwidth, exact_cap(&g),
+        ).with_quantum(teleport);
+        let streamed = robust_broadcast_observed(&g, cfg, NodeId(0), &chaos, give_up, &mut sink);
+
+        match (exact, streamed) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.informed, b.informed);
+                prop_assert_eq!(a.report, b.report);
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a.to_string(), b.to_string()),
+            (a, b) => prop_assert!(false, "sink choice changed the outcome: {a:?} vs {b:?}"),
+        }
+        let agg = sink.finish().expect("Vec<u8> writes cannot fail");
+        assert_stream_matches_profile(&agg, &profile)?;
+
+        // Every delivered bit is a qubit; teleport mode charges two
+        // classical bits alongside each, plain mode none.
+        let q = agg.totals.qsplit.expect("quantum sinks always record a split");
+        prop_assert_eq!(q.qubit_bits, agg.totals.bits);
+        let expected_classical = if teleport { 2 * agg.totals.bits } else { 0 };
+        prop_assert_eq!(q.classical_bits, expected_classical);
     }
 
     /// Merge laws on real footers: commutative across unrelated runs,
